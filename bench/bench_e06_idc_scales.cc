@@ -1,0 +1,115 @@
+/**
+ * @file
+ * E6 — index of dispersion for counts across time scales.
+ *
+ * The paper's central burstiness figure: IDC as a function of the
+ * counting-window width, from 10 ms to ~10 minutes, for traffic
+ * models of increasing burstiness.  Poisson stays flat at 1; the
+ * ON/OFF and MMPP processes rise and plateau past their correlation
+ * horizon; the b-model cascade keeps rising at every scale — that is
+ * "bursty across all time scales".  Hurst estimates summarize each
+ * curve.
+ */
+
+#include <iostream>
+
+#include "benchutil.hh"
+#include "core/burstiness.hh"
+#include "core/report.hh"
+#include "synth/arrival.hh"
+#include "synth/bmodel.hh"
+
+using namespace dlw;
+
+namespace
+{
+
+trace::MsTrace
+traceOf(const std::vector<Tick> &arrivals, Tick window,
+        const std::string &name)
+{
+    trace::MsTrace tr(name, 0, window);
+    for (Tick at : arrivals) {
+        trace::Request r;
+        r.arrival = at;
+        r.lba = 0;
+        r.blocks = 8;
+        r.op = trace::Op::Read;
+        tr.append(r);
+    }
+    return tr;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    std::cout << "E6: IDC vs counting window, per traffic model\n\n";
+
+    const Tick window = 20 * kMinute;
+    const double rate = 200.0;
+    Rng rng(bench::kSeed + 6);
+
+    std::vector<std::pair<std::string, trace::MsTrace>> traces;
+
+    synth::PoissonArrivals poisson(rate);
+    traces.emplace_back("poisson",
+                        traceOf(poisson.generate(rng, 0, window),
+                                window, "poisson"));
+
+    synth::OnOffArrivals onoff(rate / 0.2, 400 * kMsec,
+                               1600 * kMsec);
+    traces.emplace_back("on-off",
+                        traceOf(onoff.generate(rng, 0, window),
+                                window, "on-off"));
+
+    synth::MmppArrivals mmpp(rate * 0.3, rate * 3.0, 5 * kSec,
+                             1500 * kMsec);
+    traces.emplace_back("mmpp",
+                        traceOf(mmpp.generate(rng, 0, window),
+                                window, "mmpp"));
+
+    synth::BModel bm(0.8, 17);
+    const auto total = static_cast<std::uint64_t>(
+        rate * ticksToSeconds(window));
+    traces.emplace_back("b-model",
+                        traceOf(bm.arrivals(rng, 0, window, total),
+                                window, "b-model"));
+
+    core::Table t("burstiness instruments per model",
+                  {"model", "CV", "IDC@10ms", "IDC@1s", "IDC@1min",
+                   "H (var)", "H (R/S)", "bursty-all-scales"});
+
+    for (auto &[name, tr] : traces) {
+        core::BurstinessReport rep = core::analyzeBurstiness(
+            tr, 10 * kMsec, {1, 10, 100, 1000, 6000, 30000});
+
+        std::vector<std::pair<double, double>> series;
+        double idc_1s = 0.0, idc_1min = 0.0;
+        for (const auto &p : rep.idc) {
+            series.emplace_back(ticksToSeconds(p.window), p.idc);
+            if (p.window == kSec)
+                idc_1s = p.idc;
+            if (p.window == kMinute)
+                idc_1min = p.idc;
+        }
+        core::printSeries(std::cout, "E6-idc", name, series);
+        std::cout << '\n';
+
+        t.addRow({name, core::cell(rep.interarrival_cv),
+                  core::cell(rep.idc.empty() ? 0.0
+                                             : rep.idc.front().idc),
+                  core::cell(idc_1s), core::cell(idc_1min),
+                  core::cell(rep.hurst_var.h),
+                  core::cell(rep.hurst_rs.h),
+                  rep.burstyAcrossScales(4.0) ? "yes" : "no"});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nShape check: poisson flat at 1; on-off/mmpp rise "
+                 "then flatten; b-model keeps rising at every "
+                 "scale (the paper's finding for real disk "
+                 "traffic).\n";
+    return 0;
+}

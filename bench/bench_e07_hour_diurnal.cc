@@ -1,0 +1,112 @@
+/**
+ * @file
+ * E7 — requests per hour over four weeks: diurnal and weekly cycles.
+ *
+ * Regenerates the Hour-trace timeline figure: one drive's hourly
+ * request counts over a month show the day/night swing, the weekday/
+ * weekend drop, and overdispersed hour-to-hour noise.  The table
+ * quantifies the ratios.
+ */
+
+#include <iostream>
+
+#include "benchutil.hh"
+#include "common/strutil.hh"
+#include "core/burstiness.hh"
+#include "core/report.hh"
+
+using namespace dlw;
+
+int
+main()
+{
+    std::cout << "E7: hourly activity over four weeks\n\n";
+
+    synth::FamilyModel family = bench::makeFamily();
+    // Pick a moderate-class drive for the timeline.
+    synth::DriveProfile profile;
+    for (std::size_t i = 0;; ++i) {
+        profile = family.sampleProfile(i);
+        if (profile.cls == synth::DriveClass::Moderate)
+            break;
+    }
+    trace::HourTrace t =
+        family.generateHourTrace(profile, bench::kHourSpan);
+
+    // First-week hourly series for the figure.
+    std::vector<std::pair<double, double>> week;
+    for (std::size_t h = 0; h < 168; ++h)
+        week.emplace_back(static_cast<double>(h),
+                          static_cast<double>(t.at(h).total()));
+    core::printSeries(std::cout, "E7-hourly-timeline", profile.id,
+                      week);
+    std::cout << '\n';
+
+    // Hour-of-week average profile (all four weeks folded).
+    auto folded = t.hourOfWeekProfile();
+    std::vector<std::pair<double, double>> prof;
+    for (std::size_t h = 0; h < folded.size(); h += 4)
+        prof.emplace_back(static_cast<double>(h), folded[h]);
+    core::printSeries(std::cout, "E7-hour-of-week", profile.id, prof);
+    std::cout << '\n';
+
+    // Ratio table: day/night and weekday/weekend.
+    double day = 0.0, night = 0.0, weekday = 0.0, weekend = 0.0;
+    std::size_t nd = 0, nn = 0, nwd = 0, nwe = 0;
+    for (std::size_t h = 0; h < t.hours(); ++h) {
+        const double v = static_cast<double>(t.at(h).total());
+        const std::size_t hod = h % 24;
+        const std::size_t dow = (h / 24) % 7;
+        if (hod >= 9 && hod < 18) {
+            day += v;
+            ++nd;
+        }
+        if (hod < 5) {
+            night += v;
+            ++nn;
+        }
+        if (dow < 5) {
+            weekday += v;
+            ++nwd;
+        } else {
+            weekend += v;
+            ++nwe;
+        }
+    }
+
+    core::Table r("diurnal/weekly ratios (" + profile.id + ")",
+                  {"metric", "value"});
+    r.addRow({"mean req/h (business hours)",
+              core::cell(day / static_cast<double>(nd))});
+    r.addRow({"mean req/h (night)",
+              core::cell(night / static_cast<double>(nn))});
+    r.addRow({"day/night ratio",
+              core::cell((day / static_cast<double>(nd)) /
+                         std::max(night / static_cast<double>(nn),
+                                  1e-9))});
+    r.addRow({"mean req/h (weekday)",
+              core::cell(weekday / static_cast<double>(nwd))});
+    r.addRow({"mean req/h (weekend)",
+              core::cell(weekend / static_cast<double>(nwe))});
+    r.addRow({"weekday/weekend ratio",
+              core::cell((weekday / static_cast<double>(nwd)) /
+                         std::max(weekend / static_cast<double>(nwe),
+                                  1e-9))});
+    r.print(std::cout);
+    std::cout << '\n';
+
+    // Hour-scale burstiness: counts remain overdispersed even at
+    // hour..day..week aggregation.
+    core::BurstinessReport rep = core::analyzeCountSeries(
+        t.requestSeries(), {1, 2, 6, 12, 24, 84});
+    core::Table b("hour-scale burstiness (" + profile.id + ")",
+                  {"window", "IDC"});
+    for (const auto &p : rep.idc)
+        b.addRow({formatDuration(p.window), core::cell(p.idc)});
+    b.print(std::cout);
+
+    std::cout << "\nShape check: pronounced day/night and weekday/"
+                 "weekend swings; IDC >> 1 even at day scale "
+                 "(bursty at coarse time scales too).\n";
+    return 0;
+}

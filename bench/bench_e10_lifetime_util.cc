@@ -1,0 +1,85 @@
+/**
+ * @file
+ * E10 — lifetime utilization across the whole drive family.
+ *
+ * Regenerates the Lifetime-trace figure: the CDF of lifetime
+ * utilization over a 512-drive family and the distribution of total
+ * bytes read/written per drive.  Expected shape: the bulk of the
+ * family sits at low-to-moderate lifetime utilization with a long
+ * upper tail — "drives operate in moderate utilization", with
+ * variability across the family.
+ */
+
+#include <iostream>
+
+#include "benchutil.hh"
+#include "core/family.hh"
+#include "core/report.hh"
+#include "stats/ecdf.hh"
+
+using namespace dlw;
+
+int
+main()
+{
+    std::cout << "E10: lifetime utilization across "
+              << bench::kLifetimeDrives << " drives\n\n";
+
+    synth::FamilyModel family = bench::makeFamily();
+    trace::LifetimeTrace life = family.generateLifetimeTrace(
+        bench::kLifetimeDrives, 6 * 30 * 24, 5 * 365 * 24);
+    life.validate(true);
+
+    // Utilization CDF (the figure).
+    stats::Ecdf util;
+    for (double u : life.utilizations())
+        util.add(u);
+    core::printSeries(std::cout, "E10-lifetime-util-cdf", "family",
+                      util.curve(25));
+    std::cout << '\n';
+
+    core::Table t("lifetime utilization percentiles",
+                  {"percentile", "utilization %"});
+    for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+        t.addRow({core::cell(100.0 * q),
+                  core::cell(100.0 * util.quantile(q))});
+    }
+    t.print(std::cout);
+    std::cout << '\n';
+
+    // Bytes moved per drive.
+    stats::Ecdf read_tb, written_tb;
+    for (const auto &r : life.records()) {
+        read_tb.add(static_cast<double>(r.bytesRead()) / 1e12);
+        written_tb.add(static_cast<double>(r.bytesWritten()) / 1e12);
+    }
+    core::Table v("lifetime volume per drive (TB)",
+                  {"percentile", "read TB", "written TB"});
+    for (double q : {0.1, 0.5, 0.9, 0.99}) {
+        v.addRow({core::cell(100.0 * q),
+                  core::cell(read_tb.quantile(q)),
+                  core::cell(written_tb.quantile(q))});
+    }
+    v.print(std::cout);
+    std::cout << '\n';
+
+    core::FamilyReport rep = core::analyzeFamily(life);
+    core::Table c("utilization tiers across the family",
+                  {"tier", "drives", "fraction %"});
+    for (auto tier : {core::UtilizationTier::Idle,
+                      core::UtilizationTier::Light,
+                      core::UtilizationTier::Moderate,
+                      core::UtilizationTier::Heavy,
+                      core::UtilizationTier::Saturated}) {
+        c.addRow({core::tierName(tier),
+                  std::to_string(rep.tier_counts[static_cast<
+                      std::size_t>(tier)]),
+                  core::cell(100.0 * rep.tierFraction(tier))});
+    }
+    c.print(std::cout);
+
+    std::cout << "\nShape check: median lifetime utilization is "
+                 "modest; the distribution has a long upper tail "
+                 "(the streamer minority).\n";
+    return 0;
+}

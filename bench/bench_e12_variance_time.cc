@@ -1,0 +1,95 @@
+/**
+ * @file
+ * E12 — variance-time plots (self-similarity check).
+ *
+ * Regenerates the variance-time figure: log variance of the
+ * m-aggregated counts versus log m.  Short-range-dependent traffic
+ * falls with slope -1 (H = 0.5); self-similar traffic falls more
+ * slowly.  The fitted slopes and Hurst estimates are tabulated per
+ * traffic model.
+ */
+
+#include <iostream>
+
+#include "benchutil.hh"
+#include "core/report.hh"
+#include "stats/hurst.hh"
+#include "synth/arrival.hh"
+#include "synth/bmodel.hh"
+
+using namespace dlw;
+
+namespace
+{
+
+std::vector<double>
+countsOf(const std::vector<Tick> &arrivals, Tick window, Tick bin)
+{
+    stats::BinnedSeries s(0, bin);
+    for (Tick t : arrivals)
+        s.accumulateAt(t, 1.0);
+    s.extendTo(window - 1);
+    return s.values();
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    std::cout << "E12: variance-time plots per traffic model\n\n";
+
+    const Tick window = 30 * kMinute;
+    const Tick bin = 10 * kMsec;
+    const double rate = 300.0;
+    Rng rng(bench::kSeed + 12);
+
+    std::vector<std::pair<std::string, std::vector<double>>> models;
+
+    synth::PoissonArrivals poisson(rate);
+    models.emplace_back("poisson",
+                        countsOf(poisson.generate(rng, 0, window),
+                                 window, bin));
+
+    synth::OnOffArrivals onoff(rate / 0.25, kSec, 3 * kSec);
+    models.emplace_back("on-off",
+                        countsOf(onoff.generate(rng, 0, window),
+                                 window, bin));
+
+    synth::ParetoRenewal pareto(1.4, rate);
+    models.emplace_back("pareto-renewal",
+                        countsOf(pareto.generate(rng, 0, window),
+                                 window, bin));
+
+    synth::BModel bm(0.8, 17);
+    const auto total = static_cast<std::uint64_t>(
+        rate * ticksToSeconds(window));
+    models.emplace_back("b-model",
+                        countsOf(bm.arrivals(rng, 0, window, total),
+                                 window, bin));
+
+    core::Table t("variance-time slopes",
+                  {"model", "slope", "H (var)", "r2", "points"});
+    for (auto &[name, counts] : models) {
+        stats::HurstEstimate est =
+            stats::hurstAggregatedVariance(counts);
+
+        std::vector<std::pair<double, double>> series;
+        for (std::size_t i = 0; i < est.log_scale.size(); ++i)
+            series.emplace_back(est.log_scale[i], est.log_value[i]);
+        core::printSeries(std::cout, "E12-variance-time", name,
+                          series);
+        std::cout << '\n';
+
+        const double slope = 2.0 * est.h - 2.0;
+        t.addRow({name, core::cell(slope), core::cell(est.h),
+                  core::cell(est.r2), std::to_string(est.points)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nShape check: poisson slope ~ -1 (H ~ 0.5); the "
+                 "heavy-tailed and cascade models decay more slowly "
+                 "(H well above 0.5) — variance persists at coarse "
+                 "scales.\n";
+    return 0;
+}

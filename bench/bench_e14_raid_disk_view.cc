@@ -1,0 +1,88 @@
+/**
+ * @file
+ * E14 (extension) — what a member disk sees below a RAID controller.
+ *
+ * The paper's traces were collected at disk level, underneath array
+ * controllers.  This experiment pushes one array-level workload
+ * through RAID-0/1/5 and characterizes the stream each member disk
+ * receives: request fan-out, read/write mix shift (RAID-5 turning
+ * host writes into read-modify-write pairs), per-disk utilization,
+ * and whether burstiness survives the striping (it does — splitting
+ * a bursty stream leaves each share bursty).
+ */
+
+#include <iostream>
+
+#include "array/array.hh"
+#include "benchutil.hh"
+#include "core/burstiness.hh"
+#include "core/report.hh"
+
+using namespace dlw;
+
+int
+main()
+{
+    std::cout << "E14: disk-level view below a RAID controller\n\n";
+
+    const disk::DriveConfig member = disk::DriveConfig::makeEnterprise();
+
+    struct Setup
+    {
+        const char *name;
+        array::RaidConfig raid;
+    };
+    std::vector<Setup> setups;
+    {
+        array::RaidConfig c;
+        c.level = array::RaidLevel::Raid0;
+        c.disks = 4;
+        setups.push_back({"RAID-0 x4", c});
+        c.level = array::RaidLevel::Raid1;
+        c.disks = 2;
+        setups.push_back({"RAID-1 x2", c});
+        c.level = array::RaidLevel::Raid5;
+        c.disks = 5;
+        setups.push_back({"RAID-5 x5", c});
+    }
+
+    core::Table t("array-level workload seen at disk level",
+                  {"array", "fanout", "host read%", "disk read%",
+                   "disk util%", "host resp ms", "disk CV",
+                   "bursty-all-scales"});
+
+    for (const Setup &s : setups) {
+        array::RaidArray arr(s.raid, member);
+        Rng rng(bench::kSeed + 14);
+        synth::Workload w = synth::Workload::makeOltp(
+            arr.logicalCapacity(), 120.0, 14);
+        trace::MsTrace host =
+            w.generate(rng, "host", 0, 10 * kMinute);
+        array::ArrayLog log = arr.service(host);
+
+        // Characterize disk 0's stream (all members are
+        // statistically alike).
+        const trace::MsTrace &d0 = log.disk_traces[0];
+        core::BurstinessReport rep = core::analyzeBurstiness(d0);
+
+        double resp_ms = log.meanLogicalResponse() /
+                         static_cast<double>(kMsec);
+        t.addRow({s.name, core::cell(log.fanout(host.size())),
+                  core::cell(100.0 * host.readFraction()),
+                  core::cell(100.0 * d0.readFraction()),
+                  core::cell(100.0 * log.meanDiskUtilization()),
+                  core::cell(resp_ms),
+                  core::cell(rep.interarrival_cv),
+                  rep.burstyAcrossScales(4.0) ? "yes" : "no"});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nShape check: RAID-5 roughly doubles the disk "
+                 "request count of this 2:1 read mix (each host "
+                 "write becomes four disk requests), RAID-1 drags "
+                 "the member's read fraction toward 50% (every host "
+                 "write lands on both mirrors), and burstiness "
+                 "survives every mapping — the disk-level workload "
+                 "stays bursty no matter the controller.\n";
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * E15 (extension) — harvesting idleness for background scrubbing.
+ *
+ * The paper's idleness findings motivate idle-time background work.
+ * This experiment sweeps the scrub scheduler's idle-wait threshold
+ * and chunk size over a moderate foreground workload, reporting how
+ * much of the drive can be scanned per day versus how much
+ * foreground delay the policy injects — plus the oracle bound that
+ * perfect idleness prediction would reach.
+ */
+
+#include <iostream>
+
+#include "benchutil.hh"
+#include "common/strutil.hh"
+#include "core/bgwork.hh"
+#include "core/idleness.hh"
+#include "core/report.hh"
+
+using namespace dlw;
+
+int
+main()
+{
+    std::cout << "E15: idle-time scrubbing policy sweep\n\n";
+
+    Rng rng(bench::kSeed + 15);
+    disk::DriveConfig cfg = disk::DriveConfig::makeEnterprise();
+    synth::Workload w = synth::Workload::makeFileServer(
+        cfg.geometry.capacityBlocks(), 45.0, 15);
+    trace::MsTrace tr = w.generate(rng, "scrub", 0, bench::kMsWindow);
+    disk::ServiceLog log = disk::DiskDrive(cfg).service(tr);
+
+    core::IdlenessAnalysis idle(log);
+    std::cout << "foreground: " << tr.size() << " requests, "
+              << formatDouble(100.0 * idle.idleFraction(), 1)
+              << "% idle, idle mass >= 1 s: "
+              << formatDouble(100.0 * idle.idleMassAtLeast(kSec), 1)
+              << "%\n\n";
+
+    const Tick window = log.window_end - log.window_start;
+    const Lba capacity = cfg.geometry.capacityBlocks();
+
+    core::Table t("scrub policy sweep",
+                  {"idle wait", "chunk", "mode", "scrub%",
+                   "full scan", "delays", "mean delay ms"});
+    for (Tick wait : {100 * kMsec, 500 * kMsec, 2 * kSec}) {
+        for (Tick chunk : {20 * kMsec, 100 * kMsec, 500 * kMsec}) {
+            for (bool oracle : {false, true}) {
+                core::ScrubConfig sc;
+                sc.idle_wait = wait;
+                sc.chunk_time = chunk;
+                sc.chunk_blocks = static_cast<BlockCount>(
+                    2048 * (chunk / (20 * kMsec)));
+                sc.oracle = oracle;
+                core::ScrubReport r = core::scheduleScrub(log, sc);
+
+                const Tick scan =
+                    r.projectedFullScan(capacity, window);
+                const double mean_delay =
+                    r.delayed_periods
+                        ? static_cast<double>(r.total_delay) /
+                              static_cast<double>(r.delayed_periods) /
+                              static_cast<double>(kMsec)
+                        : 0.0;
+                t.addRow({formatDuration(wait),
+                          formatDuration(chunk),
+                          oracle ? "oracle" : "online",
+                          core::cell(100.0 *
+                                     r.scrubFraction(window)),
+                          scan == kTickNone ? "-"
+                                            : formatDuration(scan),
+                          std::to_string(r.delayed_periods),
+                          core::cell(mean_delay)});
+            }
+        }
+    }
+    t.print(std::cout);
+
+    std::cout << "\nShape check: shorter idle waits harvest more "
+                 "idleness but delay more foreground periods; the "
+                 "oracle rows show the cost of not knowing gap "
+                 "lengths in advance.  Because most idle mass is in "
+                 "long intervals, even a conservative policy scans "
+                 "the full drive in hours at this load.\n";
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * E16 (extension) — spatial locality per workload class.
+ *
+ * The spatial complement of the temporal analyses: how much of the
+ * address space each class touches, how concentrated its accesses
+ * are, and how sequential it runs.  These properties drive seek
+ * behaviour and hence the utilization results of E2.
+ */
+
+#include <iostream>
+
+#include "benchutil.hh"
+#include "core/footprint.hh"
+#include "core/report.hh"
+
+using namespace dlw;
+
+int
+main()
+{
+    std::cout << "E16: spatial footprint per workload class\n\n";
+
+    const disk::DriveConfig cfg = disk::DriveConfig::makeEnterprise();
+    const Lba cap = cfg.geometry.capacityBlocks();
+
+    auto ms = bench::makeStandardMsSet();
+    core::Table t("spatial footprint (30 min traces)",
+                  {"drive", "class", "footprint%", "top1%",
+                   "top10%", "gini", "mean run", "longest run",
+                   "mean seek Mblk"});
+    for (const auto &d : ms) {
+        core::FootprintReport rep =
+            core::analyzeFootprint(d.tr, cap);
+        t.addRow({d.name, d.klass,
+                  core::cell(100.0 * rep.footprint_fraction),
+                  core::cell(100.0 * rep.top1_share),
+                  core::cell(100.0 * rep.top10_share),
+                  core::cell(rep.extent_gini),
+                  core::cell(rep.mean_run_requests),
+                  std::to_string(rep.longest_run_requests),
+                  core::cell(rep.mean_seek_blocks / 1e6)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nShape check: OLTP concentrates most accesses in "
+                 "the hottest 10% of extents (Zipf hotspots) with "
+                 "long seeks; streaming/backup run nearly fully "
+                 "sequential with tiny effective seeks.\n";
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * E17 (extension) — enterprise 15k vs nearline 7.2k under identical
+ * workload.
+ *
+ * The paper studies one enterprise family; deployments mix drive
+ * classes.  This experiment replays the same request streams on the
+ * 15k enterprise model and the 7200 RPM nearline model, plus an
+ * M/G/1 sanity row: the slower mechanism saturates at a lower
+ * arrival rate and its response times blow up first.
+ */
+
+#include <iostream>
+
+#include "benchutil.hh"
+#include "core/queueing.hh"
+#include "core/report.hh"
+
+using namespace dlw;
+
+int
+main()
+{
+    std::cout << "E17: drive-class comparison at identical load\n\n";
+
+    disk::DriveConfig ent = disk::DriveConfig::makeEnterprise();
+    disk::DriveConfig near = disk::DriveConfig::makeNearline();
+    // Use the smaller capacity for both streams so LBAs fit.
+    const Lba cap = ent.geometry.capacityBlocks();
+
+    core::Table t("enterprise 15k vs nearline 7.2k",
+                  {"rate req/s", "drive", "util%", "mean resp ms",
+                   "p95 resp ms", "rho (M/G/1)"});
+
+    for (double rate : {30.0, 60.0, 90.0, 120.0}) {
+        Rng rng(bench::kSeed + 17);
+        synth::Workload w;
+        w.setArrival(std::make_unique<synth::PoissonArrivals>(rate));
+        w.setSize(std::make_unique<synth::FixedSize>(8));
+        w.setSpatial(std::make_unique<synth::UniformSpatial>(cap));
+        w.setMix(1.0);
+        trace::MsTrace tr = w.generate(rng, "cls", 0, 5 * kMinute);
+
+        for (bool nearline : {false, true}) {
+            disk::DriveConfig cfg = nearline ? near : ent;
+            cfg.cache.enabled = false;
+            cfg.sched = disk::SchedPolicy::Fcfs;
+            disk::ServiceLog log = disk::DiskDrive(cfg).service(tr);
+            core::QueueingValidation v = core::validateMg1(tr, log);
+            t.addRow({core::cell(rate),
+                      nearline ? "nearline-7.2k" : "enterprise-15k",
+                      core::cell(100.0 * log.utilization()),
+                      core::cell(log.meanResponse() /
+                                 static_cast<double>(kMsec)),
+                      core::cell(static_cast<double>(
+                                     log.responseQuantile(0.95)) /
+                                 static_cast<double>(kMsec)),
+                      core::cell(v.predicted.rho)});
+        }
+    }
+    t.print(std::cout);
+
+    std::cout << "\nShape check: the nearline drive's longer seeks "
+                 "and slower spindle roughly double its service "
+                 "time, so it crosses into queueing collapse "
+                 "(rho -> 1) at roughly half the arrival rate of "
+                 "the enterprise drive.\n";
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * E20 (extension) — closed-loop throughput/response curves.
+ *
+ * The interactive complement to the open-loop experiments: N
+ * think-time clients against one drive.  Throughput climbs with
+ * concurrency until the mechanism saturates, after which extra
+ * clients only add queueing delay — the knee is where the paper's
+ * "moderate utilization" operating points live, and SSTF pushes it
+ * right by shortening seeks under deep queues.
+ */
+
+#include <iostream>
+
+#include "benchutil.hh"
+#include "core/report.hh"
+#include "disk/closedloop.hh"
+
+using namespace dlw;
+
+int
+main()
+{
+    std::cout << "E20: closed-loop concurrency sweep\n\n";
+
+    disk::DriveConfig cfg = disk::DriveConfig::makeEnterprise();
+    cfg.cache.enabled = false;
+    const Lba cap = cfg.geometry.capacityBlocks();
+
+    disk::RequestFactory reads = [cap](Rng &rng) {
+        trace::Request r;
+        r.lba = static_cast<Lba>(
+            rng.uniformInt(0, static_cast<std::int64_t>(cap) - 9));
+        r.blocks = 8;
+        r.op = trace::Op::Read;
+        return r;
+    };
+
+    core::Table t("closed-loop sweep (8-block random reads, "
+                  "10 ms think)",
+                  {"clients", "sched", "X req/s", "R ms", "util%"});
+    std::vector<std::pair<double, double>> curve_fcfs, curve_sstf;
+
+    for (std::size_t n : {1, 2, 4, 8, 16, 32, 64}) {
+        for (bool sstf : {false, true}) {
+            disk::DriveConfig c = cfg;
+            c.sched = sstf ? disk::SchedPolicy::Sstf
+                           : disk::SchedPolicy::Fcfs;
+            disk::ClosedLoopConfig lc;
+            lc.clients = n;
+            lc.mean_think = 10 * kMsec;
+            lc.duration = 30 * kSec;
+            lc.seed = bench::kSeed + 20;
+            disk::ClosedLoopResult r =
+                disk::runClosedLoop(c, reads, lc);
+            t.addRow({std::to_string(n), sstf ? "SSTF" : "FCFS",
+                      core::cell(r.throughput),
+                      core::cell(1000.0 * r.mean_response),
+                      core::cell(100.0 * r.utilization)});
+            (sstf ? curve_sstf : curve_fcfs)
+                .emplace_back(static_cast<double>(n), r.throughput);
+        }
+    }
+    t.print(std::cout);
+    std::cout << '\n';
+    core::printSeries(std::cout, "E20-throughput", "FCFS",
+                      curve_fcfs);
+    std::cout << '\n';
+    core::printSeries(std::cout, "E20-throughput", "SSTF",
+                      curve_sstf);
+
+    std::cout << "\nShape check: throughput saturates once the "
+                 "mechanism is pinned; SSTF lifts the saturation "
+                 "plateau by servicing deep queues in seek order.\n";
+    return 0;
+}

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * M1 — google-benchmark microbenchmarks of the toolkit's hot
+ * kernels: workload synthesis, drive servicing, binary trace I/O,
+ * and the statistical estimators the figures depend on.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "benchutil.hh"
+#include "core/burstiness.hh"
+#include "stats/hurst.hh"
+#include "synth/bmodel.hh"
+#include "trace/aggregate.hh"
+#include "trace/binio.hh"
+
+using namespace dlw;
+
+namespace
+{
+
+trace::MsTrace
+sampleTrace(Tick window)
+{
+    Rng rng(1);
+    synth::Workload w = synth::Workload::makeOltp(1 << 24, 200.0);
+    return w.generate(rng, "micro", 0, window);
+}
+
+void
+BM_WorkloadGenerate(benchmark::State &state)
+{
+    Rng rng(1);
+    synth::Workload w = synth::Workload::makeOltp(1 << 24, 200.0);
+    std::uint64_t requests = 0;
+    for (auto _ : state) {
+        trace::MsTrace tr = w.generate(rng, "g", 0, 10 * kSec);
+        requests += tr.size();
+        benchmark::DoNotOptimize(tr);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(requests));
+}
+BENCHMARK(BM_WorkloadGenerate);
+
+void
+BM_DriveService(benchmark::State &state)
+{
+    trace::MsTrace tr = sampleTrace(10 * kSec);
+    disk::DriveConfig cfg = disk::DriveConfig::makeEnterprise();
+    std::uint64_t requests = 0;
+    for (auto _ : state) {
+        disk::DiskDrive drive(cfg);
+        disk::ServiceLog log = drive.service(tr);
+        requests += log.completions.size();
+        benchmark::DoNotOptimize(log);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(requests));
+}
+BENCHMARK(BM_DriveService);
+
+void
+BM_BModelCounts(benchmark::State &state)
+{
+    Rng rng(2);
+    synth::BModel bm(0.8, static_cast<std::uint32_t>(state.range(0)));
+    for (auto _ : state) {
+        auto counts = bm.counts(rng, 1'000'000);
+        benchmark::DoNotOptimize(counts);
+    }
+}
+BENCHMARK(BM_BModelCounts)->Arg(12)->Arg(16)->Arg(20);
+
+void
+BM_BinaryRoundTrip(benchmark::State &state)
+{
+    trace::MsTrace tr = sampleTrace(30 * kSec);
+    std::uint64_t bytes = 0;
+    for (auto _ : state) {
+        std::stringstream ss(std::ios::in | std::ios::out |
+                             std::ios::binary);
+        trace::writeMsBinary(ss, tr);
+        trace::MsTrace back = trace::readMsBinary(ss);
+        bytes += ss.str().size();
+        benchmark::DoNotOptimize(back);
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_BinaryRoundTrip);
+
+void
+BM_HurstAggVar(benchmark::State &state)
+{
+    Rng rng(3);
+    std::vector<double> xs;
+    for (int i = 0; i < 1 << 16; ++i)
+        xs.push_back(static_cast<double>(rng.poisson(10.0)));
+    for (auto _ : state) {
+        auto est = stats::hurstAggregatedVariance(xs);
+        benchmark::DoNotOptimize(est);
+    }
+}
+BENCHMARK(BM_HurstAggVar);
+
+void
+BM_BurstinessReport(benchmark::State &state)
+{
+    trace::MsTrace tr = sampleTrace(60 * kSec);
+    for (auto _ : state) {
+        auto rep = core::analyzeBurstiness(tr);
+        benchmark::DoNotOptimize(rep);
+    }
+}
+BENCHMARK(BM_BurstinessReport);
+
+void
+BM_MsToHour(benchmark::State &state)
+{
+    trace::MsTrace tr = sampleTrace(60 * kSec);
+    for (auto _ : state) {
+        auto hour = trace::msToHour(tr);
+        benchmark::DoNotOptimize(hour);
+    }
+}
+BENCHMARK(BM_MsToHour);
+
+void
+BM_FamilyHourSynthesis(benchmark::State &state)
+{
+    synth::FamilyModel family = bench::makeFamily();
+    synth::DriveProfile p = family.sampleProfile(0);
+    for (auto _ : state) {
+        auto t = family.generateHourTrace(p, 24 * 7);
+        benchmark::DoNotOptimize(t);
+    }
+}
+BENCHMARK(BM_FamilyHourSynthesis);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

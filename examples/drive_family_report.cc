@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Fleet report over a synthetic drive family.
+ *
+ * Generates a 96-drive family (Hour traces over three weeks plus
+ * Lifetime records over each drive's field life), then produces the
+ * population analysis an operator would want: behavioural tiers,
+ * utilization spread, the saturated-streamer list, and the activity
+ * concentration (Gini).  This is the paper's family-variability
+ * methodology packaged as a report tool.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "core/family.hh"
+#include "core/report.hh"
+#include "synth/family.hh"
+
+int
+main()
+{
+    using namespace dlw;
+
+    synth::FamilyConfig cfg;
+    cfg.family = "EXAMPLE-15K";
+    cfg.seed = 1234;
+    synth::FamilyModel model(cfg);
+
+    constexpr std::size_t kDrives = 96;
+    constexpr std::size_t kHours = 24 * 21;
+
+    auto traces = model.generateHourTraces(kDrives, kHours);
+    core::FamilyReport rep = core::analyzeFamily(traces, 0.9);
+
+    std::cout << "fleet report: " << kDrives << " drives, "
+              << kHours / 24 << " days of hourly counters\n\n";
+
+    core::Table spread("population spread", {"metric", "value"});
+    spread.addRow({"utilization p10 %",
+                   core::cell(100.0 * rep.util_p10)});
+    spread.addRow({"utilization median %",
+                   core::cell(100.0 * rep.util_p50)});
+    spread.addRow({"utilization p90 %",
+                   core::cell(100.0 * rep.util_p90)});
+    spread.addRow({"activity Gini", core::cell(rep.activity_gini)});
+    spread.print(std::cout);
+    std::cout << '\n';
+
+    core::Table tiers("behavioural tiers", {"tier", "drives", "%"});
+    for (auto tier : {core::UtilizationTier::Idle,
+                      core::UtilizationTier::Light,
+                      core::UtilizationTier::Moderate,
+                      core::UtilizationTier::Heavy,
+                      core::UtilizationTier::Saturated}) {
+        tiers.addRow({core::tierName(tier),
+                      std::to_string(rep.tier_counts[static_cast<
+                          std::size_t>(tier)]),
+                      core::cell(100.0 * rep.tierFraction(tier))});
+    }
+    tiers.print(std::cout);
+    std::cout << '\n';
+
+    // The streamers: drives that pinned the media for hours.
+    std::vector<const core::DriveSummary *> streamers;
+    for (const auto &s : rep.summaries) {
+        if (s.longest_saturated_run >= 3)
+            streamers.push_back(&s);
+    }
+    std::sort(streamers.begin(), streamers.end(),
+              [](const auto *a, const auto *b) {
+                  return a->longest_saturated_run >
+                         b->longest_saturated_run;
+              });
+
+    core::Table hot("drives saturated >= 3 consecutive hours",
+                    {"drive", "longest run (h)", "mean util%",
+                     "read%"});
+    for (const auto *s : streamers) {
+        hot.addRow({s->drive_id,
+                    std::to_string(s->longest_saturated_run),
+                    core::cell(100.0 * s->mean_utilization),
+                    core::cell(100.0 * s->read_fraction)});
+    }
+    hot.print(std::cout);
+
+    std::cout << '\n'
+              << streamers.size() << "/" << kDrives
+              << " drives stream at full bandwidth for hours — the "
+                 "minority the paper's abstract calls out.\n";
+    return 0;
+}

@@ -1,0 +1,104 @@
+#include "array/array.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dlw
+{
+namespace array
+{
+
+double
+ArrayLog::meanLogicalResponse() const
+{
+    if (logical_response.empty())
+        return 0.0;
+    double s = 0.0;
+    for (Tick r : logical_response)
+        s += static_cast<double>(r);
+    return s / static_cast<double>(logical_response.size());
+}
+
+double
+ArrayLog::meanDiskUtilization() const
+{
+    if (disk_logs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (const disk::ServiceLog &log : disk_logs)
+        s += log.utilization();
+    return s / static_cast<double>(disk_logs.size());
+}
+
+double
+ArrayLog::fanout(std::size_t logical_requests) const
+{
+    if (logical_requests == 0)
+        return 0.0;
+    std::size_t total = 0;
+    for (const trace::MsTrace &t : disk_traces)
+        total += t.size();
+    return static_cast<double>(total) /
+           static_cast<double>(logical_requests);
+}
+
+RaidArray::RaidArray(RaidConfig raid, disk::DriveConfig drive)
+    : raid_(raid), drive_(std::move(drive))
+{
+}
+
+Lba
+RaidArray::logicalCapacity() const
+{
+    RaidMapper mapper(raid_);
+    return mapper.logicalCapacity(drive_.geometry.capacityBlocks());
+}
+
+ArrayLog
+RaidArray::service(const trace::MsTrace &tr)
+{
+    dlw_assert(tr.validate(), "array input trace failed validation");
+    RaidMapper mapper(raid_);
+    const Lba logical_cap = logicalCapacity();
+
+    ArrayLog out;
+    out.disk_traces.reserve(raid_.disks);
+    for (std::uint32_t d = 0; d < raid_.disks; ++d) {
+        out.disk_traces.emplace_back(
+            tr.driveId() + "/disk" + std::to_string(d), tr.start(),
+            tr.duration());
+    }
+
+    // fragment_of[d][j] = logical index of disk d's j-th request.
+    std::vector<std::vector<std::size_t>> fragment_of(raid_.disks);
+
+    for (std::size_t i = 0; i < tr.size(); ++i) {
+        const trace::Request &req = tr.at(i);
+        dlw_assert(req.lbaEnd() <= logical_cap,
+                   "request beyond array logical capacity");
+        for (const DiskRequest &dr : mapper.map(req)) {
+            out.disk_traces[dr.disk].append(dr.req);
+            fragment_of[dr.disk].push_back(i);
+        }
+    }
+
+    // Service every member independently (each has its own queue,
+    // cache and head) and recover logical completion times.
+    out.logical_response.assign(tr.size(), 0);
+    for (std::uint32_t d = 0; d < raid_.disks; ++d) {
+        disk::DiskDrive drive(drive_);
+        disk::ServiceLog log = drive.service(out.disk_traces[d]);
+        for (const disk::Completion &c : log.completions) {
+            const std::size_t logical = fragment_of[d][c.index];
+            const Tick resp = c.finish - tr.at(logical).arrival;
+            out.logical_response[logical] =
+                std::max(out.logical_response[logical], resp);
+        }
+        out.disk_logs.push_back(std::move(log));
+    }
+    return out;
+}
+
+} // namespace array
+} // namespace dlw

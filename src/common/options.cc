@@ -1,0 +1,64 @@
+#include "common/options.hh"
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace dlw
+{
+
+Options::Options(int argc, char *const *argv, int first)
+{
+    for (int i = first; i < argc; ++i) {
+        std::string key = argv[i];
+        if (!startsWith(key, "--"))
+            dlw_fatal("expected --option, got '", key, "'");
+        if (i + 1 >= argc)
+            dlw_fatal("option '", key, "' needs a value");
+        values_[key.substr(2)] = argv[++i];
+    }
+}
+
+bool
+Options::has(const std::string &key) const
+{
+    used_[key] = true;
+    return values_.count(key) > 0;
+}
+
+std::string
+Options::get(const std::string &key, const std::string &fallback) const
+{
+    used_[key] = true;
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+}
+
+double
+Options::getDouble(const std::string &key, double fallback) const
+{
+    used_[key] = true;
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback
+                               : parseDouble(it->second, key);
+}
+
+std::int64_t
+Options::getInt(const std::string &key, std::int64_t fallback) const
+{
+    used_[key] = true;
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : parseInt(it->second, key);
+}
+
+std::vector<std::string>
+Options::unusedKeys() const
+{
+    std::vector<std::string> out;
+    for (const auto &[key, value] : values_) {
+        if (!used_.count(key))
+            out.push_back(key);
+    }
+    return out;
+}
+
+} // namespace dlw

@@ -1,0 +1,146 @@
+#include "common/strutil.hh"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace dlw
+{
+
+std::vector<std::string>
+split(std::string_view s, char delim)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (true) {
+        std::size_t pos = s.find(delim, start);
+        if (pos == std::string_view::npos) {
+            out.emplace_back(s.substr(start));
+            break;
+        }
+        out.emplace_back(s.substr(start, pos - start));
+        start = pos + 1;
+    }
+    return out;
+}
+
+std::string
+trim(std::string_view s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return std::string(s.substr(b, e - b));
+}
+
+bool
+startsWith(std::string_view s, std::string_view prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.substr(0, prefix.size()) == prefix;
+}
+
+std::string
+formatDouble(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+formatBytes(double bytes)
+{
+    static const char *units[] = {"B", "KiB", "MiB", "GiB", "TiB", "PiB"};
+    int u = 0;
+    double v = bytes;
+    while (std::fabs(v) >= 1024.0 && u < 5) {
+        v /= 1024.0;
+        ++u;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2f %s", v, units[u]);
+    return buf;
+}
+
+std::string
+formatDuration(std::int64_t ticks)
+{
+    char buf[64];
+    double t = static_cast<double>(ticks);
+    if (ticks < kUsec) {
+        std::snprintf(buf, sizeof(buf), "%lld ns",
+                      static_cast<long long>(ticks));
+    } else if (ticks < kMsec) {
+        std::snprintf(buf, sizeof(buf), "%.2f us", t / kUsec);
+    } else if (ticks < kSec) {
+        std::snprintf(buf, sizeof(buf), "%.2f ms", t / kMsec);
+    } else if (ticks < kHour) {
+        std::snprintf(buf, sizeof(buf), "%.2f s", t / kSec);
+    } else if (ticks < kDay) {
+        std::snprintf(buf, sizeof(buf), "%.2f h", t / kHour);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.2f d", t / kDay);
+    }
+    return buf;
+}
+
+std::string
+padLeft(const std::string &s, std::size_t width)
+{
+    if (s.size() >= width)
+        return s;
+    return std::string(width - s.size(), ' ') + s;
+}
+
+std::string
+padRight(const std::string &s, std::size_t width)
+{
+    if (s.size() >= width)
+        return s;
+    return s + std::string(width - s.size(), ' ');
+}
+
+double
+parseDouble(std::string_view s, std::string_view what)
+{
+    std::string t = trim(s);
+    if (t.empty())
+        dlw_fatal("empty field while parsing ", what);
+    char *end = nullptr;
+    double v = std::strtod(t.c_str(), &end);
+    if (end == t.c_str() || *end != '\0')
+        dlw_fatal("malformed number '", t, "' while parsing ", what);
+    return v;
+}
+
+std::int64_t
+parseInt(std::string_view s, std::string_view what)
+{
+    std::string t = trim(s);
+    std::int64_t v = 0;
+    auto [p, ec] = std::from_chars(t.data(), t.data() + t.size(), v);
+    if (ec != std::errc() || p != t.data() + t.size())
+        dlw_fatal("malformed integer '", t, "' while parsing ", what);
+    return v;
+}
+
+std::uint64_t
+parseUint(std::string_view s, std::string_view what)
+{
+    std::string t = trim(s);
+    std::uint64_t v = 0;
+    auto [p, ec] = std::from_chars(t.data(), t.data() + t.size(), v);
+    if (ec != std::errc() || p != t.data() + t.size())
+        dlw_fatal("malformed unsigned '", t, "' while parsing ", what);
+    return v;
+}
+
+} // namespace dlw

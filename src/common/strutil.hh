@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Small string utilities used by the trace readers/writers and the
+ * table-rendering code in core/report.
+ */
+
+#ifndef DLW_COMMON_STRUTIL_HH
+#define DLW_COMMON_STRUTIL_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dlw
+{
+
+/** Split a string on a single-character delimiter (keeps empties). */
+std::vector<std::string> split(std::string_view s, char delim);
+
+/** Strip leading and trailing ASCII whitespace. */
+std::string trim(std::string_view s);
+
+/** True when the string begins with the given prefix. */
+bool startsWith(std::string_view s, std::string_view prefix);
+
+/** Render a double with fixed precision. */
+std::string formatDouble(double v, int precision);
+
+/**
+ * Render a byte count with a binary-unit suffix (KiB/MiB/GiB/TiB).
+ *
+ * @param bytes Quantity to render.
+ * @return Human-readable string such as "1.5 GiB".
+ */
+std::string formatBytes(double bytes);
+
+/**
+ * Render a tick duration in the most natural unit (ns/us/ms/s/h/d).
+ */
+std::string formatDuration(std::int64_t ticks);
+
+/** Left-pad to the given width with spaces. */
+std::string padLeft(const std::string &s, std::size_t width);
+
+/** Right-pad to the given width with spaces. */
+std::string padRight(const std::string &s, std::size_t width);
+
+/**
+ * Parse a double, failing loudly on malformed input.
+ *
+ * @param s      Text to parse.
+ * @param what   Context label used in the error message.
+ * @return The parsed value.
+ */
+double parseDouble(std::string_view s, std::string_view what);
+
+/** Parse a signed 64-bit integer, failing loudly on malformed input. */
+std::int64_t parseInt(std::string_view s, std::string_view what);
+
+/** Parse an unsigned 64-bit integer, failing loudly on bad input. */
+std::uint64_t parseUint(std::string_view s, std::string_view what);
+
+} // namespace dlw
+
+#endif // DLW_COMMON_STRUTIL_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fundamental types and unit constants shared by every dlw module.
+ *
+ * Simulated time is kept as a signed 64-bit count of nanoseconds
+ * ("ticks"), which comfortably covers a drive lifetime: five years is
+ * about 1.6e17 ns, well inside the 9.2e18 range of int64_t.  All
+ * public interfaces traffic in Tick values; the named constants below
+ * are the only sanctioned way to spell durations.
+ */
+
+#ifndef DLW_COMMON_TYPES_HH
+#define DLW_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace dlw
+{
+
+/** Simulated time in nanoseconds. */
+using Tick = std::int64_t;
+
+/** Logical block address, in units of 512-byte blocks. */
+using Lba = std::uint64_t;
+
+/** Number of 512-byte blocks in a request. */
+using BlockCount = std::uint32_t;
+
+/** One microsecond in ticks. */
+constexpr Tick kUsec = 1000;
+/** One millisecond in ticks. */
+constexpr Tick kMsec = 1000 * kUsec;
+/** One second in ticks. */
+constexpr Tick kSec = 1000 * kMsec;
+/** One minute in ticks. */
+constexpr Tick kMinute = 60 * kSec;
+/** One hour in ticks. */
+constexpr Tick kHour = 60 * kMinute;
+/** One day in ticks. */
+constexpr Tick kDay = 24 * kHour;
+/** One (non-leap) week in ticks. */
+constexpr Tick kWeek = 7 * kDay;
+
+/** Size of one logical block in bytes (fixed 512 B sectors). */
+constexpr std::uint32_t kBlockBytes = 512;
+
+/** Sentinel for "no tick" / unset timestamps. */
+constexpr Tick kTickNone = -1;
+
+/**
+ * Convert a tick count to floating-point seconds.
+ *
+ * @param t Duration in ticks.
+ * @return The same duration in seconds.
+ */
+constexpr double
+ticksToSeconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kSec);
+}
+
+/**
+ * Convert floating-point seconds to the nearest tick count.
+ *
+ * @param s Duration in seconds.
+ * @return The same duration in ticks, rounded to nearest.
+ */
+constexpr Tick
+secondsToTicks(double s)
+{
+    return static_cast<Tick>(s * static_cast<double>(kSec) + 0.5);
+}
+
+} // namespace dlw
+
+#endif // DLW_COMMON_TYPES_HH

@@ -1,0 +1,83 @@
+#include "core/bgwork.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dlw
+{
+namespace core
+{
+
+double
+ScrubReport::scrubFraction(Tick window) const
+{
+    if (window <= 0)
+        return 0.0;
+    return static_cast<double>(scrub_time) /
+           static_cast<double>(window);
+}
+
+Tick
+ScrubReport::projectedFullScan(Lba capacity, Tick window) const
+{
+    if (blocks == 0 || window <= 0)
+        return kTickNone;
+    const double rate = static_cast<double>(blocks) /
+                        static_cast<double>(window);
+    return static_cast<Tick>(static_cast<double>(capacity) / rate);
+}
+
+ScrubReport
+scheduleScrub(const disk::ServiceLog &log, const ScrubConfig &config)
+{
+    dlw_assert(config.idle_wait >= 0, "negative idle wait");
+    dlw_assert(config.chunk_time > 0, "chunk time must be positive");
+    dlw_assert(config.chunk_blocks > 0, "chunk blocks must be positive");
+
+    ScrubReport rep;
+
+    auto scrub_gap = [&](Tick gap_start, Tick gap_end,
+                         bool ends_with_work) {
+        Tick at = gap_start + config.idle_wait;
+        std::uint64_t chunks_here = 0;
+        while (at < gap_end) {
+            if (config.oracle && at + config.chunk_time > gap_end)
+                break;
+            const Tick end = at + config.chunk_time;
+            ++chunks_here;
+            rep.blocks += config.chunk_blocks;
+            if (end > gap_end) {
+                // In-flight chunk runs into the next foreground
+                // period: charge the overrun as delay.
+                rep.scrub_time += config.chunk_time;
+                if (ends_with_work) {
+                    const Tick delay = end - gap_end;
+                    ++rep.delayed_periods;
+                    rep.total_delay += delay;
+                    rep.max_delay = std::max(rep.max_delay, delay);
+                }
+                at = end;
+                break;
+            }
+            rep.scrub_time += config.chunk_time;
+            at = end;
+        }
+        rep.chunks += chunks_here;
+    };
+
+    Tick at = log.window_start;
+    for (const trace::BusyInterval &iv : log.busy) {
+        dlw_assert(iv.first >= at, "busy intervals out of order");
+        if (iv.first > at)
+            scrub_gap(at, iv.first, true);
+        at = std::max(at, iv.second);
+    }
+    if (log.window_end > at)
+        scrub_gap(at, log.window_end, false);
+
+    return rep;
+}
+
+} // namespace core
+} // namespace dlw

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Idle-time background-work scheduling (media scrubbing).
+ *
+ * The operational payoff of the paper's idleness findings: long idle
+ * stretches can host background media scans without hurting the
+ * foreground.  This scheduler replays a drive's busy/idle structure
+ * and issues fixed-duration scrub chunks during idleness, in two
+ * modes:
+ *
+ *  - online: a realistic controller that starts a chunk after the
+ *    drive has been idle for idle_wait; a chunk caught in flight
+ *    when foreground work arrives delays that work by the chunk's
+ *    remaining time (chunks are non-preemptible).
+ *  - oracle: an offline bound that knows every gap's length and only
+ *    starts chunks that fit, so the foreground is never delayed.
+ *
+ * The gap between the two quantifies what idleness *prediction*
+ * would be worth — one of the design questions this kind of trace
+ * analysis feeds.
+ */
+
+#ifndef DLW_CORE_BGWORK_HH
+#define DLW_CORE_BGWORK_HH
+
+#include "disk/drive.hh"
+
+namespace dlw
+{
+namespace core
+{
+
+/**
+ * Scrub policy knobs.
+ */
+struct ScrubConfig
+{
+    /** Idle time before the first chunk of a gap starts. */
+    Tick idle_wait = 500 * kMsec;
+    /** Duration of one non-preemptible scrub chunk. */
+    Tick chunk_time = 50 * kMsec;
+    /** Media blocks covered per chunk. */
+    BlockCount chunk_blocks = 4096;
+    /** Oracle mode: never overrun a gap (offline upper bound). */
+    bool oracle = false;
+};
+
+/**
+ * Outcome of a scrub replay.
+ */
+struct ScrubReport
+{
+    /** Chunks executed. */
+    std::uint64_t chunks = 0;
+    /** Blocks scrubbed. */
+    std::uint64_t blocks = 0;
+    /** Total time spent scrubbing. */
+    Tick scrub_time = 0;
+    /** Foreground requests delayed by an in-flight chunk. */
+    std::uint64_t delayed_periods = 0;
+    /** Total foreground delay injected. */
+    Tick total_delay = 0;
+    /** Largest single delay. */
+    Tick max_delay = 0;
+
+    /** Fraction of the window spent scrubbing. */
+    double scrubFraction(Tick window) const;
+
+    /**
+     * Projected time to cover a full drive at this rate.
+     *
+     * @param capacity Drive capacity in blocks.
+     * @param window   Observation window the report covers.
+     * @return Estimated full-scan time (kTickNone when no progress).
+     */
+    Tick projectedFullScan(Lba capacity, Tick window) const;
+};
+
+/**
+ * Replay a service log's idle structure under a scrub policy.
+ *
+ * Foreground busy intervals are taken as fixed; injected delays are
+ * accounted but do not shift subsequent foreground work (a
+ * first-order model, exact when delays are rare — which is the
+ * operating point any sane policy targets).
+ *
+ * @param log    Foreground activity.
+ * @param config Scrub policy.
+ * @return Scrub progress and foreground-impact accounting.
+ */
+ScrubReport scheduleScrub(const disk::ServiceLog &log,
+                          const ScrubConfig &config);
+
+} // namespace core
+} // namespace dlw
+
+#endif // DLW_CORE_BGWORK_HH

@@ -1,0 +1,86 @@
+#include "core/burstiness.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "stats/acf.hh"
+#include "stats/summary.hh"
+
+namespace dlw
+{
+namespace core
+{
+
+bool
+BurstinessReport::burstyAcrossScales(double growth_factor) const
+{
+    if (idc.size() < 2)
+        return false;
+    const double first = idc.front().idc;
+    const double last = idc.back().idc;
+    if (first <= 0.0)
+        return false;
+    return last / first >= growth_factor;
+}
+
+namespace
+{
+
+std::vector<std::size_t>
+defaultScales()
+{
+    // Powers of four: with a 10 ms base this spans 10 ms .. ~11 min.
+    return {1, 4, 16, 64, 256, 1024, 4096, 16384, 65536};
+}
+
+BurstinessReport
+analyzeCounts(const stats::BinnedSeries &counts,
+              std::vector<std::size_t> scales)
+{
+    if (scales.empty())
+        scales = defaultScales();
+
+    BurstinessReport rep;
+    rep.base_bin = counts.binWidth();
+    rep.peak_to_mean = counts.peakToMean();
+    rep.idc = stats::idcAcrossScales(counts, scales);
+
+    const std::vector<double> &v = counts.values();
+    if (v.size() >= 32)
+        rep.hurst_var = stats::hurstAggregatedVariance(v);
+    if (v.size() >= 64)
+        rep.hurst_rs = stats::hurstRescaledRange(v);
+    if (v.size() >= 2) {
+        rep.acf = stats::autocorrelation(
+            v, std::min<std::size_t>(v.size() / 4, 200));
+        rep.decorrelation_lag = stats::decorrelationLag(rep.acf, 0.1);
+    }
+    return rep;
+}
+
+} // anonymous namespace
+
+BurstinessReport
+analyzeBurstiness(const trace::MsTrace &tr, Tick base_bin,
+                  std::vector<std::size_t> scales)
+{
+    dlw_assert(base_bin > 0, "base bin must be positive");
+    BurstinessReport rep =
+        analyzeCounts(tr.binCounts(base_bin), std::move(scales));
+
+    stats::Summary gaps;
+    for (double g : tr.interarrivals())
+        gaps.add(g);
+    rep.interarrival_cv = gaps.cv();
+    return rep;
+}
+
+BurstinessReport
+analyzeCountSeries(const stats::BinnedSeries &counts,
+                   std::vector<std::size_t> scales)
+{
+    return analyzeCounts(counts, std::move(scales));
+}
+
+} // namespace core
+} // namespace dlw

@@ -1,0 +1,199 @@
+#include "core/family.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "stats/ecdf.hh"
+
+namespace dlw
+{
+namespace core
+{
+
+const char *
+tierName(UtilizationTier tier)
+{
+    switch (tier) {
+      case UtilizationTier::Idle:
+        return "idle";
+      case UtilizationTier::Light:
+        return "light";
+      case UtilizationTier::Moderate:
+        return "moderate";
+      case UtilizationTier::Heavy:
+        return "heavy";
+      case UtilizationTier::Saturated:
+        return "saturated";
+    }
+    return "unknown";
+}
+
+UtilizationTier
+tierOf(double utilization)
+{
+    if (utilization < 0.01)
+        return UtilizationTier::Idle;
+    if (utilization < 0.10)
+        return UtilizationTier::Light;
+    if (utilization < 0.40)
+        return UtilizationTier::Moderate;
+    if (utilization < 0.80)
+        return UtilizationTier::Heavy;
+    return UtilizationTier::Saturated;
+}
+
+double
+FamilyReport::tierFraction(UtilizationTier tier) const
+{
+    if (drives == 0)
+        return 0.0;
+    return static_cast<double>(
+               tier_counts[static_cast<std::size_t>(tier)]) /
+           static_cast<double>(drives);
+}
+
+double
+giniCoefficient(std::vector<double> values)
+{
+    if (values.size() < 2)
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    double total = 0.0;
+    double weighted = 0.0;
+    const double n = static_cast<double>(values.size());
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        dlw_assert(values[i] >= 0.0, "gini needs non-negative values");
+        total += values[i];
+        weighted += static_cast<double>(i + 1) * values[i];
+    }
+    if (total <= 0.0)
+        return 0.0;
+    return (2.0 * weighted) / (n * total) - (n + 1.0) / n;
+}
+
+namespace
+{
+
+FamilyReport
+finalize(std::vector<DriveSummary> summaries,
+         std::vector<double> volumes)
+{
+    FamilyReport rep;
+    rep.drives = summaries.size();
+    rep.summaries = std::move(summaries);
+
+    stats::Ecdf utils;
+    for (const DriveSummary &s : rep.summaries) {
+        ++rep.tier_counts[static_cast<std::size_t>(s.tier)];
+        utils.add(s.mean_utilization);
+    }
+    if (!utils.empty()) {
+        rep.util_p10 = utils.quantile(0.10);
+        rep.util_p50 = utils.quantile(0.50);
+        rep.util_p90 = utils.quantile(0.90);
+    }
+    rep.activity_gini = giniCoefficient(std::move(volumes));
+
+    for (std::size_t run = 1; run <= rep.saturated_run_ccdf.size();
+         ++run) {
+        std::size_t n = 0;
+        for (const DriveSummary &s : rep.summaries) {
+            if (s.longest_saturated_run >= run)
+                ++n;
+        }
+        rep.saturated_run_ccdf[run - 1] = rep.drives
+            ? static_cast<double>(n) / static_cast<double>(rep.drives)
+            : 0.0;
+    }
+    return rep;
+}
+
+} // anonymous namespace
+
+FamilyReport
+analyzeFamily(const std::vector<trace::HourTrace> &traces,
+              double saturated_threshold)
+{
+    std::vector<DriveSummary> summaries;
+    std::vector<double> volumes;
+    summaries.reserve(traces.size());
+    volumes.reserve(traces.size());
+
+    for (const trace::HourTrace &t : traces) {
+        DriveSummary s;
+        s.drive_id = t.driveId();
+        s.mean_utilization = t.meanUtilization();
+        s.busy_hour_fraction = t.busyHourFraction(0.5);
+        s.idle_hour_fraction = t.idleHourFraction();
+        s.longest_saturated_run = t.longestBusyRun(saturated_threshold);
+        const std::uint64_t total = t.totalRequests();
+        std::uint64_t reads = 0;
+        for (const trace::HourBucket &b : t.buckets())
+            reads += b.reads;
+        s.read_fraction = total
+            ? static_cast<double>(reads) / static_cast<double>(total)
+            : 0.0;
+        s.requests_per_hour = t.hours()
+            ? static_cast<double>(total) /
+                  static_cast<double>(t.hours())
+            : 0.0;
+        s.tier = tierOf(s.mean_utilization);
+        volumes.push_back(static_cast<double>(total));
+        summaries.push_back(std::move(s));
+    }
+    return finalize(std::move(summaries), std::move(volumes));
+}
+
+FamilyReport
+analyzeFamily(const trace::LifetimeTrace &trace)
+{
+    std::vector<DriveSummary> summaries;
+    std::vector<double> volumes;
+    summaries.reserve(trace.size());
+    volumes.reserve(trace.size());
+
+    for (const trace::LifetimeRecord &r : trace.records()) {
+        DriveSummary s;
+        s.drive_id = r.drive_id;
+        s.mean_utilization = r.utilization();
+        s.longest_saturated_run = r.longest_saturated_run;
+        const double hours = static_cast<double>(r.power_on) /
+                             static_cast<double>(kHour);
+        s.busy_hour_fraction = hours > 0.0
+            ? static_cast<double>(r.saturated_hours) / hours
+            : 0.0;
+        s.idle_hour_fraction = 0.0; // not recoverable from lifetime
+        s.read_fraction = r.readFraction();
+        s.requests_per_hour = r.requestsPerHour();
+        s.tier = tierOf(s.mean_utilization);
+        volumes.push_back(static_cast<double>(r.total()));
+        summaries.push_back(std::move(s));
+    }
+    return finalize(std::move(summaries), std::move(volumes));
+}
+
+std::vector<std::array<double, 3>>
+hourlyPercentileBands(const std::vector<trace::HourTrace> &traces,
+                      std::size_t hours)
+{
+    dlw_assert(!traces.empty(), "empty population");
+    for (const trace::HourTrace &t : traces) {
+        dlw_assert(t.hours() >= hours,
+                   "trace shorter than requested band length");
+    }
+
+    std::vector<std::array<double, 3>> bands;
+    bands.reserve(hours);
+    for (std::size_t h = 0; h < hours; ++h) {
+        stats::Ecdf e;
+        for (const trace::HourTrace &t : traces)
+            e.add(static_cast<double>(t.at(h).total()));
+        bands.push_back({e.quantile(0.10), e.quantile(0.50),
+                         e.quantile(0.90)});
+    }
+    return bands;
+}
+
+} // namespace core
+} // namespace dlw

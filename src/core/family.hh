@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Drive-family population analysis.
+ *
+ * The paper's cross-drive findings: drives of one family differ
+ * widely in activity, and a portion of them pin the available
+ * bandwidth for hours at a time.  Given Hour traces and/or Lifetime
+ * records for a population, this module computes the spread
+ * (percentile bands, Lorenz/Gini concentration), classifies drives
+ * into behavioural tiers, and counts the saturated-streamer
+ * phenomenon.
+ */
+
+#ifndef DLW_CORE_FAMILY_HH
+#define DLW_CORE_FAMILY_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "trace/hourtrace.hh"
+#include "trace/lifetime.hh"
+
+namespace dlw
+{
+namespace core
+{
+
+/** Utilization tier a drive lands in. */
+enum class UtilizationTier
+{
+    Idle,      ///< mean utilization below 1%
+    Light,     ///< 1% - 10%
+    Moderate,  ///< 10% - 40%
+    Heavy,     ///< 40% - 80%
+    Saturated, ///< above 80%
+};
+
+/** Human-readable tier name. */
+const char *tierName(UtilizationTier tier);
+
+/** Tier of a single utilization value. */
+UtilizationTier tierOf(double utilization);
+
+/**
+ * Per-drive population entry derived from its records.
+ */
+struct DriveSummary
+{
+    std::string drive_id;
+    double mean_utilization = 0.0;
+    double busy_hour_fraction = 0.0; ///< hours with util >= 0.5
+    double idle_hour_fraction = 0.0; ///< hours with no commands
+    std::uint64_t longest_saturated_run = 0;
+    double read_fraction = 0.0;
+    double requests_per_hour = 0.0;
+    UtilizationTier tier = UtilizationTier::Idle;
+};
+
+/**
+ * Population-level report.
+ */
+struct FamilyReport
+{
+    std::size_t drives = 0;
+    /** Per-drive summaries, in input order. */
+    std::vector<DriveSummary> summaries;
+    /** Count per tier, indexed by UtilizationTier. */
+    std::array<std::size_t, 5> tier_counts{};
+    /** Utilization percentiles across drives: p10/p50/p90. */
+    double util_p10 = 0.0;
+    double util_p50 = 0.0;
+    double util_p90 = 0.0;
+    /** Gini coefficient of per-drive request volume (0 = equal). */
+    double activity_gini = 0.0;
+    /**
+     * Fraction of drives with at least `run` consecutive saturated
+     * hours, for run = 1..24 (index run-1).
+     */
+    std::array<double, 24> saturated_run_ccdf{};
+
+    /** Fraction of drives in a tier. */
+    double tierFraction(UtilizationTier tier) const;
+};
+
+/**
+ * Analyse a population of Hour traces.
+ *
+ * @param traces              One Hour trace per drive.
+ * @param saturated_threshold Utilization counting as saturated.
+ */
+FamilyReport analyzeFamily(const std::vector<trace::HourTrace> &traces,
+                           double saturated_threshold = 0.9);
+
+/**
+ * Analyse a population of Lifetime records.
+ */
+FamilyReport analyzeFamily(const trace::LifetimeTrace &trace);
+
+/**
+ * Hour-of-series percentile bands across a population: for every
+ * hour h, the p10/p50/p90 of per-drive request counts at that hour.
+ * This is the E11 "variability band" figure.
+ *
+ * @param traces Population (all at least `hours` long).
+ * @param hours  Number of leading hours to evaluate.
+ * @return Per-hour triples {p10, p50, p90}.
+ */
+std::vector<std::array<double, 3>> hourlyPercentileBands(
+    const std::vector<trace::HourTrace> &traces, std::size_t hours);
+
+/**
+ * Gini coefficient of a set of non-negative values.
+ */
+double giniCoefficient(std::vector<double> values);
+
+} // namespace core
+} // namespace dlw
+
+#endif // DLW_CORE_FAMILY_HH

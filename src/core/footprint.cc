@@ -1,0 +1,107 @@
+#include "core/footprint.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "core/family.hh"
+
+namespace dlw
+{
+namespace core
+{
+
+FootprintReport
+analyzeFootprint(const trace::MsTrace &tr, Lba capacity,
+                 std::size_t extents)
+{
+    dlw_assert(capacity > 0, "capacity must be positive");
+    dlw_assert(extents >= 10, "need at least ten extents");
+
+    FootprintReport rep;
+    rep.capacity = capacity;
+    rep.extent_blocks = std::max<Lba>(capacity / extents, 1);
+
+    std::vector<double> hits(extents, 0.0);
+    double total = 0.0;
+
+    std::uint64_t run = 0;
+    std::uint64_t runs = 0;
+    double seek_sum = 0.0;
+    std::size_t seeks = 0;
+    Lba prev_end = 0;
+    bool have_prev = false;
+
+    for (const trace::Request &r : tr.requests()) {
+        dlw_assert(r.lbaEnd() <= capacity,
+                   "request beyond stated capacity");
+        auto e = static_cast<std::size_t>(r.lba / rep.extent_blocks);
+        if (e >= extents)
+            e = extents - 1;
+        hits[e] += 1.0;
+        total += 1.0;
+
+        if (have_prev) {
+            if (r.lba == prev_end) {
+                ++run;
+            } else {
+                ++runs;
+                rep.longest_run_requests =
+                    std::max(rep.longest_run_requests, run + 1);
+                run = 0;
+            }
+            const double d = r.lba >= prev_end
+                ? static_cast<double>(r.lba - prev_end)
+                : static_cast<double>(prev_end - r.lba);
+            seek_sum += d;
+            ++seeks;
+        }
+        prev_end = r.lbaEnd();
+        have_prev = true;
+    }
+    if (have_prev) {
+        ++runs;
+        rep.longest_run_requests =
+            std::max(rep.longest_run_requests, run + 1);
+    }
+
+    if (total <= 0.0)
+        return rep;
+
+    // Concentration over touched extents.
+    std::vector<double> touched;
+    for (double h : hits) {
+        if (h > 0.0)
+            touched.push_back(h);
+    }
+    rep.extents_touched = touched.size();
+    rep.footprint_fraction =
+        static_cast<double>(touched.size()) /
+        static_cast<double>(extents);
+
+    std::sort(touched.begin(), touched.end(),
+              std::greater<double>());
+    auto share_of_top = [&](double fraction) {
+        const auto k = std::max<std::size_t>(
+            static_cast<std::size_t>(
+                fraction * static_cast<double>(extents)),
+            1);
+        double s = 0.0;
+        for (std::size_t i = 0; i < std::min(k, touched.size()); ++i)
+            s += touched[i];
+        return s / total;
+    };
+    rep.top1_share = share_of_top(0.01);
+    rep.top10_share = share_of_top(0.10);
+    rep.extent_gini = giniCoefficient(touched);
+
+    rep.mean_run_requests = static_cast<double>(tr.size()) /
+                            static_cast<double>(std::max<std::uint64_t>(
+                                runs, 1));
+    rep.mean_seek_blocks =
+        seeks ? seek_sum / static_cast<double>(seeks) : 0.0;
+    return rep;
+}
+
+} // namespace core
+} // namespace dlw

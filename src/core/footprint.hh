@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Spatial-footprint analysis of a request stream.
+ *
+ * Temporal burstiness is half the story; trace studies also report
+ * where on the media the traffic lands: how much of the address
+ * space a workload touches, how concentrated the accesses are in
+ * hot extents, and how long the sequential runs are.  These shape
+ * seek behaviour (and therefore busy time) directly.
+ */
+
+#ifndef DLW_CORE_FOOTPRINT_HH
+#define DLW_CORE_FOOTPRINT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/mstrace.hh"
+
+namespace dlw
+{
+namespace core
+{
+
+/**
+ * Spatial characterization of one trace over a device.
+ */
+struct FootprintReport
+{
+    /** Device capacity the analysis covered, in blocks. */
+    Lba capacity = 0;
+    /** Extent size used for the concentration analysis, in blocks. */
+    Lba extent_blocks = 0;
+    /** Distinct extents touched at least once. */
+    std::uint64_t extents_touched = 0;
+    /** Fraction of the device's extents touched. */
+    double footprint_fraction = 0.0;
+    /** Fraction of accesses landing in the hottest 1% of extents. */
+    double top1_share = 0.0;
+    /** Fraction of accesses landing in the hottest 10% of extents. */
+    double top10_share = 0.0;
+    /** Gini coefficient of per-extent access counts (touched ones). */
+    double extent_gini = 0.0;
+    /** Mean sequential-run length in requests. */
+    double mean_run_requests = 0.0;
+    /** Longest sequential run in requests. */
+    std::uint64_t longest_run_requests = 0;
+    /** Mean seek distance between consecutive requests, blocks. */
+    double mean_seek_blocks = 0.0;
+};
+
+/**
+ * Analyse the spatial footprint of a trace.
+ *
+ * @param tr       Trace to analyse (in arrival order).
+ * @param capacity Device capacity in blocks (>= every lbaEnd()).
+ * @param extents  Number of equal extents the device is divided
+ *                 into for the concentration metrics (>= 10).
+ * @return The report.
+ */
+FootprintReport analyzeFootprint(const trace::MsTrace &tr,
+                                 Lba capacity,
+                                 std::size_t extents = 1000);
+
+} // namespace core
+} // namespace dlw
+
+#endif // DLW_CORE_FOOTPRINT_HH

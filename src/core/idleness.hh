@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Idleness analysis.
+ *
+ * The paper's second finding: drives "experience long stretches of
+ * idleness", which matters because background work (scrubbing,
+ * destaging, power management) lives in idle intervals and needs
+ * them to be long, not merely frequent.  The analysis therefore
+ * reports not only the idle-interval length distribution but the
+ * idle-time mass above a duration threshold: what fraction of all
+ * idle time sits in intervals long enough to use.
+ */
+
+#ifndef DLW_CORE_IDLENESS_HH
+#define DLW_CORE_IDLENESS_HH
+
+#include <utility>
+#include <vector>
+
+#include "disk/drive.hh"
+#include "stats/ecdf.hh"
+
+namespace dlw
+{
+namespace core
+{
+
+/**
+ * Complete idleness characterization of one drive run.
+ */
+class IdlenessAnalysis
+{
+  public:
+    /** Analyse the idle structure of a service log. */
+    explicit IdlenessAnalysis(const disk::ServiceLog &log);
+
+    /** Number of idle intervals. */
+    std::size_t count() const { return intervals_.size(); }
+
+    /** Total idle time. */
+    Tick totalIdle() const { return total_idle_; }
+
+    /** Idle fraction of the window (1 - utilization). */
+    double idleFraction() const;
+
+    /** Mean idle-interval length (0 when none). */
+    Tick meanInterval() const;
+
+    /** Idle-interval length at a quantile. */
+    Tick intervalQuantile(double q) const;
+
+    /** Longest idle interval. */
+    Tick longestInterval() const;
+
+    /**
+     * Fraction of idle intervals at least t long (by count).
+     */
+    double fractionOfIntervalsAtLeast(Tick t) const;
+
+    /**
+     * Fraction of total idle *time* contained in intervals at least
+     * t long — the usable-idleness measure.
+     */
+    double idleMassAtLeast(Tick t) const;
+
+    /**
+     * CDF curve of interval lengths: (length, P(X <= length)) at n
+     * points, for the E4 figure.
+     */
+    std::vector<std::pair<double, double>> lengthCdf(
+        std::size_t points) const;
+
+    /**
+     * Idle-mass curve: (threshold, idleMassAtLeast(threshold)) over
+     * geometrically spaced thresholds between 1 ms and the longest
+     * interval.
+     */
+    std::vector<std::pair<Tick, double>> massCurve(
+        std::size_t points) const;
+
+    /** Raw interval lengths (sorted ascending). */
+    const std::vector<Tick> &intervals() const { return intervals_; }
+
+  private:
+    std::vector<Tick> intervals_; // sorted
+    std::vector<Tick> suffix_sum_; // idle mass in intervals >= i
+    Tick total_idle_ = 0;
+    Tick window_ = 0;
+};
+
+} // namespace core
+} // namespace dlw
+
+#endif // DLW_CORE_IDLENESS_HH

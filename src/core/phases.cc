@@ -1,0 +1,126 @@
+#include "core/phases.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dlw
+{
+namespace core
+{
+
+namespace
+{
+
+/** Recompute a phase's mean from the series. */
+void
+refreshMean(Phase &p, const std::vector<double> &series)
+{
+    double s = 0.0;
+    for (std::size_t i = p.begin; i < p.end; ++i)
+        s += series[i];
+    p.mean_level = p.length()
+        ? s / static_cast<double>(p.length())
+        : 0.0;
+}
+
+} // anonymous namespace
+
+std::vector<Phase>
+segmentPhases(const std::vector<double> &series, double on_threshold,
+              double off_threshold, std::size_t min_length)
+{
+    dlw_assert(off_threshold <= on_threshold,
+               "hysteresis thresholds inverted");
+    dlw_assert(min_length >= 1, "minimum phase length must be >= 1");
+
+    std::vector<Phase> phases;
+    if (series.empty())
+        return phases;
+
+    // Pass 1: hysteresis state machine.
+    bool active = series[0] >= on_threshold;
+    Phase cur{0, 0, active, 0.0};
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        const bool next_active = active
+            ? series[i] >= off_threshold
+            : series[i] >= on_threshold;
+        if (next_active != active) {
+            cur.end = i;
+            phases.push_back(cur);
+            cur = Phase{i, 0, next_active, 0.0};
+            active = next_active;
+        }
+    }
+    cur.end = series.size();
+    phases.push_back(cur);
+
+    // Pass 2: merge runts into their predecessor until stable.
+    bool changed = true;
+    while (changed && phases.size() > 1) {
+        changed = false;
+        for (std::size_t i = 0; i < phases.size(); ++i) {
+            if (phases[i].length() >= min_length)
+                continue;
+            if (i == 0) {
+                // Absorb into the successor.
+                phases[1].begin = phases[0].begin;
+                phases.erase(phases.begin());
+            } else {
+                phases[i - 1].end = phases[i].end;
+                phases.erase(phases.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+                // Adjacent same-state phases may now touch; fuse.
+                if (i - 1 + 1 < phases.size() &&
+                    phases[i - 1].active == phases[i].active) {
+                    phases[i - 1].end = phases[i].end;
+                    phases.erase(phases.begin() +
+                                 static_cast<std::ptrdiff_t>(i));
+                }
+            }
+            changed = true;
+            break;
+        }
+    }
+
+    for (Phase &p : phases)
+        refreshMean(p, series);
+    return phases;
+}
+
+PhaseSummary
+summarizePhases(const std::vector<Phase> &phases)
+{
+    PhaseSummary s;
+    std::size_t active_bins = 0, total_bins = 0;
+    std::size_t active_len = 0, idle_len = 0;
+    for (const Phase &p : phases) {
+        total_bins += p.length();
+        if (p.active) {
+            ++s.active_phases;
+            active_len += p.length();
+            active_bins += p.length();
+            s.longest_active = std::max(s.longest_active, p.length());
+        } else {
+            ++s.idle_phases;
+            idle_len += p.length();
+            s.longest_idle = std::max(s.longest_idle, p.length());
+        }
+    }
+    if (s.active_phases) {
+        s.mean_active_length = static_cast<double>(active_len) /
+                               static_cast<double>(s.active_phases);
+    }
+    if (s.idle_phases) {
+        s.mean_idle_length = static_cast<double>(idle_len) /
+                             static_cast<double>(s.idle_phases);
+    }
+    if (total_bins) {
+        s.active_fraction = static_cast<double>(active_bins) /
+                            static_cast<double>(total_bins);
+    }
+    return s;
+}
+
+} // namespace core
+} // namespace dlw

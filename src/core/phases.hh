@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Activity-phase segmentation with hysteresis.
+ *
+ * Long-horizon traces alternate between activity regimes: business-
+ * hours load, overnight quiet, batch windows, streaming sessions.
+ * Segmenting a level series (utilization per hour, requests per
+ * minute) into phases turns "variability over time" into countable
+ * objects — how many busy phases, how long, at what level — which
+ * is how the Hour-trace findings become actionable.
+ *
+ * Hysteresis (separate on/off thresholds) prevents chattering around
+ * a single cut level; a minimum phase length absorbs one-bin blips.
+ */
+
+#ifndef DLW_CORE_PHASES_HH
+#define DLW_CORE_PHASES_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace dlw
+{
+namespace core
+{
+
+/** One maximal run of bins sharing an activity state. */
+struct Phase
+{
+    /** First bin of the phase. */
+    std::size_t begin = 0;
+    /** One past the last bin. */
+    std::size_t end = 0;
+    /** True for active (above-threshold) phases. */
+    bool active = false;
+    /** Mean series level inside the phase. */
+    double mean_level = 0.0;
+
+    /** Number of bins covered. */
+    std::size_t length() const { return end - begin; }
+};
+
+/**
+ * Segment a level series into alternating idle/active phases.
+ *
+ * @param series        Level per bin (e.g. hourly utilization).
+ * @param on_threshold  Level at or above which an idle phase turns
+ *                      active.
+ * @param off_threshold Level strictly below which an active phase
+ *                      turns idle (must be <= on_threshold).
+ * @param min_length    Phases shorter than this are merged into
+ *                      their predecessor (>= 1).
+ * @return Contiguous phases covering the whole series (alternating
+ *         states after merging); empty for an empty series.
+ */
+std::vector<Phase> segmentPhases(const std::vector<double> &series,
+                                 double on_threshold,
+                                 double off_threshold,
+                                 std::size_t min_length = 1);
+
+/**
+ * Summary statistics over a segmentation.
+ */
+struct PhaseSummary
+{
+    std::size_t active_phases = 0;
+    std::size_t idle_phases = 0;
+    double mean_active_length = 0.0;
+    double mean_idle_length = 0.0;
+    std::size_t longest_active = 0;
+    std::size_t longest_idle = 0;
+    /** Fraction of bins inside active phases. */
+    double active_fraction = 0.0;
+};
+
+/** Summarize a segmentation. */
+PhaseSummary summarizePhases(const std::vector<Phase> &phases);
+
+} // namespace core
+} // namespace dlw
+
+#endif // DLW_CORE_PHASES_HH

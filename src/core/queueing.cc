@@ -1,0 +1,69 @@
+#include "core/queueing.hh"
+
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace dlw
+{
+namespace core
+{
+
+Mg1Prediction
+predictMg1(double lambda, double es, double es2)
+{
+    dlw_assert(lambda >= 0.0, "negative arrival rate");
+    dlw_assert(es > 0.0, "mean service time must be positive");
+    dlw_assert(es2 >= es * es - 1e-12,
+               "second moment below squared mean");
+
+    Mg1Prediction p;
+    p.lambda = lambda;
+    p.es = es;
+    p.es2 = es2;
+    p.rho = lambda * es;
+    if (p.rho >= 1.0) {
+        p.wait = std::numeric_limits<double>::infinity();
+        p.response = p.wait;
+        return p;
+    }
+    // Pollaczek-Khinchine: W = lambda * E[S^2] / (2 (1 - rho)).
+    p.wait = lambda * es2 / (2.0 * (1.0 - p.rho));
+    p.response = p.wait + es;
+    return p;
+}
+
+QueueingValidation
+validateMg1(const trace::MsTrace &tr, const disk::ServiceLog &log)
+{
+    dlw_assert(!log.completions.empty(), "empty service log");
+
+    // Service moments from the completions themselves.
+    double s1 = 0.0, s2 = 0.0, resp = 0.0, wait = 0.0;
+    std::size_t n = 0;
+    for (const disk::Completion &c : log.completions) {
+        if (c.cache_hit)
+            continue;
+        const double s = ticksToSeconds(c.finish - c.start);
+        const double r = ticksToSeconds(c.response());
+        s1 += s;
+        s2 += s * s;
+        resp += r;
+        wait += r - s;
+        ++n;
+    }
+    dlw_assert(n > 0, "no mechanically served requests to validate");
+    const double nd = static_cast<double>(n);
+
+    QueueingValidation v;
+    v.predicted = predictMg1(tr.arrivalRate(), s1 / nd, s2 / nd);
+    v.measured_response = resp / nd;
+    v.measured_wait = wait / nd;
+    v.response_ratio = v.predicted.response > 0.0
+        ? v.measured_response / v.predicted.response
+        : 0.0;
+    return v;
+}
+
+} // namespace core
+} // namespace dlw

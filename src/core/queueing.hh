@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Analytic queueing predictions (M/G/1) and their comparison with
+ * the simulated drive.
+ *
+ * The drive engine is the substrate every experiment stands on, so
+ * it should agree with theory where theory applies: for Poisson
+ * arrivals, FCFS, and no cache, the drive is an M/G/1 queue and the
+ * Pollaczek-Khinchine formula predicts its mean waiting time from
+ * the service-time moments alone.  The validation harness measures
+ * both sides.
+ */
+
+#ifndef DLW_CORE_QUEUEING_HH
+#define DLW_CORE_QUEUEING_HH
+
+#include "disk/drive.hh"
+
+namespace dlw
+{
+namespace core
+{
+
+/**
+ * M/G/1 prediction inputs and outputs.
+ */
+struct Mg1Prediction
+{
+    /** Arrival rate, per second. */
+    double lambda = 0.0;
+    /** Mean service time, seconds. */
+    double es = 0.0;
+    /** Second moment of service time, seconds^2. */
+    double es2 = 0.0;
+    /** Offered load rho = lambda * E[S]. */
+    double rho = 0.0;
+    /** Predicted mean waiting time (queueing only), seconds. */
+    double wait = 0.0;
+    /** Predicted mean response time (wait + service), seconds. */
+    double response = 0.0;
+};
+
+/**
+ * Pollaczek-Khinchine mean-value prediction.
+ *
+ * @param lambda Arrival rate per second (>= 0).
+ * @param es     Mean service time in seconds (> 0).
+ * @param es2    Second moment of service time (>= es^2).
+ * @return Prediction; rho >= 1 yields infinite wait.
+ */
+Mg1Prediction predictMg1(double lambda, double es, double es2);
+
+/**
+ * Measured-vs-predicted comparison for one drive run.
+ */
+struct QueueingValidation
+{
+    Mg1Prediction predicted;
+    /** Simulated mean response time, seconds. */
+    double measured_response = 0.0;
+    /** Simulated mean waiting time, seconds. */
+    double measured_wait = 0.0;
+    /** measured/predicted response ratio (1 = perfect). */
+    double response_ratio = 0.0;
+};
+
+/**
+ * Validate the drive against M/G/1.
+ *
+ * Service moments are estimated from the log's own completions
+ * (finish - start of non-cache-hit requests), so the comparison
+ * tests the queueing behaviour, not the service-time model.
+ *
+ * @param tr  The input trace (used for the arrival rate).
+ * @param log The drive's service log (should come from a run with
+ *            Poisson arrivals, FCFS, cache disabled for the
+ *            assumptions to hold).
+ * @return Comparison; ratios near 1 mean the engine queues like an
+ *         M/G/1 server.
+ */
+QueueingValidation validateMg1(const trace::MsTrace &tr,
+                               const disk::ServiceLog &log);
+
+} // namespace core
+} // namespace dlw
+
+#endif // DLW_CORE_QUEUEING_HH

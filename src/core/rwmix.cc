@@ -1,0 +1,119 @@
+#include "core/rwmix.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace dlw
+{
+namespace core
+{
+
+namespace
+{
+
+/** Fill the distribution fields shared by both granularities. */
+void
+finishSeriesStats(RwDynamics &d)
+{
+    double sum = 0.0, sum2 = 0.0;
+    std::size_t active = 0, write_dom = 0;
+    for (double f : d.read_fraction_series) {
+        if (f < 0.0)
+            continue;
+        ++active;
+        sum += f;
+        sum2 += f * f;
+        if (f < 0.5)
+            ++write_dom;
+    }
+    if (active > 0) {
+        const double n = static_cast<double>(active);
+        const double mean = sum / n;
+        const double var = std::max(sum2 / n - mean * mean, 0.0);
+        d.read_fraction_stddev = std::sqrt(var);
+        d.write_dominated_fraction = static_cast<double>(write_dom) / n;
+    }
+}
+
+} // anonymous namespace
+
+RwDynamics
+analyzeRwDynamics(const trace::MsTrace &tr, Tick bin_width)
+{
+    dlw_assert(bin_width > 0, "bin width must be positive");
+    RwDynamics d;
+    d.bin_width = bin_width;
+    d.read_fraction = tr.readFraction();
+
+    const stats::BinnedSeries reads =
+        tr.binCounts(bin_width, trace::MsTrace::Filter::Reads);
+    const stats::BinnedSeries all =
+        tr.binCounts(bin_width, trace::MsTrace::Filter::All);
+    d.read_fraction_series.reserve(all.size());
+    for (std::size_t i = 0; i < all.size(); ++i) {
+        const double total = all.at(i);
+        d.read_fraction_series.push_back(
+            total > 0.0 ? reads.at(i) / total : -1.0);
+    }
+    finishSeriesStats(d);
+
+    // Direction runs.
+    const auto &reqs = tr.requests();
+    if (!reqs.empty()) {
+        std::size_t runs = 0;
+        std::size_t run_len = 0;
+        bool prev_read = reqs.front().isRead();
+        for (const trace::Request &r : reqs) {
+            if (r.isRead() == prev_read && run_len > 0) {
+                ++run_len;
+            } else {
+                if (run_len > 0) {
+                    ++runs;
+                    if (!prev_read) {
+                        d.longest_write_run =
+                            std::max(d.longest_write_run, run_len);
+                        if (run_len >= 8)
+                            ++d.write_bursts;
+                    }
+                }
+                prev_read = r.isRead();
+                run_len = 1;
+            }
+        }
+        ++runs;
+        if (!prev_read) {
+            d.longest_write_run = std::max(d.longest_write_run, run_len);
+            if (run_len >= 8)
+                ++d.write_bursts;
+        }
+        d.mean_run_length = static_cast<double>(reqs.size()) /
+                            static_cast<double>(runs);
+    }
+    return d;
+}
+
+RwDynamics
+analyzeRwDynamics(const trace::HourTrace &tr)
+{
+    RwDynamics d;
+    d.bin_width = kHour;
+
+    std::uint64_t reads = 0, total = 0;
+    d.read_fraction_series.reserve(tr.hours());
+    for (const trace::HourBucket &b : tr.buckets()) {
+        reads += b.reads;
+        total += b.total();
+        d.read_fraction_series.push_back(
+            b.total() > 0 ? b.readFraction() : -1.0);
+    }
+    d.read_fraction = total
+        ? static_cast<double>(reads) / static_cast<double>(total)
+        : 0.0;
+    finishSeriesStats(d);
+    return d;
+}
+
+} // namespace core
+} // namespace dlw

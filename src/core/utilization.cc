@@ -1,0 +1,84 @@
+#include "core/utilization.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "stats/ecdf.hh"
+
+namespace dlw
+{
+namespace core
+{
+
+namespace
+{
+
+UtilizationProfile
+profileFromSeries(std::vector<double> series, Tick bin_width)
+{
+    UtilizationProfile p;
+    p.bin_width = bin_width;
+    p.series = std::move(series);
+    if (p.series.empty())
+        return p;
+
+    stats::Ecdf ecdf;
+    std::size_t idle = 0, saturated = 0;
+    double sum = 0.0;
+    for (double u : p.series) {
+        dlw_assert(u >= -1e-9 && u <= 1.0 + 1e-9,
+                   "utilization outside [0, 1]");
+        ecdf.add(u);
+        sum += u;
+        if (u <= 0.0)
+            ++idle;
+        if (u >= 0.9)
+            ++saturated;
+        p.peak = std::max(p.peak, u);
+    }
+    const double n = static_cast<double>(p.series.size());
+    p.mean = sum / n;
+    p.median = ecdf.median();
+    p.p95 = ecdf.quantile(0.95);
+    p.idle_fraction = static_cast<double>(idle) / n;
+    p.saturated_fraction = static_cast<double>(saturated) / n;
+    return p;
+}
+
+} // anonymous namespace
+
+UtilizationProfile
+utilizationProfile(const disk::ServiceLog &log, Tick bin_width)
+{
+    dlw_assert(bin_width > 0, "bin width must be positive");
+    stats::BinnedSeries s = log.utilizationSeries(bin_width);
+    // Clip FP residue from interval splitting.
+    std::vector<double> v = s.values();
+    for (double &x : v)
+        x = std::clamp(x, 0.0, 1.0);
+    return profileFromSeries(std::move(v), bin_width);
+}
+
+UtilizationProfile
+utilizationProfile(const trace::HourTrace &trace)
+{
+    std::vector<double> v;
+    v.reserve(trace.hours());
+    for (const trace::HourBucket &b : trace.buckets())
+        v.push_back(std::clamp(b.utilization(), 0.0, 1.0));
+    return profileFromSeries(std::move(v), kHour);
+}
+
+std::vector<UtilizationProfile>
+utilizationAcrossScales(const disk::ServiceLog &log,
+                        const std::vector<Tick> &widths)
+{
+    std::vector<UtilizationProfile> out;
+    out.reserve(widths.size());
+    for (Tick w : widths)
+        out.push_back(utilizationProfile(log, w));
+    return out;
+}
+
+} // namespace core
+} // namespace dlw

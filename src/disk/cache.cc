@@ -1,0 +1,116 @@
+#include "disk/cache.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dlw
+{
+namespace disk
+{
+
+DiskCache::DiskCache(const CacheConfig &config)
+    : config_(config)
+{
+    if (config_.enabled) {
+        dlw_assert(config_.segments > 0, "cache needs >= 1 segment");
+        segments_.resize(config_.segments);
+    }
+}
+
+bool
+DiskCache::readHit(Lba lba, BlockCount blocks)
+{
+    if (!config_.enabled)
+        return false;
+    const Lba end = lba + blocks;
+    for (Segment &s : segments_) {
+        if (s.valid && lba >= s.start && end <= s.end) {
+            s.last_use = ++use_clock_;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+DiskCache::installReadSegment(Lba lba, BlockCount blocks)
+{
+    if (!config_.enabled)
+        return;
+    // Victimize the least recently used (or any invalid) segment.
+    Segment *victim = &segments_[0];
+    for (Segment &s : segments_) {
+        if (!s.valid) {
+            victim = &s;
+            break;
+        }
+        if (s.last_use < victim->last_use)
+            victim = &s;
+    }
+    victim->start = lba;
+    victim->end = lba + blocks + config_.prefetch_blocks;
+    victim->last_use = ++use_clock_;
+    victim->valid = true;
+}
+
+bool
+DiskCache::canBuffer(BlockCount blocks) const
+{
+    if (!config_.enabled)
+        return false;
+    return dirty_blocks_ + blocks <= config_.write_buffer_blocks;
+}
+
+void
+DiskCache::bufferWrite(Lba lba, BlockCount blocks)
+{
+    dlw_assert(canBuffer(blocks), "write buffer overflow");
+    // Coalesce with the newest extent when strictly sequential, the
+    // common pattern of log-style write streams.
+    if (!dirty_.empty()) {
+        DirtyExtent &tail = dirty_.back();
+        if (tail.lba + tail.blocks == lba) {
+            tail.blocks += blocks;
+            dirty_blocks_ += blocks;
+            invalidateOverlapping(lba, blocks);
+            return;
+        }
+    }
+    dirty_.push_back(DirtyExtent{lba, blocks});
+    dirty_blocks_ += blocks;
+    invalidateOverlapping(lba, blocks);
+}
+
+DirtyExtent
+DiskCache::popDestage()
+{
+    dlw_assert(!dirty_.empty(), "destage with empty buffer");
+    DirtyExtent e = dirty_.front();
+    dirty_.pop_front();
+    dlw_assert(dirty_blocks_ >= e.blocks, "dirty accounting broken");
+    dirty_blocks_ -= e.blocks;
+    return e;
+}
+
+void
+DiskCache::clear()
+{
+    for (Segment &s : segments_)
+        s.valid = false;
+    dirty_.clear();
+    dirty_blocks_ = 0;
+}
+
+void
+DiskCache::invalidateOverlapping(Lba lba, BlockCount blocks)
+{
+    const Lba end = lba + blocks;
+    for (Segment &s : segments_) {
+        if (s.valid && lba < s.end && end > s.start)
+            s.valid = false;
+    }
+}
+
+} // namespace disk
+} // namespace dlw

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Closed-loop load generation against the drive model.
+ *
+ * Trace replay is open-loop: arrivals do not react to service.  Real
+ * applications are partly closed-loop — a client submits, waits for
+ * completion, thinks, and submits again — which caps the queue at
+ * the client count and couples throughput to response time.  This
+ * simulator runs N think-time clients against the mechanical model
+ * and cache, producing the classic throughput/response-vs-
+ * concurrency curves that complement the open-loop experiments.
+ */
+
+#ifndef DLW_DISK_CLOSEDLOOP_HH
+#define DLW_DISK_CLOSEDLOOP_HH
+
+#include <functional>
+
+#include "common/rng.hh"
+#include "disk/drive.hh"
+
+namespace dlw
+{
+namespace disk
+{
+
+/**
+ * Factory for the next request a client issues.  Receives the
+ * client's random source; the arrival field is ignored (set by the
+ * simulator).
+ */
+using RequestFactory = std::function<trace::Request(Rng &)>;
+
+/**
+ * Closed-loop run parameters.
+ */
+struct ClosedLoopConfig
+{
+    /** Concurrent clients (>= 1). */
+    std::size_t clients = 8;
+    /** Mean exponential think time between completion and the next
+     *  submission. */
+    Tick mean_think = 10 * kMsec;
+    /** Simulated duration. */
+    Tick duration = kMinute;
+    /** Seed for think times and request generation. */
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Outcome of a closed-loop run.
+ */
+struct ClosedLoopResult
+{
+    /** Requests completed inside the window. */
+    std::uint64_t completed = 0;
+    /** Completions per second. */
+    double throughput = 0.0;
+    /** Mean response time, seconds. */
+    double mean_response = 0.0;
+    /** Busy fraction of the mechanism. */
+    double utilization = 0.0;
+    /** Requests served from cache. */
+    std::uint64_t cache_hits = 0;
+};
+
+/**
+ * Run a closed-loop experiment.
+ *
+ * @param drive   Drive configuration (geometry, seek, cache,
+ *                scheduler, overhead).
+ * @param factory Request generator shared by all clients.
+ * @param config  Client population and think-time parameters.
+ * @return Aggregate results over the window.
+ */
+ClosedLoopResult runClosedLoop(const DriveConfig &drive,
+                               const RequestFactory &factory,
+                               const ClosedLoopConfig &config);
+
+} // namespace disk
+} // namespace dlw
+
+#endif // DLW_DISK_CLOSEDLOOP_HH

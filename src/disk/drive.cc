@@ -1,0 +1,389 @@
+#include "disk/drive.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "sim/eventq.hh"
+
+namespace dlw
+{
+namespace disk
+{
+
+DriveConfig
+DriveConfig::makeEnterprise()
+{
+    DiskGeometry geom = DiskGeometry::makeEnterprise();
+    SeekModel seek = SeekModel::makeEnterprise(geom.cylinders());
+    return DriveConfig{std::move(geom), seek, CacheConfig{},
+                       SchedPolicy::Fcfs, 100 * kUsec, 20 * kMsec};
+}
+
+DriveConfig
+DriveConfig::makeNearline()
+{
+    DiskGeometry geom = DiskGeometry::makeNearline();
+    SeekModel seek = SeekModel::makeNearline(geom.cylinders());
+    return DriveConfig{std::move(geom), seek, CacheConfig{},
+                       SchedPolicy::Fcfs, 100 * kUsec, 20 * kMsec};
+}
+
+Tick
+ServiceLog::busyTime() const
+{
+    Tick t = 0;
+    for (const trace::BusyInterval &iv : busy)
+        t += iv.second - iv.first;
+    return t;
+}
+
+double
+ServiceLog::utilization() const
+{
+    const Tick span = window_end - window_start;
+    if (span <= 0)
+        return 0.0;
+    return static_cast<double>(busyTime()) / static_cast<double>(span);
+}
+
+double
+ServiceLog::meanResponse() const
+{
+    if (completions.empty())
+        return 0.0;
+    double s = 0.0;
+    for (const Completion &c : completions)
+        s += static_cast<double>(c.response());
+    return s / static_cast<double>(completions.size());
+}
+
+Tick
+ServiceLog::responseQuantile(double q) const
+{
+    dlw_assert(q >= 0.0 && q <= 1.0, "quantile out of range");
+    dlw_assert(!completions.empty(), "quantile of empty log");
+    std::vector<Tick> rs;
+    rs.reserve(completions.size());
+    for (const Completion &c : completions)
+        rs.push_back(c.response());
+    std::sort(rs.begin(), rs.end());
+    auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(rs.size() - 1) + 0.5);
+    return rs[std::min(idx, rs.size() - 1)];
+}
+
+std::vector<Tick>
+ServiceLog::idleIntervals() const
+{
+    std::vector<Tick> gaps;
+    Tick at = window_start;
+    for (const trace::BusyInterval &iv : busy) {
+        if (iv.first > at)
+            gaps.push_back(iv.first - at);
+        at = std::max(at, iv.second);
+    }
+    if (window_end > at)
+        gaps.push_back(window_end - at);
+    return gaps;
+}
+
+stats::BinnedSeries
+ServiceLog::busySeries(Tick bin_width) const
+{
+    const Tick span = window_end - window_start;
+    auto bins = static_cast<std::size_t>(
+        span > 0 ? (span + bin_width - 1) / bin_width : 0);
+    stats::BinnedSeries s(window_start, bin_width, bins);
+    for (const trace::BusyInterval &iv : busy) {
+        s.accumulateInterval(iv.first, iv.second,
+                             static_cast<double>(iv.second - iv.first));
+    }
+    return s;
+}
+
+stats::BinnedSeries
+ServiceLog::utilizationSeries(Tick bin_width) const
+{
+    stats::BinnedSeries s = busySeries(bin_width);
+    std::vector<double> v = s.values();
+    const Tick span = window_end - window_start;
+    if (v.size() > 1 && span % bin_width != 0) {
+        // A trailing partial bin observes only a sliver of time and
+        // would distort the distribution either way it is
+        // normalized; drop it, as every windowed estimator here does.
+        v.pop_back();
+    }
+    const Tick divisor =
+        v.size() == 1 ? std::min(bin_width, span) : bin_width;
+    for (double &x : v)
+        x /= static_cast<double>(std::max<Tick>(divisor, 1));
+    s.setValues(std::move(v));
+    return s;
+}
+
+namespace
+{
+
+/**
+ * The running engine: a single drive state machine over an event
+ * queue.  Kept out of the header; DiskDrive::service() owns one per
+ * call, so the drive object itself stays reusable and stateless.
+ */
+class Engine
+{
+  public:
+    Engine(const DriveConfig &config, const trace::MsTrace &tr)
+        : config_(config),
+          model_(config.geometry, config.seek),
+          cache_(config.cache),
+          sched_(config.sched),
+          trace_(tr)
+    {
+        log_.window_start = tr.start();
+        log_.window_end = tr.end();
+    }
+
+    ServiceLog
+    run()
+    {
+        if (!trace_.empty())
+            scheduleNextArrival();
+        eq_.run();
+        // The queue drains only when every request completed and the
+        // write buffer was destaged.
+        dlw_assert(queue_.empty(), "engine finished with queued work");
+        dlw_assert(!cache_.dirty(), "engine finished with dirty data");
+
+        finalizeBusy();
+        log_.window_end = std::max(log_.window_end, last_busy_end_);
+        return std::move(log_);
+    }
+
+  private:
+    void
+    scheduleNextArrival()
+    {
+        const trace::Request &r = trace_.at(next_arrival_);
+        eq_.schedule(r.arrival, [this](Tick t) { onArrival(t); },
+                     sim::Priority::High);
+    }
+
+    void
+    onArrival(Tick now)
+    {
+        const std::size_t idx = next_arrival_++;
+        if (next_arrival_ < trace_.size())
+            scheduleNextArrival();
+
+        cancelDestageTimer();
+        QueuedRequest qr{trace_.at(idx), idx};
+
+        // Cache-served requests never touch the mechanism and
+        // complete immediately, even while it is busy.
+        if (qr.req.isRead() &&
+            cache_.readHit(qr.req.lba, qr.req.blocks)) {
+            complete(qr, now, now + config_.overhead, true);
+            ++log_.read_hits;
+        } else if (qr.req.isWrite() &&
+                   cache_.canBuffer(qr.req.blocks)) {
+            cache_.bufferWrite(qr.req.lba, qr.req.blocks);
+            complete(qr, now, now + config_.overhead, true);
+            ++log_.buffered_writes;
+        } else {
+            queue_.push_back(qr);
+        }
+
+        if (!busy_)
+            startNext(now);
+    }
+
+    void
+    startNext(Tick now)
+    {
+        dlw_assert(!busy_, "startNext while busy");
+        if (queue_.empty()) {
+            onIdle(now);
+            return;
+        }
+
+        // Serve cache hits immediately, in arrival order, without
+        // occupying the mechanism.
+        while (!queue_.empty()) {
+            QueuedRequest &qr = queue_.front();
+            if (qr.req.isRead() &&
+                cache_.readHit(qr.req.lba, qr.req.blocks)) {
+                complete(qr, now, now + config_.overhead, true);
+                ++log_.read_hits;
+                queue_.erase(queue_.begin());
+                continue;
+            }
+            if (qr.req.isWrite() && cache_.canBuffer(qr.req.blocks)) {
+                cache_.bufferWrite(qr.req.lba, qr.req.blocks);
+                complete(qr, now, now + config_.overhead, true);
+                ++log_.buffered_writes;
+                queue_.erase(queue_.begin());
+                continue;
+            }
+            break;
+        }
+        if (queue_.empty()) {
+            onIdle(now);
+            return;
+        }
+
+        // A mechanical access: pick by policy, compute its time.
+        const std::size_t pick =
+            sched_.pick(queue_, head_cylinder_, config_.geometry);
+        QueuedRequest qr = queue_[pick];
+        queue_.erase(queue_.begin() +
+                     static_cast<std::ptrdiff_t>(pick));
+
+        const MechanicalTime mt = model_.access(
+            now + config_.overhead, head_cylinder_, qr.req.lba,
+            qr.req.blocks);
+        const Tick finish = now + config_.overhead + mt.total();
+
+        if (qr.req.isRead())
+            cache_.installReadSegment(qr.req.lba, qr.req.blocks);
+        else
+            ++log_.write_through;
+
+        head_cylinder_ = model_.endCylinder(qr.req.lba, qr.req.blocks);
+        addBusy(now, finish);
+        busy_ = true;
+        complete(qr, now, finish, false);
+        eq_.schedule(finish, [this](Tick t) {
+            busy_ = false;
+            startNext(t);
+        });
+    }
+
+    void
+    onIdle(Tick now)
+    {
+        if (!cache_.dirty())
+            return;
+        // After the last arrival there is nothing to wait for; drain
+        // immediately so the run terminates.
+        const bool draining = next_arrival_ >= trace_.size();
+        const Tick wait = draining ? 0 : config_.destage_idle_wait;
+        destage_timer_ = eq_.schedule(
+            now + wait, [this](Tick t) { startDestage(t); },
+            sim::Priority::Low);
+    }
+
+    void
+    startDestage(Tick now)
+    {
+        destage_timer_.reset();
+        if (busy_ || !cache_.dirty())
+            return;
+        // A foreground arrival cancels the timer, so the queue is
+        // empty here unless the cancel raced with the pop; serve
+        // foreground first in that case.
+        if (!queue_.empty()) {
+            startNext(now);
+            return;
+        }
+
+        const DirtyExtent e = cache_.popDestage();
+        const MechanicalTime mt =
+            model_.access(now, head_cylinder_, e.lba, e.blocks);
+        const Tick finish = now + mt.total();
+        head_cylinder_ = model_.endCylinder(e.lba, e.blocks);
+        addBusy(now, finish);
+        busy_ = true;
+        ++log_.destages;
+        eq_.schedule(finish, [this](Tick t) {
+            busy_ = false;
+            // Once destaging has begun, drain the buffer back to
+            // back unless foreground work arrived meanwhile; this
+            // consolidates background activity and preserves the
+            // long idle stretches the drive would otherwise see.
+            if (queue_.empty() && cache_.dirty())
+                startDestage(t);
+            else
+                startNext(t);
+        });
+    }
+
+    void
+    cancelDestageTimer()
+    {
+        if (destage_timer_) {
+            eq_.cancel(*destage_timer_);
+            destage_timer_.reset();
+        }
+    }
+
+    void
+    complete(const QueuedRequest &qr, Tick start, Tick finish,
+             bool hit)
+    {
+        Completion c;
+        c.index = qr.index;
+        c.arrival = qr.req.arrival;
+        c.start = start;
+        c.finish = finish;
+        c.read = qr.req.isRead();
+        c.cache_hit = hit;
+        log_.completions.push_back(c);
+    }
+
+    void
+    addBusy(Tick from, Tick to)
+    {
+        if (to <= from)
+            return;
+        // Busy intervals are produced in time order; coalesce
+        // back-to-back operations as one interval.
+        if (!log_.busy.empty() && log_.busy.back().second >= from)
+            log_.busy.back().second = std::max(log_.busy.back().second, to);
+        else
+            log_.busy.emplace_back(from, to);
+        last_busy_end_ = std::max(last_busy_end_, to);
+    }
+
+    void
+    finalizeBusy()
+    {
+        // addBusy keeps the list sorted and merged already; assert it.
+        for (std::size_t i = 1; i < log_.busy.size(); ++i) {
+            dlw_assert(log_.busy[i].first > log_.busy[i - 1].second,
+                       "busy intervals not disjoint");
+        }
+    }
+
+    const DriveConfig &config_;
+    DiskModel model_;
+    DiskCache cache_;
+    Scheduler sched_;
+    const trace::MsTrace &trace_;
+
+    sim::EventQueue eq_;
+    ServiceLog log_;
+    std::vector<QueuedRequest> queue_;
+    std::size_t next_arrival_ = 0;
+    std::uint64_t head_cylinder_ = 0;
+    bool busy_ = false;
+    Tick last_busy_end_ = 0;
+    std::optional<sim::EventId> destage_timer_;
+};
+
+} // anonymous namespace
+
+DiskDrive::DiskDrive(DriveConfig config)
+    : config_(std::move(config))
+{
+}
+
+ServiceLog
+DiskDrive::service(const trace::MsTrace &tr)
+{
+    dlw_assert(tr.validate(), "input trace failed validation");
+    Engine engine(config_, tr);
+    return engine.run();
+}
+
+} // namespace disk
+} // namespace dlw

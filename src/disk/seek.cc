@@ -1,0 +1,69 @@
+#include "disk/seek.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace dlw
+{
+namespace disk
+{
+
+SeekModel::SeekModel(std::uint64_t cylinders, Tick track_to_track,
+                     Tick average, Tick full_stroke)
+    : cylinders_(cylinders), t2t_(track_to_track), full_(full_stroke)
+{
+    dlw_assert(cylinders >= 2, "seek model needs >= 2 cylinders");
+    dlw_assert(track_to_track > 0 && average > track_to_track &&
+               full_stroke > average,
+               "seek datasheet numbers must be increasing");
+
+    // Fit the sqrt regime through (1, t2t) and (F/3, avg), and the
+    // linear regime through (F/3, avg) and (F, full), where F is the
+    // full stroke in cylinders.  The curve is continuous at the knee.
+    const double f = static_cast<double>(cylinders - 1);
+    knee_ = f / 3.0;
+    const double sq1 = 1.0;
+    const double sqk = std::sqrt(knee_);
+    b_ = (static_cast<double>(average) - static_cast<double>(t2t_)) /
+         (sqk - sq1);
+    a_ = static_cast<double>(t2t_) - b_ * sq1;
+    e_ = (static_cast<double>(full_stroke) -
+          static_cast<double>(average)) / (f - knee_);
+    c_ = static_cast<double>(average) - e_ * knee_;
+}
+
+SeekModel
+SeekModel::makeEnterprise(std::uint64_t cylinders)
+{
+    // 15k drive: 0.2 ms track-to-track, 3.5 ms average, 8 ms full.
+    return SeekModel(cylinders, 200 * kUsec, 3500 * kUsec, 8 * kMsec);
+}
+
+SeekModel
+SeekModel::makeNearline(std::uint64_t cylinders)
+{
+    // 7200 RPM drive: 0.8 ms track-to-track, 8.5 ms average, 18 ms.
+    return SeekModel(cylinders, 800 * kUsec, 8500 * kUsec, 18 * kMsec);
+}
+
+Tick
+SeekModel::seekTime(std::uint64_t from, std::uint64_t to) const
+{
+    if (from == to)
+        return 0;
+    dlw_assert(from < cylinders_ && to < cylinders_,
+               "cylinder beyond drive geometry");
+    const double d = from > to
+        ? static_cast<double>(from - to)
+        : static_cast<double>(to - from);
+    double t;
+    if (d <= knee_)
+        t = a_ + b_ * std::sqrt(d);
+    else
+        t = c_ + e_ * d;
+    return static_cast<Tick>(t + 0.5);
+}
+
+} // namespace disk
+} // namespace dlw

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Seek-time model.
+ *
+ * The standard two-regime curve: short seeks are dominated by arm
+ * acceleration and grow with the square root of the distance; long
+ * seeks reach coast velocity and grow linearly.  Parameters are
+ * expressed as the three numbers a datasheet quotes -- track-to-track,
+ * average, and full-stroke seek time -- and fitted internally.
+ */
+
+#ifndef DLW_DISK_SEEK_HH
+#define DLW_DISK_SEEK_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace dlw
+{
+namespace disk
+{
+
+/**
+ * Two-regime seek-time curve fitted from datasheet numbers.
+ */
+class SeekModel
+{
+  public:
+    /**
+     * @param cylinders      Total cylinders of the drive (>= 2).
+     * @param track_to_track Single-cylinder seek time.
+     * @param average        Average seek time (measured at one third
+     *                       of the full stroke, per convention).
+     * @param full_stroke    End-to-end seek time.
+     */
+    SeekModel(std::uint64_t cylinders, Tick track_to_track,
+              Tick average, Tick full_stroke);
+
+    /** Datasheet numbers of a 15k enterprise drive. */
+    static SeekModel makeEnterprise(std::uint64_t cylinders);
+
+    /** Datasheet numbers of a 7200 RPM nearline drive. */
+    static SeekModel makeNearline(std::uint64_t cylinders);
+
+    /**
+     * Seek time between two cylinders (0 when equal).
+     */
+    Tick seekTime(std::uint64_t from, std::uint64_t to) const;
+
+    /** Track-to-track seek time. */
+    Tick trackToTrack() const { return t2t_; }
+
+    /** Full-stroke seek time. */
+    Tick fullStroke() const { return full_; }
+
+  private:
+    std::uint64_t cylinders_;
+    Tick t2t_;
+    Tick full_;
+    /** Boundary between sqrt and linear regimes, in cylinders. */
+    double knee_;
+    /** sqrt-regime coefficients: t = a + b * sqrt(d). */
+    double a_;
+    double b_;
+    /** linear-regime coefficients: t = c + e * d. */
+    double c_;
+    double e_;
+};
+
+} // namespace disk
+} // namespace dlw
+
+#endif // DLW_DISK_SEEK_HH

@@ -1,0 +1,84 @@
+#include "sim/eventq.hh"
+
+#include "common/logging.hh"
+
+namespace dlw
+{
+namespace sim
+{
+
+EventId
+EventQueue::schedule(Tick when, EventFn fn, Priority prio)
+{
+    dlw_assert(when >= now_, "scheduling an event in the past");
+    dlw_assert(fn, "scheduling a null callback");
+    EventId id = next_id_++;
+    queue_.push(Entry{when, static_cast<int>(prio), id, std::move(fn)});
+    live_.insert(id);
+    ++pending_;
+    return id;
+}
+
+EventId
+EventQueue::scheduleIn(Tick delta, EventFn fn, Priority prio)
+{
+    dlw_assert(delta >= 0, "negative scheduling delta");
+    return schedule(now_ + delta, std::move(fn), prio);
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    // Lazy deletion: drop the id from the live set; the stale queue
+    // entry is skipped when it surfaces.
+    if (live_.erase(id) == 0)
+        return false;
+    dlw_assert(pending_ > 0, "pending count underflow");
+    --pending_;
+    return true;
+}
+
+bool
+EventQueue::step()
+{
+    while (!queue_.empty()) {
+        Entry e = queue_.top();
+        queue_.pop();
+        if (live_.erase(e.id) == 0)
+            continue; // cancelled
+        dlw_assert(e.when >= now_, "event queue time went backwards");
+        now_ = e.when;
+        --pending_;
+        e.fn(now_);
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t
+EventQueue::run(Tick limit)
+{
+    std::uint64_t executed = 0;
+    while (!queue_.empty()) {
+        const Entry &top = queue_.top();
+        if (live_.count(top.id) == 0) {
+            queue_.pop(); // cancelled; discard and keep looking
+            continue;
+        }
+        if (limit != kTickNone && top.when > limit)
+            break;
+        Entry e = queue_.top();
+        queue_.pop();
+        live_.erase(e.id);
+        now_ = e.when;
+        --pending_;
+        e.fn(now_);
+        ++executed;
+    }
+    if (limit != kTickNone && now_ < limit && pending_ == 0)
+        now_ = limit;
+    return executed;
+}
+
+} // namespace sim
+} // namespace dlw

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Sample autocorrelation of a series.
+ *
+ * Slowly decaying positive autocorrelation of per-bin request counts
+ * is one of the signatures of bursty, long-range-dependent disk
+ * traffic the paper reports.
+ */
+
+#ifndef DLW_STATS_ACF_HH
+#define DLW_STATS_ACF_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace dlw
+{
+namespace stats
+{
+
+/**
+ * Sample autocorrelation function.
+ *
+ * @param xs       Series values (length >= 2).
+ * @param max_lag  Largest lag to evaluate (clamped to length - 1).
+ * @return acf[k] for k = 0..max_lag; acf[0] == 1 unless the series is
+ *         constant, in which case every entry is 0.
+ */
+std::vector<double> autocorrelation(const std::vector<double> &xs,
+                                    std::size_t max_lag);
+
+/**
+ * Smallest lag at which the autocorrelation drops below a threshold.
+ *
+ * @param acf       Autocorrelation values from autocorrelation().
+ * @param threshold Cut level (e.g. 1/e or 0.1).
+ * @return First lag k >= 1 with acf[k] < threshold, or acf.size()
+ *         when it never drops below (long memory).
+ */
+std::size_t decorrelationLag(const std::vector<double> &acf,
+                             double threshold);
+
+/**
+ * A detected periodicity in a series.
+ */
+struct Periodicity
+{
+    /** Lag of the dominant autocorrelation peak (0 = none found). */
+    std::size_t period = 0;
+    /** Autocorrelation value at that lag. */
+    double strength = 0.0;
+};
+
+/**
+ * Detect the dominant period of a series by locating the highest
+ * local autocorrelation peak in a lag range.  Applied to hourly
+ * request counts this recovers the 24-hour diurnal cycle and, on a
+ * longer range, the 168-hour weekly cycle.
+ *
+ * @param xs      Series values (length must exceed 2 * max_lag).
+ * @param min_lag Smallest candidate period (>= 2).
+ * @param max_lag Largest candidate period.
+ * @return The dominant peak, or {0, 0} when no local peak exists.
+ */
+Periodicity dominantPeriod(const std::vector<double> &xs,
+                           std::size_t min_lag, std::size_t max_lag);
+
+} // namespace stats
+} // namespace dlw
+
+#endif // DLW_STATS_ACF_HH

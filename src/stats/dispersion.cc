@@ -1,0 +1,49 @@
+#include "stats/dispersion.hh"
+
+#include "common/logging.hh"
+#include "stats/summary.hh"
+
+namespace dlw
+{
+namespace stats
+{
+
+double
+indexOfDispersion(const std::vector<double> &counts)
+{
+    Summary s;
+    for (double c : counts)
+        s.add(c);
+    if (s.count() == 0 || s.mean() == 0.0)
+        return 0.0;
+    return s.sampleVariance() / s.mean();
+}
+
+std::vector<IdcPoint>
+idcAcrossScales(const BinnedSeries &base,
+                const std::vector<std::size_t> &factors,
+                std::size_t min_windows)
+{
+    std::vector<IdcPoint> out;
+    out.reserve(factors.size());
+    for (std::size_t f : factors) {
+        dlw_assert(f >= 1, "aggregation factor must be >= 1");
+        BinnedSeries agg = base.aggregate(f);
+        std::vector<double> v = agg.values();
+        // A trailing partial window covers less time than the rest
+        // and would masquerade as huge variance; drop it.
+        if (base.size() % f != 0 && !v.empty())
+            v.pop_back();
+        if (v.size() < min_windows)
+            continue;
+        IdcPoint p;
+        p.window = agg.binWidth();
+        p.idc = indexOfDispersion(v);
+        p.windows = v.size();
+        out.push_back(p);
+    }
+    return out;
+}
+
+} // namespace stats
+} // namespace dlw

@@ -1,0 +1,130 @@
+#include "stats/ecdf.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace dlw
+{
+namespace stats
+{
+
+Ecdf::Ecdf(std::size_t cap, std::uint64_t seed)
+    : cap_(cap), rng_(seed)
+{
+    dlw_assert(cap > 0, "ecdf reservoir capacity must be positive");
+    data_.reserve(cap);
+}
+
+void
+Ecdf::add(double x)
+{
+    ++seen_;
+    if (cap_ == 0 || data_.size() < cap_) {
+        data_.push_back(x);
+        sorted_ = false;
+        return;
+    }
+    // Reservoir replacement keeps a uniform sample of everything seen.
+    auto j = static_cast<std::size_t>(
+        rng_.uniformInt(0, static_cast<std::int64_t>(seen_) - 1));
+    if (j < cap_) {
+        data_[j] = x;
+        sorted_ = false;
+    }
+}
+
+void
+Ecdf::addAll(const std::vector<double> &xs)
+{
+    for (double x : xs)
+        add(x);
+}
+
+void
+Ecdf::ensureSorted() const
+{
+    if (!sorted_) {
+        std::sort(data_.begin(), data_.end());
+        sorted_ = true;
+    }
+}
+
+double
+Ecdf::quantile(double q) const
+{
+    dlw_assert(q >= 0.0 && q <= 1.0, "quantile out of range");
+    dlw_assert(!data_.empty(), "quantile of empty ecdf");
+    ensureSorted();
+    if (data_.size() == 1)
+        return data_[0];
+    double pos = q * static_cast<double>(data_.size() - 1);
+    auto lo = static_cast<std::size_t>(pos);
+    double frac = pos - static_cast<double>(lo);
+    if (lo + 1 >= data_.size())
+        return data_.back();
+    return data_[lo] + frac * (data_[lo + 1] - data_[lo]);
+}
+
+double
+Ecdf::cdf(double x) const
+{
+    if (data_.empty())
+        return 0.0;
+    ensureSorted();
+    auto it = std::upper_bound(data_.begin(), data_.end(), x);
+    return static_cast<double>(it - data_.begin()) /
+           static_cast<double>(data_.size());
+}
+
+double
+Ecdf::min() const
+{
+    dlw_assert(!data_.empty(), "min of empty ecdf");
+    ensureSorted();
+    return data_.front();
+}
+
+double
+Ecdf::max() const
+{
+    dlw_assert(!data_.empty(), "max of empty ecdf");
+    ensureSorted();
+    return data_.back();
+}
+
+double
+Ecdf::mean() const
+{
+    if (data_.empty())
+        return 0.0;
+    return std::accumulate(data_.begin(), data_.end(), 0.0) /
+           static_cast<double>(data_.size());
+}
+
+std::vector<std::pair<double, double>>
+Ecdf::curve(std::size_t n) const
+{
+    dlw_assert(n >= 2, "cdf curve needs at least two points");
+    std::vector<std::pair<double, double>> out;
+    if (data_.empty())
+        return out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double q = static_cast<double>(i) / static_cast<double>(n - 1);
+        out.emplace_back(quantile(q), q);
+    }
+    return out;
+}
+
+std::vector<double>
+Ecdf::sorted() const
+{
+    ensureSorted();
+    return data_;
+}
+
+} // namespace stats
+} // namespace dlw

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Fixed-memory histograms for trace-scale data.
+ *
+ * Two flavours:
+ *  - LinearHistogram: equal-width bins on [lo, hi), with underflow
+ *    and overflow side bins.  Good for bounded quantities such as
+ *    utilization fractions.
+ *  - LogHistogram: log-spaced bins, the right tool for quantities
+ *    spanning many orders of magnitude (interarrival times, idle
+ *    intervals), which is most of what a disk trace contains.
+ *
+ * Both support quantile interpolation and merging (for per-drive to
+ * family roll-ups).
+ */
+
+#ifndef DLW_STATS_HISTOGRAM_HH
+#define DLW_STATS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace dlw
+{
+namespace stats
+{
+
+/**
+ * Equal-width histogram with explicit under/overflow bins.
+ */
+class LinearHistogram
+{
+  public:
+    /**
+     * @param lo    Inclusive lower edge of the first regular bin.
+     * @param hi    Exclusive upper edge of the last regular bin.
+     * @param bins  Number of regular bins (>= 1).
+     */
+    LinearHistogram(double lo, double hi, std::size_t bins);
+
+    /** Record one observation. */
+    void add(double x);
+
+    /** Record an observation with a fractional weight. */
+    void addWeighted(double x, double weight);
+
+    /** Merge a histogram with identical bin layout. */
+    void merge(const LinearHistogram &other);
+
+    /** Total recorded weight including under/overflow. */
+    double total() const { return total_; }
+
+    /** Weight below the first regular bin. */
+    double underflow() const { return underflow_; }
+
+    /** Weight at or above the upper edge. */
+    double overflow() const { return overflow_; }
+
+    /** Number of regular bins. */
+    std::size_t binCount() const { return counts_.size(); }
+
+    /** Weight recorded in regular bin i. */
+    double binWeight(std::size_t i) const;
+
+    /** Inclusive lower edge of bin i. */
+    double binLower(std::size_t i) const;
+
+    /** Exclusive upper edge of bin i. */
+    double binUpper(std::size_t i) const;
+
+    /** Midpoint of bin i. */
+    double binMid(std::size_t i) const;
+
+    /**
+     * Interpolated quantile.
+     *
+     * @param q Quantile in [0, 1].
+     * @return Approximate value below which fraction q of the weight
+     *         lies; clamps into the regular range.
+     */
+    double quantile(double q) const;
+
+    /** Mean estimated from bin midpoints. */
+    double approximateMean() const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    double total_ = 0.0;
+    double underflow_ = 0.0;
+    double overflow_ = 0.0;
+    std::vector<double> counts_;
+};
+
+/**
+ * Log-spaced histogram covering [lo, hi) with a fixed number of bins
+ * per decade.
+ */
+class LogHistogram
+{
+  public:
+    /**
+     * @param lo             Positive lower edge of the first bin.
+     * @param hi             Upper edge; must exceed lo.
+     * @param bins_per_decade Resolution (>= 1).
+     */
+    LogHistogram(double lo, double hi, std::size_t bins_per_decade);
+
+    /** Record one observation (values <= 0 count as underflow). */
+    void add(double x);
+
+    /** Record an observation with fractional weight. */
+    void addWeighted(double x, double weight);
+
+    /** Merge a histogram with identical layout. */
+    void merge(const LogHistogram &other);
+
+    /** Total recorded weight. */
+    double total() const { return total_; }
+
+    /** Weight below lo (including non-positive samples). */
+    double underflow() const { return underflow_; }
+
+    /** Weight at or above hi. */
+    double overflow() const { return overflow_; }
+
+    /** Number of regular bins. */
+    std::size_t binCount() const { return counts_.size(); }
+
+    /** Weight in regular bin i. */
+    double binWeight(std::size_t i) const;
+
+    /** Inclusive (geometric) lower edge of bin i. */
+    double binLower(std::size_t i) const;
+
+    /** Exclusive upper edge of bin i. */
+    double binUpper(std::size_t i) const;
+
+    /** Geometric midpoint of bin i. */
+    double binMid(std::size_t i) const;
+
+    /** Interpolated quantile (log-linear within a bin). */
+    double quantile(double q) const;
+
+    /**
+     * Complementary CDF evaluated at bin edges.
+     *
+     * @return Pairs (edge, P(X >= edge)) for each regular bin lower
+     *         edge, useful for plotting heavy tails.
+     */
+    std::vector<std::pair<double, double>> ccdf() const;
+
+  private:
+    double log_lo_;
+    double log_width_;
+    double lo_;
+    double hi_;
+    double total_ = 0.0;
+    double underflow_ = 0.0;
+    double overflow_ = 0.0;
+    std::vector<double> counts_;
+};
+
+} // namespace stats
+} // namespace dlw
+
+#endif // DLW_STATS_HISTOGRAM_HH

@@ -1,0 +1,151 @@
+#include "stats/hurst.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "stats/summary.hh"
+
+namespace dlw
+{
+namespace stats
+{
+
+namespace
+{
+
+/**
+ * Geometrically spaced integer factors in [lo, hi], deduplicated.
+ */
+std::vector<std::size_t>
+geometricFactors(std::size_t lo, std::size_t hi, std::size_t points)
+{
+    std::vector<std::size_t> out;
+    if (lo < 1)
+        lo = 1;
+    if (hi < lo)
+        return out;
+    const double llo = std::log(static_cast<double>(lo));
+    const double lhi = std::log(static_cast<double>(hi));
+    for (std::size_t i = 0; i < points; ++i) {
+        double f = points == 1
+            ? llo
+            : llo + (lhi - llo) * static_cast<double>(i) /
+                  static_cast<double>(points - 1);
+        auto v = static_cast<std::size_t>(std::lround(std::exp(f)));
+        v = std::clamp<std::size_t>(v, lo, hi);
+        if (out.empty() || out.back() != v)
+            out.push_back(v);
+    }
+    return out;
+}
+
+/** Sample variance of an m-aggregated-and-normalized series. */
+double
+aggregatedVariance(const std::vector<double> &xs, std::size_t m)
+{
+    Summary s;
+    const std::size_t blocks = xs.size() / m;
+    for (std::size_t b = 0; b < blocks; ++b) {
+        double acc = 0.0;
+        for (std::size_t j = 0; j < m; ++j)
+            acc += xs[b * m + j];
+        s.add(acc / static_cast<double>(m));
+    }
+    return s.sampleVariance();
+}
+
+/** Mean rescaled range over non-overlapping blocks of size n. */
+double
+meanRescaledRange(const std::vector<double> &xs, std::size_t n)
+{
+    const std::size_t blocks = xs.size() / n;
+    double total = 0.0;
+    std::size_t used = 0;
+    for (std::size_t b = 0; b < blocks; ++b) {
+        const double *block = xs.data() + b * n;
+        double mean = 0.0;
+        for (std::size_t j = 0; j < n; ++j)
+            mean += block[j];
+        mean /= static_cast<double>(n);
+
+        double cum = 0.0;
+        double lo = 0.0, hi = 0.0;
+        double ss = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+            const double d = block[j] - mean;
+            cum += d;
+            lo = std::min(lo, cum);
+            hi = std::max(hi, cum);
+            ss += d * d;
+        }
+        const double s = std::sqrt(ss / static_cast<double>(n));
+        if (s > 0.0) {
+            total += (hi - lo) / s;
+            ++used;
+        }
+    }
+    return used ? total / static_cast<double>(used) : 0.0;
+}
+
+} // anonymous namespace
+
+HurstEstimate
+hurstAggregatedVariance(const std::vector<double> &xs,
+                        std::size_t min_factor, std::size_t max_factor,
+                        std::size_t points)
+{
+    dlw_assert(xs.size() >= 32,
+               "aggregated-variance Hurst needs >= 32 samples");
+    if (max_factor == 0)
+        max_factor = xs.size() / 8;
+    max_factor = std::min(max_factor, xs.size() / 8);
+    if (max_factor < min_factor)
+        max_factor = min_factor;
+
+    HurstEstimate est;
+    for (std::size_t m : geometricFactors(min_factor, max_factor, points)) {
+        double var = aggregatedVariance(xs, m);
+        if (var <= 0.0)
+            continue;
+        est.log_scale.push_back(std::log10(static_cast<double>(m)));
+        est.log_value.push_back(std::log10(var));
+    }
+    if (est.log_scale.size() < 2)
+        return est; // degenerate: report H = 0.5, r2 = 0
+
+    LineFit fit = leastSquares(est.log_scale, est.log_value);
+    // slope beta = 2H - 2  =>  H = 1 + beta/2
+    est.h = std::clamp(1.0 + fit.slope / 2.0, 0.0, 1.0);
+    est.r2 = fit.r2;
+    est.points = est.log_scale.size();
+    return est;
+}
+
+HurstEstimate
+hurstRescaledRange(const std::vector<double> &xs, std::size_t points)
+{
+    dlw_assert(xs.size() >= 64, "R/S Hurst needs >= 64 samples");
+
+    HurstEstimate est;
+    const std::size_t lo = 8;
+    const std::size_t hi = xs.size() / 4;
+    for (std::size_t n : geometricFactors(lo, hi, points)) {
+        double rs = meanRescaledRange(xs, n);
+        if (rs <= 0.0)
+            continue;
+        est.log_scale.push_back(std::log10(static_cast<double>(n)));
+        est.log_value.push_back(std::log10(rs));
+    }
+    if (est.log_scale.size() < 2)
+        return est;
+
+    LineFit fit = leastSquares(est.log_scale, est.log_value);
+    est.h = std::clamp(fit.slope, 0.0, 1.0);
+    est.r2 = fit.r2;
+    est.points = est.log_scale.size();
+    return est;
+}
+
+} // namespace stats
+} // namespace dlw

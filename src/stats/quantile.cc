@@ -1,0 +1,115 @@
+#include "stats/quantile.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace dlw
+{
+namespace stats
+{
+
+P2Quantile::P2Quantile(double q)
+    : q_(q)
+{
+    dlw_assert(q > 0.0 && q < 1.0, "P2 quantile must be in (0,1)");
+    desired_ = {1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0};
+    increments_ = {0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0};
+    positions_ = {1.0, 2.0, 3.0, 4.0, 5.0};
+}
+
+double
+P2Quantile::parabolic(int i, double d) const
+{
+    const auto &h = heights_;
+    const auto &p = positions_;
+    return h[i] + d / (p[i + 1] - p[i - 1]) *
+        ((p[i] - p[i - 1] + d) * (h[i + 1] - h[i]) /
+             (p[i + 1] - p[i]) +
+         (p[i + 1] - p[i] - d) * (h[i] - h[i - 1]) /
+             (p[i] - p[i - 1]));
+}
+
+double
+P2Quantile::linear(int i, double d) const
+{
+    const auto &h = heights_;
+    const auto &p = positions_;
+    int j = i + static_cast<int>(d);
+    return h[i] + d * (h[j] - h[i]) / (p[j] - p[i]);
+}
+
+void
+P2Quantile::add(double x)
+{
+    if (n_ < 5) {
+        heights_[n_] = x;
+        ++n_;
+        if (n_ == 5)
+            std::sort(heights_.begin(), heights_.end());
+        return;
+    }
+    ++n_;
+
+    int k;
+    if (x < heights_[0]) {
+        heights_[0] = x;
+        k = 0;
+    } else if (x < heights_[1]) {
+        k = 0;
+    } else if (x < heights_[2]) {
+        k = 1;
+    } else if (x < heights_[3]) {
+        k = 2;
+    } else if (x <= heights_[4]) {
+        k = 3;
+    } else {
+        heights_[4] = x;
+        k = 3;
+    }
+
+    for (int i = k + 1; i < 5; ++i)
+        positions_[i] += 1.0;
+    for (int i = 0; i < 5; ++i)
+        desired_[i] += increments_[i];
+
+    for (int i = 1; i <= 3; ++i) {
+        double d = desired_[i] - positions_[i];
+        bool move_right = d >= 1.0 &&
+            positions_[i + 1] - positions_[i] > 1.0;
+        bool move_left = d <= -1.0 &&
+            positions_[i - 1] - positions_[i] < -1.0;
+        if (move_right || move_left) {
+            double step = move_right ? 1.0 : -1.0;
+            double h = parabolic(i, step);
+            if (heights_[i - 1] < h && h < heights_[i + 1])
+                heights_[i] = h;
+            else
+                heights_[i] = linear(i, step);
+            positions_[i] += step;
+        }
+    }
+}
+
+double
+P2Quantile::value() const
+{
+    if (n_ == 0)
+        return 0.0;
+    if (n_ < 5) {
+        // Exact quantile of the few samples seen so far.
+        std::array<double, 5> tmp = heights_;
+        std::sort(tmp.begin(), tmp.begin() + n_);
+        double pos = q_ * static_cast<double>(n_ - 1);
+        auto lo = static_cast<std::size_t>(pos);
+        double frac = pos - static_cast<double>(lo);
+        if (lo + 1 >= n_)
+            return tmp[n_ - 1];
+        return tmp[lo] + frac * (tmp[lo + 1] - tmp[lo]);
+    }
+    return heights_[2];
+}
+
+} // namespace stats
+} // namespace dlw

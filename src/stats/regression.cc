@@ -1,0 +1,51 @@
+#include "stats/regression.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace dlw
+{
+namespace stats
+{
+
+LineFit
+leastSquares(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    dlw_assert(xs.size() == ys.size(), "regression inputs differ in size");
+    dlw_assert(xs.size() >= 2, "regression needs at least two points");
+
+    const double n = static_cast<double>(xs.size());
+    double sx = 0.0, sy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        sx += xs[i];
+        sy += ys[i];
+    }
+    const double mx = sx / n;
+    const double my = sy / n;
+
+    double sxx = 0.0, sxy = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double dx = xs[i] - mx;
+        const double dy = ys[i] - my;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+
+    LineFit fit;
+    fit.n = xs.size();
+    if (sxx == 0.0) {
+        fit.slope = 0.0;
+        fit.intercept = my;
+        fit.r2 = 0.0;
+        return fit;
+    }
+    fit.slope = sxy / sxx;
+    fit.intercept = my - fit.slope * mx;
+    fit.r2 = syy == 0.0 ? 1.0 : (sxy * sxy) / (sxx * syy);
+    return fit;
+}
+
+} // namespace stats
+} // namespace dlw

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Ordinary least-squares line fit.
+ *
+ * Both Hurst estimators reduce to fitting a line in log-log space
+ * (variance-time plot slope, rescaled-range growth exponent); this is
+ * the shared kernel.
+ */
+
+#ifndef DLW_STATS_REGRESSION_HH
+#define DLW_STATS_REGRESSION_HH
+
+#include <vector>
+
+namespace dlw
+{
+namespace stats
+{
+
+/**
+ * Result of a simple linear regression y = intercept + slope * x.
+ */
+struct LineFit
+{
+    double slope = 0.0;
+    double intercept = 0.0;
+    /** Coefficient of determination in [0, 1]. */
+    double r2 = 0.0;
+    /** Number of points used. */
+    std::size_t n = 0;
+};
+
+/**
+ * Ordinary least squares over paired samples.
+ *
+ * @param xs Abscissae.
+ * @param ys Ordinates (same length, >= 2 points).
+ * @return Fit parameters; r2 is 1 for a perfect line.
+ */
+LineFit leastSquares(const std::vector<double> &xs,
+                     const std::vector<double> &ys);
+
+} // namespace stats
+} // namespace dlw
+
+#endif // DLW_STATS_REGRESSION_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Single-pass streaming summary statistics.
+ *
+ * Uses the Welford/Chan updating formulas for numerically stable
+ * central moments up to order four, so mean, variance, skewness and
+ * kurtosis can be reported after one pass over arbitrarily long
+ * traces.  Summaries can be merged, which the drive-family analysis
+ * uses to combine per-drive summaries into population statistics.
+ */
+
+#ifndef DLW_STATS_SUMMARY_HH
+#define DLW_STATS_SUMMARY_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace dlw
+{
+namespace stats
+{
+
+/**
+ * Streaming accumulator of count/min/max and central moments.
+ */
+class Summary
+{
+  public:
+    Summary() = default;
+
+    /** Add one observation. */
+    void add(double x);
+
+    /** Fold another summary into this one (order-independent). */
+    void merge(const Summary &other);
+
+    /** Reset to the empty state. */
+    void clear();
+
+    /** Number of observations so far. */
+    std::uint64_t count() const { return n_; }
+
+    /** Sum of all observations. */
+    double sum() const { return mean_ * static_cast<double>(n_); }
+
+    /** Arithmetic mean (0 when empty). */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Smallest observation (+inf when empty). */
+    double min() const { return min_; }
+
+    /** Largest observation (-inf when empty). */
+    double max() const { return max_; }
+
+    /** Population variance (n in the denominator; 0 when n < 1). */
+    double variance() const;
+
+    /** Sample variance (n-1 in the denominator; 0 when n < 2). */
+    double sampleVariance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /**
+     * Coefficient of variation (stddev / mean).
+     *
+     * The classic first-order burstiness indicator: 1 for Poisson
+     * interarrivals, > 1 for bursty traffic.  Returns 0 when the mean
+     * is zero.
+     */
+    double cv() const;
+
+    /** Skewness (third standardized moment; 0 when degenerate). */
+    double skewness() const;
+
+    /** Excess kurtosis (fourth standardized moment minus 3). */
+    double excessKurtosis() const;
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double m3_ = 0.0;
+    double m4_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+} // namespace stats
+} // namespace dlw
+
+#endif // DLW_STATS_SUMMARY_HH

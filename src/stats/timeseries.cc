@@ -1,0 +1,152 @@
+#include "stats/timeseries.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dlw
+{
+namespace stats
+{
+
+BinnedSeries::BinnedSeries(Tick start, Tick bin_width, std::size_t bins)
+    : start_(start), bin_width_(bin_width), values_(bins, 0.0)
+{
+    dlw_assert(bin_width > 0, "bin width must be positive");
+}
+
+double
+BinnedSeries::at(std::size_t i) const
+{
+    dlw_assert(i < values_.size(), "bin index out of range");
+    return values_[i];
+}
+
+double &
+BinnedSeries::at(std::size_t i)
+{
+    dlw_assert(i < values_.size(), "bin index out of range");
+    return values_[i];
+}
+
+Tick
+BinnedSeries::binStart(std::size_t i) const
+{
+    return start_ + bin_width_ * static_cast<Tick>(i);
+}
+
+Tick
+BinnedSeries::end() const
+{
+    return start_ + bin_width_ * static_cast<Tick>(values_.size());
+}
+
+void
+BinnedSeries::accumulateAt(Tick t, double amount)
+{
+    dlw_assert(t >= start_, "tick before series start");
+    auto idx = static_cast<std::size_t>((t - start_) / bin_width_);
+    if (idx >= values_.size())
+        values_.resize(idx + 1, 0.0);
+    values_[idx] += amount;
+}
+
+void
+BinnedSeries::accumulateInterval(Tick from, Tick to, double amount)
+{
+    dlw_assert(from >= start_, "interval before series start");
+    if (to <= from)
+        return;
+    extendTo(to - 1);
+    const double span = static_cast<double>(to - from);
+    auto first = static_cast<std::size_t>((from - start_) / bin_width_);
+    auto last = static_cast<std::size_t>((to - 1 - start_) / bin_width_);
+    for (std::size_t i = first; i <= last; ++i) {
+        Tick b0 = binStart(i);
+        Tick b1 = b0 + bin_width_;
+        Tick lo = std::max(from, b0);
+        Tick hi = std::min(to, b1);
+        values_[i] += amount * static_cast<double>(hi - lo) / span;
+    }
+}
+
+void
+BinnedSeries::extendTo(Tick t)
+{
+    dlw_assert(t >= start_, "tick before series start");
+    auto idx = static_cast<std::size_t>((t - start_) / bin_width_);
+    if (idx >= values_.size())
+        values_.resize(idx + 1, 0.0);
+}
+
+BinnedSeries
+BinnedSeries::aggregate(std::size_t factor) const
+{
+    dlw_assert(factor >= 1, "aggregation factor must be >= 1");
+    if (factor == 1)
+        return *this;
+    BinnedSeries out(start_, bin_width_ * static_cast<Tick>(factor));
+    out.values_.reserve((values_.size() + factor - 1) / factor);
+    for (std::size_t i = 0; i < values_.size(); i += factor) {
+        double s = 0.0;
+        std::size_t hi = std::min(i + factor, values_.size());
+        for (std::size_t j = i; j < hi; ++j)
+            s += values_[j];
+        out.values_.push_back(s);
+    }
+    return out;
+}
+
+Summary
+BinnedSeries::summarize() const
+{
+    Summary s;
+    for (double v : values_)
+        s.add(v);
+    return s;
+}
+
+double
+BinnedSeries::total() const
+{
+    double s = 0.0;
+    for (double v : values_)
+        s += v;
+    return s;
+}
+
+double
+BinnedSeries::peak() const
+{
+    double m = 0.0;
+    for (double v : values_)
+        m = std::max(m, v);
+    return m;
+}
+
+double
+BinnedSeries::peakToMean() const
+{
+    if (values_.empty())
+        return 0.0;
+    double mean = total() / static_cast<double>(values_.size());
+    if (mean == 0.0)
+        return 0.0;
+    return peak() / mean;
+}
+
+double
+BinnedSeries::fractionAbove(double threshold) const
+{
+    if (values_.empty())
+        return 0.0;
+    std::size_t n = 0;
+    for (double v : values_) {
+        if (v > threshold)
+            ++n;
+    }
+    return static_cast<double>(n) / static_cast<double>(values_.size());
+}
+
+} // namespace stats
+} // namespace dlw

@@ -1,0 +1,76 @@
+#include "synth/bmodel.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace dlw
+{
+namespace synth
+{
+
+BModel::BModel(double bias, std::uint32_t levels)
+    : bias_(bias), levels_(levels)
+{
+    dlw_assert(bias >= 0.5 && bias < 1.0, "b-model bias must be in [0.5, 1)");
+    dlw_assert(levels >= 1 && levels <= 30, "b-model levels out of range");
+}
+
+std::vector<std::uint64_t>
+BModel::counts(Rng &rng, std::uint64_t total) const
+{
+    // Work in integers so the cascade conserves the total exactly:
+    // each split sends Binomial-rounded b*N to one side.
+    std::vector<std::uint64_t> cur{total};
+    for (std::uint32_t level = 0; level < levels_; ++level) {
+        std::vector<std::uint64_t> next;
+        next.reserve(cur.size() * 2);
+        for (std::uint64_t n : cur) {
+            const double b = rng.bernoulli(0.5) ? bias_ : 1.0 - bias_;
+            auto left = static_cast<std::uint64_t>(
+                std::llround(b * static_cast<double>(n)));
+            left = std::min(left, n);
+            next.push_back(left);
+            next.push_back(n - left);
+        }
+        cur = std::move(next);
+    }
+    return cur;
+}
+
+std::vector<Tick>
+BModel::arrivals(Rng &rng, Tick start, Tick duration,
+                 std::uint64_t total) const
+{
+    dlw_assert(duration > 0, "b-model window must be positive");
+    const std::vector<std::uint64_t> per_bin = counts(rng, total);
+    const double bin_width = static_cast<double>(duration) /
+                             static_cast<double>(per_bin.size());
+
+    std::vector<Tick> out;
+    out.reserve(total);
+    for (std::size_t i = 0; i < per_bin.size(); ++i) {
+        const double lo = static_cast<double>(start) +
+                          bin_width * static_cast<double>(i);
+        for (std::uint64_t k = 0; k < per_bin[i]; ++k) {
+            const double t = lo + rng.uniform() * bin_width;
+            Tick tick = static_cast<Tick>(t);
+            tick = std::clamp(tick, start, start + duration - 1);
+            out.push_back(tick);
+        }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+double
+BModel::hurstOfBias(double bias)
+{
+    const double b2 = bias * bias + (1.0 - bias) * (1.0 - bias);
+    const double h = (1.0 - std::log2(b2)) / 2.0;
+    return std::clamp(h, 0.5, 1.0);
+}
+
+} // namespace synth
+} // namespace dlw

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * b-model multifractal traffic cascade.
+ *
+ * The b-model (Wang et al., SDM 2002) reproduces the "bursty at
+ * every time scale" property of storage traffic with a single bias
+ * parameter b in (0.5, 1): total volume is split recursively between
+ * the two halves of each interval, giving one half fraction b and
+ * the other 1-b at random.  At b = 0.5 the result is uniform; as b
+ * approaches 1 the traffic concentrates into ever sharper bursts and
+ * the Hurst exponent of the counts rises.  This is the generator
+ * behind the E6/E12 burstiness sweeps.
+ */
+
+#ifndef DLW_SYNTH_BMODEL_HH
+#define DLW_SYNTH_BMODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace dlw
+{
+namespace synth
+{
+
+/**
+ * Cascade generator.
+ */
+class BModel
+{
+  public:
+    /**
+     * @param bias   Split bias b in [0.5, 1).
+     * @param levels Cascade depth; produces 2^levels bins.
+     */
+    BModel(double bias, std::uint32_t levels);
+
+    /** Split bias. */
+    double bias() const { return bias_; }
+
+    /** Cascade depth. */
+    std::uint32_t levels() const { return levels_; }
+
+    /** Number of bins produced, 2^levels. */
+    std::size_t bins() const { return std::size_t{1} << levels_; }
+
+    /**
+     * Generate per-bin counts summing (approximately, due to
+     * rounding) to total.
+     *
+     * @param rng   Random source.
+     * @param total Total number of events to distribute.
+     * @return bins() non-negative integer counts.
+     */
+    std::vector<std::uint64_t> counts(Rng &rng,
+                                      std::uint64_t total) const;
+
+    /**
+     * Generate arrival ticks inside [start, start + duration):
+     * counts are distributed by the cascade and arrival times drawn
+     * uniformly inside each bin, then sorted.
+     *
+     * @param rng      Random source.
+     * @param start    Window start tick.
+     * @param duration Window length in ticks.
+     * @param total    Number of arrivals.
+     * @return Sorted arrival ticks.
+     */
+    std::vector<Tick> arrivals(Rng &rng, Tick start, Tick duration,
+                               std::uint64_t total) const;
+
+    /**
+     * Theoretical Hurst exponent of the aggregated-variance method
+     * applied to cascade counts.
+     *
+     * With mu2 = (b^2 + (1-b)^2) / 2 the variance of the
+     * m-aggregated mean scales as m^(-2 - log2 mu2), giving
+     * H = -log2(mu2) / 2 = (1 - log2(b^2 + (1-b)^2)) / 2,
+     * clipped to [0.5, 1].  The value is what hurstAggregatedVariance
+     * should recover on cascade output (b strictly above 0.5; at
+     * b = 0.5 the cascade is deterministic and H is undefined).
+     */
+    static double hurstOfBias(double bias);
+
+  private:
+    double bias_;
+    std::uint32_t levels_;
+};
+
+} // namespace synth
+} // namespace dlw
+
+#endif // DLW_SYNTH_BMODEL_HH

@@ -1,0 +1,99 @@
+#include "synth/diurnal.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace dlw
+{
+namespace synth
+{
+
+RateFunction
+DiurnalShape::build() const
+{
+    dlw_assert(night_level >= 0.0 && day_level >= night_level,
+               "diurnal levels inverted");
+    dlw_assert(weekend_level >= 0.0, "negative weekend level");
+
+    const DiurnalShape shape = *this;
+    return [shape](Tick t) {
+        const double hours = static_cast<double>(t) /
+                             static_cast<double>(kHour);
+        const double hour_of_day = std::fmod(hours, 24.0);
+        const auto day = static_cast<std::int64_t>(hours / 24.0);
+        const int day_of_week = static_cast<int>(day % 7);
+
+        // Raised cosine centred on the peak hour.
+        const double phase =
+            (hour_of_day - shape.peak_hour) / 24.0 * 2.0 * M_PI;
+        const double mid =
+            (shape.day_level + shape.night_level) / 2.0;
+        const double amp =
+            (shape.day_level - shape.night_level) / 2.0;
+        double level = mid + amp * std::cos(phase);
+
+        // Overnight batch window overlays the trough.
+        if (shape.batch_level > 0.0) {
+            double h = hour_of_day - shape.batch_start_hour;
+            if (h < 0.0)
+                h += 24.0;
+            if (h < shape.batch_hours)
+                level = std::max(level, shape.batch_level);
+        }
+
+        if (day_of_week >= 5)
+            level *= shape.weekend_level;
+        return level;
+    };
+}
+
+double
+meanRateOver(const RateFunction &rate, Tick start, Tick span)
+{
+    dlw_assert(span > 0, "mean over empty span");
+    constexpr int kSamples = 60;
+    double acc = 0.0;
+    for (int i = 0; i < kSamples; ++i) {
+        const Tick t = start + span * i / kSamples + span / (2 * kSamples);
+        acc += rate(t);
+    }
+    return acc / kSamples;
+}
+
+NhppArrivals::NhppArrivals(double base_rate, RateFunction rate,
+                           double sup)
+    : base_rate_(base_rate), rate_(std::move(rate)), sup_(sup)
+{
+    dlw_assert(base_rate > 0.0, "base rate must be positive");
+    dlw_assert(sup > 0.0, "supremum must be positive");
+    dlw_assert(rate_, "null rate function");
+}
+
+std::vector<Tick>
+NhppArrivals::generate(Rng &rng, Tick start, Tick duration)
+{
+    // Lewis-Shedler thinning: generate a homogeneous stream at the
+    // envelope rate and keep each point with probability
+    // rate(t) / envelope.
+    std::vector<Tick> out;
+    const double envelope = base_rate_ * sup_;
+    const double mean_gap = static_cast<double>(kSec) / envelope;
+    const Tick end = start + duration;
+
+    Tick at = start;
+    while (true) {
+        at += static_cast<Tick>(rng.exponential(mean_gap) + 0.5);
+        if (at >= end)
+            break;
+        const double r = rate_(at);
+        dlw_assert(r <= sup_ * (1.0 + 1e-9),
+                   "rate function exceeded its declared supremum");
+        if (rng.uniform() < r / sup_)
+            out.push_back(at);
+    }
+    return out;
+}
+
+} // namespace synth
+} // namespace dlw

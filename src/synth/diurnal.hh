@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Time-of-day and day-of-week rate modulation.
+ *
+ * Enterprise activity follows human rhythms: business-hours peaks,
+ * overnight batch windows, quiet weekends.  A RateFunction maps an
+ * absolute tick to a rate multiplier; the non-homogeneous Poisson
+ * generator thins a homogeneous stream against it.  The Hour-trace
+ * generator uses the same function to set per-hour intensities.
+ */
+
+#ifndef DLW_SYNTH_DIURNAL_HH
+#define DLW_SYNTH_DIURNAL_HH
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace dlw
+{
+namespace synth
+{
+
+/** Rate multiplier as a function of absolute time (>= 0). */
+using RateFunction = std::function<double(Tick)>;
+
+/**
+ * Parameterized enterprise diurnal/weekly shape.
+ */
+struct DiurnalShape
+{
+    /** Multiplier at the daily trough (>= 0). */
+    double night_level = 0.15;
+    /** Multiplier at the daily peak. */
+    double day_level = 1.0;
+    /** Hour of day (0-23) when the peak is centred. */
+    double peak_hour = 14.0;
+    /** Weekend multiplier applied on days 5 and 6. */
+    double weekend_level = 0.3;
+    /** Multiplier of the nightly batch window (0 disables). */
+    double batch_level = 0.6;
+    /** Hour of day when the batch window starts. */
+    double batch_start_hour = 1.0;
+    /** Batch window length in hours. */
+    double batch_hours = 2.0;
+
+    /**
+     * Build the rate function.  Day 0 starts at tick 0; the raised-
+     * cosine day shape interpolates night_level..day_level and the
+     * batch window is overlaid as max().
+     */
+    RateFunction build() const;
+};
+
+/**
+ * Mean of a rate function over one hour starting at the given tick
+ * (trapezoid over 60 samples, plenty for smooth shapes).
+ */
+double meanRateOver(const RateFunction &rate, Tick start, Tick span);
+
+/**
+ * Non-homogeneous Poisson arrivals by thinning.
+ */
+class NhppArrivals
+{
+  public:
+    /**
+     * @param base_rate Peak arrival rate in arrivals/second when the
+     *                  modulation equals 1 (> 0).
+     * @param rate      Modulation function with values in [0, 1] (a
+     *                  supremum above 1 is scaled out internally).
+     * @param sup       Supremum of the modulation (>= any value the
+     *                  function takes; violations trip an assert).
+     */
+    NhppArrivals(double base_rate, RateFunction rate, double sup = 1.0);
+
+    /**
+     * Generate all arrivals in [start, start + duration).
+     */
+    std::vector<Tick> generate(Rng &rng, Tick start, Tick duration);
+
+  private:
+    double base_rate_;
+    RateFunction rate_;
+    double sup_;
+};
+
+} // namespace synth
+} // namespace dlw
+
+#endif // DLW_SYNTH_DIURNAL_HH

@@ -1,0 +1,186 @@
+#include "synth/extract.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+#include "stats/summary.hh"
+
+namespace dlw
+{
+namespace synth
+{
+
+namespace
+{
+
+/** CV above which the ON/OFF structure is fitted. */
+constexpr double kBurstyCv = 1.3;
+
+/**
+ * Split the interarrival stream into bursts at gaps larger than the
+ * think threshold, and estimate the ON/OFF parameters.
+ */
+void
+fitOnOff(const trace::MsTrace &tr, ExtractedModel &m)
+{
+    const std::vector<double> gaps = tr.interarrivals();
+    dlw_assert(!gaps.empty(), "fitOnOff needs interarrivals");
+
+    // Threshold: well above the typical in-burst gap.  The median is
+    // robust to the long OFF tail.
+    std::vector<double> sorted = gaps;
+    std::sort(sorted.begin(), sorted.end());
+    const double median = sorted[sorted.size() / 2];
+    const double threshold = std::max(10.0 * median,
+                                      static_cast<double>(kMsec));
+
+    double on_time = 0.0;
+    double off_time = 0.0;
+    std::uint64_t bursts = 1;
+    std::uint64_t in_burst_arrivals = 1;
+    double burst_elapsed = 0.0;
+
+    for (double g : gaps) {
+        if (g > threshold) {
+            // Burst boundary.
+            on_time += burst_elapsed;
+            off_time += g;
+            ++bursts;
+            burst_elapsed = 0.0;
+        } else {
+            burst_elapsed += g;
+            ++in_burst_arrivals;
+        }
+    }
+    on_time += burst_elapsed;
+
+    // Degenerate: one burst only; fall back to Poisson.
+    if (bursts < 3 || off_time <= 0.0) {
+        m.bursty = false;
+        return;
+    }
+
+    m.mean_on = static_cast<Tick>(
+        std::max(on_time / static_cast<double>(bursts), 1.0));
+    m.mean_off = static_cast<Tick>(
+        std::max(off_time / static_cast<double>(bursts), 1.0));
+    m.burst_rate = on_time > 0.0
+        ? static_cast<double>(in_burst_arrivals) /
+              (on_time / static_cast<double>(kSec))
+        : m.rate;
+}
+
+} // anonymous namespace
+
+ExtractedModel
+extractModel(const trace::MsTrace &tr, Lba capacity)
+{
+    dlw_assert(tr.size() >= 100,
+               "model extraction needs at least 100 requests");
+    dlw_assert(capacity > 0, "capacity must be positive");
+
+    ExtractedModel m;
+    m.capacity = capacity;
+    m.rate = tr.arrivalRate();
+    m.read_fraction = tr.readFraction();
+    m.sequential_fraction = tr.sequentialFraction();
+
+    // Interarrival burstiness.
+    stats::Summary gap_summary;
+    for (double g : tr.interarrivals())
+        gap_summary.add(g);
+    m.interarrival_cv = gap_summary.cv();
+    m.bursty = m.interarrival_cv > kBurstyCv;
+    if (m.bursty)
+        fitOnOff(tr, m);
+
+    // Direction persistence from the change rate:
+    // P(change) = (1 - p) * 2 f (1 - f).
+    std::size_t changes = 0;
+    for (std::size_t i = 1; i < tr.size(); ++i) {
+        if (tr.at(i).isRead() != tr.at(i - 1).isRead())
+            ++changes;
+    }
+    const double f = m.read_fraction;
+    const double base = 2.0 * f * (1.0 - f);
+    if (base > 1e-6) {
+        const double p_change =
+            static_cast<double>(changes) /
+            static_cast<double>(tr.size() - 1);
+        m.persistence = std::clamp(1.0 - p_change / base, 0.0, 0.95);
+    }
+
+    // Size body: log-space median and sigma.
+    std::vector<double> log_sizes;
+    log_sizes.reserve(tr.size());
+    BlockCount max_blocks = 1;
+    for (const trace::Request &r : tr.requests()) {
+        log_sizes.push_back(std::log(static_cast<double>(r.blocks)));
+        max_blocks = std::max(max_blocks, r.blocks);
+    }
+    std::sort(log_sizes.begin(), log_sizes.end());
+    const double log_median = log_sizes[log_sizes.size() / 2];
+    double var = 0.0;
+    for (double l : log_sizes) {
+        const double d = l - log_median;
+        var += d * d;
+    }
+    var /= static_cast<double>(log_sizes.size());
+    m.size_median = static_cast<BlockCount>(
+        std::max(std::exp(log_median) + 0.5, 1.0));
+    m.size_sigma = std::sqrt(var);
+    m.size_max = max_blocks;
+    return m;
+}
+
+Workload
+ExtractedModel::build() const
+{
+    dlw_assert(capacity > 0, "model has no capacity");
+    dlw_assert(rate > 0.0, "model has no rate");
+
+    Workload w;
+    if (bursty && mean_on > 0 && mean_off > 0 && burst_rate > 0.0)
+        w.setArrival(std::make_unique<OnOffArrivals>(
+            burst_rate, mean_on, mean_off));
+    else
+        w.setArrival(std::make_unique<PoissonArrivals>(rate));
+
+    if (size_sigma < 0.05) {
+        w.setSize(std::make_unique<FixedSize>(size_median));
+    } else {
+        w.setSize(std::make_unique<LognormalSize>(
+            size_median, size_sigma,
+            std::max(size_max, size_median)));
+    }
+
+    w.setSpatial(std::make_unique<SequentialRuns>(
+        capacity,
+        std::clamp(sequential_fraction, 0.0, 0.995)));
+    w.setMix(std::clamp(read_fraction, 0.0, 1.0), persistence);
+    return w;
+}
+
+std::string
+ExtractedModel::describe() const
+{
+    std::string s = "rate=" + formatDouble(rate, 1) + "/s";
+    if (bursty) {
+        s += " on/off(burst=" + formatDouble(burst_rate, 1) +
+             "/s, on=" + formatDuration(mean_on) +
+             ", off=" + formatDuration(mean_off) + ")";
+    } else {
+        s += " poisson";
+    }
+    s += " read=" + formatDouble(100.0 * read_fraction, 1) + "%";
+    s += " persist=" + formatDouble(persistence, 2);
+    s += " size~" + std::to_string(size_median) + "blk(sigma=" +
+         formatDouble(size_sigma, 2) + ")";
+    s += " seq=" + formatDouble(100.0 * sequential_fraction, 1) + "%";
+    return s;
+}
+
+} // namespace synth
+} // namespace dlw

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Workload composer: arrival process + size model + spatial model +
+ * read/write mix, rendered into a Millisecond trace.
+ *
+ * The presets correspond to the workload classes enterprise traces
+ * mix: OLTP (small, random, bursty, read-leaning), file server
+ * (ON/OFF bursts of mixed sizes), streaming (large sequential reads
+ * that pin the bandwidth), and archive/backup (write-dominated
+ * sequential bursts).
+ */
+
+#ifndef DLW_SYNTH_WORKLOAD_HH
+#define DLW_SYNTH_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+
+#include "synth/arrival.hh"
+#include "synth/sizes.hh"
+#include "synth/spatial.hh"
+#include "trace/mstrace.hh"
+
+namespace dlw
+{
+namespace synth
+{
+
+/**
+ * A complete single-drive workload description.
+ */
+class Workload
+{
+  public:
+    Workload() = default;
+
+    /** Install the arrival process (owned). */
+    void setArrival(std::unique_ptr<ArrivalProcess> a);
+
+    /** Install the size model (owned). */
+    void setSize(std::unique_ptr<SizeModel> s);
+
+    /** Install the spatial model (owned). */
+    void setSpatial(std::unique_ptr<SpatialModel> sp);
+
+    /**
+     * Set the read/write mix.
+     *
+     * @param read_fraction Long-run fraction of reads, in [0, 1].
+     * @param persistence   Probability the next request repeats the
+     *                      previous direction, in [0, 1); higher
+     *                      values produce longer read and write
+     *                      runs at the same long-run mix.
+     */
+    void setMix(double read_fraction, double persistence = 0.0);
+
+    /** Long-run read fraction. */
+    double readFraction() const { return read_fraction_; }
+
+    /** The arrival process (must be installed). */
+    ArrivalProcess &arrival() const;
+
+    /**
+     * Generate a trace using the installed arrival process.
+     *
+     * @param rng      Random source.
+     * @param drive_id Identifier stamped on the trace.
+     * @param start    Window start tick.
+     * @param duration Window length in ticks.
+     */
+    trace::MsTrace generate(Rng &rng, const std::string &drive_id,
+                            Tick start, Tick duration) const;
+
+    /**
+     * Generate a trace from an externally produced arrival vector
+     * (b-model cascades, NHPP streams).
+     *
+     * @param arrivals Sorted arrival ticks inside the window.
+     */
+    trace::MsTrace generateFromArrivals(
+        Rng &rng, const std::string &drive_id, Tick start,
+        Tick duration, const std::vector<Tick> &arrivals) const;
+
+    // ---- Presets -----------------------------------------------
+
+    /**
+     * OLTP: MMPP-bursty 4 KiB pages on Zipf hotspots, two reads per
+     * write with mild run persistence.
+     *
+     * @param capacity  Device capacity in blocks.
+     * @param rate      Mean arrival rate in requests/second.
+     * @param seed      Seed for the hotspot permutation.
+     */
+    static Workload makeOltp(Lba capacity, double rate,
+                             std::uint64_t seed = 1);
+
+    /** File server: ON/OFF bursts, lognormal sizes, mixed locality. */
+    static Workload makeFileServer(Lba capacity, double rate,
+                                   std::uint64_t seed = 2);
+
+    /**
+     * Streaming: almost fully sequential large reads arriving
+     * steadily; at a high enough rate this saturates the media.
+     */
+    static Workload makeStreaming(Lba capacity, double rate);
+
+    /** Backup: write-dominated large sequential bursts. */
+    static Workload makeBackup(Lba capacity, double rate);
+
+  private:
+    std::unique_ptr<ArrivalProcess> arrival_;
+    std::unique_ptr<SizeModel> size_;
+    std::unique_ptr<SpatialModel> spatial_;
+    double read_fraction_ = 0.67;
+    double persistence_ = 0.0;
+};
+
+} // namespace synth
+} // namespace dlw
+
+#endif // DLW_SYNTH_WORKLOAD_HH

@@ -1,0 +1,133 @@
+#include "trace/binio.hh"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/logging.hh"
+
+namespace dlw
+{
+namespace trace
+{
+
+namespace
+{
+
+constexpr std::array<char, 8> kMagic =
+    {'D', 'L', 'W', 'M', 'S', '1', '\0', '\0'};
+
+/** On-disk request record, explicitly padded to 24 bytes. */
+struct RawRecord
+{
+    std::int64_t arrival;
+    std::uint64_t lba;
+    std::uint32_t blocks;
+    std::uint8_t op;
+    std::uint8_t pad[3];
+};
+static_assert(sizeof(RawRecord) == 24, "raw record layout changed");
+
+template <typename T>
+void
+writeRaw(std::ostream &os, const T &v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(T));
+}
+
+template <typename T>
+void
+readRaw(std::istream &is, T &v, const char *what)
+{
+    is.read(reinterpret_cast<char *>(&v), sizeof(T));
+    if (!is)
+        dlw_fatal("truncated binary trace while reading ", what);
+}
+
+} // anonymous namespace
+
+void
+writeMsBinary(std::ostream &os, const MsTrace &trace)
+{
+    os.write(kMagic.data(), kMagic.size());
+    auto id_len = static_cast<std::uint32_t>(trace.driveId().size());
+    writeRaw(os, id_len);
+    os.write(trace.driveId().data(), id_len);
+    writeRaw(os, trace.start());
+    writeRaw(os, trace.duration());
+    auto count = static_cast<std::uint64_t>(trace.size());
+    writeRaw(os, count);
+
+    for (const Request &r : trace.requests()) {
+        RawRecord raw{};
+        raw.arrival = r.arrival;
+        raw.lba = r.lba;
+        raw.blocks = r.blocks;
+        raw.op = static_cast<std::uint8_t>(r.op);
+        writeRaw(os, raw);
+    }
+    if (!os)
+        dlw_fatal("I/O error while writing binary trace");
+}
+
+void
+writeMsBinary(const std::string &path, const MsTrace &trace)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        dlw_fatal("cannot open '", path, "' for writing");
+    writeMsBinary(os, trace);
+}
+
+MsTrace
+readMsBinary(std::istream &is)
+{
+    std::array<char, 8> magic{};
+    is.read(magic.data(), magic.size());
+    if (!is || magic != kMagic)
+        dlw_fatal("not a dlw binary ms trace (bad magic)");
+
+    std::uint32_t id_len = 0;
+    readRaw(is, id_len, "id length");
+    if (id_len > 4096)
+        dlw_fatal("implausible drive-id length ", id_len);
+    std::string id(id_len, '\0');
+    is.read(id.data(), id_len);
+    if (!is)
+        dlw_fatal("truncated binary trace while reading drive id");
+
+    Tick start = 0, duration = 0;
+    readRaw(is, start, "start");
+    readRaw(is, duration, "duration");
+    std::uint64_t count = 0;
+    readRaw(is, count, "record count");
+
+    MsTrace trace(id, start, duration);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        RawRecord raw{};
+        readRaw(is, raw, "request record");
+        if (raw.op > 1)
+            dlw_fatal("corrupt binary trace: bad op byte at record ", i);
+        Request r;
+        r.arrival = raw.arrival;
+        r.lba = raw.lba;
+        r.blocks = raw.blocks;
+        r.op = static_cast<Op>(raw.op);
+        trace.append(r);
+    }
+    return trace;
+}
+
+MsTrace
+readMsBinary(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        dlw_fatal("cannot open '", path, "' for reading");
+    return readMsBinary(is);
+}
+
+} // namespace trace
+} // namespace dlw

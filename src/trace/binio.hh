@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Versioned binary format for Millisecond traces.
+ *
+ * A multi-hour enterprise ms trace easily holds tens of millions of
+ * requests; CSV is too slow and too large for the benchmark sweeps,
+ * so the harness uses this fixed-layout little-endian binary form:
+ *
+ *   magic   "DLWMS1\0\0"                          (8 bytes)
+ *   id_len  u32; drive id bytes follow            (4 + n bytes)
+ *   start   i64 ticks
+ *   dur     i64 ticks
+ *   count   u64
+ *   count * { arrival i64, lba u64, blocks u32, op u8, pad[3] }
+ *
+ * Readers verify the magic and record count and fail loudly on
+ * truncated files.
+ */
+
+#ifndef DLW_TRACE_BINIO_HH
+#define DLW_TRACE_BINIO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/mstrace.hh"
+
+namespace dlw
+{
+namespace trace
+{
+
+/** Write a ms trace in binary form to a stream. */
+void writeMsBinary(std::ostream &os, const MsTrace &trace);
+
+/** Write a ms trace in binary form to a file path. */
+void writeMsBinary(const std::string &path, const MsTrace &trace);
+
+/** Read a binary ms trace from a stream (fatal on corruption). */
+MsTrace readMsBinary(std::istream &is);
+
+/** Read a binary ms trace from a file. */
+MsTrace readMsBinary(const std::string &path);
+
+} // namespace trace
+} // namespace dlw
+
+#endif // DLW_TRACE_BINIO_HH

@@ -1,0 +1,245 @@
+#include "trace/csvio.hh"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace dlw
+{
+namespace trace
+{
+
+namespace
+{
+
+std::ifstream
+openIn(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        dlw_fatal("cannot open '", path, "' for reading");
+    return is;
+}
+
+std::ofstream
+openOut(const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        dlw_fatal("cannot open '", path, "' for writing");
+    return os;
+}
+
+/** Skip a column-header line. */
+void
+skipHeader(std::istream &is)
+{
+    std::string line;
+    if (!std::getline(is, line))
+        dlw_fatal("truncated CSV: missing column header");
+}
+
+} // anonymous namespace
+
+void
+writeMsCsv(std::ostream &os, const MsTrace &trace)
+{
+    os << "# dlw-ms-v1," << trace.driveId() << ','
+       << trace.start() << ',' << trace.duration() << '\n';
+    os << "arrival_ns,lba,blocks,op\n";
+    for (const Request &r : trace.requests()) {
+        os << r.arrival << ',' << r.lba << ',' << r.blocks << ','
+           << (r.isRead() ? 'R' : 'W') << '\n';
+    }
+}
+
+void
+writeMsCsv(const std::string &path, const MsTrace &trace)
+{
+    auto os = openOut(path);
+    writeMsCsv(os, trace);
+}
+
+MsTrace
+readMsCsv(std::istream &is)
+{
+    std::string line;
+    if (!std::getline(is, line))
+        dlw_fatal("empty ms-trace CSV");
+    auto head = split(trim(line), ',');
+    if (head.size() != 4 || head[0] != "# dlw-ms-v1")
+        dlw_fatal("bad ms-trace header '", line, "'");
+
+    MsTrace trace(head[1], parseInt(head[2], "trace start"),
+                  parseInt(head[3], "trace duration"));
+    skipHeader(is);
+
+    std::size_t lineno = 2;
+    while (std::getline(is, line)) {
+        ++lineno;
+        std::string t = trim(line);
+        if (t.empty())
+            continue;
+        auto f = split(t, ',');
+        if (f.size() != 4)
+            dlw_fatal("ms-trace line ", lineno, ": expected 4 fields");
+        Request r;
+        r.arrival = parseInt(f[0], "arrival");
+        r.lba = parseUint(f[1], "lba");
+        r.blocks = static_cast<BlockCount>(parseUint(f[2], "blocks"));
+        std::string op = trim(f[3]);
+        if (op == "R")
+            r.op = Op::Read;
+        else if (op == "W")
+            r.op = Op::Write;
+        else
+            dlw_fatal("ms-trace line ", lineno, ": bad op '", op, "'");
+        trace.append(r);
+    }
+    return trace;
+}
+
+MsTrace
+readMsCsv(const std::string &path)
+{
+    auto is = openIn(path);
+    return readMsCsv(is);
+}
+
+void
+writeHourCsv(std::ostream &os, const HourTrace &trace)
+{
+    os << "# dlw-hour-v1," << trace.driveId() << ','
+       << trace.start() << '\n';
+    os << "hour,reads,writes,read_blocks,write_blocks,busy_ns\n";
+    for (std::size_t h = 0; h < trace.hours(); ++h) {
+        const HourBucket &b = trace.at(h);
+        os << h << ',' << b.reads << ',' << b.writes << ','
+           << b.read_blocks << ',' << b.write_blocks << ','
+           << b.busy << '\n';
+    }
+}
+
+void
+writeHourCsv(const std::string &path, const HourTrace &trace)
+{
+    auto os = openOut(path);
+    writeHourCsv(os, trace);
+}
+
+HourTrace
+readHourCsv(std::istream &is)
+{
+    std::string line;
+    if (!std::getline(is, line))
+        dlw_fatal("empty hour-trace CSV");
+    auto head = split(trim(line), ',');
+    if (head.size() != 3 || head[0] != "# dlw-hour-v1")
+        dlw_fatal("bad hour-trace header '", line, "'");
+
+    HourTrace trace(head[1], parseInt(head[2], "trace start"));
+    skipHeader(is);
+
+    std::size_t lineno = 2;
+    while (std::getline(is, line)) {
+        ++lineno;
+        std::string t = trim(line);
+        if (t.empty())
+            continue;
+        auto f = split(t, ',');
+        if (f.size() != 6)
+            dlw_fatal("hour-trace line ", lineno, ": expected 6 fields");
+        auto h = static_cast<std::size_t>(parseUint(f[0], "hour"));
+        HourBucket &b = trace.bucketFor(h);
+        b.reads = parseUint(f[1], "reads");
+        b.writes = parseUint(f[2], "writes");
+        b.read_blocks = parseUint(f[3], "read_blocks");
+        b.write_blocks = parseUint(f[4], "write_blocks");
+        b.busy = parseInt(f[5], "busy_ns");
+    }
+    return trace;
+}
+
+HourTrace
+readHourCsv(const std::string &path)
+{
+    auto is = openIn(path);
+    return readHourCsv(is);
+}
+
+void
+writeLifetimeCsv(std::ostream &os, const LifetimeTrace &trace)
+{
+    os << "# dlw-lifetime-v1," << trace.family() << '\n';
+    os << "drive_id,power_on_ns,busy_ns,reads,writes,read_blocks,"
+          "write_blocks,peak_hour_requests,saturated_hours,"
+          "longest_saturated_run\n";
+    for (const LifetimeRecord &r : trace.records()) {
+        os << r.drive_id << ',' << r.power_on << ',' << r.busy << ','
+           << r.reads << ',' << r.writes << ',' << r.read_blocks << ','
+           << r.write_blocks << ',' << r.peak_hour_requests << ','
+           << r.saturated_hours << ',' << r.longest_saturated_run
+           << '\n';
+    }
+}
+
+void
+writeLifetimeCsv(const std::string &path, const LifetimeTrace &trace)
+{
+    auto os = openOut(path);
+    writeLifetimeCsv(os, trace);
+}
+
+LifetimeTrace
+readLifetimeCsv(std::istream &is)
+{
+    std::string line;
+    if (!std::getline(is, line))
+        dlw_fatal("empty lifetime-trace CSV");
+    auto head = split(trim(line), ',');
+    if (head.size() != 2 || head[0] != "# dlw-lifetime-v1")
+        dlw_fatal("bad lifetime-trace header '", line, "'");
+
+    LifetimeTrace trace(head[1]);
+    skipHeader(is);
+
+    std::size_t lineno = 2;
+    while (std::getline(is, line)) {
+        ++lineno;
+        std::string t = trim(line);
+        if (t.empty())
+            continue;
+        auto f = split(t, ',');
+        if (f.size() != 10) {
+            dlw_fatal("lifetime-trace line ", lineno,
+                      ": expected 10 fields");
+        }
+        LifetimeRecord r;
+        r.drive_id = trim(f[0]);
+        r.power_on = parseInt(f[1], "power_on_ns");
+        r.busy = parseInt(f[2], "busy_ns");
+        r.reads = parseUint(f[3], "reads");
+        r.writes = parseUint(f[4], "writes");
+        r.read_blocks = parseUint(f[5], "read_blocks");
+        r.write_blocks = parseUint(f[6], "write_blocks");
+        r.peak_hour_requests = parseUint(f[7], "peak_hour_requests");
+        r.saturated_hours = parseUint(f[8], "saturated_hours");
+        r.longest_saturated_run =
+            parseUint(f[9], "longest_saturated_run");
+        trace.append(std::move(r));
+    }
+    return trace;
+}
+
+LifetimeTrace
+readLifetimeCsv(const std::string &path)
+{
+    auto is = openIn(path);
+    return readLifetimeCsv(is);
+}
+
+} // namespace trace
+} // namespace dlw

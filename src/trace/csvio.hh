@@ -1,0 +1,66 @@
+/**
+ * @file
+ * CSV readers and writers for the three trace granularities.
+ *
+ * The CSV forms are the human-auditable interchange format; each file
+ * starts with a `# dlw-<kind>-v1` header line followed by a column
+ * header.  Malformed input is a user error and fails with
+ * dlw_fatal, never silently skips rows.
+ */
+
+#ifndef DLW_TRACE_CSVIO_HH
+#define DLW_TRACE_CSVIO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/hourtrace.hh"
+#include "trace/lifetime.hh"
+#include "trace/mstrace.hh"
+
+namespace dlw
+{
+namespace trace
+{
+
+/** Write a ms trace as CSV to a stream. */
+void writeMsCsv(std::ostream &os, const MsTrace &trace);
+
+/** Write a ms trace as CSV to a file path. */
+void writeMsCsv(const std::string &path, const MsTrace &trace);
+
+/** Read a ms trace from a CSV stream (fatal on malformed input). */
+MsTrace readMsCsv(std::istream &is);
+
+/** Read a ms trace from a CSV file. */
+MsTrace readMsCsv(const std::string &path);
+
+/** Write an hour trace as CSV to a stream. */
+void writeHourCsv(std::ostream &os, const HourTrace &trace);
+
+/** Write an hour trace as CSV to a file path. */
+void writeHourCsv(const std::string &path, const HourTrace &trace);
+
+/** Read an hour trace from a CSV stream. */
+HourTrace readHourCsv(std::istream &is);
+
+/** Read an hour trace from a CSV file. */
+HourTrace readHourCsv(const std::string &path);
+
+/** Write a lifetime trace as CSV to a stream. */
+void writeLifetimeCsv(std::ostream &os, const LifetimeTrace &trace);
+
+/** Write a lifetime trace as CSV to a file path. */
+void writeLifetimeCsv(const std::string &path,
+                      const LifetimeTrace &trace);
+
+/** Read a lifetime trace from a CSV stream. */
+LifetimeTrace readLifetimeCsv(std::istream &is);
+
+/** Read a lifetime trace from a CSV file. */
+LifetimeTrace readLifetimeCsv(const std::string &path);
+
+} // namespace trace
+} // namespace dlw
+
+#endif // DLW_TRACE_CSVIO_HH

@@ -1,0 +1,88 @@
+#include "trace/lifetime.hh"
+
+#include "common/logging.hh"
+
+namespace dlw
+{
+namespace trace
+{
+
+LifetimeTrace::LifetimeTrace(std::string family)
+    : family_(std::move(family))
+{
+}
+
+void
+LifetimeTrace::append(LifetimeRecord rec)
+{
+    records_.push_back(std::move(rec));
+}
+
+const LifetimeRecord &
+LifetimeTrace::at(std::size_t i) const
+{
+    dlw_assert(i < records_.size(), "record index out of range");
+    return records_[i];
+}
+
+bool
+LifetimeTrace::validate(bool fail_hard) const
+{
+    auto complain = [&](const std::string &id,
+                        const std::string &msg) -> bool {
+        if (fail_hard)
+            dlw_fatal("lifetime record '", id, "': ", msg);
+        return false;
+    };
+
+    for (const LifetimeRecord &r : records_) {
+        if (r.power_on < 0)
+            return complain(r.drive_id, "negative power-on time");
+        if (r.busy < 0 || r.busy > r.power_on)
+            return complain(r.drive_id, "busy time exceeds power-on");
+        if (r.reads == 0 && r.read_blocks != 0)
+            return complain(r.drive_id, "read blocks without reads");
+        if (r.writes == 0 && r.write_blocks != 0)
+            return complain(r.drive_id, "write blocks without writes");
+        if (r.longest_saturated_run > r.saturated_hours)
+            return complain(r.drive_id,
+                            "saturated run exceeds saturated hours");
+    }
+    return true;
+}
+
+std::vector<double>
+LifetimeTrace::utilizations() const
+{
+    std::vector<double> out;
+    out.reserve(records_.size());
+    for (const LifetimeRecord &r : records_)
+        out.push_back(r.utilization());
+    return out;
+}
+
+std::vector<double>
+LifetimeTrace::readFractions() const
+{
+    std::vector<double> out;
+    out.reserve(records_.size());
+    for (const LifetimeRecord &r : records_)
+        out.push_back(r.readFraction());
+    return out;
+}
+
+double
+LifetimeTrace::fractionWithSaturatedRun(std::uint64_t hours) const
+{
+    if (records_.empty())
+        return 0.0;
+    std::size_t n = 0;
+    for (const LifetimeRecord &r : records_) {
+        if (r.longest_saturated_run >= hours)
+            ++n;
+    }
+    return static_cast<double>(n) / static_cast<double>(records_.size());
+}
+
+} // namespace trace
+} // namespace dlw

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The disk-level request record.
+ *
+ * A Millisecond trace is a sequence of these: arrival timestamp at
+ * nanosecond resolution, logical block address, length in 512-byte
+ * blocks, and direction.  This mirrors what a drive-level bus
+ * analyser or firmware logger records in the paper's finest-grained
+ * data set.
+ */
+
+#ifndef DLW_TRACE_RECORD_HH
+#define DLW_TRACE_RECORD_HH
+
+#include "common/types.hh"
+
+namespace dlw
+{
+namespace trace
+{
+
+/** Direction of a disk request. */
+enum class Op : std::uint8_t
+{
+    Read = 0,
+    Write = 1,
+};
+
+/**
+ * One disk-level I/O request as seen at the drive interface.
+ */
+struct Request
+{
+    /** Arrival tick at the drive. */
+    Tick arrival = 0;
+    /** Starting logical block address (512 B blocks). */
+    Lba lba = 0;
+    /** Length in 512 B blocks (>= 1 for a valid request). */
+    BlockCount blocks = 0;
+    /** Read or write. */
+    Op op = Op::Read;
+
+    /** True for reads. */
+    bool isRead() const { return op == Op::Read; }
+
+    /** True for writes. */
+    bool isWrite() const { return op == Op::Write; }
+
+    /** Payload size in bytes. */
+    std::uint64_t
+    bytes() const
+    {
+        return static_cast<std::uint64_t>(blocks) * kBlockBytes;
+    }
+
+    /** One past the last block touched. */
+    Lba lbaEnd() const { return lba + blocks; }
+
+    bool
+    operator==(const Request &o) const
+    {
+        return arrival == o.arrival && lba == o.lba &&
+               blocks == o.blocks && op == o.op;
+    }
+};
+
+/** Order requests by arrival time (stable tie-break on LBA). */
+struct ByArrival
+{
+    bool
+    operator()(const Request &a, const Request &b) const
+    {
+        if (a.arrival != b.arrival)
+            return a.arrival < b.arrival;
+        return a.lba < b.lba;
+    }
+};
+
+} // namespace trace
+} // namespace dlw
+
+#endif // DLW_TRACE_RECORD_HH

@@ -1,0 +1,87 @@
+#include "trace/spc.hh"
+
+#include <fstream>
+#include <ostream>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace dlw
+{
+namespace trace
+{
+
+MsTrace
+readSpc(std::istream &is, const std::string &drive_id, int asu)
+{
+    MsTrace trace(drive_id, 0, 0);
+    std::string line;
+    std::size_t lineno = 0;
+    Tick last = 0;
+
+    while (std::getline(is, line)) {
+        ++lineno;
+        std::string t = trim(line);
+        if (t.empty() || t[0] == '#')
+            continue;
+        auto f = split(t, ',');
+        if (f.size() < 5)
+            dlw_fatal("SPC line ", lineno, ": expected 5 fields");
+
+        int rec_asu = static_cast<int>(parseInt(f[0], "asu"));
+        if (asu >= 0 && rec_asu != asu)
+            continue;
+
+        Request r;
+        // SPC addresses are byte offsets in some dialects and block
+        // addresses in others; the common public traces use blocks.
+        r.lba = parseUint(f[1], "lba");
+        std::uint64_t size_bytes = parseUint(f[2], "size");
+        if (size_bytes == 0 || size_bytes % kBlockBytes != 0) {
+            dlw_fatal("SPC line ", lineno,
+                      ": size not a positive multiple of 512");
+        }
+        r.blocks = static_cast<BlockCount>(size_bytes / kBlockBytes);
+
+        std::string op = trim(f[3]);
+        if (op == "r" || op == "R")
+            r.op = Op::Read;
+        else if (op == "w" || op == "W")
+            r.op = Op::Write;
+        else
+            dlw_fatal("SPC line ", lineno, ": bad opcode '", op, "'");
+
+        double ts = parseDouble(f[4], "timestamp");
+        if (ts < 0.0)
+            dlw_fatal("SPC line ", lineno, ": negative timestamp");
+        r.arrival = secondsToTicks(ts);
+        last = std::max(last, r.arrival);
+        trace.append(r);
+    }
+
+    trace.setWindow(0, trace.empty() ? 0 : last + 1);
+    trace.sortByArrival();
+    return trace;
+}
+
+MsTrace
+readSpc(const std::string &path, const std::string &drive_id, int asu)
+{
+    std::ifstream is(path);
+    if (!is)
+        dlw_fatal("cannot open '", path, "' for reading");
+    return readSpc(is, drive_id, asu);
+}
+
+void
+writeSpc(std::ostream &os, const MsTrace &trace)
+{
+    for (const Request &r : trace.requests()) {
+        os << 0 << ',' << r.lba << ',' << r.bytes() << ','
+           << (r.isRead() ? 'r' : 'w') << ','
+           << formatDouble(ticksToSeconds(r.arrival), 9) << '\n';
+    }
+}
+
+} // namespace trace
+} // namespace dlw

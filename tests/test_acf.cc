@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Unit tests for stats/acf.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "stats/acf.hh"
+
+namespace dlw
+{
+namespace stats
+{
+namespace
+{
+
+TEST(Acf, LagZeroIsOne)
+{
+    std::vector<double> xs = {1.0, 3.0, 2.0, 5.0, 4.0};
+    auto acf = autocorrelation(xs, 2);
+    ASSERT_EQ(acf.size(), 3u);
+    EXPECT_DOUBLE_EQ(acf[0], 1.0);
+}
+
+TEST(Acf, IidIsNearZero)
+{
+    Rng rng(1);
+    std::vector<double> xs;
+    for (int i = 0; i < 50000; ++i)
+        xs.push_back(rng.normal(0.0, 1.0));
+    auto acf = autocorrelation(xs, 10);
+    for (std::size_t k = 1; k <= 10; ++k)
+        EXPECT_NEAR(acf[k], 0.0, 0.02) << "lag " << k;
+}
+
+TEST(Acf, Ar1HasGeometricDecay)
+{
+    // x_t = 0.8 x_{t-1} + e_t has acf(k) ~ 0.8^k.
+    Rng rng(2);
+    std::vector<double> xs;
+    double x = 0.0;
+    for (int i = 0; i < 100000; ++i) {
+        x = 0.8 * x + rng.normal(0.0, 1.0);
+        xs.push_back(x);
+    }
+    auto acf = autocorrelation(xs, 5);
+    EXPECT_NEAR(acf[1], 0.8, 0.03);
+    EXPECT_NEAR(acf[2], 0.64, 0.04);
+    EXPECT_NEAR(acf[3], 0.512, 0.05);
+}
+
+TEST(Acf, AlternatingSeriesIsNegative)
+{
+    std::vector<double> xs;
+    for (int i = 0; i < 1000; ++i)
+        xs.push_back(i % 2 == 0 ? 1.0 : -1.0);
+    auto acf = autocorrelation(xs, 2);
+    EXPECT_NEAR(acf[1], -1.0, 0.01);
+    EXPECT_NEAR(acf[2], 1.0, 0.01);
+}
+
+TEST(Acf, ConstantSeriesIsAllZero)
+{
+    std::vector<double> xs(100, 5.0);
+    auto acf = autocorrelation(xs, 5);
+    for (double v : acf)
+        EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Acf, MaxLagClamped)
+{
+    std::vector<double> xs = {1.0, 2.0, 3.0};
+    auto acf = autocorrelation(xs, 100);
+    EXPECT_EQ(acf.size(), 3u); // lags 0..2
+}
+
+TEST(DecorrelationLag, FindsFirstDrop)
+{
+    std::vector<double> acf = {1.0, 0.8, 0.5, 0.05, 0.2};
+    EXPECT_EQ(decorrelationLag(acf, 0.1), 3u);
+}
+
+TEST(DecorrelationLag, NeverDropsReturnsSize)
+{
+    std::vector<double> acf = {1.0, 0.9, 0.8};
+    EXPECT_EQ(decorrelationLag(acf, 0.1), 3u);
+}
+
+TEST(AcfDeathTest, TooFewSamples)
+{
+    std::vector<double> xs = {1.0};
+    EXPECT_DEATH(autocorrelation(xs, 1), ">= 2");
+}
+
+TEST(DominantPeriod, RecoversSinusoidPeriod)
+{
+    Rng rng(7);
+    std::vector<double> xs;
+    for (int i = 0; i < 1000; ++i) {
+        xs.push_back(10.0 + 5.0 * std::sin(2.0 * M_PI * i / 24.0) +
+                     rng.normal(0.0, 1.0));
+    }
+    auto p = dominantPeriod(xs, 2, 100);
+    EXPECT_EQ(p.period, 24u);
+    EXPECT_GT(p.strength, 0.5);
+}
+
+TEST(DominantPeriod, WeeklyCycleAtLongerLags)
+{
+    Rng rng(8);
+    std::vector<double> xs;
+    for (int i = 0; i < 2000; ++i) {
+        double v = 10.0 + 4.0 * std::sin(2.0 * M_PI * i / 24.0);
+        if ((i / 24) % 7 >= 5)
+            v *= 0.3; // weekend damping
+        xs.push_back(v + rng.normal(0.0, 0.5));
+    }
+    // Restricting the search beyond a day finds the weekly beat.
+    auto p = dominantPeriod(xs, 48, 400);
+    EXPECT_EQ(p.period % 168, 0u);
+}
+
+TEST(DominantPeriod, NoiseHasNoStrongPeak)
+{
+    Rng rng(9);
+    std::vector<double> xs;
+    for (int i = 0; i < 2000; ++i)
+        xs.push_back(rng.normal(0.0, 1.0));
+    auto p = dominantPeriod(xs, 2, 200);
+    EXPECT_LT(p.strength, 0.1);
+}
+
+TEST(DominantPeriodDeathTest, BadRanges)
+{
+    std::vector<double> xs(100, 1.0);
+    EXPECT_DEATH(dominantPeriod(xs, 1, 10), ">= 2");
+    EXPECT_DEATH(dominantPeriod(xs, 10, 5), "inverted");
+    EXPECT_DEATH(dominantPeriod(xs, 2, 60), "too short");
+}
+
+} // anonymous namespace
+} // namespace stats
+} // namespace dlw

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Tests for the RAID array simulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "array/array.hh"
+#include "common/rng.hh"
+#include "synth/workload.hh"
+
+namespace dlw
+{
+namespace array
+{
+namespace
+{
+
+disk::DriveConfig
+memberDrive()
+{
+    return disk::DriveConfig::makeEnterprise();
+}
+
+RaidConfig
+cfg(RaidLevel level, std::uint32_t disks)
+{
+    RaidConfig c;
+    c.level = level;
+    c.disks = disks;
+    c.stripe_blocks = 128;
+    return c;
+}
+
+trace::MsTrace
+logicalTrace(const RaidArray &arr, double rate, Tick window,
+             std::uint64_t seed)
+{
+    Rng rng(seed);
+    synth::Workload w =
+        synth::Workload::makeOltp(arr.logicalCapacity(), rate, seed);
+    return w.generate(rng, "array", 0, window);
+}
+
+TEST(Array, AllLogicalRequestsComplete)
+{
+    RaidArray arr(cfg(RaidLevel::Raid0, 4), memberDrive());
+    trace::MsTrace tr = logicalTrace(arr, 100.0, 20 * kSec, 1);
+    ArrayLog log = arr.service(tr);
+    ASSERT_EQ(log.logical_response.size(), tr.size());
+    for (Tick r : log.logical_response)
+        EXPECT_GT(r, 0);
+    EXPECT_EQ(log.disk_traces.size(), 4u);
+    EXPECT_EQ(log.disk_logs.size(), 4u);
+}
+
+TEST(Array, Raid0SpreadsLoadEvenly)
+{
+    RaidArray arr(cfg(RaidLevel::Raid0, 4), memberDrive());
+    trace::MsTrace tr = logicalTrace(arr, 200.0, 30 * kSec, 2);
+    ArrayLog log = arr.service(tr);
+    std::size_t lo = SIZE_MAX, hi = 0;
+    for (const auto &t : log.disk_traces) {
+        lo = std::min(lo, t.size());
+        hi = std::max(hi, t.size());
+    }
+    EXPECT_GT(lo, 0u);
+    // Even split within 25%.
+    EXPECT_LT(static_cast<double>(hi) / static_cast<double>(lo), 1.25);
+}
+
+TEST(Array, Raid0FanoutIsOneForSmallRequests)
+{
+    RaidArray arr(cfg(RaidLevel::Raid0, 4), memberDrive());
+    trace::MsTrace tr = logicalTrace(arr, 80.0, 10 * kSec, 3);
+    ArrayLog log = arr.service(tr);
+    // OLTP requests (8 blocks) never straddle a 128-block stripe
+    // unless unaligned: fanout stays close to 1.
+    EXPECT_LT(log.fanout(tr.size()), 1.2);
+}
+
+TEST(Array, Raid1WriteFanout)
+{
+    RaidArray arr(cfg(RaidLevel::Raid1, 2), memberDrive());
+    trace::MsTrace tr("t", 0, kSec);
+    for (int i = 0; i < 100; ++i) {
+        trace::Request r;
+        r.arrival = static_cast<Tick>(i) * kMsec;
+        r.lba = static_cast<Lba>(i) * 8;
+        r.blocks = 8;
+        r.op = trace::Op::Write;
+        tr.append(r);
+    }
+    ArrayLog log = arr.service(tr);
+    EXPECT_DOUBLE_EQ(log.fanout(tr.size()), 2.0);
+    EXPECT_EQ(log.disk_traces[0].size(), 100u);
+    EXPECT_EQ(log.disk_traces[1].size(), 100u);
+}
+
+TEST(Array, Raid5WriteAmplification)
+{
+    RaidArray r5(cfg(RaidLevel::Raid5, 5), memberDrive());
+    RaidArray r0(cfg(RaidLevel::Raid0, 5), memberDrive());
+
+    trace::MsTrace tr("t", 0, 10 * kSec);
+    Rng rng(4);
+    for (int i = 0; i < 500; ++i) {
+        trace::Request r;
+        r.arrival = static_cast<Tick>(i) * 20 * kMsec;
+        r.lba = static_cast<Lba>(rng.uniformInt(0, 1 << 20)) * 8;
+        r.blocks = 8;
+        r.op = trace::Op::Write;
+        tr.append(r);
+    }
+    ArrayLog l5 = r5.service(tr);
+    ArrayLog l0 = r0.service(tr);
+    // RAID-5 small writes quadruple disk requests; RAID-0 does not.
+    EXPECT_DOUBLE_EQ(l5.fanout(tr.size()), 4.0);
+    EXPECT_DOUBLE_EQ(l0.fanout(tr.size()), 1.0);
+    // And the member disks work correspondingly harder.
+    EXPECT_GT(l5.meanDiskUtilization(),
+              l0.meanDiskUtilization() * 1.5);
+}
+
+TEST(Array, LogicalResponseIsMaxOfFragments)
+{
+    // One large striped read: the logical response must be at least
+    // every member completion's response.
+    RaidArray arr(cfg(RaidLevel::Raid0, 4), memberDrive());
+    trace::MsTrace tr("t", 0, kSec);
+    trace::Request r;
+    r.arrival = 0;
+    r.lba = 0;
+    r.blocks = 512; // 4 stripes -> all 4 disks
+    r.op = trace::Op::Read;
+    tr.append(r);
+    ArrayLog log = arr.service(tr);
+    ASSERT_EQ(log.logical_response.size(), 1u);
+    for (const auto &dl : log.disk_logs) {
+        for (const auto &c : dl.completions)
+            EXPECT_GE(log.logical_response[0], c.response());
+    }
+}
+
+TEST(Array, MemberTracesAreValid)
+{
+    RaidArray arr(cfg(RaidLevel::Raid5, 4), memberDrive());
+    trace::MsTrace tr = logicalTrace(arr, 60.0, 10 * kSec, 5);
+    ArrayLog log = arr.service(tr);
+    for (const auto &t : log.disk_traces)
+        EXPECT_TRUE(t.validate()) << t.driveId();
+}
+
+TEST(ArrayDeathTest, RequestBeyondLogicalCapacity)
+{
+    RaidArray arr(cfg(RaidLevel::Raid1, 2), memberDrive());
+    trace::MsTrace tr("t", 0, kSec);
+    trace::Request r;
+    r.arrival = 0;
+    r.lba = arr.logicalCapacity();
+    r.blocks = 8;
+    r.op = trace::Op::Read;
+    tr.append(r);
+    EXPECT_DEATH(arr.service(tr), "beyond array logical capacity");
+}
+
+} // anonymous namespace
+} // namespace array
+} // namespace dlw

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests for the idle-time scrub scheduler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/bgwork.hh"
+
+namespace dlw
+{
+namespace core
+{
+namespace
+{
+
+disk::ServiceLog
+logWith(Tick window, std::vector<trace::BusyInterval> busy)
+{
+    disk::ServiceLog log;
+    log.window_start = 0;
+    log.window_end = window;
+    log.busy = std::move(busy);
+    return log;
+}
+
+ScrubConfig
+cfg(Tick idle_wait, Tick chunk, bool oracle = false)
+{
+    ScrubConfig c;
+    c.idle_wait = idle_wait;
+    c.chunk_time = chunk;
+    c.chunk_blocks = 1000;
+    c.oracle = oracle;
+    return c;
+}
+
+TEST(Scrub, FullyIdleWindowScrubsContinuously)
+{
+    auto log = logWith(10 * kSec, {});
+    ScrubReport r = scheduleScrub(log, cfg(kSec, kSec));
+    // 9 seconds of usable idleness -> 9 chunks, no one to delay.
+    EXPECT_EQ(r.chunks, 9u);
+    EXPECT_EQ(r.blocks, 9000u);
+    EXPECT_EQ(r.scrub_time, 9 * kSec);
+    EXPECT_EQ(r.delayed_periods, 0u);
+}
+
+TEST(Scrub, FullyBusyWindowDoesNothing)
+{
+    auto log = logWith(10 * kSec, {{0, 10 * kSec}});
+    ScrubReport r = scheduleScrub(log, cfg(kSec, kSec));
+    EXPECT_EQ(r.chunks, 0u);
+    EXPECT_EQ(r.scrub_time, 0);
+}
+
+TEST(Scrub, ShortGapsBelowWaitSkipped)
+{
+    // Gaps of 500 ms with a 1 s idle wait: nothing starts.
+    std::vector<trace::BusyInterval> busy;
+    for (int i = 0; i < 10; ++i) {
+        const Tick t = static_cast<Tick>(i) * kSec;
+        busy.emplace_back(t, t + 500 * kMsec);
+    }
+    auto log = logWith(10 * kSec, busy);
+    ScrubReport r = scheduleScrub(log, cfg(kSec, 100 * kMsec));
+    EXPECT_EQ(r.chunks, 0u);
+}
+
+TEST(Scrub, OnlineOverrunDelaysForeground)
+{
+    // Gap [0, 1.5s) before busy: wait 1 s, chunk of 1 s overruns
+    // the gap end by 0.5 s.
+    auto log = logWith(3 * kSec, {{1500 * kMsec, 3 * kSec}});
+    ScrubReport r = scheduleScrub(log, cfg(kSec, kSec, false));
+    EXPECT_EQ(r.chunks, 1u);
+    EXPECT_EQ(r.delayed_periods, 1u);
+    EXPECT_EQ(r.total_delay, 500 * kMsec);
+    EXPECT_EQ(r.max_delay, 500 * kMsec);
+}
+
+TEST(Scrub, OracleNeverDelays)
+{
+    auto log = logWith(3 * kSec, {{1500 * kMsec, 3 * kSec}});
+    ScrubReport r = scheduleScrub(log, cfg(kSec, kSec, true));
+    EXPECT_EQ(r.chunks, 0u); // the 0.5 s remainder cannot fit 1 s
+    EXPECT_EQ(r.delayed_periods, 0u);
+}
+
+TEST(Scrub, OracleScrubsWhatFits)
+{
+    // Gap of 10 s: wait 1 s leaves 9 s -> 9 one-second chunks both
+    // online and oracle (exact fit, no overrun).
+    auto log = logWith(20 * kSec, {{10 * kSec, 20 * kSec}});
+    ScrubReport online = scheduleScrub(log, cfg(kSec, kSec, false));
+    ScrubReport oracle = scheduleScrub(log, cfg(kSec, kSec, true));
+    EXPECT_EQ(online.chunks, 9u);
+    EXPECT_EQ(oracle.chunks, 9u);
+    EXPECT_EQ(online.delayed_periods, 0u);
+}
+
+TEST(Scrub, TrailingGapCausesNoDelay)
+{
+    // Chunk overruns the end of the window: nothing follows, so no
+    // delay is charged.
+    auto log = logWith(2500 * kMsec, {{0, kSec}});
+    ScrubReport r = scheduleScrub(log, cfg(kSec, kSec, false));
+    EXPECT_EQ(r.chunks, 1u);
+    EXPECT_EQ(r.delayed_periods, 0u);
+}
+
+TEST(Scrub, SmallerChunksHarvestMoreOfFragmentedIdle)
+{
+    // Many 800 ms gaps: 1 s chunks overrun every gap; 100 ms chunks
+    // fit several times per gap.
+    std::vector<trace::BusyInterval> busy;
+    for (int i = 0; i < 20; ++i) {
+        const Tick t = static_cast<Tick>(i) * kSec;
+        busy.emplace_back(t + 800 * kMsec, t + kSec);
+    }
+    auto log = logWith(20 * kSec, busy);
+    ScrubReport coarse =
+        scheduleScrub(log, cfg(100 * kMsec, kSec, false));
+    ScrubReport fine =
+        scheduleScrub(log, cfg(100 * kMsec, 100 * kMsec, false));
+    EXPECT_GT(coarse.total_delay, 0);
+    EXPECT_EQ(fine.total_delay, 0);
+    EXPECT_GT(fine.scrubFraction(20 * kSec), 0.4);
+}
+
+TEST(Scrub, ProjectedFullScan)
+{
+    ScrubReport r;
+    r.blocks = 1000;
+    EXPECT_EQ(r.projectedFullScan(10000, kSec), 10 * kSec);
+    ScrubReport empty;
+    EXPECT_EQ(empty.projectedFullScan(10000, kSec), kTickNone);
+}
+
+TEST(ScrubDeathTest, BadConfig)
+{
+    auto log = logWith(kSec, {});
+    EXPECT_DEATH(scheduleScrub(log, cfg(0, 0)), "positive");
+}
+
+} // anonymous namespace
+} // namespace core
+} // namespace dlw

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Unit tests for disk/cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include "disk/cache.hh"
+
+namespace dlw
+{
+namespace disk
+{
+namespace
+{
+
+CacheConfig
+smallConfig()
+{
+    CacheConfig c;
+    c.enabled = true;
+    c.segments = 2;
+    c.prefetch_blocks = 100;
+    c.write_buffer_blocks = 1000;
+    return c;
+}
+
+TEST(Cache, DisabledNeverHitsNorBuffers)
+{
+    CacheConfig cfg;
+    cfg.enabled = false;
+    DiskCache c(cfg);
+    c.installReadSegment(0, 100);
+    EXPECT_FALSE(c.readHit(0, 10));
+    EXPECT_FALSE(c.canBuffer(1));
+}
+
+TEST(Cache, ReadHitWithinSegmentAndPrefetch)
+{
+    DiskCache c(smallConfig());
+    EXPECT_FALSE(c.readHit(0, 10));
+    c.installReadSegment(100, 50); // covers [100, 250) with prefetch
+    EXPECT_TRUE(c.readHit(100, 50));
+    EXPECT_TRUE(c.readHit(200, 50)); // inside prefetch window
+    EXPECT_TRUE(c.readHit(249, 1));
+    EXPECT_FALSE(c.readHit(250, 1));
+    EXPECT_FALSE(c.readHit(90, 20)); // straddles the start
+}
+
+TEST(Cache, PartialOverlapIsMiss)
+{
+    DiskCache c(smallConfig());
+    c.installReadSegment(0, 50); // [0, 150)
+    EXPECT_FALSE(c.readHit(100, 100)); // extends past the segment
+}
+
+TEST(Cache, LruEviction)
+{
+    DiskCache c(smallConfig()); // 2 segments
+    c.installReadSegment(0, 10);     // seg A [0,110)
+    c.installReadSegment(1000, 10);  // seg B [1000,1110)
+    EXPECT_TRUE(c.readHit(0, 5));    // touch A -> B is now LRU
+    c.installReadSegment(5000, 10);  // evicts B
+    EXPECT_TRUE(c.readHit(0, 5));
+    EXPECT_FALSE(c.readHit(1000, 5));
+    EXPECT_TRUE(c.readHit(5000, 5));
+}
+
+TEST(Cache, WriteBufferAccounting)
+{
+    DiskCache c(smallConfig());
+    EXPECT_TRUE(c.canBuffer(1000));
+    EXPECT_FALSE(c.canBuffer(1001));
+    c.bufferWrite(0, 600);
+    EXPECT_EQ(c.dirtyBlocks(), 600u);
+    EXPECT_TRUE(c.canBuffer(400));
+    EXPECT_FALSE(c.canBuffer(401));
+    EXPECT_TRUE(c.dirty());
+}
+
+TEST(Cache, SequentialWritesCoalesce)
+{
+    DiskCache c(smallConfig());
+    c.bufferWrite(100, 50);
+    c.bufferWrite(150, 50); // extends the previous extent
+    EXPECT_EQ(c.dirtyExtents(), 1u);
+    EXPECT_EQ(c.dirtyBlocks(), 100u);
+    c.bufferWrite(500, 10); // new extent
+    EXPECT_EQ(c.dirtyExtents(), 2u);
+}
+
+TEST(Cache, DestageFifoOrder)
+{
+    DiskCache c(smallConfig());
+    c.bufferWrite(100, 10);
+    c.bufferWrite(500, 20);
+    DirtyExtent e1 = c.popDestage();
+    EXPECT_EQ(e1.lba, 100u);
+    EXPECT_EQ(e1.blocks, 10u);
+    EXPECT_EQ(c.dirtyBlocks(), 20u);
+    DirtyExtent e2 = c.popDestage();
+    EXPECT_EQ(e2.lba, 500u);
+    EXPECT_FALSE(c.dirty());
+}
+
+TEST(Cache, WriteInvalidatesOverlappingSegment)
+{
+    DiskCache c(smallConfig());
+    c.installReadSegment(0, 50); // [0, 150)
+    EXPECT_TRUE(c.readHit(0, 10));
+    c.bufferWrite(100, 10); // overlaps the segment
+    EXPECT_FALSE(c.readHit(0, 10));
+}
+
+TEST(Cache, WriteElsewhereKeepsSegment)
+{
+    DiskCache c(smallConfig());
+    c.installReadSegment(0, 50); // [0, 150)
+    c.bufferWrite(5000, 10);
+    EXPECT_TRUE(c.readHit(0, 10));
+}
+
+TEST(Cache, ClearDropsEverything)
+{
+    DiskCache c(smallConfig());
+    c.installReadSegment(0, 50);
+    c.bufferWrite(100, 10);
+    c.clear();
+    EXPECT_FALSE(c.readHit(0, 10));
+    EXPECT_FALSE(c.dirty());
+    EXPECT_EQ(c.dirtyBlocks(), 0u);
+}
+
+TEST(CacheDeathTest, BufferOverflowAndEmptyDestage)
+{
+    DiskCache c(smallConfig());
+    EXPECT_DEATH(c.popDestage(), "empty buffer");
+    c.bufferWrite(0, 1000);
+    EXPECT_DEATH(c.bufferWrite(5000, 1), "overflow");
+}
+
+} // anonymous namespace
+} // namespace disk
+} // namespace dlw

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Unit tests for synth/diurnal.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "synth/diurnal.hh"
+
+namespace dlw
+{
+namespace synth
+{
+namespace
+{
+
+DiurnalShape
+plainShape()
+{
+    DiurnalShape s;
+    s.night_level = 0.2;
+    s.day_level = 1.0;
+    s.peak_hour = 14.0;
+    s.weekend_level = 0.5;
+    s.batch_level = 0.0;
+    return s;
+}
+
+TEST(Diurnal, PeakAtDeclaredHour)
+{
+    RateFunction f = plainShape().build();
+    const Tick peak = 14 * kHour;
+    EXPECT_NEAR(f(peak), 1.0, 1e-9);
+    // Trough 12 hours away.
+    EXPECT_NEAR(f(2 * kHour), 0.2, 1e-9);
+    // Intermediate values strictly between.
+    const double mid = f(8 * kHour);
+    EXPECT_GT(mid, 0.2);
+    EXPECT_LT(mid, 1.0);
+}
+
+TEST(Diurnal, WeekendDamped)
+{
+    RateFunction f = plainShape().build();
+    const Tick weekday_peak = 14 * kHour;           // day 0
+    const Tick saturday_peak = 5 * kDay + 14 * kHour; // day 5
+    EXPECT_NEAR(f(saturday_peak), 0.5 * f(weekday_peak), 1e-9);
+}
+
+TEST(Diurnal, WeeklyPeriodicity)
+{
+    RateFunction f = plainShape().build();
+    for (int h = 0; h < 48; h += 5) {
+        const Tick t = static_cast<Tick>(h) * kHour;
+        EXPECT_NEAR(f(t), f(t + kWeek), 1e-9) << "hour " << h;
+    }
+}
+
+TEST(Diurnal, BatchWindowOverlaysTrough)
+{
+    DiurnalShape s = plainShape();
+    s.batch_level = 0.7;
+    s.batch_start_hour = 1.0;
+    s.batch_hours = 2.0;
+    RateFunction f = s.build();
+    // Inside the window the level is lifted to 0.7.
+    EXPECT_NEAR(f(90 * kMinute), 0.7, 1e-9);
+    // Outside it falls back to the cosine trough.
+    EXPECT_LT(f(4 * kHour), 0.5);
+}
+
+TEST(Diurnal, MeanRateOverConstantFunction)
+{
+    RateFunction flat = [](Tick) { return 0.42; };
+    EXPECT_NEAR(meanRateOver(flat, 0, kHour), 0.42, 1e-12);
+}
+
+TEST(Diurnal, MeanRateOverTracksAverage)
+{
+    RateFunction f = plainShape().build();
+    // Average over a full day must lie between the extremes.
+    const double avg = meanRateOver(f, 0, kDay);
+    EXPECT_GT(avg, 0.2);
+    EXPECT_LT(avg, 1.0);
+    EXPECT_NEAR(avg, 0.6, 0.05); // mid of the raised cosine
+}
+
+TEST(Nhpp, RateTracksModulation)
+{
+    DiurnalShape s = plainShape();
+    RateFunction f = s.build();
+    NhppArrivals gen(100.0, f, 1.0);
+    Rng rng(1);
+    // Generate one business day; count peak and trough hours.
+    auto arrivals = gen.generate(rng, 0, kDay);
+    std::vector<int> per_hour(24, 0);
+    for (Tick t : arrivals)
+        ++per_hour[static_cast<std::size_t>(t / kHour) % 24];
+    // Peak hour ~ 100/s * 3600 = 360000 * level 1.0... sampled, so
+    // compare ratios instead of absolutes.
+    EXPECT_GT(per_hour[14], per_hour[2] * 3);
+    const double total_rate = static_cast<double>(arrivals.size()) /
+                              ticksToSeconds(kDay);
+    EXPECT_NEAR(total_rate, 100.0 * 0.6, 8.0);
+}
+
+TEST(Nhpp, EmptyWindow)
+{
+    NhppArrivals gen(10.0, [](Tick) { return 1.0; }, 1.0);
+    Rng rng(2);
+    EXPECT_TRUE(gen.generate(rng, 0, 0).empty());
+}
+
+TEST(Nhpp, ZeroRateRegionsSilent)
+{
+    // Rate is zero in the second half of the window.
+    RateFunction f = [](Tick t) { return t < kSec ? 1.0 : 0.0; };
+    NhppArrivals gen(1000.0, f, 1.0);
+    Rng rng(3);
+    auto arrivals = gen.generate(rng, 0, 2 * kSec);
+    ASSERT_FALSE(arrivals.empty());
+    for (Tick t : arrivals)
+        EXPECT_LT(t, kSec);
+}
+
+TEST(NhppDeathTest, SupremumViolation)
+{
+    RateFunction f = [](Tick) { return 2.0; };
+    NhppArrivals gen(10.0, f, 1.0);
+    Rng rng(4);
+    EXPECT_DEATH(gen.generate(rng, 0, kSec),
+                 "exceeded its declared supremum");
+}
+
+TEST(DiurnalDeathTest, InvalidShape)
+{
+    DiurnalShape s = plainShape();
+    s.night_level = 2.0; // above day level
+    EXPECT_DEATH(s.build(), "inverted");
+}
+
+} // anonymous namespace
+} // namespace synth
+} // namespace dlw

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Unit tests for stats/ecdf.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hh"
+#include "stats/ecdf.hh"
+
+namespace dlw
+{
+namespace stats
+{
+namespace
+{
+
+TEST(Ecdf, QuantilesOfSmallSample)
+{
+    Ecdf e;
+    for (double v : {1.0, 2.0, 3.0, 4.0, 5.0})
+        e.add(v);
+    EXPECT_DOUBLE_EQ(e.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(e.quantile(0.5), 3.0);
+    EXPECT_DOUBLE_EQ(e.quantile(1.0), 5.0);
+    EXPECT_DOUBLE_EQ(e.quantile(0.25), 2.0);
+    // Interpolation between order statistics.
+    EXPECT_DOUBLE_EQ(e.quantile(0.125), 1.5);
+}
+
+TEST(Ecdf, CdfAndCcdf)
+{
+    Ecdf e;
+    for (double v : {1.0, 2.0, 2.0, 4.0})
+        e.add(v);
+    EXPECT_DOUBLE_EQ(e.cdf(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(e.cdf(1.0), 0.25);
+    EXPECT_DOUBLE_EQ(e.cdf(2.0), 0.75);
+    EXPECT_DOUBLE_EQ(e.cdf(10.0), 1.0);
+    EXPECT_DOUBLE_EQ(e.ccdf(2.0), 0.25);
+}
+
+TEST(Ecdf, MinMaxMean)
+{
+    Ecdf e;
+    e.add(3.0);
+    e.add(-1.0);
+    e.add(4.0);
+    EXPECT_DOUBLE_EQ(e.min(), -1.0);
+    EXPECT_DOUBLE_EQ(e.max(), 4.0);
+    EXPECT_DOUBLE_EQ(e.mean(), 2.0);
+}
+
+TEST(Ecdf, SingleSample)
+{
+    Ecdf e;
+    e.add(7.0);
+    EXPECT_DOUBLE_EQ(e.quantile(0.0), 7.0);
+    EXPECT_DOUBLE_EQ(e.quantile(0.5), 7.0);
+    EXPECT_DOUBLE_EQ(e.quantile(1.0), 7.0);
+}
+
+TEST(Ecdf, CurveIsMonotone)
+{
+    Ecdf e;
+    Rng rng(1);
+    for (int i = 0; i < 1000; ++i)
+        e.add(rng.normal(0.0, 1.0));
+    auto curve = e.curve(21);
+    ASSERT_EQ(curve.size(), 21u);
+    for (std::size_t i = 1; i < curve.size(); ++i) {
+        EXPECT_LE(curve[i - 1].first, curve[i].first);
+        EXPECT_LT(curve[i - 1].second, curve[i].second);
+    }
+    EXPECT_DOUBLE_EQ(curve.front().second, 0.0);
+    EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+TEST(Ecdf, AddAllMatchesLoop)
+{
+    std::vector<double> xs = {5.0, 1.0, 3.0};
+    Ecdf a, b;
+    a.addAll(xs);
+    for (double x : xs)
+        b.add(x);
+    EXPECT_EQ(a.count(), b.count());
+    EXPECT_DOUBLE_EQ(a.median(), b.median());
+}
+
+TEST(Ecdf, ReservoirCapsRetention)
+{
+    Ecdf e(100, 9);
+    for (int i = 0; i < 10000; ++i)
+        e.add(static_cast<double>(i));
+    EXPECT_EQ(e.count(), 10000u);
+    EXPECT_EQ(e.retained(), 100u);
+}
+
+TEST(Ecdf, ReservoirIsRepresentative)
+{
+    // Median of uniform 0..1 should survive heavy subsampling.
+    Ecdf e(2000, 10);
+    Rng rng(11);
+    for (int i = 0; i < 200000; ++i)
+        e.add(rng.uniform());
+    EXPECT_NEAR(e.median(), 0.5, 0.05);
+    EXPECT_NEAR(e.quantile(0.9), 0.9, 0.05);
+}
+
+TEST(Ecdf, InterleavedAddAndQuery)
+{
+    // Queries must not corrupt later inserts (lazy sort).
+    Ecdf e;
+    e.add(5.0);
+    EXPECT_DOUBLE_EQ(e.median(), 5.0);
+    e.add(1.0);
+    EXPECT_DOUBLE_EQ(e.median(), 3.0);
+    e.add(9.0);
+    EXPECT_DOUBLE_EQ(e.median(), 5.0);
+    EXPECT_DOUBLE_EQ(e.min(), 1.0);
+}
+
+TEST(EcdfDeathTest, EmptyQuantile)
+{
+    Ecdf e;
+    EXPECT_DEATH(e.quantile(0.5), "empty");
+    EXPECT_DEATH(e.min(), "empty");
+}
+
+TEST(EcdfDeathTest, QuantileRange)
+{
+    Ecdf e;
+    e.add(1.0);
+    EXPECT_DEATH(e.quantile(1.5), "out of range");
+}
+
+} // anonymous namespace
+} // namespace stats
+} // namespace dlw

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Unit tests for the sim/eventq discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/eventq.hh"
+
+namespace dlw
+{
+namespace sim
+{
+namespace
+{
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&](Tick) { order.push_back(3); });
+    eq.schedule(10, [&](Tick) { order.push_back(1); });
+    eq.schedule(20, [&](Tick) { order.push_back(2); });
+    EXPECT_EQ(eq.run(), 3u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30);
+}
+
+TEST(EventQueue, SameTickPriorityBreaksTies)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5, [&](Tick) { order.push_back(2); }, Priority::Normal);
+    eq.schedule(5, [&](Tick) { order.push_back(3); }, Priority::Low);
+    eq.schedule(5, [&](Tick) { order.push_back(1); }, Priority::High);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTickSamePriorityFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(7, [&order, i](Tick) { order.push_back(i); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, ScheduleInIsRelative)
+{
+    EventQueue eq;
+    Tick fired = -1;
+    eq.schedule(100, [&](Tick t) {
+        eq.scheduleIn(50, [&](Tick t2) { fired = t2; });
+        (void)t;
+    });
+    eq.run();
+    EXPECT_EQ(fired, 150);
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue eq;
+    bool ran = false;
+    EventId id = eq.schedule(10, [&](Tick) { ran = true; });
+    EXPECT_TRUE(eq.cancel(id));
+    eq.run();
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(EventQueue, CancelTwiceIsFalse)
+{
+    EventQueue eq;
+    EventId id = eq.schedule(10, [](Tick) {});
+    EXPECT_TRUE(eq.cancel(id));
+    EXPECT_FALSE(eq.cancel(id));
+    eq.run();
+}
+
+TEST(EventQueue, CancelFiredEventIsHarmless)
+{
+    EventQueue eq;
+    EventId id = eq.schedule(10, [](Tick) {});
+    eq.run();
+    EXPECT_FALSE(eq.cancel(id));
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(EventQueue, RunWithLimitStopsAndAdvances)
+{
+    EventQueue eq;
+    std::vector<Tick> fired;
+    eq.schedule(10, [&](Tick t) { fired.push_back(t); });
+    eq.schedule(20, [&](Tick t) { fired.push_back(t); });
+    eq.schedule(30, [&](Tick t) { fired.push_back(t); });
+    EXPECT_EQ(eq.run(20), 2u); // events at the limit still run
+    EXPECT_EQ(fired, (std::vector<Tick>{10, 20}));
+    EXPECT_EQ(eq.pending(), 1u);
+    EXPECT_EQ(eq.run(), 1u);
+}
+
+TEST(EventQueue, RunToExhaustionAdvancesToLimit)
+{
+    EventQueue eq;
+    eq.schedule(5, [](Tick) {});
+    eq.run(100);
+    EXPECT_EQ(eq.now(), 100);
+}
+
+TEST(EventQueue, EventsScheduledDuringRun)
+{
+    EventQueue eq;
+    int chain = 0;
+    std::function<void(Tick)> next = [&](Tick) {
+        if (++chain < 5)
+            eq.scheduleIn(10, next);
+    };
+    eq.schedule(0, next);
+    EXPECT_EQ(eq.run(), 5u);
+    EXPECT_EQ(eq.now(), 40);
+}
+
+TEST(EventQueue, StepExecutesExactlyOne)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(1, [&](Tick) { ++count; });
+    eq.schedule(2, [&](Tick) { ++count; });
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(count, 1);
+    EXPECT_TRUE(eq.step());
+    EXPECT_FALSE(eq.step());
+    EXPECT_EQ(count, 2);
+}
+
+TEST(EventQueue, PendingCountsLiveEvents)
+{
+    EventQueue eq;
+    EXPECT_TRUE(eq.empty());
+    EventId a = eq.schedule(1, [](Tick) {});
+    eq.schedule(2, [](Tick) {});
+    EXPECT_EQ(eq.pending(), 2u);
+    eq.cancel(a);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueueDeathTest, PastScheduling)
+{
+    EventQueue eq;
+    eq.schedule(10, [](Tick) {});
+    eq.run();
+    EXPECT_DEATH(eq.schedule(5, [](Tick) {}), "in the past");
+    EXPECT_DEATH(eq.scheduleIn(-1, [](Tick) {}), "negative");
+}
+
+} // anonymous namespace
+} // namespace sim
+} // namespace dlw

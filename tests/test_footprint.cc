@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for core/footprint spatial analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/footprint.hh"
+#include "synth/workload.hh"
+
+namespace dlw
+{
+namespace core
+{
+namespace
+{
+
+constexpr Lba kCap = 1000000;
+
+trace::MsTrace
+traceOf(const std::vector<Lba> &lbas, BlockCount blocks = 8)
+{
+    trace::MsTrace tr("fp", 0,
+                      static_cast<Tick>(lbas.size() + 1) * kMsec);
+    Tick at = 0;
+    for (Lba lba : lbas) {
+        trace::Request r;
+        r.arrival = at;
+        r.lba = lba;
+        r.blocks = blocks;
+        r.op = trace::Op::Read;
+        tr.append(r);
+        at += kMsec;
+    }
+    return tr;
+}
+
+TEST(Footprint, SingleHotSpotConcentrates)
+{
+    // All requests in one extent.
+    std::vector<Lba> lbas(1000, 5000);
+    FootprintReport rep = analyzeFootprint(traceOf(lbas), kCap, 100);
+    EXPECT_EQ(rep.extents_touched, 1u);
+    EXPECT_DOUBLE_EQ(rep.footprint_fraction, 0.01);
+    EXPECT_DOUBLE_EQ(rep.top1_share, 1.0);
+    EXPECT_DOUBLE_EQ(rep.top10_share, 1.0);
+    EXPECT_DOUBLE_EQ(rep.mean_seek_blocks, 8.0); // re-read offset
+}
+
+TEST(Footprint, UniformSpreadsWide)
+{
+    Rng rng(1);
+    std::vector<Lba> lbas;
+    for (int i = 0; i < 20000; ++i)
+        lbas.push_back(static_cast<Lba>(
+            rng.uniformInt(0, kCap - 8)));
+    FootprintReport rep = analyzeFootprint(traceOf(lbas), kCap, 100);
+    EXPECT_GT(rep.footprint_fraction, 0.99);
+    EXPECT_NEAR(rep.top10_share, 0.10, 0.02);
+    EXPECT_LT(rep.extent_gini, 0.15);
+    EXPECT_NEAR(rep.mean_seek_blocks, kCap / 3.0, kCap / 20.0);
+}
+
+TEST(Footprint, SequentialRunsMeasured)
+{
+    // Two runs of 5 sequential requests each.
+    std::vector<Lba> lbas;
+    for (int r = 0; r < 2; ++r) {
+        Lba base = r == 0 ? 0 : 500000;
+        for (int i = 0; i < 5; ++i)
+            lbas.push_back(base + static_cast<Lba>(i) * 8);
+    }
+    FootprintReport rep = analyzeFootprint(traceOf(lbas), kCap, 100);
+    EXPECT_EQ(rep.longest_run_requests, 5u);
+    EXPECT_DOUBLE_EQ(rep.mean_run_requests, 5.0);
+}
+
+TEST(Footprint, EmptyTraceSafe)
+{
+    trace::MsTrace tr("fp", 0, kSec);
+    FootprintReport rep = analyzeFootprint(tr, kCap, 100);
+    EXPECT_EQ(rep.extents_touched, 0u);
+    EXPECT_DOUBLE_EQ(rep.footprint_fraction, 0.0);
+    EXPECT_DOUBLE_EQ(rep.top1_share, 0.0);
+}
+
+TEST(Footprint, ZipfWorkloadIsConcentrated)
+{
+    Rng rng(2);
+    synth::Workload oltp = synth::Workload::makeOltp(kCap, 200.0);
+    trace::MsTrace tr = oltp.generate(rng, "z", 0, 60 * kSec);
+    FootprintReport zipf = analyzeFootprint(tr, kCap);
+
+    synth::Workload uni;
+    uni.setArrival(std::make_unique<synth::PoissonArrivals>(200.0));
+    uni.setSize(std::make_unique<synth::FixedSize>(8));
+    uni.setSpatial(std::make_unique<synth::UniformSpatial>(kCap));
+    uni.setMix(0.67);
+    trace::MsTrace tu = uni.generate(rng, "u", 0, 60 * kSec);
+    FootprintReport flat = analyzeFootprint(tu, kCap);
+
+    EXPECT_GT(zipf.top10_share, flat.top10_share * 2.0);
+    EXPECT_GT(zipf.extent_gini, flat.extent_gini + 0.2);
+}
+
+TEST(Footprint, StreamingHasLongRunsAndShortSeeks)
+{
+    Rng rng(3);
+    synth::Workload s = synth::Workload::makeStreaming(kCap, 50.0);
+    trace::MsTrace tr = s.generate(rng, "s", 0, 60 * kSec);
+    FootprintReport rep = analyzeFootprint(tr, kCap);
+    EXPECT_GT(rep.mean_run_requests, 20.0);
+    EXPECT_LT(rep.mean_seek_blocks, kCap / 20.0);
+}
+
+TEST(FootprintDeathTest, BadInputs)
+{
+    trace::MsTrace tr("fp", 0, kSec);
+    EXPECT_DEATH(analyzeFootprint(tr, 0), "positive");
+    EXPECT_DEATH(analyzeFootprint(tr, kCap, 5), "ten extents");
+    trace::Request r;
+    r.arrival = 0;
+    r.lba = kCap;
+    r.blocks = 8;
+    r.op = trace::Op::Read;
+    tr.append(r);
+    EXPECT_DEATH(analyzeFootprint(tr, kCap), "beyond stated capacity");
+}
+
+} // anonymous namespace
+} // namespace core
+} // namespace dlw

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Unit tests for stats/histogram (linear and log).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "stats/histogram.hh"
+
+namespace dlw
+{
+namespace stats
+{
+namespace
+{
+
+TEST(LinearHistogram, BinningAndEdges)
+{
+    LinearHistogram h(0.0, 10.0, 10);
+    h.add(0.0);   // bin 0
+    h.add(0.999); // bin 0
+    h.add(1.0);   // bin 1
+    h.add(9.999); // bin 9
+    EXPECT_DOUBLE_EQ(h.binWeight(0), 2.0);
+    EXPECT_DOUBLE_EQ(h.binWeight(1), 1.0);
+    EXPECT_DOUBLE_EQ(h.binWeight(9), 1.0);
+    EXPECT_DOUBLE_EQ(h.total(), 4.0);
+    EXPECT_DOUBLE_EQ(h.binLower(3), 3.0);
+    EXPECT_DOUBLE_EQ(h.binUpper(3), 4.0);
+    EXPECT_DOUBLE_EQ(h.binMid(3), 3.5);
+}
+
+TEST(LinearHistogram, UnderOverflow)
+{
+    LinearHistogram h(0.0, 1.0, 4);
+    h.add(-0.5);
+    h.add(1.0); // hi edge is exclusive -> overflow
+    h.add(2.0);
+    EXPECT_DOUBLE_EQ(h.underflow(), 1.0);
+    EXPECT_DOUBLE_EQ(h.overflow(), 2.0);
+    EXPECT_DOUBLE_EQ(h.total(), 3.0);
+}
+
+TEST(LinearHistogram, WeightedAdds)
+{
+    LinearHistogram h(0.0, 1.0, 2);
+    h.addWeighted(0.25, 2.5);
+    h.addWeighted(0.75, 0.5);
+    EXPECT_DOUBLE_EQ(h.binWeight(0), 2.5);
+    EXPECT_DOUBLE_EQ(h.binWeight(1), 0.5);
+    EXPECT_DOUBLE_EQ(h.total(), 3.0);
+}
+
+TEST(LinearHistogram, QuantileInterpolation)
+{
+    LinearHistogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(i + 0.5);
+    // Uniform mass: median should land near 50.
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 1.0);
+    EXPECT_NEAR(h.quantile(0.9), 90.0, 1.0);
+    EXPECT_NEAR(h.quantile(0.0), 0.0, 1.0);
+    EXPECT_NEAR(h.quantile(1.0), 100.0, 1.0);
+}
+
+TEST(LinearHistogram, ApproximateMean)
+{
+    LinearHistogram h(0.0, 10.0, 100);
+    Rng rng(5);
+    double exact = 0.0;
+    for (int i = 0; i < 100000; ++i) {
+        double v = rng.uniform(2.0, 8.0);
+        h.add(v);
+        exact += v;
+    }
+    EXPECT_NEAR(h.approximateMean(), exact / 100000, 0.05);
+}
+
+TEST(LinearHistogram, MergeIdenticalLayout)
+{
+    LinearHistogram a(0.0, 1.0, 4), b(0.0, 1.0, 4);
+    a.add(0.1);
+    b.add(0.9);
+    b.add(-1.0);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.total(), 3.0);
+    EXPECT_DOUBLE_EQ(a.binWeight(0), 1.0);
+    EXPECT_DOUBLE_EQ(a.binWeight(3), 1.0);
+    EXPECT_DOUBLE_EQ(a.underflow(), 1.0);
+}
+
+TEST(LinearHistogramDeathTest, MergeMismatch)
+{
+    LinearHistogram a(0.0, 1.0, 4), b(0.0, 2.0, 4);
+    EXPECT_DEATH(a.merge(b), "different layouts");
+}
+
+TEST(LinearHistogramDeathTest, BadConstruction)
+{
+    EXPECT_DEATH(LinearHistogram(1.0, 0.0, 4), "inverted");
+    EXPECT_DEATH(LinearHistogram(0.0, 1.0, 0), "at least one bin");
+}
+
+TEST(LogHistogram, DecadeLayout)
+{
+    LogHistogram h(1.0, 1000.0, 1);
+    EXPECT_EQ(h.binCount(), 3u);
+    EXPECT_NEAR(h.binLower(0), 1.0, 1e-9);
+    EXPECT_NEAR(h.binUpper(0), 10.0, 1e-9);
+    EXPECT_NEAR(h.binLower(2), 100.0, 1e-6);
+}
+
+TEST(LogHistogram, BinsSamplesByMagnitude)
+{
+    LogHistogram h(1.0, 1e6, 2);
+    h.add(2.0);
+    h.add(3.0);
+    h.add(20000.0);
+    EXPECT_DOUBLE_EQ(h.total(), 3.0);
+    EXPECT_DOUBLE_EQ(h.underflow(), 0.0);
+    // The two small samples share a bin; the large one is far away.
+    double small_bin = 0.0, big_bin = 0.0;
+    for (std::size_t i = 0; i < h.binCount(); ++i) {
+        if (h.binLower(i) <= 2.0 && 2.0 < h.binUpper(i))
+            small_bin = h.binWeight(i);
+        if (h.binLower(i) <= 20000.0 && 20000.0 < h.binUpper(i))
+            big_bin = h.binWeight(i);
+    }
+    EXPECT_DOUBLE_EQ(small_bin, 2.0);
+    EXPECT_DOUBLE_EQ(big_bin, 1.0);
+}
+
+TEST(LogHistogram, NonPositiveGoesToUnderflow)
+{
+    LogHistogram h(1.0, 100.0, 2);
+    h.add(0.0);
+    h.add(-5.0);
+    h.add(0.5);
+    EXPECT_DOUBLE_EQ(h.underflow(), 3.0);
+}
+
+TEST(LogHistogram, QuantileOnLognormalData)
+{
+    LogHistogram h(1e-3, 1e3, 16);
+    Rng rng(6);
+    std::vector<double> xs;
+    for (int i = 0; i < 200000; ++i) {
+        double v = rng.lognormal(0.0, 1.0);
+        h.add(v);
+        xs.push_back(v);
+    }
+    std::sort(xs.begin(), xs.end());
+    const double exact_med = xs[xs.size() / 2];
+    EXPECT_NEAR(h.quantile(0.5) / exact_med, 1.0, 0.1);
+    const double exact_p99 = xs[static_cast<std::size_t>(
+        0.99 * static_cast<double>(xs.size()))];
+    EXPECT_NEAR(h.quantile(0.99) / exact_p99, 1.0, 0.15);
+}
+
+TEST(LogHistogram, CcdfMonotone)
+{
+    LogHistogram h(1.0, 1e4, 4);
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        h.add(rng.pareto(1.5, 1.0));
+    auto c = h.ccdf();
+    ASSERT_FALSE(c.empty());
+    EXPECT_NEAR(c.front().second, 1.0, 0.01);
+    for (std::size_t i = 1; i < c.size(); ++i) {
+        EXPECT_LE(c[i].second, c[i - 1].second + 1e-12);
+        EXPECT_GT(c[i].first, c[i - 1].first);
+    }
+}
+
+TEST(LogHistogram, Merge)
+{
+    LogHistogram a(1.0, 100.0, 2), b(1.0, 100.0, 2);
+    a.add(5.0);
+    b.add(50.0);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.total(), 2.0);
+}
+
+} // anonymous namespace
+} // namespace stats
+} // namespace dlw

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests for the Hurst estimators: iid data must give H ~ 0.5 and
+ * b-model cascades must give the elevated H predicted by the bias.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "stats/hurst.hh"
+#include "synth/bmodel.hh"
+
+namespace dlw
+{
+namespace stats
+{
+namespace
+{
+
+std::vector<double>
+iidCounts(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<double> xs;
+    xs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        xs.push_back(static_cast<double>(rng.poisson(10.0)));
+    return xs;
+}
+
+TEST(HurstAggVar, IidNearHalf)
+{
+    auto est = hurstAggregatedVariance(iidCounts(1 << 16, 1));
+    EXPECT_NEAR(est.h, 0.5, 0.08);
+    EXPECT_GT(est.points, 4u);
+    EXPECT_GT(est.r2, 0.9);
+}
+
+TEST(HurstRs, IidNearHalf)
+{
+    auto est = hurstRescaledRange(iidCounts(1 << 16, 2));
+    // R/S is biased upward on short-range data; wide tolerance.
+    EXPECT_NEAR(est.h, 0.55, 0.12);
+}
+
+TEST(HurstAggVar, BModelMatchesTheory)
+{
+    Rng rng(3);
+    synth::BModel bm(0.8, 16);
+    auto counts = bm.counts(rng, 5'000'000);
+    std::vector<double> xs(counts.begin(), counts.end());
+    auto est = hurstAggregatedVariance(xs);
+    const double theory = synth::BModel::hurstOfBias(0.8);
+    EXPECT_NEAR(est.h, theory, 0.12);
+    EXPECT_GT(est.h, 0.6);
+}
+
+TEST(HurstAggVar, BiasOrdersEstimates)
+{
+    // More biased cascades are predicted (and measured) to have a
+    // different H; the estimator must track the theoretical order.
+    Rng rng(4);
+    synth::BModel mild(0.65, 16), strong(0.9, 16);
+    auto cm = mild.counts(rng, 5'000'000);
+    auto cs = strong.counts(rng, 5'000'000);
+    auto hm = hurstAggregatedVariance(
+        std::vector<double>(cm.begin(), cm.end()));
+    auto hs = hurstAggregatedVariance(
+        std::vector<double>(cs.begin(), cs.end()));
+    const bool theory_order = synth::BModel::hurstOfBias(0.65) >
+                              synth::BModel::hurstOfBias(0.9);
+    EXPECT_EQ(hm.h > hs.h, theory_order);
+}
+
+TEST(HurstAggVar, VarianceTimeSamplesExposed)
+{
+    auto est = hurstAggregatedVariance(iidCounts(4096, 5));
+    ASSERT_EQ(est.log_scale.size(), est.log_value.size());
+    ASSERT_GE(est.log_scale.size(), 2u);
+    // Scales must be increasing.
+    for (std::size_t i = 1; i < est.log_scale.size(); ++i)
+        EXPECT_GT(est.log_scale[i], est.log_scale[i - 1]);
+}
+
+TEST(HurstAggVar, ConstantSeriesDegenerates)
+{
+    std::vector<double> xs(1024, 3.0);
+    auto est = hurstAggregatedVariance(xs);
+    // No usable variance points: falls back to the 0.5 default.
+    EXPECT_DOUBLE_EQ(est.h, 0.5);
+    EXPECT_EQ(est.points, 0u);
+}
+
+TEST(HurstDeathTest, TooShort)
+{
+    std::vector<double> xs(16, 1.0);
+    EXPECT_DEATH(hurstAggregatedVariance(xs), ">= 32");
+    EXPECT_DEATH(hurstRescaledRange(xs), ">= 64");
+}
+
+TEST(HurstRs, TrendedSeriesIsHighH)
+{
+    // A strong trend means ranges grow ~ n: H near 1.
+    Rng rng(6);
+    std::vector<double> xs;
+    for (int i = 0; i < 8192; ++i)
+        xs.push_back(0.01 * i + rng.normal(0.0, 0.5));
+    auto est = hurstRescaledRange(xs);
+    EXPECT_GT(est.h, 0.85);
+}
+
+} // anonymous namespace
+} // namespace stats
+} // namespace dlw

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unit tests for disk/model (mechanical service time).
+ */
+
+#include <gtest/gtest.h>
+
+#include "disk/model.hh"
+
+namespace dlw
+{
+namespace disk
+{
+namespace
+{
+
+DiskModel
+tinyModel()
+{
+    std::vector<Zone> zones = {{0, 1000, 100}};
+    DiskGeometry g(std::move(zones), 6000); // 10 ms/rev
+    SeekModel s(g.cylinders(), 200 * kUsec, 3 * kMsec, 6 * kMsec);
+    return DiskModel(std::move(g), s);
+}
+
+TEST(Model, AngleAtWrapsWithRotation)
+{
+    DiskModel m = tinyModel();
+    EXPECT_DOUBLE_EQ(m.angleAt(0), 0.0);
+    EXPECT_DOUBLE_EQ(m.angleAt(5 * kMsec), 0.5);
+    EXPECT_DOUBLE_EQ(m.angleAt(10 * kMsec), 0.0);
+    EXPECT_DOUBLE_EQ(m.angleAt(12500 * kUsec), 0.25);
+}
+
+TEST(Model, NoSeekSameCylinder)
+{
+    DiskModel m = tinyModel();
+    // Head on cylinder 0, access block 0 at t=0: angle already 0,
+    // so rotation wait is 0 and transfer of 10 blocks = 1 ms.
+    MechanicalTime mt = m.access(0, 0, 0, 10);
+    EXPECT_EQ(mt.seek, 0);
+    EXPECT_EQ(mt.rotation, 0);
+    EXPECT_EQ(mt.transfer, kMsec);
+    EXPECT_EQ(mt.total(), kMsec);
+}
+
+TEST(Model, RotationWaitsForTargetSector)
+{
+    DiskModel m = tinyModel();
+    // Target block 50 has angle 0.5; at t=0 the platter angle is 0,
+    // so the head waits half a revolution = 5 ms.
+    MechanicalTime mt = m.access(0, 0, 50, 1);
+    EXPECT_EQ(mt.seek, 0);
+    EXPECT_EQ(mt.rotation, 5 * kMsec);
+}
+
+TEST(Model, RotationAccountsForSeekTime)
+{
+    DiskModel m = tinyModel();
+    // Seek from cylinder 0 to cylinder 5 takes some time; the
+    // rotational wait must be computed at seek completion.
+    MechanicalTime mt = m.access(0, 0, 500, 1);
+    EXPECT_GT(mt.seek, 0);
+    const double angle_after_seek =
+        m.angleAt(mt.seek);
+    const double target = m.geometry().angleOf(500);
+    double wait = target - angle_after_seek;
+    if (wait < 0.0)
+        wait += 1.0;
+    EXPECT_NEAR(static_cast<double>(mt.rotation),
+                wait * static_cast<double>(m.geometry().rotationTime()),
+                2.0);
+}
+
+TEST(Model, TotalIsSumOfParts)
+{
+    DiskModel m = tinyModel();
+    MechanicalTime mt = m.access(123456, 3, 777, 20);
+    EXPECT_EQ(mt.total(), mt.seek + mt.rotation + mt.transfer);
+}
+
+TEST(Model, EndCylinderFollowsLastBlock)
+{
+    DiskModel m = tinyModel();
+    EXPECT_EQ(m.endCylinder(0, 10), 0u);
+    EXPECT_EQ(m.endCylinder(95, 10), 1u); // crosses track boundary
+    EXPECT_EQ(m.endCylinder(990, 10), 9u);
+}
+
+TEST(Model, DeterministicForSameInputs)
+{
+    DiskModel m = tinyModel();
+    MechanicalTime a = m.access(1000, 2, 333, 8);
+    MechanicalTime b = m.access(1000, 2, 333, 8);
+    EXPECT_EQ(a.total(), b.total());
+}
+
+TEST(ModelDeathTest, InvalidAccess)
+{
+    DiskModel m = tinyModel();
+    EXPECT_DEATH(m.access(0, 0, 0, 0), "zero blocks");
+    EXPECT_DEATH(m.access(0, 0, 995, 10), "beyond drive capacity");
+}
+
+} // anonymous namespace
+} // namespace disk
+} // namespace dlw

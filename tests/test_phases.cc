@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for core/phases segmentation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/phases.hh"
+
+namespace dlw
+{
+namespace core
+{
+namespace
+{
+
+TEST(Phases, EmptySeries)
+{
+    EXPECT_TRUE(segmentPhases({}, 0.5, 0.3).empty());
+}
+
+TEST(Phases, SingleStateSeries)
+{
+    std::vector<double> flat(10, 0.9);
+    auto phases = segmentPhases(flat, 0.5, 0.3);
+    ASSERT_EQ(phases.size(), 1u);
+    EXPECT_TRUE(phases[0].active);
+    EXPECT_EQ(phases[0].begin, 0u);
+    EXPECT_EQ(phases[0].end, 10u);
+    EXPECT_DOUBLE_EQ(phases[0].mean_level, 0.9);
+}
+
+TEST(Phases, StepFunctionSplits)
+{
+    std::vector<double> s;
+    for (int i = 0; i < 5; ++i)
+        s.push_back(0.1);
+    for (int i = 0; i < 5; ++i)
+        s.push_back(0.9);
+    for (int i = 0; i < 5; ++i)
+        s.push_back(0.1);
+
+    auto phases = segmentPhases(s, 0.5, 0.3);
+    ASSERT_EQ(phases.size(), 3u);
+    EXPECT_FALSE(phases[0].active);
+    EXPECT_TRUE(phases[1].active);
+    EXPECT_FALSE(phases[2].active);
+    EXPECT_EQ(phases[1].begin, 5u);
+    EXPECT_EQ(phases[1].end, 10u);
+    // Coverage is contiguous.
+    EXPECT_EQ(phases[0].begin, 0u);
+    EXPECT_EQ(phases[2].end, 15u);
+}
+
+TEST(Phases, HysteresisPreventsChatter)
+{
+    // Values oscillating between the two thresholds must not split
+    // an active phase.
+    std::vector<double> s = {0.9, 0.4, 0.9, 0.4, 0.9, 0.1};
+    auto phases = segmentPhases(s, 0.5, 0.3);
+    ASSERT_EQ(phases.size(), 2u);
+    EXPECT_TRUE(phases[0].active);
+    EXPECT_EQ(phases[0].end, 5u); // 0.4 stays active; 0.1 ends it
+    EXPECT_FALSE(phases[1].active);
+}
+
+TEST(Phases, MinLengthMergesBlips)
+{
+    std::vector<double> s(20, 0.1);
+    s[10] = 0.9; // one-bin blip
+    auto raw = segmentPhases(s, 0.5, 0.3, 1);
+    EXPECT_EQ(raw.size(), 3u);
+    auto merged = segmentPhases(s, 0.5, 0.3, 3);
+    ASSERT_EQ(merged.size(), 1u);
+    EXPECT_FALSE(merged[0].active);
+    EXPECT_EQ(merged[0].length(), 20u);
+}
+
+TEST(Phases, LeadingRuntAbsorbedForward)
+{
+    std::vector<double> s = {0.9, 0.1, 0.1, 0.1, 0.1};
+    auto phases = segmentPhases(s, 0.5, 0.3, 2);
+    ASSERT_EQ(phases.size(), 1u);
+    EXPECT_EQ(phases[0].length(), 5u);
+}
+
+TEST(Phases, SummaryStatistics)
+{
+    std::vector<double> s;
+    auto block = [&s](double v, int n) {
+        for (int i = 0; i < n; ++i)
+            s.push_back(v);
+    };
+    block(0.1, 4);
+    block(0.9, 2);
+    block(0.1, 6);
+    block(0.9, 8);
+
+    auto phases = segmentPhases(s, 0.5, 0.3);
+    PhaseSummary sum = summarizePhases(phases);
+    EXPECT_EQ(sum.active_phases, 2u);
+    EXPECT_EQ(sum.idle_phases, 2u);
+    EXPECT_DOUBLE_EQ(sum.mean_active_length, 5.0);
+    EXPECT_DOUBLE_EQ(sum.mean_idle_length, 5.0);
+    EXPECT_EQ(sum.longest_active, 8u);
+    EXPECT_EQ(sum.longest_idle, 6u);
+    EXPECT_DOUBLE_EQ(sum.active_fraction, 0.5);
+}
+
+TEST(PhasesDeathTest, BadThresholds)
+{
+    std::vector<double> s(10, 0.5);
+    EXPECT_DEATH(segmentPhases(s, 0.3, 0.5), "inverted");
+    EXPECT_DEATH(segmentPhases(s, 0.5, 0.3, 0), ">= 1");
+}
+
+} // anonymous namespace
+} // namespace core
+} // namespace dlw

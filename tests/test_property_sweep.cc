@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Randomized property sweep: for a grid of workload classes, seeds,
+ * and drive configurations, the end-to-end pipeline must uphold its
+ * invariants.  This is the wide net that catches interactions the
+ * targeted unit tests miss.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "core/idleness.hh"
+#include "core/utilization.hh"
+#include "disk/drive.hh"
+#include "synth/workload.hh"
+#include "trace/aggregate.hh"
+
+namespace dlw
+{
+namespace
+{
+
+enum class Wl
+{
+    Oltp,
+    FileServer,
+    Streaming,
+    Backup,
+};
+
+const char *
+wlName(Wl w)
+{
+    switch (w) {
+      case Wl::Oltp:
+        return "oltp";
+      case Wl::FileServer:
+        return "fileserver";
+      case Wl::Streaming:
+        return "streaming";
+      case Wl::Backup:
+        return "backup";
+    }
+    return "?";
+}
+
+synth::Workload
+build(Wl wl, Lba cap, double rate, std::uint64_t seed)
+{
+    switch (wl) {
+      case Wl::Oltp:
+        return synth::Workload::makeOltp(cap, rate, seed);
+      case Wl::FileServer:
+        return synth::Workload::makeFileServer(cap, rate, seed);
+      case Wl::Streaming:
+        return synth::Workload::makeStreaming(cap, rate);
+      case Wl::Backup:
+        return synth::Workload::makeBackup(cap, rate);
+    }
+    dlw_panic("unreachable");
+}
+
+using SweepParam =
+    std::tuple<Wl, std::uint64_t /*seed*/, bool /*cache*/,
+               disk::SchedPolicy>;
+
+class PipelineSweep : public ::testing::TestWithParam<SweepParam>
+{
+};
+
+TEST_P(PipelineSweep, InvariantsHold)
+{
+    const auto [wl, seed, cache, sched] = GetParam();
+    SCOPED_TRACE(wlName(wl));
+
+    disk::DriveConfig cfg = disk::DriveConfig::makeEnterprise();
+    cfg.cache.enabled = cache;
+    cfg.sched = sched;
+
+    Rng rng(seed);
+    synth::Workload w =
+        build(wl, cfg.geometry.capacityBlocks(), 50.0, seed);
+    trace::MsTrace tr = w.generate(rng, "sweep", 0, 10 * kSec);
+    ASSERT_TRUE(tr.validate());
+
+    disk::DiskDrive drive(cfg);
+    disk::ServiceLog log = drive.service(tr);
+
+    // 1. Every request completes exactly once, never before arrival.
+    ASSERT_EQ(log.completions.size(), tr.size());
+    std::vector<bool> seen(tr.size(), false);
+    for (const disk::Completion &c : log.completions) {
+        ASSERT_LT(c.index, tr.size());
+        EXPECT_FALSE(seen[c.index]);
+        seen[c.index] = true;
+        EXPECT_GE(c.finish, c.arrival);
+        EXPECT_GE(c.start, c.arrival);
+        EXPECT_GE(c.finish, c.start);
+    }
+
+    // 2. Busy intervals are sorted, disjoint, inside the window.
+    for (std::size_t i = 0; i < log.busy.size(); ++i) {
+        EXPECT_LT(log.busy[i].first, log.busy[i].second);
+        EXPECT_GE(log.busy[i].first, log.window_start);
+        EXPECT_LE(log.busy[i].second, log.window_end);
+        if (i > 0) {
+            EXPECT_GT(log.busy[i].first, log.busy[i - 1].second);
+        }
+    }
+
+    // 3. Busy + idle == window; utilization in [0, 1].
+    Tick idle = 0;
+    for (Tick g : log.idleIntervals())
+        idle += g;
+    EXPECT_EQ(idle + log.busyTime(),
+              log.window_end - log.window_start);
+    EXPECT_GE(log.utilization(), 0.0);
+    EXPECT_LE(log.utilization(), 1.0);
+
+    // 4. Aggregation identities hold.
+    trace::HourTrace ht = trace::msToHour(tr, log.busy);
+    EXPECT_TRUE(trace::consistentMsHour(tr, ht));
+    trace::LifetimeRecord life = trace::hourToLifetime(ht);
+    EXPECT_TRUE(trace::consistentHourLifetime(ht, life));
+
+    // 5. Utilization profiles bounded at every scale.
+    for (Tick width : {100 * kMsec, kSec}) {
+        core::UtilizationProfile p =
+            core::utilizationProfile(log, width);
+        EXPECT_GE(p.mean, 0.0);
+        EXPECT_LE(p.peak, 1.0 + 1e-9);
+    }
+
+    // 6. Idleness mass function is a valid survival curve.
+    core::IdlenessAnalysis ia(log);
+    double prev = 1.0;
+    for (Tick t : {kMsec, 10 * kMsec, 100 * kMsec, kSec}) {
+        const double m = ia.idleMassAtLeast(t);
+        EXPECT_LE(m, prev + 1e-12);
+        EXPECT_GE(m, 0.0);
+        prev = m;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ClassesSeedsConfigs, PipelineSweep,
+    ::testing::Combine(
+        ::testing::Values(Wl::Oltp, Wl::FileServer, Wl::Streaming,
+                          Wl::Backup),
+        ::testing::Values(1u, 7u, 1234u),
+        ::testing::Values(true, false),
+        ::testing::Values(disk::SchedPolicy::Fcfs,
+                          disk::SchedPolicy::Sstf,
+                          disk::SchedPolicy::Elevator)));
+
+} // anonymous namespace
+} // namespace dlw

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Property tests for the P-square streaming quantile estimator:
+ * parameterized sweep of quantiles x distributions against the exact
+ * Ecdf answer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "stats/ecdf.hh"
+#include "stats/quantile.hh"
+
+namespace dlw
+{
+namespace stats
+{
+namespace
+{
+
+enum class Dist
+{
+    Uniform,
+    Normal,
+    Exponential,
+    Lognormal,
+};
+
+double
+draw(Dist d, Rng &rng)
+{
+    switch (d) {
+      case Dist::Uniform:
+        return rng.uniform();
+      case Dist::Normal:
+        return rng.normal(0.0, 1.0);
+      case Dist::Exponential:
+        return rng.exponential(1.0);
+      case Dist::Lognormal:
+        return rng.lognormal(0.0, 1.0);
+    }
+    return 0.0;
+}
+
+class P2Sweep : public ::testing::TestWithParam<std::tuple<double, Dist>>
+{
+};
+
+TEST_P(P2Sweep, TracksExactQuantile)
+{
+    const auto [q, dist] = GetParam();
+    Rng rng(77);
+    P2Quantile p2(q);
+    Ecdf exact;
+    for (int i = 0; i < 100000; ++i) {
+        const double v = draw(dist, rng);
+        p2.add(v);
+        exact.add(v);
+    }
+    const double truth = exact.quantile(q);
+    const double spread = exact.quantile(0.95) - exact.quantile(0.05);
+    // P2 should land within a few percent of the sample spread.
+    EXPECT_NEAR(p2.value(), truth, 0.05 * spread)
+        << "q=" << q << " dist=" << static_cast<int>(dist);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    QuantilesAndDistributions, P2Sweep,
+    ::testing::Combine(
+        ::testing::Values(0.1, 0.25, 0.5, 0.75, 0.9, 0.99),
+        ::testing::Values(Dist::Uniform, Dist::Normal,
+                          Dist::Exponential, Dist::Lognormal)));
+
+TEST(P2Quantile, ExactForFewSamples)
+{
+    P2Quantile p2(0.5);
+    EXPECT_DOUBLE_EQ(p2.value(), 0.0); // empty
+    p2.add(3.0);
+    EXPECT_DOUBLE_EQ(p2.value(), 3.0);
+    p2.add(1.0);
+    EXPECT_DOUBLE_EQ(p2.value(), 2.0);
+    p2.add(5.0);
+    EXPECT_DOUBLE_EQ(p2.value(), 3.0);
+}
+
+TEST(P2Quantile, CountTracksAdds)
+{
+    P2Quantile p2(0.9);
+    for (int i = 0; i < 10; ++i)
+        p2.add(static_cast<double>(i));
+    EXPECT_EQ(p2.count(), 10u);
+}
+
+TEST(P2Quantile, MonotoneInputs)
+{
+    P2Quantile p2(0.5);
+    for (int i = 1; i <= 1001; ++i)
+        p2.add(static_cast<double>(i));
+    EXPECT_NEAR(p2.value(), 501.0, 10.0);
+}
+
+TEST(P2QuantileDeathTest, RejectsDegenerateQuantile)
+{
+    EXPECT_DEATH(P2Quantile(0.0), "in \\(0,1\\)");
+    EXPECT_DEATH(P2Quantile(1.0), "in \\(0,1\\)");
+}
+
+} // anonymous namespace
+} // namespace stats
+} // namespace dlw

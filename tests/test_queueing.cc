@@ -1,0 +1,123 @@
+/**
+ * @file
+ * M/G/1 validation: the drive engine must queue like theory says.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/queueing.hh"
+#include "synth/workload.hh"
+
+namespace dlw
+{
+namespace core
+{
+namespace
+{
+
+/** Drive setup satisfying the M/G/1 assumptions: FCFS, no cache. */
+disk::DriveConfig
+mg1Drive()
+{
+    disk::DriveConfig cfg = disk::DriveConfig::makeEnterprise();
+    cfg.cache.enabled = false;
+    cfg.sched = disk::SchedPolicy::Fcfs;
+    return cfg;
+}
+
+TEST(Mg1, PredictKnownMm1Case)
+{
+    // M/M/1: E[S^2] = 2 E[S]^2; W = rho/(1-rho) * E[S].
+    const double es = 0.01;
+    const double lambda = 50.0; // rho = 0.5
+    Mg1Prediction p = predictMg1(lambda, es, 2.0 * es * es);
+    EXPECT_DOUBLE_EQ(p.rho, 0.5);
+    EXPECT_NEAR(p.wait, 0.01, 1e-12); // rho/(1-rho) * es = 0.01
+    EXPECT_NEAR(p.response, 0.02, 1e-12);
+}
+
+TEST(Mg1, DeterministicServiceHalvesWait)
+{
+    // M/D/1 waits half as long as M/M/1 at the same rho.
+    const double es = 0.01;
+    const double lambda = 50.0;
+    Mg1Prediction md1 = predictMg1(lambda, es, es * es);
+    Mg1Prediction mm1 = predictMg1(lambda, es, 2.0 * es * es);
+    EXPECT_NEAR(md1.wait, mm1.wait / 2.0, 1e-12);
+}
+
+TEST(Mg1, OverloadIsInfinite)
+{
+    Mg1Prediction p = predictMg1(200.0, 0.01, 2e-4);
+    EXPECT_TRUE(std::isinf(p.wait));
+}
+
+/**
+ * Sweep offered loads: the simulated drive's mean response must
+ * track the P-K prediction built from its own service moments.
+ */
+class Mg1Sweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(Mg1Sweep, DriveMatchesPollaczekKhinchine)
+{
+    const double rate = GetParam();
+    Rng rng(101 + static_cast<std::uint64_t>(rate));
+    disk::DriveConfig cfg = mg1Drive();
+
+    // Poisson arrivals, uniform random small accesses.
+    synth::Workload w;
+    w.setArrival(std::make_unique<synth::PoissonArrivals>(rate));
+    w.setSize(std::make_unique<synth::FixedSize>(8));
+    w.setSpatial(std::make_unique<synth::UniformSpatial>(
+        cfg.geometry.capacityBlocks()));
+    w.setMix(1.0); // reads only: no destage side traffic
+
+    trace::MsTrace tr = w.generate(rng, "mg1", 0, 5 * kMinute);
+    disk::ServiceLog log = disk::DiskDrive(cfg).service(tr);
+
+    QueueingValidation v = validateMg1(tr, log);
+    ASSERT_LT(v.predicted.rho, 0.9) << "sweep exceeded stable range";
+    // Within 12%: the engine is not exactly M/G/1 (service times
+    // depend weakly on queue state via head position), but it must
+    // be close.
+    EXPECT_NEAR(v.response_ratio, 1.0, 0.12)
+        << "rate " << rate << " rho " << v.predicted.rho;
+}
+
+INSTANTIATE_TEST_SUITE_P(OfferedLoads, Mg1Sweep,
+                         ::testing::Values(20.0, 60.0, 100.0));
+
+TEST(Mg1, WaitGrowsNonlinearlyWithLoad)
+{
+    Rng rng(55);
+    disk::DriveConfig cfg = mg1Drive();
+    auto run = [&](double rate) {
+        synth::Workload w;
+        w.setArrival(std::make_unique<synth::PoissonArrivals>(rate));
+        w.setSize(std::make_unique<synth::FixedSize>(8));
+        w.setSpatial(std::make_unique<synth::UniformSpatial>(
+            cfg.geometry.capacityBlocks()));
+        w.setMix(1.0);
+        trace::MsTrace tr = w.generate(rng, "mg1", 0, 3 * kMinute);
+        disk::ServiceLog log = disk::DiskDrive(cfg).service(tr);
+        return validateMg1(tr, log);
+    };
+    QueueingValidation lo = run(30.0);
+    QueueingValidation hi = run(110.0);
+    // Wait grows superlinearly: > 4x for < 4x the load.
+    EXPECT_GT(hi.measured_wait, 4.0 * lo.measured_wait);
+}
+
+TEST(Mg1DeathTest, BadInputs)
+{
+    EXPECT_DEATH(predictMg1(-1.0, 0.01, 1e-4), "negative");
+    EXPECT_DEATH(predictMg1(10.0, 0.0, 1e-4), "positive");
+    EXPECT_DEATH(predictMg1(10.0, 0.01, 1e-6), "second moment");
+}
+
+} // anonymous namespace
+} // namespace core
+} // namespace dlw

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for stats/regression.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "stats/regression.hh"
+
+namespace dlw
+{
+namespace stats
+{
+namespace
+{
+
+TEST(LeastSquares, ExactLine)
+{
+    std::vector<double> xs = {0.0, 1.0, 2.0, 3.0};
+    std::vector<double> ys = {1.0, 3.0, 5.0, 7.0};
+    LineFit f = leastSquares(xs, ys);
+    EXPECT_DOUBLE_EQ(f.slope, 2.0);
+    EXPECT_DOUBLE_EQ(f.intercept, 1.0);
+    EXPECT_DOUBLE_EQ(f.r2, 1.0);
+    EXPECT_EQ(f.n, 4u);
+}
+
+TEST(LeastSquares, NegativeSlope)
+{
+    std::vector<double> xs = {1.0, 2.0, 3.0};
+    std::vector<double> ys = {3.0, 1.0, -1.0};
+    LineFit f = leastSquares(xs, ys);
+    EXPECT_DOUBLE_EQ(f.slope, -2.0);
+    EXPECT_DOUBLE_EQ(f.intercept, 5.0);
+}
+
+TEST(LeastSquares, NoisyLineRecoversSlope)
+{
+    Rng rng(3);
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 10000; ++i) {
+        double x = rng.uniform(0.0, 10.0);
+        xs.push_back(x);
+        ys.push_back(0.7 * x + 2.0 + rng.normal(0.0, 0.5));
+    }
+    LineFit f = leastSquares(xs, ys);
+    EXPECT_NEAR(f.slope, 0.7, 0.02);
+    EXPECT_NEAR(f.intercept, 2.0, 0.05);
+    EXPECT_GT(f.r2, 0.9);
+}
+
+TEST(LeastSquares, PureNoiseHasLowR2)
+{
+    Rng rng(4);
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 2000; ++i) {
+        xs.push_back(rng.uniform());
+        ys.push_back(rng.uniform());
+    }
+    LineFit f = leastSquares(xs, ys);
+    EXPECT_LT(f.r2, 0.05);
+}
+
+TEST(LeastSquares, VerticalDataDegenerates)
+{
+    std::vector<double> xs = {2.0, 2.0, 2.0};
+    std::vector<double> ys = {1.0, 2.0, 3.0};
+    LineFit f = leastSquares(xs, ys);
+    EXPECT_DOUBLE_EQ(f.slope, 0.0);
+    EXPECT_DOUBLE_EQ(f.intercept, 2.0);
+    EXPECT_DOUBLE_EQ(f.r2, 0.0);
+}
+
+TEST(LeastSquares, HorizontalDataPerfect)
+{
+    std::vector<double> xs = {1.0, 2.0, 3.0};
+    std::vector<double> ys = {4.0, 4.0, 4.0};
+    LineFit f = leastSquares(xs, ys);
+    EXPECT_DOUBLE_EQ(f.slope, 0.0);
+    EXPECT_DOUBLE_EQ(f.intercept, 4.0);
+    EXPECT_DOUBLE_EQ(f.r2, 1.0);
+}
+
+TEST(LeastSquaresDeathTest, BadInputs)
+{
+    std::vector<double> one = {1.0};
+    std::vector<double> two = {1.0, 2.0};
+    EXPECT_DEATH(leastSquares(one, one), "at least two");
+    EXPECT_DEATH(leastSquares(one, two), "differ in size");
+}
+
+} // anonymous namespace
+} // namespace stats
+} // namespace dlw

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for core/rwmix.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/rwmix.hh"
+#include "synth/workload.hh"
+
+namespace dlw
+{
+namespace core
+{
+namespace
+{
+
+trace::MsTrace
+patternTrace(const std::string &pattern, Tick gap = 10 * kMsec)
+{
+    trace::MsTrace tr("t", 0,
+                      static_cast<Tick>(pattern.size() + 1) * gap);
+    Tick at = 0;
+    for (char c : pattern) {
+        trace::Request r;
+        r.arrival = at;
+        r.lba = 0;
+        r.blocks = 1;
+        r.op = c == 'R' ? trace::Op::Read : trace::Op::Write;
+        tr.append(r);
+        at += gap;
+    }
+    return tr;
+}
+
+TEST(RwMix, ReadFractionAndRuns)
+{
+    // RRWWWWRRRR: runs of 2, 4, 4; mean run length 10/3.
+    auto tr = patternTrace("RRWWWWRRRR");
+    RwDynamics d = analyzeRwDynamics(tr, kSec);
+    EXPECT_DOUBLE_EQ(d.read_fraction, 0.6);
+    EXPECT_NEAR(d.mean_run_length, 10.0 / 3.0, 1e-9);
+    EXPECT_EQ(d.longest_write_run, 4u);
+    EXPECT_EQ(d.write_bursts, 0u); // bursts need >= 8 writes
+}
+
+TEST(RwMix, WriteBurstDetection)
+{
+    auto tr = patternTrace("RWWWWWWWWWR"); // 9-write run
+    RwDynamics d = analyzeRwDynamics(tr, kSec);
+    EXPECT_EQ(d.longest_write_run, 9u);
+    EXPECT_EQ(d.write_bursts, 1u);
+}
+
+TEST(RwMix, TrailingWriteRunCounted)
+{
+    auto tr = patternTrace("RWWWWWWWW"); // trailing 8-write run
+    RwDynamics d = analyzeRwDynamics(tr, kSec);
+    EXPECT_EQ(d.longest_write_run, 8u);
+    EXPECT_EQ(d.write_bursts, 1u);
+}
+
+TEST(RwMix, PerBinSeriesMarksInactiveBins)
+{
+    // Two requests in bin 0, nothing in bin 1, one write in bin 2.
+    trace::MsTrace tr("t", 0, 3 * kSec);
+    auto add = [&tr](Tick at, trace::Op op) {
+        trace::Request r;
+        r.arrival = at;
+        r.lba = 0;
+        r.blocks = 1;
+        r.op = op;
+        tr.append(r);
+    };
+    add(100 * kMsec, trace::Op::Read);
+    add(200 * kMsec, trace::Op::Write);
+    add(2 * kSec + 100 * kMsec, trace::Op::Write);
+
+    RwDynamics d = analyzeRwDynamics(tr, kSec);
+    ASSERT_EQ(d.read_fraction_series.size(), 3u);
+    EXPECT_DOUBLE_EQ(d.read_fraction_series[0], 0.5);
+    EXPECT_DOUBLE_EQ(d.read_fraction_series[1], -1.0);
+    EXPECT_DOUBLE_EQ(d.read_fraction_series[2], 0.0);
+    EXPECT_DOUBLE_EQ(d.write_dominated_fraction, 0.5);
+}
+
+TEST(RwMix, AllReadsDegenerate)
+{
+    auto tr = patternTrace("RRRRRRRR");
+    RwDynamics d = analyzeRwDynamics(tr, kSec);
+    EXPECT_DOUBLE_EQ(d.read_fraction, 1.0);
+    EXPECT_EQ(d.longest_write_run, 0u);
+    EXPECT_DOUBLE_EQ(d.mean_run_length, 8.0);
+    EXPECT_DOUBLE_EQ(d.write_dominated_fraction, 0.0);
+}
+
+TEST(RwMix, EmptyTrace)
+{
+    trace::MsTrace tr("t", 0, kSec);
+    RwDynamics d = analyzeRwDynamics(tr, kSec);
+    EXPECT_DOUBLE_EQ(d.read_fraction, 0.0);
+    EXPECT_DOUBLE_EQ(d.mean_run_length, 0.0);
+}
+
+TEST(RwMix, HourTraceVariant)
+{
+    trace::HourTrace t("d", 0);
+    auto add = [&t](std::uint64_t reads, std::uint64_t writes) {
+        trace::HourBucket b;
+        b.reads = reads;
+        b.writes = writes;
+        b.read_blocks = reads;
+        b.write_blocks = writes;
+        t.append(b);
+    };
+    add(90, 10); // read heavy
+    add(0, 0);   // idle
+    add(10, 90); // write heavy
+
+    RwDynamics d = analyzeRwDynamics(t);
+    EXPECT_EQ(d.bin_width, kHour);
+    EXPECT_DOUBLE_EQ(d.read_fraction, 0.5);
+    ASSERT_EQ(d.read_fraction_series.size(), 3u);
+    EXPECT_DOUBLE_EQ(d.read_fraction_series[1], -1.0);
+    EXPECT_DOUBLE_EQ(d.write_dominated_fraction, 0.5);
+    EXPECT_GT(d.read_fraction_stddev, 0.3);
+}
+
+TEST(RwMix, PersistenceRaisesRunLength)
+{
+    Rng rng(1);
+    auto mk = [&rng](double persistence) {
+        synth::Workload w;
+        w.setArrival(std::make_unique<synth::PoissonArrivals>(200.0));
+        w.setSize(std::make_unique<synth::FixedSize>(8));
+        w.setSpatial(std::make_unique<synth::UniformSpatial>(1 << 20));
+        w.setMix(0.5, persistence);
+        return w.generate(rng, "d", 0, 120 * kSec);
+    };
+    RwDynamics indep = analyzeRwDynamics(mk(0.0), kSec);
+    RwDynamics persist = analyzeRwDynamics(mk(0.85), kSec);
+    EXPECT_GT(persist.mean_run_length, indep.mean_run_length * 2.0);
+    EXPECT_GT(persist.write_bursts, indep.write_bursts);
+}
+
+} // anonymous namespace
+} // namespace core
+} // namespace dlw

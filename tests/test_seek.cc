@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Unit tests for disk/seek.
+ */
+
+#include <gtest/gtest.h>
+
+#include "disk/seek.hh"
+
+namespace dlw
+{
+namespace disk
+{
+namespace
+{
+
+TEST(Seek, ZeroForSameCylinder)
+{
+    SeekModel m(10000, 200 * kUsec, 3500 * kUsec, 8 * kMsec);
+    EXPECT_EQ(m.seekTime(42, 42), 0);
+}
+
+TEST(Seek, DatasheetAnchors)
+{
+    const std::uint64_t cyls = 90001; // full stroke 90000
+    SeekModel m(cyls, 200 * kUsec, 3500 * kUsec, 8 * kMsec);
+    // Track-to-track.
+    EXPECT_NEAR(static_cast<double>(m.seekTime(0, 1)),
+                static_cast<double>(200 * kUsec), 1000.0);
+    // Average at one third of the stroke.
+    EXPECT_NEAR(static_cast<double>(m.seekTime(0, 30000)),
+                static_cast<double>(3500 * kUsec),
+                static_cast<double>(50 * kUsec));
+    // Full stroke.
+    EXPECT_NEAR(static_cast<double>(m.seekTime(0, 90000)),
+                static_cast<double>(8 * kMsec),
+                static_cast<double>(50 * kUsec));
+}
+
+TEST(Seek, Symmetric)
+{
+    SeekModel m(10000, 200 * kUsec, 3500 * kUsec, 8 * kMsec);
+    EXPECT_EQ(m.seekTime(100, 900), m.seekTime(900, 100));
+}
+
+TEST(Seek, MonotoneInDistance)
+{
+    SeekModel m(50000, 200 * kUsec, 3500 * kUsec, 8 * kMsec);
+    Tick prev = 0;
+    for (std::uint64_t d = 1; d < 49999; d += 487) {
+        Tick t = m.seekTime(0, d);
+        EXPECT_GE(t, prev) << "distance " << d;
+        prev = t;
+    }
+}
+
+TEST(Seek, SqrtRegimeIsConcave)
+{
+    SeekModel m(90001, 200 * kUsec, 3500 * kUsec, 8 * kMsec);
+    // In the sqrt regime doubling the distance should much less
+    // than double the time.
+    const double t1 = static_cast<double>(m.seekTime(0, 1000));
+    const double t2 = static_cast<double>(m.seekTime(0, 4000));
+    EXPECT_LT(t2, 2.5 * t1); // sqrt(4) = 2 plus the constant term
+}
+
+TEST(Seek, FactoryModels)
+{
+    SeekModel e = SeekModel::makeEnterprise(80000);
+    SeekModel n = SeekModel::makeNearline(80000);
+    EXPECT_LT(e.seekTime(0, 40000), n.seekTime(0, 40000));
+    EXPECT_EQ(e.trackToTrack(), 200 * kUsec);
+    EXPECT_EQ(n.fullStroke(), 18 * kMsec);
+}
+
+TEST(SeekDeathTest, BadParameters)
+{
+    EXPECT_DEATH(SeekModel(1, kUsec, 2 * kUsec, 3 * kUsec),
+                 ">= 2 cylinders");
+    EXPECT_DEATH(SeekModel(100, 2 * kMsec, kMsec, 3 * kMsec),
+                 "increasing");
+    SeekModel m(100, 200 * kUsec, 3500 * kUsec, 8 * kMsec);
+    EXPECT_DEATH(m.seekTime(0, 100), "beyond drive geometry");
+}
+
+} // anonymous namespace
+} // namespace disk
+} // namespace dlw

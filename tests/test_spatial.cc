@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Unit tests for synth/spatial.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hh"
+#include "synth/spatial.hh"
+
+namespace dlw
+{
+namespace synth
+{
+namespace
+{
+
+constexpr Lba kCap = 1 << 20;
+
+TEST(UniformSpatial, FitsRequests)
+{
+    UniformSpatial s(kCap);
+    Rng rng(1);
+    for (int i = 0; i < 10000; ++i) {
+        Lba lba = s.nextLba(rng, 128);
+        EXPECT_LE(lba + 128, kCap);
+    }
+    EXPECT_EQ(s.capacity(), kCap);
+}
+
+TEST(UniformSpatial, CoversWholeDevice)
+{
+    UniformSpatial s(kCap);
+    Rng rng(2);
+    bool low = false, high = false;
+    for (int i = 0; i < 10000; ++i) {
+        Lba lba = s.nextLba(rng, 1);
+        low |= lba < kCap / 10;
+        high |= lba > kCap * 9 / 10;
+    }
+    EXPECT_TRUE(low);
+    EXPECT_TRUE(high);
+}
+
+TEST(ZipfHotspot, ConcentratesTraffic)
+{
+    ZipfHotspot s(kCap, 256, 1.0, 7);
+    Rng rng(3);
+    std::map<Lba, int> extent_hits;
+    const Lba ext = kCap / 256;
+    for (int i = 0; i < 100000; ++i)
+        ++extent_hits[s.nextLba(rng, 8) / ext];
+    // The hottest extent must dwarf the median one.
+    int hottest = 0;
+    for (auto &[e, n] : extent_hits)
+        hottest = std::max(hottest, n);
+    EXPECT_GT(hottest, 100000 / 256 * 10);
+}
+
+TEST(ZipfHotspot, ZeroSkewRoughlyUniform)
+{
+    ZipfHotspot s(kCap, 16, 0.0, 7);
+    Rng rng(4);
+    std::map<Lba, int> extent_hits;
+    const Lba ext = kCap / 16;
+    for (int i = 0; i < 64000; ++i)
+        ++extent_hits[s.nextLba(rng, 1) / ext];
+    for (auto &[e, n] : extent_hits)
+        EXPECT_NEAR(static_cast<double>(n), 4000.0, 500.0);
+}
+
+TEST(ZipfHotspot, PermutationSeedMovesHotspot)
+{
+    // Different permutation seeds must place the hot extent at
+    // different locations (with overwhelming probability).
+    Rng rng_a(5), rng_b(5);
+    ZipfHotspot a(kCap, 256, 1.2, 1);
+    ZipfHotspot b(kCap, 256, 1.2, 2);
+    const Lba ext = kCap / 256;
+    std::map<Lba, int> ha, hb;
+    for (int i = 0; i < 50000; ++i) {
+        ++ha[a.nextLba(rng_a, 1) / ext];
+        ++hb[b.nextLba(rng_b, 1) / ext];
+    }
+    auto hottest = [](const std::map<Lba, int> &m) {
+        Lba best = 0;
+        int n = -1;
+        for (auto &[e, c] : m) {
+            if (c > n) {
+                n = c;
+                best = e;
+            }
+        }
+        return best;
+    };
+    EXPECT_NE(hottest(ha), hottest(hb));
+}
+
+TEST(SequentialRuns, HighContinuationIsSequential)
+{
+    SequentialRuns s(kCap, 0.95);
+    Rng rng(6);
+    Lba prev_end = 0;
+    int sequential = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i) {
+        Lba lba = s.nextLba(rng, 8);
+        if (i > 0 && lba == prev_end)
+            ++sequential;
+        prev_end = lba + 8;
+    }
+    EXPECT_GT(static_cast<double>(sequential) / n, 0.9);
+}
+
+TEST(SequentialRuns, ZeroContinuationIsRandom)
+{
+    SequentialRuns s(kCap, 0.0);
+    Rng rng(7);
+    Lba prev_end = 0;
+    int sequential = 0;
+    for (int i = 0; i < 10000; ++i) {
+        Lba lba = s.nextLba(rng, 8);
+        if (i > 0 && lba == prev_end)
+            ++sequential;
+        prev_end = lba + 8;
+    }
+    EXPECT_LT(sequential, 10);
+}
+
+TEST(SequentialRuns, ResetBreaksRun)
+{
+    SequentialRuns s(kCap, 0.99);
+    Rng r1(8), r2(8);
+    Lba a = s.nextLba(r1, 8);
+    s.reset();
+    Lba b = s.nextLba(r2, 8);
+    EXPECT_EQ(a, b); // same rng stream, fresh run both times
+}
+
+TEST(SequentialRuns, RestartsAtDeviceEnd)
+{
+    SequentialRuns s(1000, 0.999);
+    Rng rng(9);
+    // Long requests quickly reach the end; placements stay valid.
+    for (int i = 0; i < 1000; ++i) {
+        Lba lba = s.nextLba(rng, 100);
+        EXPECT_LE(lba + 100, 1000u);
+    }
+}
+
+TEST(MixedSpatial, BlendsBehaviours)
+{
+    auto seq = std::make_unique<SequentialRuns>(kCap, 0.99);
+    auto uni = std::make_unique<UniformSpatial>(kCap);
+    MixedSpatial mix(std::move(seq), std::move(uni), 0.7);
+    Rng rng(10);
+    Lba prev_end = 0;
+    int sequential = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        Lba lba = mix.nextLba(rng, 8);
+        EXPECT_LE(lba + 8, kCap);
+        if (i > 0 && lba == prev_end)
+            ++sequential;
+        prev_end = lba + 8;
+    }
+    const double frac = static_cast<double>(sequential) / n;
+    // Sequential stream continues only when two consecutive draws
+    // pick the sequential model: ~0.7 * (0.7 * 0.99) ~ 0.48.
+    EXPECT_GT(frac, 0.3);
+    EXPECT_LT(frac, 0.65);
+    EXPECT_EQ(mix.capacity(), kCap);
+}
+
+TEST(SpatialDeathTest, InvalidParameters)
+{
+    EXPECT_DEATH(UniformSpatial(0), "positive");
+    EXPECT_DEATH(ZipfHotspot(kCap, 1, 1.0, 0), "two extents");
+    EXPECT_DEATH(SequentialRuns(kCap, 1.0), "\\[0, 1\\)");
+    auto a = std::make_unique<UniformSpatial>(100);
+    auto b = std::make_unique<UniformSpatial>(200);
+    EXPECT_DEATH(MixedSpatial(std::move(a), std::move(b), 0.5),
+                 "capacities differ");
+}
+
+} // anonymous namespace
+} // namespace synth
+} // namespace dlw

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for stats/timeseries (BinnedSeries).
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/timeseries.hh"
+
+namespace dlw
+{
+namespace stats
+{
+namespace
+{
+
+TEST(BinnedSeries, AccumulateAtGrows)
+{
+    BinnedSeries s(0, 10);
+    s.accumulateAt(5, 1.0);
+    s.accumulateAt(25, 2.0);
+    ASSERT_EQ(s.size(), 3u);
+    EXPECT_DOUBLE_EQ(s.at(0), 1.0);
+    EXPECT_DOUBLE_EQ(s.at(1), 0.0);
+    EXPECT_DOUBLE_EQ(s.at(2), 2.0);
+}
+
+TEST(BinnedSeries, NonZeroStart)
+{
+    BinnedSeries s(100, 10);
+    s.accumulateAt(100, 1.0);
+    s.accumulateAt(119, 1.0);
+    ASSERT_EQ(s.size(), 2u);
+    EXPECT_DOUBLE_EQ(s.at(0), 1.0);
+    EXPECT_DOUBLE_EQ(s.at(1), 1.0);
+    EXPECT_EQ(s.binStart(1), 110);
+    EXPECT_EQ(s.end(), 120);
+}
+
+TEST(BinnedSeriesDeathTest, BeforeStartRejected)
+{
+    BinnedSeries s(100, 10);
+    EXPECT_DEATH(s.accumulateAt(99, 1.0), "before series start");
+}
+
+TEST(BinnedSeries, IntervalSplitProportionally)
+{
+    BinnedSeries s(0, 10);
+    // Interval [5, 25) = 20 ticks: 5 in bin0, 10 in bin1, 5 in bin2.
+    s.accumulateInterval(5, 25, 20.0);
+    ASSERT_EQ(s.size(), 3u);
+    EXPECT_DOUBLE_EQ(s.at(0), 5.0);
+    EXPECT_DOUBLE_EQ(s.at(1), 10.0);
+    EXPECT_DOUBLE_EQ(s.at(2), 5.0);
+    EXPECT_DOUBLE_EQ(s.total(), 20.0);
+}
+
+TEST(BinnedSeries, IntervalInsideOneBin)
+{
+    BinnedSeries s(0, 100);
+    s.accumulateInterval(10, 20, 1.0);
+    ASSERT_EQ(s.size(), 1u);
+    EXPECT_DOUBLE_EQ(s.at(0), 1.0);
+}
+
+TEST(BinnedSeries, EmptyIntervalIgnored)
+{
+    BinnedSeries s(0, 10, 1);
+    s.accumulateInterval(5, 5, 3.0);
+    EXPECT_DOUBLE_EQ(s.total(), 0.0);
+}
+
+TEST(BinnedSeries, AggregateSums)
+{
+    BinnedSeries s(0, 10, 6);
+    for (std::size_t i = 0; i < 6; ++i)
+        s.at(i) = static_cast<double>(i + 1);
+    BinnedSeries a = s.aggregate(2);
+    ASSERT_EQ(a.size(), 3u);
+    EXPECT_EQ(a.binWidth(), 20);
+    EXPECT_DOUBLE_EQ(a.at(0), 3.0);
+    EXPECT_DOUBLE_EQ(a.at(1), 7.0);
+    EXPECT_DOUBLE_EQ(a.at(2), 11.0);
+    EXPECT_DOUBLE_EQ(a.total(), s.total());
+}
+
+TEST(BinnedSeries, AggregateKeepsPartialTail)
+{
+    BinnedSeries s(0, 10, 5);
+    for (std::size_t i = 0; i < 5; ++i)
+        s.at(i) = 1.0;
+    BinnedSeries a = s.aggregate(2);
+    ASSERT_EQ(a.size(), 3u);
+    EXPECT_DOUBLE_EQ(a.at(2), 1.0);
+    EXPECT_DOUBLE_EQ(a.total(), 5.0);
+}
+
+TEST(BinnedSeries, AggregateFactorOneIsIdentity)
+{
+    BinnedSeries s(7, 3, 4);
+    s.at(2) = 9.0;
+    BinnedSeries a = s.aggregate(1);
+    EXPECT_EQ(a.size(), s.size());
+    EXPECT_DOUBLE_EQ(a.at(2), 9.0);
+    EXPECT_EQ(a.binWidth(), s.binWidth());
+}
+
+TEST(BinnedSeries, PeakAndPeakToMean)
+{
+    BinnedSeries s(0, 1, 4);
+    s.at(0) = 1.0;
+    s.at(1) = 1.0;
+    s.at(2) = 6.0;
+    s.at(3) = 0.0;
+    EXPECT_DOUBLE_EQ(s.peak(), 6.0);
+    EXPECT_DOUBLE_EQ(s.peakToMean(), 3.0);
+}
+
+TEST(BinnedSeries, FractionAbove)
+{
+    BinnedSeries s(0, 1, 4);
+    s.at(0) = 0.0;
+    s.at(1) = 0.5;
+    s.at(2) = 1.0;
+    s.at(3) = 2.0;
+    EXPECT_DOUBLE_EQ(s.fractionAbove(0.5), 0.5);
+    EXPECT_DOUBLE_EQ(s.fractionAbove(-1.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.fractionAbove(0.0), 0.75);
+    EXPECT_DOUBLE_EQ(s.fractionAbove(2.0), 0.0);
+}
+
+TEST(BinnedSeries, SummarizeMatchesValues)
+{
+    BinnedSeries s(0, 1, 3);
+    s.at(0) = 1.0;
+    s.at(1) = 2.0;
+    s.at(2) = 3.0;
+    Summary sum = s.summarize();
+    EXPECT_EQ(sum.count(), 3u);
+    EXPECT_DOUBLE_EQ(sum.mean(), 2.0);
+}
+
+TEST(BinnedSeries, ExtendToZeroFills)
+{
+    BinnedSeries s(0, 10);
+    s.extendTo(45);
+    EXPECT_EQ(s.size(), 5u);
+    EXPECT_DOUBLE_EQ(s.total(), 0.0);
+}
+
+TEST(BinnedSeriesDeathTest, BadConstruction)
+{
+    EXPECT_DEATH(BinnedSeries(0, 0), "positive");
+}
+
+} // anonymous namespace
+} // namespace stats
+} // namespace dlw

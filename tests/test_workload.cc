@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests for the synth/workload composer and its presets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "synth/bmodel.hh"
+#include "synth/workload.hh"
+
+namespace dlw
+{
+namespace synth
+{
+namespace
+{
+
+constexpr Lba kCap = 1 << 22;
+
+TEST(Workload, GeneratedTraceIsValid)
+{
+    Rng rng(1);
+    Workload w = Workload::makeOltp(kCap, 50.0);
+    trace::MsTrace tr = w.generate(rng, "d0", 0, 60 * kSec);
+    EXPECT_EQ(tr.driveId(), "d0");
+    EXPECT_TRUE(tr.validate());
+    EXPECT_GT(tr.size(), 0u);
+    for (const trace::Request &r : tr.requests())
+        EXPECT_LE(r.lbaEnd(), kCap);
+}
+
+TEST(Workload, RateApproximatelyDeclared)
+{
+    Rng rng(2);
+    Workload w = Workload::makeOltp(kCap, 80.0);
+    trace::MsTrace tr = w.generate(rng, "d", 0, 300 * kSec);
+    EXPECT_NEAR(tr.arrivalRate(), 80.0, 12.0);
+}
+
+TEST(Workload, MixMatchesReadFraction)
+{
+    Rng rng(3);
+    Workload w;
+    w.setArrival(std::make_unique<PoissonArrivals>(500.0));
+    w.setSize(std::make_unique<FixedSize>(8));
+    w.setSpatial(std::make_unique<UniformSpatial>(kCap));
+    w.setMix(0.25);
+    trace::MsTrace tr = w.generate(rng, "d", 0, 120 * kSec);
+    EXPECT_NEAR(tr.readFraction(), 0.25, 0.02);
+}
+
+TEST(Workload, PersistenceLengthensRunsAtSameMix)
+{
+    Rng rng(4);
+    auto build = [&](double persistence) {
+        Workload w;
+        w.setArrival(std::make_unique<PoissonArrivals>(500.0));
+        w.setSize(std::make_unique<FixedSize>(8));
+        w.setSpatial(std::make_unique<UniformSpatial>(kCap));
+        w.setMix(0.5, persistence);
+        return w.generate(rng, "d", 0, 120 * kSec);
+    };
+    trace::MsTrace independent = build(0.0);
+    trace::MsTrace persistent = build(0.9);
+    // Long-run mix unchanged...
+    EXPECT_NEAR(persistent.readFraction(), 0.5, 0.03);
+    // ...but direction changes much rarer.
+    auto changes = [](const trace::MsTrace &tr) {
+        std::size_t c = 0;
+        for (std::size_t i = 1; i < tr.size(); ++i) {
+            if (tr.at(i).isRead() != tr.at(i - 1).isRead())
+                ++c;
+        }
+        return static_cast<double>(c) /
+               static_cast<double>(tr.size());
+    };
+    EXPECT_LT(changes(persistent), changes(independent) * 0.5);
+}
+
+TEST(Workload, StreamingIsSequentialAndLarge)
+{
+    Rng rng(5);
+    Workload w = Workload::makeStreaming(kCap, 10.0);
+    trace::MsTrace tr = w.generate(rng, "d", 0, 120 * kSec);
+    EXPECT_GT(tr.sequentialFraction(), 0.9);
+    EXPECT_GT(tr.meanRequestBlocks(), 500.0);
+    EXPECT_GT(tr.readFraction(), 0.85);
+}
+
+TEST(Workload, BackupIsWriteDominated)
+{
+    Rng rng(6);
+    Workload w = Workload::makeBackup(kCap, 20.0);
+    trace::MsTrace tr = w.generate(rng, "d", 0, 120 * kSec);
+    EXPECT_LT(tr.readFraction(), 0.2);
+    EXPECT_GT(tr.sequentialFraction(), 0.5);
+}
+
+TEST(Workload, OltpBurstierThanStreaming)
+{
+    Rng rng(7);
+    Workload oltp = Workload::makeOltp(kCap, 50.0);
+    Workload stream = Workload::makeStreaming(kCap, 50.0);
+    trace::MsTrace to = oltp.generate(rng, "o", 0, 120 * kSec);
+    trace::MsTrace ts = stream.generate(rng, "s", 0, 120 * kSec);
+    stats::Summary go, gs;
+    for (double g : to.interarrivals())
+        go.add(g);
+    for (double g : ts.interarrivals())
+        gs.add(g);
+    EXPECT_GT(go.cv(), gs.cv());
+}
+
+TEST(Workload, GenerateFromArrivalsUsesGivenTicks)
+{
+    Rng rng(8);
+    Workload w = Workload::makeOltp(kCap, 50.0);
+    BModel bm(0.8, 10);
+    auto arrivals = bm.arrivals(rng, 0, 10 * kSec, 5000);
+    trace::MsTrace tr =
+        w.generateFromArrivals(rng, "d", 0, 10 * kSec, arrivals);
+    ASSERT_EQ(tr.size(), arrivals.size());
+    for (std::size_t i = 0; i < tr.size(); ++i)
+        EXPECT_EQ(tr.at(i).arrival, arrivals[i]);
+    EXPECT_TRUE(tr.validate());
+}
+
+TEST(Workload, DeterministicForSameSeed)
+{
+    Workload w1 = Workload::makeFileServer(kCap, 30.0);
+    Workload w2 = Workload::makeFileServer(kCap, 30.0);
+    Rng r1(99), r2(99);
+    trace::MsTrace a = w1.generate(r1, "d", 0, 30 * kSec);
+    trace::MsTrace b = w2.generate(r2, "d", 0, 30 * kSec);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_TRUE(a.at(i) == b.at(i));
+}
+
+TEST(WorkloadDeathTest, MissingComponents)
+{
+    Workload w;
+    Rng rng(10);
+    EXPECT_DEATH(w.generate(rng, "d", 0, kSec),
+                 "no arrival process");
+    w.setArrival(std::make_unique<PoissonArrivals>(10.0));
+    EXPECT_DEATH(w.generate(rng, "d", 0, kSec), "no size model");
+}
+
+} // anonymous namespace
+} // namespace synth
+} // namespace dlw

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * dlwtool — command-line front end for the dlw toolkit.
+ *
+ * Subcommands:
+ *   generate  synthesize a Millisecond trace from a workload preset
+ *   convert   translate between csv / binary / spc trace formats
+ *   analyze   service a trace through the drive model and print the
+ *             multi-scale characterization
+ *   family    synthesize a drive family's lifetime CSV
+ *
+ * Formats are chosen by file extension: .csv, .bin, .spc.
+ */
+
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/options.hh"
+#include "common/rng.hh"
+#include "common/strutil.hh"
+#include "core/characterize.hh"
+#include "disk/drive.hh"
+#include "synth/family.hh"
+#include "synth/workload.hh"
+#include "trace/binio.hh"
+#include "trace/csvio.hh"
+#include "trace/spc.hh"
+
+namespace
+{
+
+using namespace dlw;
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(),
+                     suffix) == 0;
+}
+
+trace::MsTrace
+readAny(const std::string &path)
+{
+    if (endsWith(path, ".bin"))
+        return trace::readMsBinary(path);
+    if (endsWith(path, ".csv"))
+        return trace::readMsCsv(path);
+    if (endsWith(path, ".spc"))
+        return trace::readSpc(path, path);
+    dlw_fatal("unknown trace extension on '", path,
+              "' (want .csv, .bin, or .spc)");
+}
+
+void
+writeAny(const std::string &path, const trace::MsTrace &tr)
+{
+    if (endsWith(path, ".bin")) {
+        trace::writeMsBinary(path, tr);
+        return;
+    }
+    if (endsWith(path, ".csv")) {
+        trace::writeMsCsv(path, tr);
+        return;
+    }
+    dlw_fatal("unknown output extension on '", path,
+              "' (want .csv or .bin)");
+}
+
+synth::Workload
+presetWorkload(const std::string &klass, Lba capacity, double rate,
+               std::uint64_t seed)
+{
+    if (klass == "oltp")
+        return synth::Workload::makeOltp(capacity, rate, seed);
+    if (klass == "fileserver")
+        return synth::Workload::makeFileServer(capacity, rate, seed);
+    if (klass == "streaming")
+        return synth::Workload::makeStreaming(capacity, rate);
+    if (klass == "backup")
+        return synth::Workload::makeBackup(capacity, rate);
+    dlw_fatal("unknown workload class '", klass,
+              "' (oltp|fileserver|streaming|backup)");
+}
+
+int
+cmdGenerate(const dlw::Options &opts)
+{
+    const std::string out = opts.get("out", "trace.csv");
+    const std::string klass = opts.get("class", "oltp");
+    const double rate = opts.getDouble("rate", 60.0);
+    const double minutes = opts.getDouble("minutes", 10.0);
+    const auto seed =
+        static_cast<std::uint64_t>(opts.getInt("seed", 1));
+
+    disk::DriveConfig cfg = disk::DriveConfig::makeEnterprise();
+    synth::Workload w = presetWorkload(
+        klass, cfg.geometry.capacityBlocks(), rate, seed);
+    Rng rng(seed);
+    trace::MsTrace tr = w.generate(
+        rng, klass + "-" + std::to_string(seed), 0,
+        static_cast<Tick>(minutes * static_cast<double>(kMinute)));
+    writeAny(out, tr);
+    std::cout << "wrote " << tr.size() << " requests to " << out
+              << '\n';
+    return 0;
+}
+
+int
+cmdConvert(const dlw::Options &opts)
+{
+    const std::string in = opts.get("in", "");
+    const std::string out = opts.get("out", "");
+    if (in.empty() || out.empty())
+        dlw_fatal("convert needs --in and --out");
+    trace::MsTrace tr = readAny(in);
+    writeAny(out, tr);
+    std::cout << "converted " << tr.size() << " requests: " << in
+              << " -> " << out << '\n';
+    return 0;
+}
+
+int
+cmdAnalyze(const dlw::Options &opts)
+{
+    const std::string in = opts.get("in", "");
+    if (in.empty())
+        dlw_fatal("analyze needs --in");
+    trace::MsTrace tr = readAny(in);
+    tr.sortByArrival();
+    tr.validate(true);
+
+    disk::DriveConfig cfg = opts.get("drive", "enterprise") ==
+                                    "nearline"
+        ? disk::DriveConfig::makeNearline()
+        : disk::DriveConfig::makeEnterprise();
+    if (opts.get("cache", "on") == "off")
+        cfg.cache.enabled = false;
+
+    disk::DiskDrive drive(cfg);
+    disk::ServiceLog log = drive.service(tr);
+    core::DriveCharacterization c = core::characterizeMs(tr, log);
+    std::cout << c.render();
+    return 0;
+}
+
+int
+cmdFamily(const dlw::Options &opts)
+{
+    const std::string out = opts.get("out", "family.csv");
+    const auto drives =
+        static_cast<std::size_t>(opts.getInt("drives", 128));
+    const auto min_h =
+        static_cast<std::size_t>(opts.getInt("min-hours", 4380));
+    const auto max_h =
+        static_cast<std::size_t>(opts.getInt("max-hours", 43800));
+    synth::FamilyConfig cfg;
+    cfg.seed = static_cast<std::uint64_t>(opts.getInt("seed", 42));
+    cfg.family = opts.get("name", "DLW-E15K");
+
+    synth::FamilyModel model(cfg);
+    trace::LifetimeTrace lt =
+        model.generateLifetimeTrace(drives, min_h, max_h);
+    trace::writeLifetimeCsv(out, lt);
+    std::cout << "wrote " << lt.size() << " lifetime records to "
+              << out << '\n';
+    return 0;
+}
+
+void
+usage()
+{
+    std::cout <<
+        "dlwtool <command> [--option value ...]\n"
+        "\n"
+        "commands:\n"
+        "  generate  --class oltp|fileserver|streaming|backup\n"
+        "            --rate R --minutes M --seed S --out FILE\n"
+        "  convert   --in FILE --out FILE      (.csv/.bin/.spc)\n"
+        "  analyze   --in FILE [--drive enterprise|nearline]\n"
+        "            [--cache on|off]\n"
+        "  family    --drives N --min-hours A --max-hours B\n"
+        "            --seed S --name NAME --out FILE\n";
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 1;
+    }
+    const std::string cmd = argv[1];
+    dlw::Options opts(argc, argv, 2);
+    if (cmd == "generate")
+        return cmdGenerate(opts);
+    if (cmd == "convert")
+        return cmdConvert(opts);
+    if (cmd == "analyze")
+        return cmdAnalyze(opts);
+    if (cmd == "family")
+        return cmdFamily(opts);
+    usage();
+    return 1;
+}
