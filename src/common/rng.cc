@@ -7,8 +7,22 @@
 namespace dlw
 {
 
+namespace
+{
+
+/** SplitMix64 finalizer: bijective avalanche over 64 bits. */
+std::uint64_t
+splitmix(std::uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // anonymous namespace
+
 Rng::Rng(std::uint64_t seed)
-    : engine_(seed)
+    : engine_(seed), seed_(seed)
 {
 }
 
@@ -16,6 +30,7 @@ void
 Rng::reseed(std::uint64_t seed)
 {
     engine_.seed(seed);
+    seed_ = seed;
 }
 
 Rng
@@ -23,10 +38,16 @@ Rng::fork()
 {
     // SplitMix-style scramble of a fresh draw keeps forked streams
     // decorrelated from both the parent and each other.
-    std::uint64_t z = engine_() + 0x9e3779b97f4a7c15ULL;
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    return Rng(z ^ (z >> 31));
+    return Rng(splitmix(engine_() + 0x9e3779b97f4a7c15ULL));
+}
+
+Rng
+Rng::fork(std::uint64_t stream) const
+{
+    // Keyed on (seed, stream) only: a stateless counter-mode fork.
+    // The golden-ratio stride separates consecutive streams before
+    // the avalanche so neighbouring drive indices land far apart.
+    return Rng(splitmix(seed_ + (stream + 1) * 0x9e3779b97f4a7c15ULL));
 }
 
 double

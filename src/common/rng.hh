@@ -41,6 +41,22 @@ class Rng
      */
     Rng fork();
 
+    /**
+     * Derive the child generator for a named stream.
+     *
+     * Unlike fork(), this is keyed purely on (seed, stream): it does
+     * not consume parent state, so the same (seed, stream) pair
+     * always yields the same child no matter how much the parent has
+     * been used or in what order streams are forked.  This is the
+     * seeding contract the fleet engine relies on — drive k's stream
+     * is fork(k) of the master seed, so shards may be generated on
+     * any thread in any order and still reproduce bit-identically.
+     *
+     * @param stream Stream index (e.g. a drive index).
+     * @return The child Rng for that stream.
+     */
+    Rng fork(std::uint64_t stream) const;
+
     /** Uniform double in [0, 1). */
     double uniform();
 
@@ -112,6 +128,8 @@ class Rng
 
   private:
     std::mt19937_64 engine_;
+    /** Seed the engine was last (re)seeded with; keys fork(stream). */
+    std::uint64_t seed_;
 };
 
 } // namespace dlw

@@ -47,6 +47,13 @@ startsWith(std::string_view s, std::string_view prefix)
            s.substr(0, prefix.size()) == prefix;
 }
 
+bool
+endsWith(std::string_view s, std::string_view suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.substr(s.size() - suffix.size()) == suffix;
+}
+
 std::string
 formatDouble(double v, int precision)
 {

@@ -23,6 +23,9 @@ std::string trim(std::string_view s);
 /** True when the string begins with the given prefix. */
 bool startsWith(std::string_view s, std::string_view prefix);
 
+/** True when the string ends with the given suffix. */
+bool endsWith(std::string_view s, std::string_view suffix);
+
 /** Render a double with fixed precision. */
 std::string formatDouble(double v, int precision);
 

@@ -1,0 +1,95 @@
+#include "fleet/merge.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "core/family.hh"
+
+namespace dlw
+{
+namespace fleet
+{
+
+void
+FleetAggregate::accumulate(const DriveShard &shard)
+{
+    ++drives;
+    requests += shard.requests;
+    reads += shard.reads;
+    cache_hits += shard.cache_hits;
+
+    response_ms.merge(shard.response_ms);
+    response_hist.merge(shard.response_hist);
+    idle_hist.merge(shard.idle_hist);
+
+    util.add(shard.utilization);
+    util_ecdf.add(shard.utilization);
+    volume_ecdf.add(static_cast<double>(shard.requests));
+
+    const auto tier = core::tierOf(shard.utilization);
+    ++tier_counts[static_cast<std::size_t>(tier)];
+    for (std::size_t i = 0; i < kSaturatedRunEdges.size(); ++i) {
+        if (shard.longest_saturated_s >= kSaturatedRunEdges[i])
+            ++saturated_counts[i];
+    }
+}
+
+void
+FleetAggregate::merge(const FleetAggregate &other)
+{
+    drives += other.drives;
+    requests += other.requests;
+    reads += other.reads;
+    cache_hits += other.cache_hits;
+
+    response_ms.merge(other.response_ms);
+    response_hist.merge(other.response_hist);
+    idle_hist.merge(other.idle_hist);
+
+    util.merge(other.util);
+    util_ecdf.merge(other.util_ecdf);
+    volume_ecdf.merge(other.volume_ecdf);
+
+    for (std::size_t i = 0; i < tier_counts.size(); ++i)
+        tier_counts[i] += other.tier_counts[i];
+    for (std::size_t i = 0; i < saturated_counts.size(); ++i)
+        saturated_counts[i] += other.saturated_counts[i];
+}
+
+double
+FleetAggregate::readFraction() const
+{
+    return requests
+        ? static_cast<double>(reads) / static_cast<double>(requests)
+        : 0.0;
+}
+
+double
+FleetAggregate::volumeGini() const
+{
+    return core::giniCoefficient(volume_ecdf.sorted());
+}
+
+FleetAggregate
+reduceOrdered(const std::vector<DriveShard> &shards)
+{
+    // Fold by ascending drive index, not storage order, so the same
+    // floating-point operation sequence runs regardless of how the
+    // parallel phase scattered the shards.
+    std::vector<const DriveShard *> ordered;
+    ordered.reserve(shards.size());
+    for (const DriveShard &s : shards)
+        ordered.push_back(&s);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const DriveShard *a, const DriveShard *b) {
+                  return a->index < b->index;
+              });
+
+    FleetAggregate agg;
+    for (const DriveShard *s : ordered)
+        agg.accumulate(*s);
+    return agg;
+}
+
+} // namespace fleet
+} // namespace dlw

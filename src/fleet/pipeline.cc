@@ -1,0 +1,262 @@
+#include "fleet/pipeline.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/strutil.hh"
+#include "core/family.hh"
+#include "core/report.hh"
+#include "disk/drive.hh"
+#include "fleet/pool.hh"
+#include "synth/workload.hh"
+
+namespace dlw
+{
+namespace fleet
+{
+
+namespace
+{
+
+/** Resolve the class drive `index` runs under this preset. */
+FleetPreset
+classFor(FleetPreset preset, std::size_t index)
+{
+    if (preset != FleetPreset::Mixed)
+        return preset;
+    switch (index % 4) {
+      case 0:
+        return FleetPreset::Oltp;
+      case 1:
+        return FleetPreset::FileServer;
+      case 2:
+        return FleetPreset::Streaming;
+      default:
+        return FleetPreset::Backup;
+    }
+}
+
+synth::Workload
+makeWorkload(FleetPreset klass, Lba capacity, double rate,
+             std::uint64_t seed)
+{
+    switch (klass) {
+      case FleetPreset::Oltp:
+        return synth::Workload::makeOltp(capacity, rate, seed);
+      case FleetPreset::FileServer:
+        return synth::Workload::makeFileServer(capacity, rate, seed);
+      case FleetPreset::Streaming:
+        return synth::Workload::makeStreaming(capacity, rate);
+      case FleetPreset::Backup:
+        return synth::Workload::makeBackup(capacity, rate);
+      case FleetPreset::Mixed:
+        break;
+    }
+    dlw_panic("mixed preset must be resolved per drive");
+}
+
+} // anonymous namespace
+
+const char *
+fleetPresetName(FleetPreset preset)
+{
+    switch (preset) {
+      case FleetPreset::Oltp:
+        return "oltp";
+      case FleetPreset::FileServer:
+        return "fileserver";
+      case FleetPreset::Streaming:
+        return "streaming";
+      case FleetPreset::Backup:
+        return "backup";
+      case FleetPreset::Mixed:
+        return "mixed";
+    }
+    return "unknown";
+}
+
+FleetPreset
+parseFleetPreset(const std::string &name)
+{
+    if (name == "oltp")
+        return FleetPreset::Oltp;
+    if (name == "fileserver")
+        return FleetPreset::FileServer;
+    if (name == "streaming")
+        return FleetPreset::Streaming;
+    if (name == "backup")
+        return FleetPreset::Backup;
+    if (name == "mixed")
+        return FleetPreset::Mixed;
+    dlw_fatal("unknown fleet preset '", name,
+              "' (oltp|fileserver|streaming|backup|mixed)");
+}
+
+DriveShard
+characterizeDrive(const FleetConfig &config, std::size_t index)
+{
+    // The drive's entire stochastic behaviour flows from this one
+    // keyed fork; nothing here depends on other drives or threads.
+    Rng rng = Rng(config.seed).fork(index);
+
+    const disk::DriveConfig dcfg = config.nearline
+        ? disk::DriveConfig::makeNearline()
+        : disk::DriveConfig::makeEnterprise();
+
+    DriveShard shard;
+    shard.index = index;
+    const FleetPreset klass = classFor(config.preset, index);
+    shard.klass = fleetPresetName(klass);
+    shard.drive_id = shard.klass + "-" + std::to_string(index);
+
+    // Workload-internal streams (hotspot permutations) get their own
+    // draw so they stay decoupled from the arrival stream.
+    const std::uint64_t wseed = rng.engine()();
+    synth::Workload workload = makeWorkload(
+        klass, dcfg.geometry.capacityBlocks(), config.rate, wseed);
+
+    trace::MsTrace tr =
+        workload.generate(rng, shard.drive_id, 0, config.window);
+    disk::DiskDrive drive(dcfg);
+    const disk::ServiceLog log = drive.service(tr);
+
+    shard.requests = tr.size();
+    shard.arrival_rate = static_cast<double>(tr.size()) /
+                         ticksToSeconds(config.window);
+    shard.utilization = log.utilization();
+
+    for (const disk::Completion &c : log.completions) {
+        if (c.read)
+            ++shard.reads;
+        if (c.cache_hit)
+            ++shard.cache_hits;
+        const double ms = static_cast<double>(c.response()) /
+                          static_cast<double>(kMsec);
+        shard.response_ms.add(ms);
+        shard.response_hist.add(ms);
+    }
+    for (Tick gap : log.idleIntervals())
+        shard.idle_hist.add(ticksToSeconds(gap));
+
+    // Second-granularity busy structure: the E8 view at ms scale.
+    const stats::BinnedSeries util_1s = log.utilizationSeries(kSec);
+    std::size_t busy_bins = 0;
+    std::size_t run = 0;
+    for (std::size_t i = 0; i < util_1s.size(); ++i) {
+        const double u = util_1s.at(i);
+        if (u >= 0.5)
+            ++busy_bins;
+        if (u >= 0.9) {
+            ++run;
+            shard.longest_saturated_s =
+                std::max(shard.longest_saturated_s, run);
+        } else {
+            run = 0;
+        }
+    }
+    shard.busy_second_fraction = util_1s.empty()
+        ? 0.0
+        : static_cast<double>(busy_bins) /
+            static_cast<double>(util_1s.size());
+    return shard;
+}
+
+FleetResult
+runFleet(const FleetConfig &config)
+{
+    dlw_assert(config.drives > 0, "fleet needs at least one drive");
+
+    FleetResult result;
+    result.shards.resize(config.drives);
+
+    // Parallel phase: each task owns exactly its own slot.
+    ThreadPool pool(config.threads);
+    parallelFor(pool, config.drives, [&](std::size_t i) {
+        result.shards[i] = characterizeDrive(config, i);
+    });
+
+    // Serial phase: ordered reduction (see merge.hh).
+    result.aggregate = reduceOrdered(result.shards);
+    return result;
+}
+
+std::string
+renderFleetReport(const FleetConfig &config, const FleetResult &result)
+{
+    const FleetAggregate &agg = result.aggregate;
+    std::ostringstream os;
+    os << "fleet characterization: " << agg.drives << " drives, preset "
+       << fleetPresetName(config.preset) << ", "
+       << formatDuration(config.window) << " window, "
+       << core::cell(config.rate) << " req/s/drive, seed "
+       << config.seed << "\n\n";
+
+    core::Table t("fleet aggregate", {"metric", "value"});
+    t.addRow({"requests", core::cell(agg.requests)});
+    t.addRow({"read fraction %",
+              core::cell(100.0 * agg.readFraction())});
+    t.addRow({"cache hit %",
+              core::cell(agg.requests
+                             ? 100.0 *
+                                   static_cast<double>(agg.cache_hits) /
+                                   static_cast<double>(agg.requests)
+                             : 0.0)});
+    t.addRow({"mean response ms", core::cell(agg.response_ms.mean())});
+    t.addRow({"p95 response ms",
+              core::cell(agg.response_hist.quantile(0.95))});
+    t.addRow({"p99 response ms",
+              core::cell(agg.response_hist.quantile(0.99))});
+    t.addRow({"mean drive utilization %",
+              core::cell(100.0 * agg.util.mean())});
+    t.addRow({"idle interval p50 s",
+              core::cell(agg.idle_hist.quantile(0.5))});
+    t.addRow({"idle interval p99 s",
+              core::cell(agg.idle_hist.quantile(0.99))});
+    t.print(os);
+    os << '\n';
+
+    core::Table v("cross-drive variability (E11 view)",
+                  {"metric", "value"});
+    v.addRow({"utilization p10 %",
+              core::cell(100.0 * agg.util_ecdf.quantile(0.1))});
+    v.addRow({"utilization p50 %",
+              core::cell(100.0 * agg.util_ecdf.quantile(0.5))});
+    v.addRow({"utilization p90 %",
+              core::cell(100.0 * agg.util_ecdf.quantile(0.9))});
+    v.addRow({"p90/p10 ratio",
+              core::cell(agg.util_ecdf.quantile(0.9) /
+                         std::max(agg.util_ecdf.quantile(0.1),
+                                  1e-9))});
+    v.addRow({"request-volume Gini", core::cell(agg.volumeGini())});
+    v.print(os);
+    os << '\n';
+
+    core::Table c("behavioural tiers", {"tier", "drives", "%"});
+    for (std::size_t i = 0; i < agg.tier_counts.size(); ++i) {
+        c.addRow({core::tierName(static_cast<core::UtilizationTier>(i)),
+                  core::cell(agg.tier_counts[i]),
+                  core::cell(100.0 *
+                             static_cast<double>(agg.tier_counts[i]) /
+                             static_cast<double>(agg.drives))});
+    }
+    c.print(os);
+    os << '\n';
+
+    core::Table s("saturated streaming (E8 view)",
+                  {"k (consecutive saturated s)",
+                   "fraction of drives %"});
+    for (std::size_t i = 0; i < kSaturatedRunEdges.size(); ++i) {
+        s.addRow({std::to_string(kSaturatedRunEdges[i]),
+                  core::cell(100.0 *
+                             static_cast<double>(
+                                 agg.saturated_counts[i]) /
+                             static_cast<double>(agg.drives))});
+    }
+    s.print(os);
+    return os.str();
+}
+
+} // namespace fleet
+} // namespace dlw

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Sharded multi-drive characterization pipeline.
+ *
+ * Scales the repo's single-drive path (generate a workload, service
+ * it through the mechanical drive model, characterize the result) to
+ * N drives: each drive is one shard, shards run concurrently on the
+ * work-stealing pool, and the merge layer reduces them — in drive
+ * order — to a fleet aggregate with the paper's cross-drive views
+ * (E11 variability spread, E8 saturated-streaming structure).
+ *
+ * Output is bit-identical at any thread count; see fleet/merge.hh
+ * for the three rules that guarantee it.
+ */
+
+#ifndef DLW_FLEET_PIPELINE_HH
+#define DLW_FLEET_PIPELINE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "fleet/merge.hh"
+
+namespace dlw
+{
+namespace fleet
+{
+
+/** Workload class every drive of the fleet runs. */
+enum class FleetPreset
+{
+    Oltp,
+    FileServer,
+    Streaming,
+    Backup,
+    /** Rotate the four classes by drive index (the default). */
+    Mixed,
+};
+
+/** Human-readable preset name. */
+const char *fleetPresetName(FleetPreset preset);
+
+/** Parse a preset name; fatal on an unknown one. */
+FleetPreset parseFleetPreset(const std::string &name);
+
+/**
+ * Fleet run configuration.
+ */
+struct FleetConfig
+{
+    /** Number of drives to characterize. */
+    std::size_t drives = 64;
+    /** Worker threads (does not affect output, only wall time). */
+    std::size_t threads = 1;
+    /** Workload preset. */
+    FleetPreset preset = FleetPreset::Mixed;
+    /** Master seed; drive k uses stream fork(k). */
+    std::uint64_t seed = 20090614;
+    /** Mean arrival rate per drive, requests/second. */
+    double rate = 60.0;
+    /** Observation window per drive. */
+    Tick window = 2 * kMinute;
+    /** Use the nearline drive model instead of enterprise. */
+    bool nearline = false;
+};
+
+/**
+ * Everything a fleet run produces.
+ */
+struct FleetResult
+{
+    /** Per-drive shards, indexed by drive. */
+    std::vector<DriveShard> shards;
+    /** Ordered reduction of the shards. */
+    FleetAggregate aggregate;
+};
+
+/**
+ * Characterize one drive of the fleet.
+ *
+ * Pure function of (config, index): generates the drive's workload
+ * from RNG stream fork(index), services it through the disk model,
+ * and distils the shard statistics.  Safe to call from any thread.
+ */
+DriveShard characterizeDrive(const FleetConfig &config,
+                             std::size_t index);
+
+/**
+ * Run the whole fleet on config.threads workers and reduce.
+ */
+FleetResult runFleet(const FleetConfig &config);
+
+/**
+ * Render the cross-drive variability report (E8/E11 view).
+ *
+ * Deliberately excludes thread count and timing so the report is
+ * byte-identical across thread counts.
+ */
+std::string renderFleetReport(const FleetConfig &config,
+                              const FleetResult &result);
+
+} // namespace fleet
+} // namespace dlw
+
+#endif // DLW_FLEET_PIPELINE_HH

@@ -1,0 +1,125 @@
+#include "fleet/pool.hh"
+
+#include "common/logging.hh"
+
+namespace dlw
+{
+namespace fleet
+{
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : queues_(threads ? threads : 1)
+{
+    const std::size_t n = queues_.size();
+    workers_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stopping_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    dlw_assert(task, "cannot submit an empty task");
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        dlw_assert(!stopping_, "submit on a stopping pool");
+        queues_[next_queue_].push_back(std::move(task));
+        next_queue_ = (next_queue_ + 1) % queues_.size();
+        ++pending_;
+    }
+    work_cv_.notify_one();
+}
+
+bool
+ThreadPool::take(std::size_t self, std::function<void()> &out)
+{
+    // Own deque, newest first: the task most likely still hot in
+    // this worker's cache.
+    if (!queues_[self].empty()) {
+        out = std::move(queues_[self].back());
+        queues_[self].pop_back();
+        return true;
+    }
+    // Steal oldest from the nearest busy victim.
+    const std::size_t n = queues_.size();
+    for (std::size_t d = 1; d < n; ++d) {
+        std::size_t victim = (self + d) % n;
+        if (!queues_[victim].empty()) {
+            out = std::move(queues_[victim].front());
+            queues_[victim].pop_front();
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(std::size_t self)
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+        std::function<void()> task;
+        if (take(self, task)) {
+            lk.unlock();
+            std::exception_ptr err;
+            try {
+                task();
+            } catch (...) {
+                err = std::current_exception();
+            }
+            lk.lock();
+            if (err && !first_error_)
+                first_error_ = err;
+            --pending_;
+            if (pending_ == 0)
+                done_cv_.notify_all();
+            continue;
+        }
+        if (stopping_)
+            return;
+        work_cv_.wait(lk);
+    }
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [this] { return pending_ == 0; });
+    if (first_error_) {
+        std::exception_ptr err = first_error_;
+        first_error_ = nullptr;
+        lk.unlock();
+        std::rethrow_exception(err);
+    }
+}
+
+std::size_t
+ThreadPool::hardwareThreads()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n ? n : 1;
+}
+
+void
+parallelFor(ThreadPool &pool, std::size_t n,
+            const std::function<void(std::size_t)> &fn)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        pool.submit([&fn, i] { fn(i); });
+    pool.wait();
+}
+
+} // namespace fleet
+} // namespace dlw

@@ -44,6 +44,30 @@ Ecdf::addAll(const std::vector<double> &xs)
 }
 
 void
+Ecdf::merge(const Ecdf &other)
+{
+    if (other.seen_ == 0)
+        return;
+    if (cap_ == 0) {
+        // Exact union of the retained samples.  Append in sorted
+        // order so the merged state is a function of the two sample
+        // *sets*, not of internal retention order.
+        std::vector<double> xs = other.sorted();
+        data_.insert(data_.end(), xs.begin(), xs.end());
+        sorted_ = false;
+        seen_ += other.seen_;
+        return;
+    }
+    // Capped: run the other side's retained samples through the
+    // reservoir, then account for the offers it had already
+    // discarded so count() still reports the true population size.
+    std::vector<double> xs = other.sorted();
+    for (double x : xs)
+        add(x);
+    seen_ += other.seen_ - xs.size();
+}
+
+void
 Ecdf::ensureSorted() const
 {
     if (!sorted_) {

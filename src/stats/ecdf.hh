@@ -46,6 +46,20 @@ class Ecdf
     /** Add a batch of observations. */
     void addAll(const std::vector<double> &xs);
 
+    /**
+     * Fold another ECDF into this one.
+     *
+     * Uncapped ECDFs merge exactly: the result answers every query as
+     * if all samples had been added to one instance, regardless of
+     * how they were split (merging is associative up to sample
+     * order, which no query observes).  When this instance is capped,
+     * the other side's retained samples are offered to the reservoir
+     * in sorted order, which keeps the merge deterministic for a
+     * given reservoir state; the fleet merge layer exploits this by
+     * always reducing shards in drive order.
+     */
+    void merge(const Ecdf &other);
+
     /** Number of observations offered (not capped). */
     std::size_t count() const { return seen_; }
 

@@ -38,11 +38,13 @@ FamilyModel::FamilyModel(FamilyConfig config)
 DriveProfile
 FamilyModel::sampleProfile(std::size_t index) const
 {
-    // Per-drive stream: reproducible regardless of generation order.
-    Rng rng(config_.seed * 0x9e3779b97f4a7c15ULL + index);
+    // Per-drive stream keyed on (seed, index): reproducible no
+    // matter which drives are sampled, or in what order.
+    Rng rng = Rng(config_.seed).fork(index);
 
     DriveProfile p;
     p.id = config_.family + "-" + std::to_string(index);
+    p.index = index;
     p.cls = static_cast<DriveClass>(rng.discrete(config_.class_weights));
 
     // Class centres with per-drive jitter, so even drives of one
@@ -175,8 +177,9 @@ trace::HourTrace
 FamilyModel::generateHourTrace(const DriveProfile &profile,
                                std::size_t hours, Tick start) const
 {
-    Rng rng(config_.seed ^ (std::hash<std::string>{}(profile.id) |
-                            0x1ULL));
+    // Second-level fork: stream 1 of the drive's own stream, so hour
+    // synthesis never collides with the profile-sampling draws.
+    Rng rng = Rng(config_.seed).fork(profile.index).fork(1);
     const RateFunction rate = profile.shape.build();
     trace::HourTrace out(profile.id, start);
     int session_left = 0;
@@ -194,8 +197,7 @@ FamilyModel::generateLifetime(const DriveProfile &profile,
                               std::size_t hours,
                               double saturated_threshold) const
 {
-    Rng rng(config_.seed ^ (std::hash<std::string>{}(profile.id) |
-                            0x1ULL));
+    Rng rng = Rng(config_.seed).fork(profile.index).fork(1);
     const RateFunction rate = profile.shape.build();
 
     trace::LifetimeRecord rec;
@@ -245,7 +247,8 @@ FamilyModel::generateLifetimeTrace(std::size_t n,
     dlw_assert(min_hours >= 1 && max_hours >= min_hours,
                "lifetime hour range invalid");
     trace::LifetimeTrace out(config_.family);
-    Rng life_rng(config_.seed ^ 0xfeedbeefULL);
+    // Family-level stream for the per-drive life lengths.
+    Rng life_rng = Rng(config_.seed).fork(0x4c494645ULL); // "LIFE"
     for (std::size_t i = 0; i < n; ++i) {
         const auto hours = static_cast<std::size_t>(life_rng.uniformInt(
             static_cast<std::int64_t>(min_hours),

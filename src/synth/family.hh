@@ -47,6 +47,8 @@ const char *driveClassName(DriveClass cls);
 struct DriveProfile
 {
     std::string id;
+    /** Drive index within the family; keys all derived RNG streams. */
+    std::size_t index = 0;
     DriveClass cls = DriveClass::Moderate;
     /** Mean foreground request rate, requests/second. */
     double base_rate = 10.0;

@@ -122,6 +122,45 @@ TEST(Ecdf, InterleavedAddAndQuery)
     EXPECT_DOUBLE_EQ(e.min(), 1.0);
 }
 
+TEST(Ecdf, MergeUncappedIsExactUnion)
+{
+    Ecdf all, a, b;
+    for (int i = 0; i < 200; ++i) {
+        const double v = static_cast<double>((i * 37) % 101);
+        all.add(v);
+        (i % 3 ? a : b).add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_EQ(a.sorted(), all.sorted());
+    EXPECT_DOUBLE_EQ(a.quantile(0.25), all.quantile(0.25));
+    EXPECT_DOUBLE_EQ(a.cdf(50.0), all.cdf(50.0));
+}
+
+TEST(Ecdf, MergeEmptyIsNoop)
+{
+    Ecdf a, b;
+    a.add(1.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 1u);
+    b.merge(a);
+    EXPECT_EQ(b.count(), 1u);
+    EXPECT_DOUBLE_EQ(b.median(), 1.0);
+}
+
+TEST(Ecdf, MergeIntoCappedKeepsPopulationCount)
+{
+    Ecdf capped(16, 7);
+    for (int i = 0; i < 100; ++i)
+        capped.add(static_cast<double>(i));
+    Ecdf other;
+    for (int i = 0; i < 50; ++i)
+        other.add(static_cast<double>(i));
+    capped.merge(other);
+    EXPECT_EQ(capped.count(), 150u);
+    EXPECT_EQ(capped.retained(), 16u);
+}
+
 TEST(EcdfDeathTest, EmptyQuantile)
 {
     Ecdf e;

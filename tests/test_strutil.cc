@@ -59,6 +59,16 @@ TEST(StartsWith, Matches)
     EXPECT_TRUE(startsWith("abc", ""));
 }
 
+TEST(EndsWith, Matches)
+{
+    EXPECT_TRUE(endsWith("trace.csv", ".csv"));
+    EXPECT_TRUE(endsWith("trace.bin", ".bin"));
+    EXPECT_FALSE(endsWith("trace.csv", ".bin"));
+    EXPECT_FALSE(endsWith("csv", ".csv"));
+    EXPECT_TRUE(endsWith("abc", ""));
+    EXPECT_TRUE(endsWith(".csv", ".csv"));
+}
+
 TEST(FormatDouble, Precision)
 {
     EXPECT_EQ(formatDouble(3.14159, 2), "3.14");

@@ -8,10 +8,13 @@
  *   analyze   service a trace through the drive model and print the
  *             multi-scale characterization
  *   family    synthesize a drive family's lifetime CSV
+ *   fleet     characterize N drives in parallel and print the
+ *             cross-drive variability report
  *
  * Formats are chosen by file extension: .csv, .bin, .spc.
  */
 
+#include <chrono>
 #include <cstring>
 #include <iostream>
 #include <map>
@@ -23,6 +26,8 @@
 #include "common/strutil.hh"
 #include "core/characterize.hh"
 #include "disk/drive.hh"
+#include "fleet/pipeline.hh"
+#include "fleet/pool.hh"
 #include "synth/family.hh"
 #include "synth/workload.hh"
 #include "trace/binio.hh"
@@ -33,14 +38,6 @@ namespace
 {
 
 using namespace dlw;
-
-bool
-endsWith(const std::string &s, const std::string &suffix)
-{
-    return s.size() >= suffix.size() &&
-           s.compare(s.size() - suffix.size(), suffix.size(),
-                     suffix) == 0;
-}
 
 trace::MsTrace
 readAny(const std::string &path)
@@ -148,6 +145,36 @@ cmdAnalyze(const dlw::Options &opts)
 }
 
 int
+cmdFleet(const dlw::Options &opts)
+{
+    fleet::FleetConfig cfg;
+    cfg.drives = static_cast<std::size_t>(opts.getInt("drives", 64));
+    cfg.threads = static_cast<std::size_t>(opts.getInt(
+        "threads",
+        static_cast<std::int64_t>(
+            fleet::ThreadPool::hardwareThreads())));
+    cfg.preset = fleet::parseFleetPreset(opts.get("preset", "mixed"));
+    cfg.seed = static_cast<std::uint64_t>(opts.getInt("seed", 20090614));
+    cfg.rate = opts.getDouble("rate", 60.0);
+    cfg.window = static_cast<Tick>(opts.getDouble("minutes", 2.0) *
+                                   static_cast<double>(kMinute));
+    cfg.nearline = opts.get("drive", "enterprise") == "nearline";
+
+    const auto t0 = std::chrono::steady_clock::now();
+    fleet::FleetResult result = fleet::runFleet(cfg);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    // Report on stdout is byte-identical at any --threads; timing
+    // goes to stderr so it never perturbs that contract.
+    std::cout << fleet::renderFleetReport(cfg, result);
+    std::cerr << "fleet: " << cfg.drives << " drives on "
+              << cfg.threads << " threads in "
+              << std::chrono::duration<double>(t1 - t0).count()
+              << " s\n";
+    return 0;
+}
+
+int
 cmdFamily(const dlw::Options &opts)
 {
     const std::string out = opts.get("out", "family.csv");
@@ -183,7 +210,11 @@ usage()
         "  analyze   --in FILE [--drive enterprise|nearline]\n"
         "            [--cache on|off]\n"
         "  family    --drives N --min-hours A --max-hours B\n"
-        "            --seed S --name NAME --out FILE\n";
+        "            --seed S --name NAME --out FILE\n"
+        "  fleet     --drives N --threads T\n"
+        "            --preset oltp|fileserver|streaming|backup|mixed\n"
+        "            --rate R --minutes M --seed S\n"
+        "            [--drive enterprise|nearline]\n";
 }
 
 } // anonymous namespace
@@ -205,6 +236,8 @@ main(int argc, char **argv)
         return cmdAnalyze(opts);
     if (cmd == "family")
         return cmdFamily(opts);
+    if (cmd == "fleet")
+        return cmdFleet(opts);
     usage();
     return 1;
 }
