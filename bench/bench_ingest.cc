@@ -1,0 +1,155 @@
+/**
+ * @file
+ * M3 — ingestion throughput with the Status error model.
+ *
+ * The corrupt-record machinery (policy gate, per-record fault-point
+ * check, IngestStats bookkeeping) sits on the hot path of every
+ * reader, so this benchmark measures what it costs against the
+ * pre-Status baseline: CSV and binary ms-trace reads with faults
+ * disarmed, on clean input, under each policy, plus a dirty-input
+ * skip pass to price actual recovery.  Target: <= 5% regression on
+ * the clean abort-policy paths (see EXPERIMENTS.md M3).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "common/rng.hh"
+#include "synth/workload.hh"
+#include "trace/binio.hh"
+#include "trace/corrupt.hh"
+#include "trace/csvio.hh"
+
+using namespace dlw;
+
+namespace
+{
+
+trace::MsTrace
+sampleTrace()
+{
+    Rng rng(1);
+    synth::Workload w = synth::Workload::makeOltp(1 << 24, 200.0);
+    return w.generate(rng, "ingest", 0, 60 * kSec);
+}
+
+std::string
+sampleCsv()
+{
+    std::stringstream ss;
+    trace::writeMsCsv(ss, sampleTrace());
+    return ss.str();
+}
+
+std::string
+sampleBinary()
+{
+    std::stringstream ss(std::ios::in | std::ios::out |
+                         std::ios::binary);
+    trace::writeMsBinary(ss, sampleTrace());
+    return ss.str();
+}
+
+trace::IngestOptions
+policy(trace::RecordPolicy p)
+{
+    trace::IngestOptions o;
+    o.policy = p;
+    return o;
+}
+
+void
+readCsvUnder(benchmark::State &state, trace::RecordPolicy p,
+             const std::string &data)
+{
+    std::uint64_t records = 0;
+    for (auto _ : state) {
+        std::stringstream ss(data);
+        auto r = trace::readMsCsv(ss, policy(p));
+        records += r.value().size();
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(records));
+    state.SetBytesProcessed(static_cast<std::int64_t>(
+        state.iterations() * data.size()));
+}
+
+void
+BM_IngestCsvAbort(benchmark::State &state)
+{
+    const std::string data = sampleCsv();
+    readCsvUnder(state, trace::RecordPolicy::kAbort, data);
+}
+BENCHMARK(BM_IngestCsvAbort);
+
+void
+BM_IngestCsvSkip(benchmark::State &state)
+{
+    const std::string data = sampleCsv();
+    readCsvUnder(state, trace::RecordPolicy::kSkipAndCount, data);
+}
+BENCHMARK(BM_IngestCsvSkip);
+
+void
+BM_IngestCsvClamp(benchmark::State &state)
+{
+    const std::string data = sampleCsv();
+    readCsvUnder(state, trace::RecordPolicy::kBestEffortClamp, data);
+}
+BENCHMARK(BM_IngestCsvClamp);
+
+void
+BM_IngestCsvSkipDirty(benchmark::State &state)
+{
+    // Dirty input: garble one field in every ~100th record, then
+    // price the actual skip-and-recover path.
+    std::string data = sampleCsv();
+    trace::CorruptSpec spec;
+    spec.mode = trace::CorruptMode::kFieldGarbage;
+    spec.seed = 7;
+    spec.count = data.size() / 4000; // ~1 event per 100 records
+    data = trace::corruptBuffer(data, spec).value();
+    readCsvUnder(state, trace::RecordPolicy::kSkipAndCount, data);
+}
+BENCHMARK(BM_IngestCsvSkipDirty);
+
+void
+BM_IngestBinaryAbort(benchmark::State &state)
+{
+    const std::string data = sampleBinary();
+    std::uint64_t records = 0;
+    for (auto _ : state) {
+        std::stringstream ss(data, std::ios::in | std::ios::binary);
+        auto r = trace::readMsBinary(
+            ss, policy(trace::RecordPolicy::kAbort));
+        records += r.value().size();
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(records));
+    state.SetBytesProcessed(static_cast<std::int64_t>(
+        state.iterations() * data.size()));
+}
+BENCHMARK(BM_IngestBinaryAbort);
+
+void
+BM_IngestBinarySkip(benchmark::State &state)
+{
+    const std::string data = sampleBinary();
+    std::uint64_t records = 0;
+    for (auto _ : state) {
+        std::stringstream ss(data, std::ios::in | std::ios::binary);
+        auto r = trace::readMsBinary(
+            ss, policy(trace::RecordPolicy::kSkipAndCount));
+        records += r.value().size();
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(records));
+    state.SetBytesProcessed(static_cast<std::int64_t>(
+        state.iterations() * data.size()));
+}
+BENCHMARK(BM_IngestBinarySkip);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,35 @@
+#!/bin/sh
+# Lint: ingestion and fleet code must use the Status error model, not
+# dlw_fatal.  Library code under src/trace and src/fleet returns
+# Status/StatusOr (or throws StatusError at a legacy boundary); only
+# CLI-boundary files may keep dlw_fatal.  The grep covers comments
+# too, on purpose: stale references to the old behaviour mislead.
+#
+# Usage: scripts/check_no_fatal.sh [repo-root]
+
+set -u
+root="${1:-$(dirname "$0")/..}"
+cd "$root" || exit 2
+
+# CLI-boundary files allowed to call dlw_fatal (none inside the
+# linted trees today; extend as space-separated repo-relative paths).
+whitelist=""
+
+bad=0
+for f in $(find src/trace src/fleet -name '*.hh' -o -name '*.cc'); do
+    skip=0
+    for w in $whitelist; do
+        [ "$f" = "$w" ] && skip=1
+    done
+    [ "$skip" = 1 ] && continue
+    if grep -n "dlw_fatal" "$f"; then
+        echo "error: $f mentions dlw_fatal (use Status/StatusOr)" >&2
+        bad=1
+    fi
+done
+
+if [ "$bad" != 0 ]; then
+    echo "check_no_fatal: FAILED" >&2
+    exit 1
+fi
+echo "check_no_fatal: OK"

@@ -1,0 +1,233 @@
+#include "common/fault.hh"
+
+#include <map>
+#include <mutex>
+
+#include "common/strutil.hh"
+
+namespace dlw
+{
+namespace fault
+{
+
+namespace detail
+{
+
+std::atomic<int> g_armed_points{0};
+
+} // namespace detail
+
+namespace
+{
+
+/** Armed point with its evaluation counters. */
+struct PointState
+{
+    FaultSpec spec;
+    std::uint64_t evals = 0;
+    std::uint64_t fires = 0;
+};
+
+std::mutex g_mu;
+std::map<std::string, PointState> &
+registry()
+{
+    static std::map<std::string, PointState> r;
+    return r;
+}
+
+/** SplitMix64: full-period mixer, the standard seeding finalizer. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+std::uint64_t
+hashString(const char *s)
+{
+    // FNV-1a, folded through mix64 for avalanche.
+    std::uint64_t h = 1469598103934665603ULL;
+    for (; *s; ++s)
+        h = (h ^ static_cast<unsigned char>(*s)) * 1099511628211ULL;
+    return mix64(h);
+}
+
+bool
+decide(PointState &st, const char *point, std::uint64_t key, bool keyed)
+{
+    const std::uint64_t eval = st.evals++;
+    switch (st.spec.mode) {
+      case Mode::EveryNth:
+        return st.spec.n > 0 && (eval + 1) % st.spec.n == 0;
+      case Mode::KeyMod:
+        if (!keyed)
+            return st.spec.n > 0 && (eval + 1) % st.spec.n == 0;
+        return st.spec.n > 0 && key % st.spec.n == 0;
+      case Mode::Probability: {
+        const std::uint64_t basis = keyed ? key : eval;
+        const std::uint64_t h =
+            mix64(st.spec.seed ^ hashString(point) ^ mix64(basis));
+        // Top 53 bits give a uniform double in [0, 1).
+        const double u =
+            static_cast<double>(h >> 11) * 0x1.0p-53;
+        return u < st.spec.p;
+      }
+      case Mode::Once:
+        return eval == 0;
+    }
+    return false;
+}
+
+StatusOr<FaultSpec>
+parseClauseBody(const std::string &body)
+{
+    FaultSpec spec;
+    bool have_mode = false;
+    for (const std::string &kv : split(body, ',')) {
+        const std::string t = trim(kv);
+        if (t == "once") {
+            spec.mode = Mode::Once;
+            have_mode = true;
+            continue;
+        }
+        auto eq = t.find('=');
+        if (eq == std::string::npos) {
+            return Status::invalidArgument(
+                "bad fault parameter '" + t +
+                "' (want nth=N, mod=N, p=P, seed=S, or once)");
+        }
+        const std::string k = trim(t.substr(0, eq));
+        const std::string v = trim(t.substr(eq + 1));
+        std::uint64_t uv = 0;
+        double dv = 0.0;
+        if (k == "nth" || k == "mod") {
+            if (!tryParseUint(v, uv) || uv == 0) {
+                return Status::invalidArgument(
+                    "fault parameter '" + k +
+                    "' needs a positive integer, got '" + v + "'");
+            }
+            spec.mode = (k == "nth") ? Mode::EveryNth : Mode::KeyMod;
+            spec.n = uv;
+            have_mode = true;
+        } else if (k == "p") {
+            if (!tryParseDouble(v, dv) || dv < 0.0 || dv > 1.0) {
+                return Status::invalidArgument(
+                    "fault probability needs p in [0,1], got '" + v +
+                    "'");
+            }
+            spec.mode = Mode::Probability;
+            spec.p = dv;
+            have_mode = true;
+        } else if (k == "seed") {
+            if (!tryParseUint(v, uv)) {
+                return Status::invalidArgument(
+                    "fault seed needs an integer, got '" + v + "'");
+            }
+            spec.seed = uv;
+        } else {
+            return Status::invalidArgument(
+                "unknown fault parameter '" + k + "'");
+        }
+    }
+    if (!have_mode) {
+        return Status::invalidArgument(
+            "fault clause '" + body +
+            "' sets no mode (nth=, mod=, p=, or once)");
+    }
+    return spec;
+}
+
+} // anonymous namespace
+
+void
+arm(const std::string &point, const FaultSpec &spec)
+{
+    std::lock_guard<std::mutex> lk(g_mu);
+    auto &r = registry();
+    if (r.find(point) == r.end())
+        detail::g_armed_points.fetch_add(1, std::memory_order_relaxed);
+    r[point] = PointState{spec, 0, 0};
+}
+
+Status
+armFromSpec(const std::string &spec)
+{
+    std::vector<std::pair<std::string, FaultSpec>> parsed;
+    for (const std::string &clause : split(spec, ';')) {
+        const std::string c = trim(clause);
+        if (c.empty())
+            continue;
+        auto colon = c.find(':');
+        if (colon == std::string::npos || colon == 0) {
+            return Status::invalidArgument(
+                "fault clause '" + c + "' wants point:params");
+        }
+        const std::string point = trim(c.substr(0, colon));
+        StatusOr<FaultSpec> fs = parseClauseBody(c.substr(colon + 1));
+        if (!fs.ok()) {
+            Status s = fs.status();
+            return s.withContext("fault point '" + point + "'");
+        }
+        parsed.emplace_back(point, fs.value());
+    }
+    if (parsed.empty())
+        return Status::invalidArgument("empty fault spec");
+    for (auto &[point, fs] : parsed)
+        arm(point, fs);
+    return Status();
+}
+
+void
+disarm(const std::string &point)
+{
+    std::lock_guard<std::mutex> lk(g_mu);
+    if (registry().erase(point) > 0)
+        detail::g_armed_points.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void
+disarmAll()
+{
+    std::lock_guard<std::mutex> lk(g_mu);
+    registry().clear();
+    detail::g_armed_points.store(0, std::memory_order_relaxed);
+}
+
+bool
+anyArmed()
+{
+    return detail::g_armed_points.load(std::memory_order_relaxed) != 0;
+}
+
+std::uint64_t
+fireCount(const std::string &point)
+{
+    std::lock_guard<std::mutex> lk(g_mu);
+    auto it = registry().find(point);
+    return it == registry().end() ? 0 : it->second.fires;
+}
+
+namespace detail
+{
+
+bool
+evaluate(const char *point, std::uint64_t key, bool keyed)
+{
+    std::lock_guard<std::mutex> lk(g_mu);
+    auto it = registry().find(point);
+    if (it == registry().end())
+        return false;
+    const bool fire = decide(it->second, point, key, keyed);
+    if (fire)
+        ++it->second.fires;
+    return fire;
+}
+
+} // namespace detail
+
+} // namespace fault
+} // namespace dlw

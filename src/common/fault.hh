@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Deterministic fault injection for tests and torture harnesses.
+ *
+ * Library code marks its interesting failure sites with a named
+ * fault point:
+ *
+ *     if (FAULT_POINT("trace.read.record"))
+ *         ...treat this record as corrupt...
+ *
+ *     if (FAULT_POINT_KEYED("fleet.shard", drive_index))
+ *         ...fail this shard...
+ *
+ * Nothing fires unless a test (or `dlwtool --fault`) arms the point.
+ * Disarmed cost is one relaxed atomic load — the macros short-circuit
+ * before touching the registry — so fault points are safe to leave in
+ * hot loops.
+ *
+ * Arming modes, all deterministic:
+ *
+ *   nth=N   fire on every Nth evaluation of the point (point-local
+ *           counter; deterministic in serial code, ordering-dependent
+ *           under concurrency — prefer mod= for parallel paths)
+ *   mod=N   fire when the caller-supplied key satisfies key % N == 0
+ *           (pure function of the key: byte-identical at any thread
+ *           count; keyless evaluations fall back to the counter)
+ *   p=P     fire with probability P, hashed from (seed, point, key or
+ *           counter); seed=S optional, default 0
+ *   once    fire on the first evaluation only
+ *
+ * Spec strings arm several points at once:
+ *   "trace.read.record:nth=3;fleet.shard:mod=8"
+ */
+
+#ifndef DLW_COMMON_FAULT_HH
+#define DLW_COMMON_FAULT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hh"
+
+namespace dlw
+{
+namespace fault
+{
+
+/** How an armed point decides to fire. */
+enum class Mode
+{
+    EveryNth,
+    KeyMod,
+    Probability,
+    Once,
+};
+
+/** One point's arming. */
+struct FaultSpec
+{
+    Mode mode = Mode::Once;
+    std::uint64_t n = 1;      ///< EveryNth period / KeyMod modulus
+    double p = 0.0;           ///< Probability of firing
+    std::uint64_t seed = 0;   ///< Probability hash seed
+};
+
+/** Arm one point (re-arming replaces the old spec and counters). */
+void arm(const std::string &point, const FaultSpec &spec);
+
+/**
+ * Arm points from a spec string
+ * ("point:nth=3;other:mod=8;third:p=0.1,seed=7;fourth:once").
+ *
+ * @return kInvalidArgument naming the bad clause on a parse error;
+ *         nothing is armed unless the whole spec parses.
+ */
+Status armFromSpec(const std::string &spec);
+
+/** Disarm one point (unknown names are a no-op). */
+void disarm(const std::string &point);
+
+/** Disarm everything and reset all counters. */
+void disarmAll();
+
+/** True when at least one point is armed (lock-free). */
+bool anyArmed();
+
+/** Number of times the point has fired since it was armed. */
+std::uint64_t fireCount(const std::string &point);
+
+namespace detail
+{
+
+extern std::atomic<int> g_armed_points;
+
+/** Registry lookup + mode evaluation; called only while armed. */
+bool evaluate(const char *point, std::uint64_t key, bool keyed);
+
+} // namespace detail
+
+/**
+ * RAII arming for tests: arms on construction, restores a fully
+ * disarmed registry on destruction.
+ */
+class ScopedFault
+{
+  public:
+    ScopedFault(const std::string &point, const FaultSpec &spec)
+    {
+        arm(point, spec);
+    }
+
+    explicit ScopedFault(const std::string &spec)
+    {
+        Status s = armFromSpec(spec);
+        dlw_assert(s.ok(), "bad ScopedFault spec: ", s.toString());
+    }
+
+    ~ScopedFault() { disarmAll(); }
+
+    ScopedFault(const ScopedFault &) = delete;
+    ScopedFault &operator=(const ScopedFault &) = delete;
+};
+
+} // namespace fault
+} // namespace dlw
+
+/** True when the named point should inject a failure here. */
+#define FAULT_POINT(point) \
+    (::dlw::fault::detail::g_armed_points.load( \
+         std::memory_order_relaxed) != 0 && \
+     ::dlw::fault::detail::evaluate((point), 0, false))
+
+/** Keyed variant: deterministic per key regardless of thread count. */
+#define FAULT_POINT_KEYED(point, key) \
+    (::dlw::fault::detail::g_armed_points.load( \
+         std::memory_order_relaxed) != 0 && \
+     ::dlw::fault::detail::evaluate((point), (key), true))
+
+#endif // DLW_COMMON_FAULT_HH

@@ -118,36 +118,78 @@ padRight(const std::string &s, std::size_t width)
 double
 parseDouble(std::string_view s, std::string_view what)
 {
-    std::string t = trim(s);
-    if (t.empty())
+    if (trim(s).empty())
         dlw_fatal("empty field while parsing ", what);
-    char *end = nullptr;
-    double v = std::strtod(t.c_str(), &end);
-    if (end == t.c_str() || *end != '\0')
-        dlw_fatal("malformed number '", t, "' while parsing ", what);
+    double v = 0.0;
+    if (!tryParseDouble(s, v)) {
+        dlw_fatal("malformed number '", trim(s), "' while parsing ",
+                  what);
+    }
     return v;
 }
 
 std::int64_t
 parseInt(std::string_view s, std::string_view what)
 {
-    std::string t = trim(s);
+    if (trim(s).empty())
+        dlw_fatal("empty field while parsing ", what);
     std::int64_t v = 0;
-    auto [p, ec] = std::from_chars(t.data(), t.data() + t.size(), v);
-    if (ec != std::errc() || p != t.data() + t.size())
-        dlw_fatal("malformed integer '", t, "' while parsing ", what);
+    if (!tryParseInt(s, v)) {
+        dlw_fatal("malformed integer '", trim(s), "' while parsing ",
+                  what);
+    }
     return v;
 }
 
 std::uint64_t
 parseUint(std::string_view s, std::string_view what)
 {
+    if (trim(s).empty())
+        dlw_fatal("empty field while parsing ", what);
+    std::uint64_t v = 0;
+    if (!tryParseUint(s, v)) {
+        dlw_fatal("malformed unsigned '", trim(s), "' while parsing ",
+                  what);
+    }
+    return v;
+}
+
+bool
+tryParseDouble(std::string_view s, double &out)
+{
+    std::string t = trim(s);
+    if (t.empty())
+        return false;
+    char *end = nullptr;
+    double v = std::strtod(t.c_str(), &end);
+    if (end == t.c_str() || *end != '\0')
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+tryParseInt(std::string_view s, std::int64_t &out)
+{
+    std::string t = trim(s);
+    std::int64_t v = 0;
+    auto [p, ec] = std::from_chars(t.data(), t.data() + t.size(), v);
+    if (ec != std::errc() || p != t.data() + t.size())
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+tryParseUint(std::string_view s, std::uint64_t &out)
+{
     std::string t = trim(s);
     std::uint64_t v = 0;
     auto [p, ec] = std::from_chars(t.data(), t.data() + t.size(), v);
     if (ec != std::errc() || p != t.data() + t.size())
-        dlw_fatal("malformed unsigned '", t, "' while parsing ", what);
-    return v;
+        return false;
+    out = v;
+    return true;
 }
 
 } // namespace dlw

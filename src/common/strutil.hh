@@ -63,6 +63,22 @@ std::int64_t parseInt(std::string_view s, std::string_view what);
 /** Parse an unsigned 64-bit integer, failing loudly on bad input. */
 std::uint64_t parseUint(std::string_view s, std::string_view what);
 
+/**
+ * Non-fatal parses for ingestion paths that must survive corrupt
+ * input: whitespace is trimmed, and the whole remainder must parse.
+ *
+ * @param s   Text to parse.
+ * @param out Receives the value on success; untouched on failure.
+ * @return True when the text parsed cleanly.
+ */
+bool tryParseDouble(std::string_view s, double &out);
+
+/** Non-fatal signed 64-bit parse; see tryParseDouble. */
+bool tryParseInt(std::string_view s, std::int64_t &out);
+
+/** Non-fatal unsigned 64-bit parse; see tryParseDouble. */
+bool tryParseUint(std::string_view s, std::uint64_t &out);
+
 } // namespace dlw
 
 #endif // DLW_COMMON_STRUTIL_HH

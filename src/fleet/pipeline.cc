@@ -1,8 +1,11 @@
 #include "fleet/pipeline.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
+#include <thread>
 
+#include "common/fault.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "common/strutil.hh"
@@ -77,7 +80,7 @@ fleetPresetName(FleetPreset preset)
     return "unknown";
 }
 
-FleetPreset
+StatusOr<FleetPreset>
 parseFleetPreset(const std::string &name)
 {
     if (name == "oltp")
@@ -90,13 +93,29 @@ parseFleetPreset(const std::string &name)
         return FleetPreset::Backup;
     if (name == "mixed")
         return FleetPreset::Mixed;
-    dlw_fatal("unknown fleet preset '", name,
-              "' (oltp|fileserver|streaming|backup|mixed)");
+    return Status::invalidArgument(
+        "unknown fleet preset '" + name +
+        "' (oltp|fileserver|streaming|backup|mixed)");
+}
+
+/** The drive id shard `index` carries (also known before it runs). */
+static std::string
+driveIdFor(const FleetConfig &config, std::size_t index)
+{
+    return std::string(fleetPresetName(classFor(config.preset, index))) +
+           "-" + std::to_string(index);
 }
 
 DriveShard
 characterizeDrive(const FleetConfig &config, std::size_t index)
 {
+    // Keyed by drive index so an armed mod=N spec fails the same
+    // drives at any thread count (a global counter would not).
+    if (FAULT_POINT_KEYED("fleet.shard", index)) {
+        throw StatusError(Status::unavailable(
+            "injected shard fault at drive " + std::to_string(index)));
+    }
+
     // The drive's entire stochastic behaviour flows from this one
     // keyed fork; nothing here depends on other drives or threads.
     Rng rng = Rng(config.seed).fork(index);
@@ -163,24 +182,123 @@ characterizeDrive(const FleetConfig &config, std::size_t index)
     return shard;
 }
 
+namespace
+{
+
+/** What one drive slot ended up as after its attempt loop. */
+struct SlotOutcome
+{
+    bool ok = false;
+    DriveShard shard;
+    Status error;
+    std::size_t attempts = 0;
+};
+
+/** Backoff before retry `attempt` of shard `index` (deterministic). */
+void
+backoff(const FleetConfig &config, std::size_t index,
+        std::size_t attempt)
+{
+    // Capped exponential base with seeded jitter: the schedule is a
+    // pure function of (seed, index, attempt), like the shard itself.
+    constexpr double kBaseMs = 1.0;
+    constexpr double kCapMs = 16.0;
+    double ms = kBaseMs;
+    for (std::size_t a = 1; a < attempt && ms < kCapMs; ++a)
+        ms *= 2.0;
+    ms = std::min(ms, kCapMs);
+    Rng jitter = Rng(config.seed ^ 0x9e3779b97f4a7c15ULL)
+                     .fork(index * 16 + attempt);
+    ms *= jitter.uniform(0.5, 1.5);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(ms));
+}
+
+} // anonymous namespace
+
 FleetResult
 runFleet(const FleetConfig &config)
 {
     dlw_assert(config.drives > 0, "fleet needs at least one drive");
+    const std::size_t max_attempts = std::max<std::size_t>(
+        config.max_attempts, 1);
 
-    FleetResult result;
-    result.shards.resize(config.drives);
-
-    // Parallel phase: each task owns exactly its own slot.
+    // Parallel phase: each task owns exactly its own slot and keeps
+    // every failure local to it — one bad drive cannot take down the
+    // other N - 1.
+    std::vector<SlotOutcome> slots(config.drives);
     ThreadPool pool(config.threads);
     parallelFor(pool, config.drives, [&](std::size_t i) {
-        result.shards[i] = characterizeDrive(config, i);
+        SlotOutcome &slot = slots[i];
+        for (slot.attempts = 1;; ++slot.attempts) {
+            try {
+                slot.shard = characterizeDrive(config, i);
+                slot.ok = true;
+                return;
+            } catch (const StatusError &e) {
+                slot.error = e.status();
+            } catch (const std::exception &e) {
+                slot.error = Status::internal(e.what());
+            }
+            if (slot.attempts >= max_attempts)
+                return;
+            backoff(config, i, slot.attempts);
+        }
     });
 
-    // Serial phase: ordered reduction (see merge.hh).
+    // Serial phase: split survivors from failures in index order,
+    // then the ordered reduction (see merge.hh).
+    FleetResult result;
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+        SlotOutcome &slot = slots[i];
+        result.retries += slot.attempts - 1;
+        if (slot.ok) {
+            result.shards.push_back(std::move(slot.shard));
+        } else {
+            ShardFailure f;
+            f.index = i;
+            f.drive_id = driveIdFor(config, i);
+            f.attempts = slot.attempts;
+            f.error = std::move(slot.error);
+            result.failures.push_back(std::move(f));
+        }
+    }
     result.aggregate = reduceOrdered(result.shards);
     return result;
 }
+
+namespace
+{
+
+/**
+ * The degraded-run appendix: a human table plus one machine-readable
+ * line per failed drive, everything ordered by drive index so the
+ * appendix obeys the same any-thread-count byte-identity as the rest
+ * of the report.
+ */
+void
+renderFailureAppendix(std::ostream &os, const FleetResult &result)
+{
+    core::Table f("failure appendix",
+                  {"drive", "index", "attempts", "code", "error"});
+    for (const ShardFailure &fail : result.failures) {
+        f.addRow({fail.drive_id, core::cell(fail.index),
+                  core::cell(fail.attempts),
+                  statusCodeName(fail.error.code()),
+                  fail.error.message()});
+    }
+    f.print(os);
+    os << '\n';
+    for (const ShardFailure &fail : result.failures) {
+        os << "# failure drive=" << fail.drive_id
+           << " index=" << fail.index
+           << " attempts=" << fail.attempts
+           << " code=" << statusCodeName(fail.error.code())
+           << " msg=" << fail.error.message() << '\n';
+    }
+}
+
+} // anonymous namespace
 
 std::string
 renderFleetReport(const FleetConfig &config, const FleetResult &result)
@@ -192,6 +310,12 @@ renderFleetReport(const FleetConfig &config, const FleetResult &result)
        << formatDuration(config.window) << " window, "
        << core::cell(config.rate) << " req/s/drive, seed "
        << config.seed << "\n\n";
+
+    if (agg.drives == 0) {
+        os << "no surviving drives; see failure appendix\n\n";
+        renderFailureAppendix(os, result);
+        return os.str();
+    }
 
     core::Table t("fleet aggregate", {"metric", "value"});
     t.addRow({"requests", core::cell(agg.requests)});
@@ -255,6 +379,11 @@ renderFleetReport(const FleetConfig &config, const FleetResult &result)
                              static_cast<double>(agg.drives))});
     }
     s.print(os);
+
+    if (!result.failures.empty()) {
+        os << '\n';
+        renderFailureAppendix(os, result);
+    }
     return os.str();
 }
 

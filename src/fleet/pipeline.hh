@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.hh"
 #include "common/types.hh"
 #include "fleet/merge.hh"
 
@@ -42,8 +43,8 @@ enum class FleetPreset
 /** Human-readable preset name. */
 const char *fleetPresetName(FleetPreset preset);
 
-/** Parse a preset name; fatal on an unknown one. */
-FleetPreset parseFleetPreset(const std::string &name);
+/** Parse a preset name; InvalidArgument on an unknown one. */
+StatusOr<FleetPreset> parseFleetPreset(const std::string &name);
 
 /**
  * Fleet run configuration.
@@ -64,17 +65,46 @@ struct FleetConfig
     Tick window = 2 * kMinute;
     /** Use the nearline drive model instead of enterprise. */
     bool nearline = false;
+    /**
+     * Attempts per shard (>= 1).  A shard that keeps failing after
+     * max_attempts tries is recorded in FleetResult::failures rather
+     * than failing the run.
+     */
+    std::size_t max_attempts = 3;
+};
+
+/**
+ * One drive the fleet could not characterize.
+ */
+struct ShardFailure
+{
+    /** Drive index of the failed shard. */
+    std::size_t index = 0;
+    /** Drive id the shard would have carried. */
+    std::string drive_id;
+    /** Attempts spent before giving up. */
+    std::size_t attempts = 0;
+    /** Final error of the last attempt. */
+    Status error;
 };
 
 /**
  * Everything a fleet run produces.
+ *
+ * A run with k failed drives still yields the other N - k shards and
+ * their aggregate; the failures ride alongside, in drive order, so a
+ * report can render both.
  */
 struct FleetResult
 {
-    /** Per-drive shards, indexed by drive. */
+    /** Surviving per-drive shards, ascending by drive index. */
     std::vector<DriveShard> shards;
-    /** Ordered reduction of the shards. */
+    /** Ordered reduction of the surviving shards. */
     FleetAggregate aggregate;
+    /** Drives that failed every attempt, ascending by index. */
+    std::vector<ShardFailure> failures;
+    /** Total retry attempts spent across all shards. */
+    std::uint64_t retries = 0;
 };
 
 /**
@@ -83,12 +113,22 @@ struct FleetResult
  * Pure function of (config, index): generates the drive's workload
  * from RNG stream fork(index), services it through the disk model,
  * and distils the shard statistics.  Safe to call from any thread.
+ * Throws StatusError on failure (including the armed "fleet.shard"
+ * fault point, keyed by drive index).
  */
 DriveShard characterizeDrive(const FleetConfig &config,
                              std::size_t index);
 
 /**
  * Run the whole fleet on config.threads workers and reduce.
+ *
+ * Failure isolation: a shard that throws is retried up to
+ * config.max_attempts times with capped exponential backoff (the
+ * jitter is seeded from config.seed, so the retry schedule is as
+ * reproducible as the shards themselves); a shard that exhausts its
+ * attempts lands in FleetResult::failures and the rest of the fleet
+ * carries on.  The surviving aggregate and the failure list are both
+ * byte-identical at any thread count.
  */
 FleetResult runFleet(const FleetConfig &config);
 
@@ -96,7 +136,9 @@ FleetResult runFleet(const FleetConfig &config);
  * Render the cross-drive variability report (E8/E11 view).
  *
  * Deliberately excludes thread count and timing so the report is
- * byte-identical across thread counts.
+ * byte-identical across thread counts.  When shards failed, a
+ * failure appendix follows the aggregate tables: one table row plus
+ * one machine-readable "# failure ..." line per failed drive.
  */
 std::string renderFleetReport(const FleetConfig &config,
                               const FleetResult &result);

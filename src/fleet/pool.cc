@@ -79,8 +79,8 @@ ThreadPool::workerLoop(std::size_t self)
                 err = std::current_exception();
             }
             lk.lock();
-            if (err && !first_error_)
-                first_error_ = err;
+            if (err)
+                errors_.push_back(err);
             --pending_;
             if (pending_ == 0)
                 done_cv_.notify_all();
@@ -97,12 +97,28 @@ ThreadPool::wait()
 {
     std::unique_lock<std::mutex> lk(mu_);
     done_cv_.wait(lk, [this] { return pending_ == 0; });
-    if (first_error_) {
-        std::exception_ptr err = first_error_;
-        first_error_ = nullptr;
-        lk.unlock();
-        std::rethrow_exception(err);
+    if (errors_.empty())
+        return;
+    std::vector<std::exception_ptr> errors;
+    errors.swap(errors_);
+    lk.unlock();
+
+    // Rethrowing can only surface one exception; name the others so
+    // a multi-failure batch is never mistaken for a single failure.
+    if (errors.size() > 1) {
+        dlw_warn("suppressing ", errors.size() - 1,
+                 " further task exception(s) behind the first");
+        for (std::size_t i = 1; i < errors.size(); ++i) {
+            try {
+                std::rethrow_exception(errors[i]);
+            } catch (const std::exception &e) {
+                dlw_warn("  suppressed: ", e.what());
+            } catch (...) {
+                dlw_warn("  suppressed: (non-standard exception)");
+            }
+        }
     }
+    std::rethrow_exception(errors[0]);
 }
 
 std::size_t

@@ -59,7 +59,7 @@ class ThreadPool
      *
      * Tasks are distributed round-robin across the worker deques.
      * A task that throws does not poison the pool: the remaining
-     * tasks still run, and the first exception is rethrown from the
+     * tasks still run, and every exception is captured until the
      * next wait().
      */
     void submit(std::function<void()> task);
@@ -69,6 +69,8 @@ class ThreadPool
      *
      * If any task threw, rethrows the first captured exception
      * (after all tasks have drained), leaving the pool reusable.
+     * Exceptions beyond the first are not silently dropped: each
+     * suppressed one is logged with its message before the rethrow.
      */
     void wait();
 
@@ -93,7 +95,7 @@ class ThreadPool
     std::size_t next_queue_ = 0; ///< round-robin submission cursor
     std::size_t pending_ = 0;    ///< submitted but not yet finished
     bool stopping_ = false;
-    std::exception_ptr first_error_;
+    std::vector<std::exception_ptr> errors_; ///< every task exception
 };
 
 /**

@@ -5,8 +5,9 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
-#include "common/logging.hh"
+#include "common/fault.hh"
 
 namespace dlw
 {
@@ -38,12 +39,11 @@ writeRaw(std::ostream &os, const T &v)
 }
 
 template <typename T>
-void
-readRaw(std::istream &is, T &v, const char *what)
+bool
+readRaw(std::istream &is, T &v)
 {
     is.read(reinterpret_cast<char *>(&v), sizeof(T));
-    if (!is)
-        dlw_fatal("truncated binary trace while reading ", what);
+    return static_cast<bool>(is);
 }
 
 } // anonymous namespace
@@ -68,65 +68,170 @@ writeMsBinary(std::ostream &os, const MsTrace &trace)
         raw.op = static_cast<std::uint8_t>(r.op);
         writeRaw(os, raw);
     }
-    if (!os)
-        dlw_fatal("I/O error while writing binary trace");
+    if (!os) {
+        throw StatusError(
+            Status::ioError("I/O error while writing binary trace"));
+    }
 }
 
 void
 writeMsBinary(const std::string &path, const MsTrace &trace)
 {
     std::ofstream os(path, std::ios::binary);
-    if (!os)
-        dlw_fatal("cannot open '", path, "' for writing");
+    if (!os) {
+        throw StatusError(Status::ioError("cannot open '" + path +
+                                          "' for writing"));
+    }
     writeMsBinary(os, trace);
 }
 
-MsTrace
-readMsBinary(std::istream &is)
+StatusOr<MsTrace>
+readMsBinary(std::istream &is, const IngestOptions &opts,
+             IngestStats *stats)
 {
+    IngestStats st;
+    auto finish = [&](StatusOr<MsTrace> r) {
+        if (stats)
+            *stats = st;
+        return r;
+    };
+
+    // The header is not policy-recoverable: without a trustworthy
+    // record count and id there is nothing to resynchronize on.
     std::array<char, 8> magic{};
     is.read(magic.data(), magic.size());
-    if (!is || magic != kMagic)
-        dlw_fatal("not a dlw binary ms trace (bad magic)");
+    if (!is || magic != kMagic) {
+        return finish(Status::corruptData(
+            "not a dlw binary ms trace (bad magic)"));
+    }
 
     std::uint32_t id_len = 0;
-    readRaw(is, id_len, "id length");
-    if (id_len > 4096)
-        dlw_fatal("implausible drive-id length ", id_len);
+    if (!readRaw(is, id_len)) {
+        return finish(Status::truncated(
+            "truncated binary trace while reading id length"));
+    }
+    if (id_len > 4096) {
+        std::ostringstream os;
+        os << "implausible drive-id length " << id_len;
+        return finish(Status::corruptData(os.str()));
+    }
     std::string id(id_len, '\0');
     is.read(id.data(), id_len);
-    if (!is)
-        dlw_fatal("truncated binary trace while reading drive id");
+    if (!is) {
+        return finish(Status::truncated(
+            "truncated binary trace while reading drive id"));
+    }
 
     Tick start = 0, duration = 0;
-    readRaw(is, start, "start");
-    readRaw(is, duration, "duration");
     std::uint64_t count = 0;
-    readRaw(is, count, "record count");
+    if (!readRaw(is, start) || !readRaw(is, duration) ||
+        !readRaw(is, count)) {
+        return finish(Status::truncated(
+            "truncated binary trace while reading header"));
+    }
+    if (duration < 0) {
+        return finish(
+            Status::corruptData("negative duration in binary header"));
+    }
 
+    const bool clamp = opts.policy == RecordPolicy::kBestEffortClamp;
     MsTrace trace(id, start, duration);
     for (std::uint64_t i = 0; i < count; ++i) {
         RawRecord raw{};
-        readRaw(is, raw, "request record");
-        if (raw.op > 1)
-            dlw_fatal("corrupt binary trace: bad op byte at record ", i);
+        if (!readRaw(is, raw)) {
+            std::ostringstream os;
+            os << "truncated binary trace at record " << i << " of "
+               << count;
+            st.noteError(os.str(), opts.max_error_samples);
+            if (opts.policy == RecordPolicy::kAbort)
+                return finish(Status::truncated(os.str()));
+            // Keep the prefix: everything before the cut is intact.
+            st.records_skipped += count - i;
+            break;
+        }
+
+        std::string why;
+        bool was_clamped = false;
+        if (FAULT_POINT("trace.read.record")) {
+            std::ostringstream os;
+            os << "injected fault at trace.read.record (record " << i
+               << ")";
+            why = os.str();
+        } else if (raw.op > 1) {
+            std::ostringstream os;
+            os << "bad op byte at record " << i;
+            why = os.str();
+            if (clamp) {
+                raw.op &= 1;
+                was_clamped = true;
+            }
+        } else if (raw.blocks == 0) {
+            std::ostringstream os;
+            os << "zero-length request at record " << i;
+            why = os.str();
+            if (clamp) {
+                raw.blocks = 1;
+                was_clamped = true;
+            }
+        }
+
+        if (!why.empty()) {
+            st.noteError(why, opts.max_error_samples);
+            if (opts.policy == RecordPolicy::kAbort)
+                return finish(Status::corruptData(why));
+            if (!was_clamped) {
+                ++st.records_skipped;
+                continue;
+            }
+            ++st.records_clamped;
+        }
+
         Request r;
         r.arrival = raw.arrival;
         r.lba = raw.lba;
         r.blocks = raw.blocks;
         r.op = static_cast<Op>(raw.op);
         trace.append(r);
+        ++st.records_read;
+        if (st.errors != 0)
+            st.bytes_recovered += sizeof(RawRecord);
     }
+    if (stats)
+        *stats = st;
     return trace;
+}
+
+StatusOr<MsTrace>
+readMsBinary(const std::string &path, const IngestOptions &opts,
+             IngestStats *stats)
+{
+    if (FAULT_POINT("trace.open")) {
+        return Status::ioError("injected fault at trace.open on '" +
+                               path + "'");
+    }
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        return Status::ioError("cannot open '" + path +
+                               "' for reading");
+    }
+    StatusOr<MsTrace> r = readMsBinary(is, opts, stats);
+    if (!r.ok()) {
+        Status e = r.status();
+        return e.withContext("reading '" + path + "'");
+    }
+    return r;
+}
+
+MsTrace
+readMsBinary(std::istream &is)
+{
+    return readMsBinary(is, IngestOptions{}).valueOrThrow();
 }
 
 MsTrace
 readMsBinary(const std::string &path)
 {
-    std::ifstream is(path, std::ios::binary);
-    if (!is)
-        dlw_fatal("cannot open '", path, "' for reading");
-    return readMsBinary(is);
+    return readMsBinary(path, IngestOptions{}).valueOrThrow();
 }
 
 } // namespace trace

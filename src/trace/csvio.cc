@@ -4,7 +4,7 @@
 #include <ostream>
 #include <sstream>
 
-#include "common/logging.hh"
+#include "common/fault.hh"
 #include "common/strutil.hh"
 
 namespace dlw
@@ -15,31 +15,77 @@ namespace trace
 namespace
 {
 
-std::ifstream
-openIn(const std::string &path)
+Status
+openIn(const std::string &path, std::ifstream &is)
 {
-    std::ifstream is(path);
+    if (FAULT_POINT("trace.open")) {
+        return Status::ioError("injected fault at trace.open on '" +
+                               path + "'");
+    }
+    is.open(path);
     if (!is)
-        dlw_fatal("cannot open '", path, "' for reading");
-    return is;
+        return Status::ioError("cannot open '" + path + "' for reading");
+    return Status();
 }
 
 std::ofstream
 openOut(const std::string &path)
 {
     std::ofstream os(path);
-    if (!os)
-        dlw_fatal("cannot open '", path, "' for writing");
+    if (!os) {
+        throw StatusError(Status::ioError("cannot open '" + path +
+                                          "' for writing"));
+    }
     return os;
 }
 
-/** Skip a column-header line. */
-void
-skipHeader(std::istream &is)
+/**
+ * Per-file corrupt-record bookkeeping shared by the CSV readers.
+ *
+ * Call corrupt() on every corrupt event; a non-OK return means the
+ * policy is kAbort and the read must stop with that status.
+ * Otherwise the caller either clamps (clamp policy, when a repair
+ * exists) or skips the record.
+ */
+struct Gate
 {
-    std::string line;
-    if (!std::getline(is, line))
-        dlw_fatal("truncated CSV: missing column header");
+    const IngestOptions &opts;
+    IngestStats st;
+
+    bool
+    clampMode() const
+    {
+        return opts.policy == RecordPolicy::kBestEffortClamp;
+    }
+
+    Status
+    corrupt(std::string msg)
+    {
+        st.noteError(msg, opts.max_error_samples);
+        if (opts.policy == RecordPolicy::kAbort)
+            return Status::corruptData(std::move(msg));
+        return Status();
+    }
+
+    void skip() { ++st.records_skipped; }
+
+    void clamped() { ++st.records_clamped; }
+
+    void
+    accept(std::size_t input_bytes)
+    {
+        ++st.records_read;
+        if (st.errors != 0)
+            st.bytes_recovered += input_bytes;
+    }
+};
+
+std::string
+atLine(std::size_t lineno, const std::string &what)
+{
+    std::ostringstream os;
+    os << "line " << lineno << ": " << what;
+    return os.str();
 }
 
 } // anonymous namespace
@@ -63,19 +109,33 @@ writeMsCsv(const std::string &path, const MsTrace &trace)
     writeMsCsv(os, trace);
 }
 
-MsTrace
-readMsCsv(std::istream &is)
+StatusOr<MsTrace>
+readMsCsv(std::istream &is, const IngestOptions &opts,
+          IngestStats *stats)
 {
+    Gate gate{opts, {}};
+    auto fail = [&](Status s) -> StatusOr<MsTrace> {
+        if (stats)
+            *stats = gate.st;
+        return s;
+    };
+
     std::string line;
     if (!std::getline(is, line))
-        dlw_fatal("empty ms-trace CSV");
+        return fail(Status::truncated("empty ms-trace CSV"));
     auto head = split(trim(line), ',');
-    if (head.size() != 4 || head[0] != "# dlw-ms-v1")
-        dlw_fatal("bad ms-trace header '", line, "'");
-
-    MsTrace trace(head[1], parseInt(head[2], "trace start"),
-                  parseInt(head[3], "trace duration"));
-    skipHeader(is);
+    std::int64_t start = 0, duration = 0;
+    if (head.size() != 4 || head[0] != "# dlw-ms-v1" ||
+        !tryParseInt(head[2], start) ||
+        !tryParseInt(head[3], duration) || duration < 0) {
+        return fail(Status::corruptData("bad ms-trace header '" +
+                                        trim(line) + "'"));
+    }
+    MsTrace trace(head[1], start, duration);
+    if (!std::getline(is, line)) {
+        return fail(
+            Status::truncated("truncated CSV: missing column header"));
+    }
 
     std::size_t lineno = 2;
     while (std::getline(is, line)) {
@@ -83,30 +143,100 @@ readMsCsv(std::istream &is)
         std::string t = trim(line);
         if (t.empty())
             continue;
-        auto f = split(t, ',');
-        if (f.size() != 4)
-            dlw_fatal("ms-trace line ", lineno, ": expected 4 fields");
+        const std::size_t record_bytes = line.size() + 1;
+
+        std::string why;
+        bool was_clamped = false;
         Request r;
-        r.arrival = parseInt(f[0], "arrival");
-        r.lba = parseUint(f[1], "lba");
-        r.blocks = static_cast<BlockCount>(parseUint(f[2], "blocks"));
-        std::string op = trim(f[3]);
-        if (op == "R")
-            r.op = Op::Read;
-        else if (op == "W")
-            r.op = Op::Write;
-        else
-            dlw_fatal("ms-trace line ", lineno, ": bad op '", op, "'");
+        if (FAULT_POINT("trace.read.record")) {
+            why = atLine(lineno, "injected fault at trace.read.record");
+        } else {
+            auto f = split(t, ',');
+            std::uint64_t blocks = 0;
+            if (f.size() != 4) {
+                why = atLine(lineno, "expected 4 fields");
+            } else if (!tryParseInt(f[0], r.arrival)) {
+                why = atLine(lineno,
+                             "malformed arrival '" + trim(f[0]) + "'");
+            } else if (!tryParseUint(f[1], r.lba)) {
+                why = atLine(lineno,
+                             "malformed lba '" + trim(f[1]) + "'");
+            } else if (!tryParseUint(f[2], blocks)) {
+                why = atLine(lineno,
+                             "malformed blocks '" + trim(f[2]) + "'");
+            } else {
+                r.blocks = static_cast<BlockCount>(blocks);
+                const std::string op = trim(f[3]);
+                if (op == "R") {
+                    r.op = Op::Read;
+                } else if (op == "W") {
+                    r.op = Op::Write;
+                } else if (gate.clampMode() && (op == "r" || op == "w")) {
+                    r.op = op == "r" ? Op::Read : Op::Write;
+                    was_clamped = true;
+                    why = atLine(lineno, "lowercase op '" + op + "'");
+                } else {
+                    why = atLine(lineno, "bad op '" + op + "'");
+                }
+                if (why.empty() || was_clamped) {
+                    if (r.blocks == 0) {
+                        if (gate.clampMode()) {
+                            r.blocks = 1;
+                            was_clamped = true;
+                            why = atLine(lineno, "zero-length request");
+                        } else {
+                            was_clamped = false;
+                            why = atLine(lineno, "zero-length request");
+                        }
+                    }
+                }
+            }
+        }
+
+        if (!why.empty()) {
+            Status s = gate.corrupt(why);
+            if (!s.ok())
+                return fail(std::move(s));
+            if (!was_clamped) {
+                gate.skip();
+                continue;
+            }
+            gate.clamped();
+        }
         trace.append(r);
+        gate.accept(record_bytes);
     }
+    if (stats)
+        *stats = gate.st;
     return trace;
+}
+
+StatusOr<MsTrace>
+readMsCsv(const std::string &path, const IngestOptions &opts,
+          IngestStats *stats)
+{
+    std::ifstream is;
+    Status s = openIn(path, is);
+    if (!s.ok())
+        return s;
+    StatusOr<MsTrace> r = readMsCsv(is, opts, stats);
+    if (!r.ok()) {
+        Status e = r.status();
+        return e.withContext("reading '" + path + "'");
+    }
+    return r;
+}
+
+MsTrace
+readMsCsv(std::istream &is)
+{
+    return readMsCsv(is, IngestOptions{}).valueOrThrow();
 }
 
 MsTrace
 readMsCsv(const std::string &path)
 {
-    auto is = openIn(path);
-    return readMsCsv(is);
+    return readMsCsv(path, IngestOptions{}).valueOrThrow();
 }
 
 void
@@ -130,18 +260,32 @@ writeHourCsv(const std::string &path, const HourTrace &trace)
     writeHourCsv(os, trace);
 }
 
-HourTrace
-readHourCsv(std::istream &is)
+StatusOr<HourTrace>
+readHourCsv(std::istream &is, const IngestOptions &opts,
+            IngestStats *stats)
 {
+    Gate gate{opts, {}};
+    auto fail = [&](Status s) -> StatusOr<HourTrace> {
+        if (stats)
+            *stats = gate.st;
+        return s;
+    };
+
     std::string line;
     if (!std::getline(is, line))
-        dlw_fatal("empty hour-trace CSV");
+        return fail(Status::truncated("empty hour-trace CSV"));
     auto head = split(trim(line), ',');
-    if (head.size() != 3 || head[0] != "# dlw-hour-v1")
-        dlw_fatal("bad hour-trace header '", line, "'");
-
-    HourTrace trace(head[1], parseInt(head[2], "trace start"));
-    skipHeader(is);
+    std::int64_t start = 0;
+    if (head.size() != 3 || head[0] != "# dlw-hour-v1" ||
+        !tryParseInt(head[2], start)) {
+        return fail(Status::corruptData("bad hour-trace header '" +
+                                        trim(line) + "'"));
+    }
+    HourTrace trace(head[1], start);
+    if (!std::getline(is, line)) {
+        return fail(
+            Status::truncated("truncated CSV: missing column header"));
+    }
 
     std::size_t lineno = 2;
     while (std::getline(is, line)) {
@@ -149,25 +293,78 @@ readHourCsv(std::istream &is)
         std::string t = trim(line);
         if (t.empty())
             continue;
-        auto f = split(t, ',');
-        if (f.size() != 6)
-            dlw_fatal("hour-trace line ", lineno, ": expected 6 fields");
-        auto h = static_cast<std::size_t>(parseUint(f[0], "hour"));
-        HourBucket &b = trace.bucketFor(h);
-        b.reads = parseUint(f[1], "reads");
-        b.writes = parseUint(f[2], "writes");
-        b.read_blocks = parseUint(f[3], "read_blocks");
-        b.write_blocks = parseUint(f[4], "write_blocks");
-        b.busy = parseInt(f[5], "busy_ns");
+        const std::size_t record_bytes = line.size() + 1;
+
+        std::string why;
+        bool was_clamped = false;
+        std::uint64_t h = 0;
+        HourBucket b;
+        if (FAULT_POINT("trace.read.record")) {
+            why = atLine(lineno, "injected fault at trace.read.record");
+        } else {
+            auto f = split(t, ',');
+            if (f.size() != 6) {
+                why = atLine(lineno, "expected 6 fields");
+            } else if (!tryParseUint(f[0], h) ||
+                       !tryParseUint(f[1], b.reads) ||
+                       !tryParseUint(f[2], b.writes) ||
+                       !tryParseUint(f[3], b.read_blocks) ||
+                       !tryParseUint(f[4], b.write_blocks) ||
+                       !tryParseInt(f[5], b.busy)) {
+                why = atLine(lineno, "malformed field");
+            } else if (b.busy < 0 || b.busy > kHour) {
+                if (gate.clampMode()) {
+                    b.busy = b.busy < 0 ? 0 : kHour;
+                    was_clamped = true;
+                }
+                why = atLine(lineno, "busy time outside [0, 1h]");
+            }
+        }
+
+        if (!why.empty()) {
+            Status s = gate.corrupt(why);
+            if (!s.ok())
+                return fail(std::move(s));
+            if (!was_clamped) {
+                gate.skip();
+                continue;
+            }
+            gate.clamped();
+        }
+        trace.bucketFor(static_cast<std::size_t>(h)) = b;
+        gate.accept(record_bytes);
     }
+    if (stats)
+        *stats = gate.st;
     return trace;
+}
+
+StatusOr<HourTrace>
+readHourCsv(const std::string &path, const IngestOptions &opts,
+            IngestStats *stats)
+{
+    std::ifstream is;
+    Status s = openIn(path, is);
+    if (!s.ok())
+        return s;
+    StatusOr<HourTrace> r = readHourCsv(is, opts, stats);
+    if (!r.ok()) {
+        Status e = r.status();
+        return e.withContext("reading '" + path + "'");
+    }
+    return r;
+}
+
+HourTrace
+readHourCsv(std::istream &is)
+{
+    return readHourCsv(is, IngestOptions{}).valueOrThrow();
 }
 
 HourTrace
 readHourCsv(const std::string &path)
 {
-    auto is = openIn(path);
-    return readHourCsv(is);
+    return readHourCsv(path, IngestOptions{}).valueOrThrow();
 }
 
 void
@@ -193,18 +390,30 @@ writeLifetimeCsv(const std::string &path, const LifetimeTrace &trace)
     writeLifetimeCsv(os, trace);
 }
 
-LifetimeTrace
-readLifetimeCsv(std::istream &is)
+StatusOr<LifetimeTrace>
+readLifetimeCsv(std::istream &is, const IngestOptions &opts,
+                IngestStats *stats)
 {
+    Gate gate{opts, {}};
+    auto fail = [&](Status s) -> StatusOr<LifetimeTrace> {
+        if (stats)
+            *stats = gate.st;
+        return s;
+    };
+
     std::string line;
     if (!std::getline(is, line))
-        dlw_fatal("empty lifetime-trace CSV");
+        return fail(Status::truncated("empty lifetime-trace CSV"));
     auto head = split(trim(line), ',');
-    if (head.size() != 2 || head[0] != "# dlw-lifetime-v1")
-        dlw_fatal("bad lifetime-trace header '", line, "'");
-
+    if (head.size() != 2 || head[0] != "# dlw-lifetime-v1") {
+        return fail(Status::corruptData("bad lifetime-trace header '" +
+                                        trim(line) + "'"));
+    }
     LifetimeTrace trace(head[1]);
-    skipHeader(is);
+    if (!std::getline(is, line)) {
+        return fail(
+            Status::truncated("truncated CSV: missing column header"));
+    }
 
     std::size_t lineno = 2;
     while (std::getline(is, line)) {
@@ -212,33 +421,97 @@ readLifetimeCsv(std::istream &is)
         std::string t = trim(line);
         if (t.empty())
             continue;
-        auto f = split(t, ',');
-        if (f.size() != 10) {
-            dlw_fatal("lifetime-trace line ", lineno,
-                      ": expected 10 fields");
-        }
+        const std::size_t record_bytes = line.size() + 1;
+
+        std::string why;
+        bool was_clamped = false;
         LifetimeRecord r;
-        r.drive_id = trim(f[0]);
-        r.power_on = parseInt(f[1], "power_on_ns");
-        r.busy = parseInt(f[2], "busy_ns");
-        r.reads = parseUint(f[3], "reads");
-        r.writes = parseUint(f[4], "writes");
-        r.read_blocks = parseUint(f[5], "read_blocks");
-        r.write_blocks = parseUint(f[6], "write_blocks");
-        r.peak_hour_requests = parseUint(f[7], "peak_hour_requests");
-        r.saturated_hours = parseUint(f[8], "saturated_hours");
-        r.longest_saturated_run =
-            parseUint(f[9], "longest_saturated_run");
+        if (FAULT_POINT("trace.read.record")) {
+            why = atLine(lineno, "injected fault at trace.read.record");
+        } else {
+            auto f = split(t, ',');
+            if (f.size() != 10) {
+                why = atLine(lineno, "expected 10 fields");
+            } else if (!tryParseInt(f[1], r.power_on) ||
+                       !tryParseInt(f[2], r.busy) ||
+                       !tryParseUint(f[3], r.reads) ||
+                       !tryParseUint(f[4], r.writes) ||
+                       !tryParseUint(f[5], r.read_blocks) ||
+                       !tryParseUint(f[6], r.write_blocks) ||
+                       !tryParseUint(f[7], r.peak_hour_requests) ||
+                       !tryParseUint(f[8], r.saturated_hours) ||
+                       !tryParseUint(f[9], r.longest_saturated_run)) {
+                why = atLine(lineno, "malformed field");
+            } else {
+                r.drive_id = trim(f[0]);
+                // Domain repairs exist only under the clamp policy;
+                // the other policies pass domain issues through to
+                // validate(), as the seed reader did.
+                if (gate.clampMode()) {
+                    if (r.power_on < 0) {
+                        r.power_on = 0;
+                        was_clamped = true;
+                    }
+                    if (r.busy < 0 || r.busy > r.power_on) {
+                        r.busy = r.busy < 0 ? 0 : r.power_on;
+                        was_clamped = true;
+                    }
+                    if (r.longest_saturated_run > r.saturated_hours) {
+                        r.longest_saturated_run = r.saturated_hours;
+                        was_clamped = true;
+                    }
+                    if (was_clamped) {
+                        why = atLine(lineno,
+                                     "counters outside their domain");
+                    }
+                }
+            }
+        }
+
+        if (!why.empty()) {
+            Status s = gate.corrupt(why);
+            if (!s.ok())
+                return fail(std::move(s));
+            if (!was_clamped) {
+                gate.skip();
+                continue;
+            }
+            gate.clamped();
+        }
         trace.append(std::move(r));
+        gate.accept(record_bytes);
     }
+    if (stats)
+        *stats = gate.st;
     return trace;
+}
+
+StatusOr<LifetimeTrace>
+readLifetimeCsv(const std::string &path, const IngestOptions &opts,
+                IngestStats *stats)
+{
+    std::ifstream is;
+    Status s = openIn(path, is);
+    if (!s.ok())
+        return s;
+    StatusOr<LifetimeTrace> r = readLifetimeCsv(is, opts, stats);
+    if (!r.ok()) {
+        Status e = r.status();
+        return e.withContext("reading '" + path + "'");
+    }
+    return r;
+}
+
+LifetimeTrace
+readLifetimeCsv(std::istream &is)
+{
+    return readLifetimeCsv(is, IngestOptions{}).valueOrThrow();
 }
 
 LifetimeTrace
 readLifetimeCsv(const std::string &path)
 {
-    auto is = openIn(path);
-    return readLifetimeCsv(is);
+    return readLifetimeCsv(path, IngestOptions{}).valueOrThrow();
 }
 
 } // namespace trace

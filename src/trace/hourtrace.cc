@@ -36,13 +36,12 @@ HourTrace::bucketAt(Tick t)
     return bucketFor(static_cast<std::size_t>((t - start_) / kHour));
 }
 
-bool
-HourTrace::validate(bool fail_hard) const
+Status
+HourTrace::checkValid() const
 {
-    auto complain = [&](const std::string &msg) -> bool {
-        if (fail_hard)
-            dlw_fatal("hour trace '", drive_id_, "': ", msg);
-        return false;
+    auto complain = [&](const std::string &msg) {
+        return Status::corruptData("hour trace '" + drive_id_ + "': " +
+                                   msg);
     };
 
     for (const HourBucket &b : buckets_) {
@@ -53,7 +52,18 @@ HourTrace::validate(bool fail_hard) const
         if (b.writes == 0 && b.write_blocks != 0)
             return complain("write blocks without write commands");
     }
-    return true;
+    return Status();
+}
+
+bool
+HourTrace::validate(bool fail_hard) const
+{
+    Status s = checkValid();
+    if (s.ok())
+        return true;
+    if (fail_hard)
+        throw StatusError(s);
+    return false;
 }
 
 std::uint64_t

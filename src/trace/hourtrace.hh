@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.hh"
 #include "common/types.hh"
 #include "stats/timeseries.hh"
 
@@ -129,7 +130,16 @@ class HourTrace
      * Validate internal consistency (busy time within the hour,
      * blocks consistent with command counts).
      *
-     * @param fail_hard Abort on violation instead of returning false.
+     * @return Success, or a CorruptData status naming the first
+     *         violation.
+     */
+    Status checkValid() const;
+
+    /**
+     * Boolean wrapper around checkValid().
+     *
+     * @param fail_hard Throw StatusError on violation instead of
+     *                  returning false.
      */
     bool validate(bool fail_hard = false) const;
 

@@ -1,0 +1,71 @@
+#include "trace/ingest.hh"
+
+#include <sstream>
+
+namespace dlw
+{
+namespace trace
+{
+
+const char *
+recordPolicyName(RecordPolicy policy)
+{
+    switch (policy) {
+      case RecordPolicy::kAbort:
+        return "abort";
+      case RecordPolicy::kSkipAndCount:
+        return "skip";
+      case RecordPolicy::kBestEffortClamp:
+        return "clamp";
+    }
+    return "unknown";
+}
+
+StatusOr<RecordPolicy>
+parseRecordPolicy(const std::string &name)
+{
+    if (name == "abort")
+        return RecordPolicy::kAbort;
+    if (name == "skip")
+        return RecordPolicy::kSkipAndCount;
+    if (name == "clamp")
+        return RecordPolicy::kBestEffortClamp;
+    return Status::invalidArgument("unknown corrupt-record policy '" +
+                                   name + "' (abort|skip|clamp)");
+}
+
+void
+IngestStats::noteError(std::string msg, std::size_t max_samples)
+{
+    ++errors;
+    if (error_samples.size() < max_samples)
+        error_samples.push_back(std::move(msg));
+}
+
+void
+IngestStats::merge(const IngestStats &other)
+{
+    records_read += other.records_read;
+    records_skipped += other.records_skipped;
+    records_clamped += other.records_clamped;
+    errors += other.errors;
+    bytes_recovered += other.bytes_recovered;
+    for (const std::string &s : other.error_samples) {
+        if (error_samples.size() >= 4)
+            break;
+        error_samples.push_back(s);
+    }
+}
+
+std::string
+IngestStats::summary() const
+{
+    std::ostringstream os;
+    os << "read " << records_read << ", skipped " << records_skipped
+       << ", clamped " << records_clamped << ", errors " << errors
+       << ", recovered " << bytes_recovered << " B";
+    return os.str();
+}
+
+} // namespace trace
+} // namespace dlw

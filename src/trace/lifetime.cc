@@ -25,14 +25,12 @@ LifetimeTrace::at(std::size_t i) const
     return records_[i];
 }
 
-bool
-LifetimeTrace::validate(bool fail_hard) const
+Status
+LifetimeTrace::checkValid() const
 {
-    auto complain = [&](const std::string &id,
-                        const std::string &msg) -> bool {
-        if (fail_hard)
-            dlw_fatal("lifetime record '", id, "': ", msg);
-        return false;
+    auto complain = [&](const std::string &id, const std::string &msg) {
+        return Status::corruptData("lifetime record '" + id + "': " +
+                                   msg);
     };
 
     for (const LifetimeRecord &r : records_) {
@@ -48,7 +46,18 @@ LifetimeTrace::validate(bool fail_hard) const
             return complain(r.drive_id,
                             "saturated run exceeds saturated hours");
     }
-    return true;
+    return Status();
+}
+
+bool
+LifetimeTrace::validate(bool fail_hard) const
+{
+    Status s = checkValid();
+    if (s.ok())
+        return true;
+    if (fail_hard)
+        throw StatusError(s);
+    return false;
 }
 
 std::vector<double>

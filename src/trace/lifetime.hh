@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.hh"
 #include "common/types.hh"
 
 namespace dlw
@@ -129,7 +130,16 @@ class LifetimeTrace
      * Validate internal consistency (busy <= power_on, block counts
      * imply command counts).
      *
-     * @param fail_hard Abort on violation instead of returning false.
+     * @return Success, or a CorruptData status naming the first
+     *         violation.
+     */
+    Status checkValid() const;
+
+    /**
+     * Boolean wrapper around checkValid().
+     *
+     * @param fail_hard Throw StatusError on violation instead of
+     *                  returning false.
      */
     bool validate(bool fail_hard = false) const;
 

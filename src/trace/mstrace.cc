@@ -53,13 +53,11 @@ MsTrace::sortByArrival()
     std::stable_sort(reqs_.begin(), reqs_.end(), ByArrival{});
 }
 
-bool
-MsTrace::validate(bool fail_hard) const
+Status
+MsTrace::checkValid() const
 {
-    auto complain = [&](const std::string &msg) -> bool {
-        if (fail_hard)
-            dlw_fatal("trace '", drive_id_, "': ", msg);
-        return false;
+    auto complain = [&](const std::string &msg) {
+        return Status::corruptData("trace '" + drive_id_ + "': " + msg);
     };
 
     Tick prev = start_;
@@ -73,7 +71,18 @@ MsTrace::validate(bool fail_hard) const
             return complain("arrival outside observation window");
         prev = r.arrival;
     }
-    return true;
+    return Status();
+}
+
+bool
+MsTrace::validate(bool fail_hard) const
+{
+    Status s = checkValid();
+    if (s.ok())
+        return true;
+    if (fail_hard)
+        throw StatusError(s);
+    return false;
 }
 
 std::size_t

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.hh"
 #include "stats/timeseries.hh"
 #include "trace/record.hh"
 
@@ -78,10 +79,18 @@ class MsTrace
      * Validate internal consistency.
      *
      * Checks: arrivals sorted and inside the window, block counts
-     * positive.  Calls dlw_fatal on the first violation when
-     * fail_hard, else returns false.
+     * positive.
      *
-     * @param fail_hard Abort on violation instead of returning.
+     * @return Success, or a CorruptData status naming the first
+     *         violation.
+     */
+    Status checkValid() const;
+
+    /**
+     * Boolean wrapper around checkValid().
+     *
+     * @param fail_hard Throw StatusError on violation instead of
+     *                  returning.
      * @return True when the trace is consistent.
      */
     bool validate(bool fail_hard = false) const;

@@ -19,6 +19,8 @@
 #include <iosfwd>
 #include <string>
 
+#include "common/status.hh"
+#include "trace/ingest.hh"
 #include "trace/mstrace.hh"
 
 namespace dlw
@@ -31,15 +33,29 @@ namespace trace
  *
  * @param is       Input stream of SPC lines.
  * @param drive_id Identifier to stamp on the resulting trace.
+ * @param opts     Corrupt-record policy and limits.
+ * @param stats    Filled with ingestion counters when non-null.
  * @param asu      Keep only records of this application storage
  *                 unit; -1 keeps every ASU.
- * @return Ms trace with arrivals sorted; the observation window is
- *         [0, last arrival + 1).
+ * @return Ms trace with arrivals sorted (the observation window is
+ *         [0, last arrival + 1)), or the first unrecovered
+ *         corruption.
  */
+StatusOr<MsTrace> readSpc(std::istream &is, const std::string &drive_id,
+                          const IngestOptions &opts,
+                          IngestStats *stats = nullptr, int asu = -1);
+
+/** Read an SPC-format trace from a file under the given policy. */
+StatusOr<MsTrace> readSpc(const std::string &path,
+                          const std::string &drive_id,
+                          const IngestOptions &opts,
+                          IngestStats *stats = nullptr, int asu = -1);
+
+/** Strict legacy read (kAbort; throws StatusError on corruption). */
 MsTrace readSpc(std::istream &is, const std::string &drive_id,
                 int asu = -1);
 
-/** Read an SPC-format trace from a file path. */
+/** Strict legacy read from a file (throws StatusError). */
 MsTrace readSpc(const std::string &path, const std::string &drive_id,
                 int asu = -1);
 

@@ -114,12 +114,16 @@ TEST(LifetimeTrace, ValidateAcceptsGood)
     EXPECT_TRUE(t.validate());
 }
 
-TEST(LifetimeTraceDeathTest, ValidateFailHard)
+TEST(LifetimeTrace, ValidateFailHardThrows)
 {
     LifetimeTrace t("FAM");
     t.append(record("bad", kHour, 2 * kHour, 1, 1));
-    EXPECT_EXIT(t.validate(true), ::testing::ExitedWithCode(1),
-                "busy time exceeds power-on");
+    Status s = t.checkValid();
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::kCorruptData);
+    EXPECT_NE(s.message().find("busy time exceeds power-on"),
+              std::string::npos);
+    EXPECT_THROW(t.validate(true), StatusError);
 }
 
 } // anonymous namespace

@@ -108,12 +108,16 @@ TEST(MsTrace, ValidateCatchesOutOfWindow)
     EXPECT_FALSE(tr2.validate());
 }
 
-TEST(MsTraceDeathTest, ValidateFailHard)
+TEST(MsTrace, ValidateFailHardThrows)
 {
     MsTrace tr("bad", 0, 10);
     tr.append(mk(50, 0, 1, Op::Read));
-    EXPECT_EXIT(tr.validate(true), ::testing::ExitedWithCode(1),
-                "outside observation window");
+    Status s = tr.checkValid();
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::kCorruptData);
+    EXPECT_NE(s.message().find("outside observation window"),
+              std::string::npos);
+    EXPECT_THROW(tr.validate(true), StatusError);
 }
 
 TEST(MsTrace, AppendExtendingGrowsWindow)

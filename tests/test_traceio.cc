@@ -46,8 +46,11 @@ TEST(CsvIo, MsRoundTrip)
 TEST(CsvIo, MsRejectsBadHeader)
 {
     std::stringstream ss("not a header\n");
-    EXPECT_EXIT(readMsCsv(ss), ::testing::ExitedWithCode(1),
-                "bad ms-trace header");
+    StatusOr<MsTrace> r = readMsCsv(ss, IngestOptions{});
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kCorruptData);
+    EXPECT_NE(r.status().message().find("bad ms-trace header"),
+              std::string::npos);
 }
 
 TEST(CsvIo, MsRejectsBadOp)
@@ -55,7 +58,10 @@ TEST(CsvIo, MsRejectsBadOp)
     std::stringstream ss("# dlw-ms-v1,d,0,1000\n"
                          "arrival_ns,lba,blocks,op\n"
                          "10,0,8,X\n");
-    EXPECT_EXIT(readMsCsv(ss), ::testing::ExitedWithCode(1), "bad op");
+    StatusOr<MsTrace> r = readMsCsv(ss, IngestOptions{});
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kCorruptData);
+    EXPECT_NE(r.status().message().find("bad op"), std::string::npos);
 }
 
 TEST(CsvIo, MsRejectsShortRow)
@@ -63,8 +69,16 @@ TEST(CsvIo, MsRejectsShortRow)
     std::stringstream ss("# dlw-ms-v1,d,0,1000\n"
                          "arrival_ns,lba,blocks,op\n"
                          "10,0,8\n");
-    EXPECT_EXIT(readMsCsv(ss), ::testing::ExitedWithCode(1),
-                "expected 4 fields");
+    StatusOr<MsTrace> r = readMsCsv(ss, IngestOptions{});
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.status().message().find("expected 4 fields"),
+              std::string::npos);
+}
+
+TEST(CsvIo, LegacyReaderThrowsOnCorruption)
+{
+    std::stringstream ss("not a header\n");
+    EXPECT_THROW(readMsCsv(ss), StatusError);
 }
 
 TEST(CsvIo, HourRoundTrip)
@@ -137,8 +151,11 @@ TEST(BinIo, RoundTripExact)
 TEST(BinIo, RejectsBadMagic)
 {
     std::stringstream ss("GARBAGE!more garbage");
-    EXPECT_EXIT(readMsBinary(ss), ::testing::ExitedWithCode(1),
-                "bad magic");
+    StatusOr<MsTrace> r = readMsBinary(ss, IngestOptions{});
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kCorruptData);
+    EXPECT_NE(r.status().message().find("bad magic"),
+              std::string::npos);
 }
 
 TEST(BinIo, RejectsTruncation)
@@ -150,8 +167,11 @@ TEST(BinIo, RejectsTruncation)
     std::string data = ss.str();
     std::stringstream cut(data.substr(0, data.size() / 2),
                           std::ios::in | std::ios::binary);
-    EXPECT_EXIT(readMsBinary(cut), ::testing::ExitedWithCode(1),
-                "truncated");
+    StatusOr<MsTrace> r = readMsBinary(cut, IngestOptions{});
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kTruncated);
+    EXPECT_NE(r.status().message().find("truncated"),
+              std::string::npos);
 }
 
 TEST(BinIo, FileRoundTrip)
@@ -204,8 +224,11 @@ TEST(Spc, SkipsCommentsAndBlanks)
 TEST(Spc, RejectsBadSize)
 {
     std::stringstream ss("0,1000,100,r,0.001\n");
-    EXPECT_EXIT(readSpc(ss, "d"), ::testing::ExitedWithCode(1),
-                "multiple of 512");
+    StatusOr<MsTrace> r = readSpc(ss, "d", IngestOptions{});
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kCorruptData);
+    EXPECT_NE(r.status().message().find("multiple of 512"),
+              std::string::npos);
 }
 
 TEST(Spc, RoundTripThroughWriter)
@@ -225,10 +248,14 @@ TEST(Spc, RoundTripThroughWriter)
     }
 }
 
-TEST(CsvIoDeathTest, MissingFile)
+TEST(CsvIo, MissingFile)
 {
-    EXPECT_EXIT(readMsCsv("/nonexistent/path/trace.csv"),
-                ::testing::ExitedWithCode(1), "cannot open");
+    StatusOr<MsTrace> r =
+        readMsCsv("/nonexistent/path/trace.csv", IngestOptions{});
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+    EXPECT_NE(r.status().message().find("cannot open"),
+              std::string::npos);
 }
 
 } // anonymous namespace

@@ -10,8 +10,16 @@
  *   family    synthesize a drive family's lifetime CSV
  *   fleet     characterize N drives in parallel and print the
  *             cross-drive variability report
+ *   corrupt   deterministically mangle a trace file (torture input)
  *
  * Formats are chosen by file extension: .csv, .bin, .spc.
+ *
+ * Fault tolerance: --on-corrupt picks the corrupt-record policy for
+ * every reader (abort|skip|clamp), and the global --fault option arms
+ * named failure points ("trace.open:once;fleet.shard:mod=8") before
+ * the command runs.  This is the CLI boundary of the Status error
+ * model: library failures arrive here as StatusError and leave as an
+ * exit code.
  */
 
 #include <chrono>
@@ -20,9 +28,11 @@
 #include <map>
 #include <string>
 
+#include "common/fault.hh"
 #include "common/logging.hh"
 #include "common/options.hh"
 #include "common/rng.hh"
+#include "common/status.hh"
 #include "common/strutil.hh"
 #include "core/characterize.hh"
 #include "disk/drive.hh"
@@ -31,7 +41,9 @@
 #include "synth/family.hh"
 #include "synth/workload.hh"
 #include "trace/binio.hh"
+#include "trace/corrupt.hh"
 #include "trace/csvio.hh"
+#include "trace/ingest.hh"
 #include "trace/spc.hh"
 
 namespace
@@ -39,15 +51,26 @@ namespace
 
 using namespace dlw;
 
+/** The --on-corrupt policy shared by every reader. */
+trace::IngestOptions
+ingestOptions(const dlw::Options &opts)
+{
+    trace::IngestOptions io;
+    io.policy = trace::parseRecordPolicy(
+                    opts.get("on-corrupt", "abort")).valueOrThrow();
+    return io;
+}
+
 trace::MsTrace
-readAny(const std::string &path)
+readAny(const std::string &path, const trace::IngestOptions &io,
+        trace::IngestStats *stats)
 {
     if (endsWith(path, ".bin"))
-        return trace::readMsBinary(path);
+        return trace::readMsBinary(path, io, stats).valueOrThrow();
     if (endsWith(path, ".csv"))
-        return trace::readMsCsv(path);
+        return trace::readMsCsv(path, io, stats).valueOrThrow();
     if (endsWith(path, ".spc"))
-        return trace::readSpc(path, path);
+        return trace::readSpc(path, path, io, stats).valueOrThrow();
     dlw_fatal("unknown trace extension on '", path,
               "' (want .csv, .bin, or .spc)");
 }
@@ -113,7 +136,10 @@ cmdConvert(const dlw::Options &opts)
     const std::string out = opts.get("out", "");
     if (in.empty() || out.empty())
         dlw_fatal("convert needs --in and --out");
-    trace::MsTrace tr = readAny(in);
+    trace::IngestStats stats;
+    trace::MsTrace tr = readAny(in, ingestOptions(opts), &stats);
+    if (stats.dirty())
+        std::cerr << "ingest: " << stats.summary() << '\n';
     writeAny(out, tr);
     std::cout << "converted " << tr.size() << " requests: " << in
               << " -> " << out << '\n';
@@ -126,7 +152,10 @@ cmdAnalyze(const dlw::Options &opts)
     const std::string in = opts.get("in", "");
     if (in.empty())
         dlw_fatal("analyze needs --in");
-    trace::MsTrace tr = readAny(in);
+    trace::IngestStats stats;
+    trace::MsTrace tr = readAny(in, ingestOptions(opts), &stats);
+    if (stats.dirty())
+        std::cout << "ingestion: " << stats.summary() << "\n\n";
     tr.sortByArrival();
     tr.validate(true);
 
@@ -153,12 +182,15 @@ cmdFleet(const dlw::Options &opts)
         "threads",
         static_cast<std::int64_t>(
             fleet::ThreadPool::hardwareThreads())));
-    cfg.preset = fleet::parseFleetPreset(opts.get("preset", "mixed"));
+    cfg.preset = fleet::parseFleetPreset(
+                     opts.get("preset", "mixed")).valueOrThrow();
     cfg.seed = static_cast<std::uint64_t>(opts.getInt("seed", 20090614));
     cfg.rate = opts.getDouble("rate", 60.0);
     cfg.window = static_cast<Tick>(opts.getDouble("minutes", 2.0) *
                                    static_cast<double>(kMinute));
     cfg.nearline = opts.get("drive", "enterprise") == "nearline";
+    cfg.max_attempts =
+        static_cast<std::size_t>(opts.getInt("retries", 3));
 
     const auto t0 = std::chrono::steady_clock::now();
     fleet::FleetResult result = fleet::runFleet(cfg);
@@ -171,6 +203,35 @@ cmdFleet(const dlw::Options &opts)
               << cfg.threads << " threads in "
               << std::chrono::duration<double>(t1 - t0).count()
               << " s\n";
+    if (!result.failures.empty() || result.retries != 0) {
+        std::cerr << "fleet: " << result.failures.size()
+                  << " drive(s) failed, " << result.retries
+                  << " retry attempt(s)\n";
+    }
+    return 0;
+}
+
+int
+cmdCorrupt(const dlw::Options &opts)
+{
+    const std::string in = opts.get("in", "");
+    const std::string out = opts.get("out", "");
+    if (in.empty() || out.empty())
+        dlw_fatal("corrupt needs --in and --out");
+
+    trace::CorruptSpec spec;
+    spec.mode = trace::parseCorruptMode(
+                    opts.get("mode", "bitflip")).valueOrThrow();
+    spec.seed = static_cast<std::uint64_t>(opts.getInt("seed", 1));
+    spec.count = static_cast<std::size_t>(opts.getInt("count", 1));
+    spec.offset = static_cast<std::size_t>(opts.getInt("offset", 0));
+
+    Status s = trace::corruptFile(in, out, spec);
+    if (!s.ok())
+        throw StatusError(s);
+    std::cout << "corrupted " << in << " -> " << out << " (mode "
+              << trace::corruptModeName(spec.mode) << ", seed "
+              << spec.seed << ", count " << spec.count << ")\n";
     return 0;
 }
 
@@ -207,14 +268,24 @@ usage()
         "  generate  --class oltp|fileserver|streaming|backup\n"
         "            --rate R --minutes M --seed S --out FILE\n"
         "  convert   --in FILE --out FILE      (.csv/.bin/.spc)\n"
+        "            [--on-corrupt abort|skip|clamp]\n"
         "  analyze   --in FILE [--drive enterprise|nearline]\n"
-        "            [--cache on|off]\n"
+        "            [--cache on|off] [--on-corrupt abort|skip|clamp]\n"
         "  family    --drives N --min-hours A --max-hours B\n"
         "            --seed S --name NAME --out FILE\n"
         "  fleet     --drives N --threads T\n"
         "            --preset oltp|fileserver|streaming|backup|mixed\n"
-        "            --rate R --minutes M --seed S\n"
-        "            [--drive enterprise|nearline]\n";
+        "            --rate R --minutes M --seed S --retries K\n"
+        "            [--drive enterprise|nearline]\n"
+        "  corrupt   --in FILE --out FILE\n"
+        "            --mode truncate|bitflip|garbage|dup|reorder\n"
+        "            --seed S --count N --offset B\n"
+        "\n"
+        "global options:\n"
+        "  --fault SPEC  arm failure points before the command runs,\n"
+        "                e.g. \"trace.open:once\" or\n"
+        "                \"fleet.shard:mod=8;trace.read.record:nth=100\"\n"
+        "                (modes: nth=N, mod=N, p=P[,seed=S], once)\n";
 }
 
 } // anonymous namespace
@@ -228,16 +299,30 @@ main(int argc, char **argv)
     }
     const std::string cmd = argv[1];
     dlw::Options opts(argc, argv, 2);
-    if (cmd == "generate")
-        return cmdGenerate(opts);
-    if (cmd == "convert")
-        return cmdConvert(opts);
-    if (cmd == "analyze")
-        return cmdAnalyze(opts);
-    if (cmd == "family")
-        return cmdFamily(opts);
-    if (cmd == "fleet")
-        return cmdFleet(opts);
+    try {
+        if (opts.has("fault")) {
+            Status s = fault::armFromSpec(opts.get("fault", ""));
+            if (!s.ok())
+                throw StatusError(s);
+        }
+        if (cmd == "generate")
+            return cmdGenerate(opts);
+        if (cmd == "convert")
+            return cmdConvert(opts);
+        if (cmd == "analyze")
+            return cmdAnalyze(opts);
+        if (cmd == "family")
+            return cmdFamily(opts);
+        if (cmd == "fleet")
+            return cmdFleet(opts);
+        if (cmd == "corrupt")
+            return cmdCorrupt(opts);
+    } catch (const StatusError &e) {
+        // The CLI boundary of the Status model: render the error,
+        // exit nonzero, and leave core dumps to real crashes.
+        std::cerr << "dlwtool: " << e.status().toString() << '\n';
+        return 1;
+    }
     usage();
     return 1;
 }
