@@ -16,11 +16,14 @@
 #include "core/report.hh"
 #include "trace/aggregate.hh"
 
+#include "obs/export.hh"
+
 using namespace dlw;
 
 int
 main()
 {
+    obs::BenchReportGuard obs_guard("e01_tracesets");
     std::cout << "E1: trace-set summary (Millisecond / Hour / "
                  "Lifetime)\n\n";
 

@@ -16,11 +16,14 @@
 #include "core/report.hh"
 #include "core/utilization.hh"
 
+#include "obs/export.hh"
+
 using namespace dlw;
 
 int
 main()
 {
+    obs::BenchReportGuard obs_guard("e02_ms_characteristics");
     std::cout << "E2: Millisecond trace characteristics per drive\n\n";
 
     auto ms = bench::makeStandardMsSet();

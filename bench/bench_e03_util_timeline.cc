@@ -15,11 +15,14 @@
 #include "core/report.hh"
 #include "core/utilization.hh"
 
+#include "obs/export.hh"
+
 using namespace dlw;
 
 int
 main()
 {
+    obs::BenchReportGuard obs_guard("e03_util_timeline");
     std::cout << "E3: utilization over time at multiple windows\n\n";
 
     auto ms = bench::makeStandardMsSet();

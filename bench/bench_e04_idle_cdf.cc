@@ -18,11 +18,14 @@
 #include "core/idleness.hh"
 #include "core/report.hh"
 
+#include "obs/export.hh"
+
 using namespace dlw;
 
 int
 main()
 {
+    obs::BenchReportGuard obs_guard("e04_idle_cdf");
     std::cout << "E4: idle-interval distribution and idle mass\n\n";
 
     auto ms = bench::makeStandardMsSet();

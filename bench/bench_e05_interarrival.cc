@@ -19,11 +19,14 @@
 #include "stats/kstest.hh"
 #include "stats/summary.hh"
 
+#include "obs/export.hh"
+
 using namespace dlw;
 
 int
 main()
 {
+    obs::BenchReportGuard obs_guard("e05_interarrival");
     std::cout << "E5: interarrival-time analysis and fits\n\n";
 
     auto ms = bench::makeStandardMsSet();

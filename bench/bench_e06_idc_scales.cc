@@ -19,6 +19,8 @@
 #include "synth/arrival.hh"
 #include "synth/bmodel.hh"
 
+#include "obs/export.hh"
+
 using namespace dlw;
 
 namespace
@@ -45,6 +47,7 @@ traceOf(const std::vector<Tick> &arrivals, Tick window,
 int
 main()
 {
+    obs::BenchReportGuard obs_guard("e06_idc_scales");
     std::cout << "E6: IDC vs counting window, per traffic model\n\n";
 
     const Tick window = 20 * kMinute;

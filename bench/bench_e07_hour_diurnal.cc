@@ -15,11 +15,14 @@
 #include "core/burstiness.hh"
 #include "core/report.hh"
 
+#include "obs/export.hh"
+
 using namespace dlw;
 
 int
 main()
 {
+    obs::BenchReportGuard obs_guard("e07_hour_diurnal");
     std::cout << "E7: hourly activity over four weeks\n\n";
 
     synth::FamilyModel family = bench::makeFamily();

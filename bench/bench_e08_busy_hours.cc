@@ -16,11 +16,14 @@
 #include "core/report.hh"
 #include "stats/ecdf.hh"
 
+#include "obs/export.hh"
+
 using namespace dlw;
 
 int
 main()
 {
+    obs::BenchReportGuard obs_guard("e08_busy_hours");
     std::cout << "E8: busy hours across the family ("
               << bench::kHourDrives << " drives, 4 weeks)\n\n";
 

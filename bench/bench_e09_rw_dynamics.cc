@@ -14,11 +14,14 @@
 #include "core/report.hh"
 #include "core/rwmix.hh"
 
+#include "obs/export.hh"
+
 using namespace dlw;
 
 int
 main()
 {
+    obs::BenchReportGuard obs_guard("e09_rw_dynamics");
     std::cout << "E9: read/write dynamics at ms and hour scales\n\n";
 
     auto ms = bench::makeStandardMsSet();

@@ -17,11 +17,14 @@
 #include "core/report.hh"
 #include "stats/ecdf.hh"
 
+#include "obs/export.hh"
+
 using namespace dlw;
 
 int
 main()
 {
+    obs::BenchReportGuard obs_guard("e10_lifetime_util");
     std::cout << "E10: lifetime utilization across "
               << bench::kLifetimeDrives << " drives\n\n";
 

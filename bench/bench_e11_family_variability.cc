@@ -16,11 +16,14 @@
 #include "core/family.hh"
 #include "core/report.hh"
 
+#include "obs/export.hh"
+
 using namespace dlw;
 
 int
 main()
 {
+    obs::BenchReportGuard obs_guard("e11_family_variability");
     std::cout << "E11: cross-drive variability ("
               << bench::kHourDrives << " drives)\n\n";
 

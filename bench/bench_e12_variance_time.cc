@@ -17,6 +17,8 @@
 #include "synth/arrival.hh"
 #include "synth/bmodel.hh"
 
+#include "obs/export.hh"
+
 using namespace dlw;
 
 namespace
@@ -37,6 +39,7 @@ countsOf(const std::vector<Tick> &arrivals, Tick window, Tick bin)
 int
 main()
 {
+    obs::BenchReportGuard obs_guard("e12_variance_time");
     std::cout << "E12: variance-time plots per traffic model\n\n";
 
     const Tick window = 30 * kMinute;

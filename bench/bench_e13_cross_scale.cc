@@ -16,11 +16,14 @@
 #include "core/utilization.hh"
 #include "trace/aggregate.hh"
 
+#include "obs/export.hh"
+
 using namespace dlw;
 
 int
 main()
 {
+    obs::BenchReportGuard obs_guard("e13_cross_scale");
     std::cout << "E13: same activity at three granularities\n\n";
 
     Rng rng(bench::kSeed + 13);

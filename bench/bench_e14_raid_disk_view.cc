@@ -18,11 +18,14 @@
 #include "core/burstiness.hh"
 #include "core/report.hh"
 
+#include "obs/export.hh"
+
 using namespace dlw;
 
 int
 main()
 {
+    obs::BenchReportGuard obs_guard("e14_raid_disk_view");
     std::cout << "E14: disk-level view below a RAID controller\n\n";
 
     const disk::DriveConfig member = disk::DriveConfig::makeEnterprise();

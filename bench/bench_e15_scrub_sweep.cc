@@ -18,11 +18,14 @@
 #include "core/idleness.hh"
 #include "core/report.hh"
 
+#include "obs/export.hh"
+
 using namespace dlw;
 
 int
 main()
 {
+    obs::BenchReportGuard obs_guard("e15_scrub_sweep");
     std::cout << "E15: idle-time scrubbing policy sweep\n\n";
 
     Rng rng(bench::kSeed + 15);

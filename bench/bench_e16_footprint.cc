@@ -14,11 +14,14 @@
 #include "core/footprint.hh"
 #include "core/report.hh"
 
+#include "obs/export.hh"
+
 using namespace dlw;
 
 int
 main()
 {
+    obs::BenchReportGuard obs_guard("e16_footprint");
     std::cout << "E16: spatial footprint per workload class\n\n";
 
     const disk::DriveConfig cfg = disk::DriveConfig::makeEnterprise();

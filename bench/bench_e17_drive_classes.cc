@@ -16,11 +16,14 @@
 #include "core/queueing.hh"
 #include "core/report.hh"
 
+#include "obs/export.hh"
+
 using namespace dlw;
 
 int
 main()
 {
+    obs::BenchReportGuard obs_guard("e17_drive_classes");
     std::cout << "E17: drive-class comparison at identical load\n\n";
 
     disk::DriveConfig ent = disk::DriveConfig::makeEnterprise();

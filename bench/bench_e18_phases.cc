@@ -16,11 +16,14 @@
 #include "core/phases.hh"
 #include "core/report.hh"
 
+#include "obs/export.hh"
+
 using namespace dlw;
 
 int
 main()
 {
+    obs::BenchReportGuard obs_guard("e18_phases");
     std::cout << "E18: hourly activity phases across the family\n\n";
 
     synth::FamilyModel family = bench::makeFamily();

@@ -17,6 +17,8 @@
 #include "stats/summary.hh"
 #include "synth/extract.hh"
 
+#include "obs/export.hh"
+
 using namespace dlw;
 
 namespace
@@ -36,6 +38,7 @@ gapCv(const trace::MsTrace &tr)
 int
 main()
 {
+    obs::BenchReportGuard obs_guard("e19_model_extraction");
     std::cout << "E19: extract -> regenerate -> compare\n\n";
 
     const disk::DriveConfig cfg = disk::DriveConfig::makeEnterprise();

@@ -16,11 +16,14 @@
 #include "core/report.hh"
 #include "disk/closedloop.hh"
 
+#include "obs/export.hh"
+
 using namespace dlw;
 
 int
 main()
 {
+    obs::BenchReportGuard obs_guard("e20_closed_loop");
     std::cout << "E20: closed-loop concurrency sweep\n\n";
 
     disk::DriveConfig cfg = disk::DriveConfig::makeEnterprise();

@@ -17,6 +17,8 @@
 #include "core/report.hh"
 #include "trace/transform.hh"
 
+#include "obs/export.hh"
+
 using namespace dlw;
 
 namespace
@@ -45,6 +47,7 @@ meanResponseOf(const disk::ServiceLog &log, std::size_t lo,
 int
 main()
 {
+    obs::BenchReportGuard obs_guard("e21_consolidation");
     std::cout << "E21: consolidating OLTP and backup on one "
                  "spindle\n\n";
 

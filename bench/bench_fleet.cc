@@ -19,6 +19,8 @@
 #include "fleet/pipeline.hh"
 #include "fleet/pool.hh"
 
+#include "obs/export.hh"
+
 using namespace dlw;
 
 namespace
@@ -42,6 +44,7 @@ scalingConfig(std::size_t threads)
 int
 main()
 {
+    obs::BenchReportGuard obs_guard("fleet");
     const std::size_t cores = fleet::ThreadPool::hardwareThreads();
     std::cout << "Fleet scaling: 64 drives, mixed preset, "
               << cores << " hardware threads\n\n";

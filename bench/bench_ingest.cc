@@ -13,6 +13,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "obs/export.hh"
+
 #include <sstream>
 
 #include "common/rng.hh"
@@ -152,4 +154,14 @@ BENCHMARK(BM_IngestBinarySkip);
 
 } // anonymous namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    dlw::obs::BenchReportGuard obs_guard("ingest");
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "obs/export.hh"
+
 #include <sstream>
 
 #include "benchutil.hh"
@@ -139,4 +141,14 @@ BENCHMARK(BM_FamilyHourSynthesis);
 
 } // anonymous namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    dlw::obs::BenchReportGuard obs_guard("micro_kernels");
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * M4 — observability overhead: armed and disarmed.
+ *
+ * The obs layer lives permanently on hot paths (every trace-reader
+ * pass, every fleet shard), so its disarmed cost is the number that
+ * matters: one relaxed atomic load per event, which must stay inside
+ * noise (<= 1%) on the M3 ingestion benchmark.  This suite prices
+ * each primitive both ways plus the end-to-end CSV ingest path with
+ * metrics off and on (see EXPERIMENTS.md M4 for recorded numbers).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "common/rng.hh"
+#include "disk/drive.hh"
+#include "obs/export.hh"
+#include "obs/metrics.hh"
+#include "obs/span.hh"
+#include "synth/workload.hh"
+#include "trace/csvio.hh"
+
+using namespace dlw;
+
+namespace
+{
+
+obs::Counter &
+benchCounter()
+{
+    static obs::Counter &c = obs::counter("bench.obs.events", "events",
+        "bench", "bench_obs counter-overhead probe");
+    return c;
+}
+
+obs::Histogram &
+benchHistogram()
+{
+    static obs::Histogram &h = obs::histogram("bench.obs.latency", "s",
+        "bench", "bench_obs histogram-overhead probe");
+    return h;
+}
+
+void
+BM_CounterDisarmed(benchmark::State &state)
+{
+    obs::Counter &c = benchCounter();
+    for (auto _ : state)
+        c.add();
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CounterDisarmed);
+
+void
+BM_CounterArmed(benchmark::State &state)
+{
+    obs::ScopedEnable on;
+    obs::Counter &c = benchCounter();
+    for (auto _ : state)
+        c.add();
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CounterArmed);
+
+void
+BM_HistogramDisarmed(benchmark::State &state)
+{
+    obs::Histogram &h = benchHistogram();
+    for (auto _ : state)
+        h.record(1e-3);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HistogramDisarmed);
+
+void
+BM_HistogramArmed(benchmark::State &state)
+{
+    obs::ScopedEnable on;
+    obs::Histogram &h = benchHistogram();
+    for (auto _ : state)
+        h.record(1e-3);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HistogramArmed);
+
+void
+BM_SpanDisarmed(benchmark::State &state)
+{
+    for (auto _ : state) {
+        obs::ScopedSpan span("bench.span");
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SpanDisarmed);
+
+void
+BM_SpanArmed(benchmark::State &state)
+{
+    obs::ScopedEnable on;
+    for (auto _ : state) {
+        obs::ScopedSpan span("bench.span");
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SpanArmed);
+
+/** ~40k-request CSV trace, built once and reread per iteration. */
+const std::string &
+csvPayload()
+{
+    static const std::string data = [] {
+        Rng rng(7);
+        disk::DriveConfig cfg = disk::DriveConfig::makeEnterprise();
+        synth::Workload w = synth::Workload::makeFileServer(
+            cfg.geometry.capacityBlocks(), 650.0, 7);
+        trace::MsTrace tr = w.generate(rng, "bench-obs", 0, kMinute);
+        std::ostringstream os;
+        trace::writeMsCsv(os, tr);
+        return os.str();
+    }();
+    return data;
+}
+
+void
+ingestOnce(benchmark::State &state)
+{
+    std::size_t records = 0;
+    for (auto _ : state) {
+        std::istringstream is(csvPayload());
+        trace::IngestStats st;
+        auto r = trace::readMsCsv(is, trace::IngestOptions{}, &st);
+        if (!r.ok())
+            state.SkipWithError("ingest failed");
+        records = st.records_read;
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * records));
+    state.SetBytesProcessed(static_cast<std::int64_t>(
+        state.iterations() * csvPayload().size()));
+}
+
+void
+BM_IngestCsvDisarmed(benchmark::State &state)
+{
+    ingestOnce(state);
+}
+BENCHMARK(BM_IngestCsvDisarmed);
+
+void
+BM_IngestCsvArmed(benchmark::State &state)
+{
+    obs::ScopedEnable on;
+    ingestOnce(state);
+}
+BENCHMARK(BM_IngestCsvArmed);
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

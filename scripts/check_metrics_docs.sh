@@ -1,0 +1,46 @@
+#!/bin/sh
+# Lint: every metric registered in src/ must be documented in
+# docs/METRICS.md.  The registry makes metrics discoverable at
+# runtime; this check makes the reference doc keep up, so the doc is
+# trustworthy as the complete list.
+#
+# Relies on the repo convention that the metric-name literal sits on
+# the same line as the obs::counter( / obs::gauge( / obs::histogram(
+# registration call.
+#
+# Usage: scripts/check_metrics_docs.sh [repo-root]
+
+set -u
+root="${1:-$(dirname "$0")/..}"
+cd "$root" || exit 2
+
+doc="docs/METRICS.md"
+if [ ! -f "$doc" ]; then
+    echo "error: $doc does not exist" >&2
+    echo "check_metrics_docs: FAILED" >&2
+    exit 1
+fi
+
+names=$(grep -rhoE 'obs::(counter|gauge|histogram)\("[^"]+"' src \
+        | sed 's/.*("//; s/"$//' | sort -u)
+
+if [ -z "$names" ]; then
+    echo "error: found no registered metrics under src/" >&2
+    echo "check_metrics_docs: FAILED" >&2
+    exit 1
+fi
+
+bad=0
+for name in $names; do
+    if ! grep -q "\`$name\`" "$doc"; then
+        echo "error: metric '$name' is registered in src/ but not" \
+             "documented in $doc" >&2
+        bad=1
+    fi
+done
+
+if [ "$bad" != 0 ]; then
+    echo "check_metrics_docs: FAILED" >&2
+    exit 1
+fi
+echo "check_metrics_docs: OK ($(echo "$names" | wc -l) metrics)"

@@ -12,6 +12,11 @@ Options::Options(int argc, char *const *argv, int first)
         std::string key = argv[i];
         if (!startsWith(key, "--"))
             dlw_fatal("expected --option, got '", key, "'");
+        const std::size_t eq = key.find('=');
+        if (eq != std::string::npos) {
+            values_[key.substr(2, eq - 2)] = key.substr(eq + 1);
+            continue;
+        }
         if (i + 1 >= argc)
             dlw_fatal("option '", key, "' needs a value");
         values_[key.substr(2)] = argv[++i];
@@ -48,6 +53,15 @@ Options::getInt(const std::string &key, std::int64_t fallback) const
     used_[key] = true;
     auto it = values_.find(key);
     return it == values_.end() ? fallback : parseInt(it->second, key);
+}
+
+std::vector<std::string>
+Options::keys() const
+{
+    std::vector<std::string> out;
+    for (const auto &[key, value] : values_)
+        out.push_back(key);
+    return out;
 }
 
 std::vector<std::string>

@@ -24,7 +24,7 @@ class Options
   public:
     /**
      * Parse argv[first..argc).  Every token must be of the form
-     * "--key" followed by a value token; violations are fatal
+     * "--key value" or "--key=value"; violations are fatal
      * (user error).
      */
     Options(int argc, char *const *argv, int first);
@@ -45,6 +45,9 @@ class Options
 
     /** Keys supplied but never queried by any accessor. */
     std::vector<std::string> unusedKeys() const;
+
+    /** Every key supplied on the command line, sorted. */
+    std::vector<std::string> keys() const;
 
   private:
     std::map<std::string, std::string> values_;

@@ -3,27 +3,76 @@
 #include <sstream>
 
 #include "core/report.hh"
+#include "obs/metrics.hh"
+#include "obs/span.hh"
 
 namespace dlw
 {
 namespace core
 {
 
+namespace
+{
+
+/** Stats-kernel invocation counts for the characterization layer. */
+struct CoreMetrics
+{
+    obs::Counter &ms_runs = obs::counter("core.characterizations",
+        "drives", "core",
+        "full millisecond-scale drive characterizations");
+    obs::Counter &hour_scales = obs::counter("core.hour_scales",
+        "drives", "core",
+        "hour-scale views folded into a characterization");
+    obs::Counter &lifetime_scales = obs::counter("core.lifetime_scales",
+        "drives", "core",
+        "lifetime-scale views folded into a characterization");
+};
+
+CoreMetrics &
+coreMetrics()
+{
+    static CoreMetrics *m = new CoreMetrics();
+    return *m;
+}
+
+} // anonymous namespace
+
+void
+registerCoreMetrics()
+{
+    coreMetrics();
+}
+
 DriveCharacterization
 characterizeMs(const trace::MsTrace &tr, const disk::ServiceLog &log)
 {
+    obs::ScopedSpan span("characterize");
+    coreMetrics().ms_runs.add(1);
+
     DriveCharacterization c;
     c.drive_id = tr.driveId();
 
-    c.util_1s = utilizationProfile(log, kSec);
-    c.util_1min = utilizationProfile(log, kMinute);
-    c.ms_burstiness = analyzeBurstiness(tr);
-    c.ms_rw = analyzeRwDynamics(tr);
+    {
+        obs::ScopedSpan stage("utilization");
+        c.util_1s = utilizationProfile(log, kSec);
+        c.util_1min = utilizationProfile(log, kMinute);
+    }
+    {
+        obs::ScopedSpan stage("burstiness");
+        c.ms_burstiness = analyzeBurstiness(tr);
+    }
+    {
+        obs::ScopedSpan stage("rw-dynamics");
+        c.ms_rw = analyzeRwDynamics(tr);
+    }
 
-    IdlenessAnalysis idle(log);
-    c.idle_fraction = idle.idleFraction();
-    c.mean_idle_interval = idle.meanInterval();
-    c.idle_mass_1s = idle.idleMassAtLeast(kSec);
+    {
+        obs::ScopedSpan stage("idleness");
+        IdlenessAnalysis idle(log);
+        c.idle_fraction = idle.idleFraction();
+        c.mean_idle_interval = idle.meanInterval();
+        c.idle_mass_1s = idle.idleMassAtLeast(kSec);
+    }
     c.mean_response_ms = log.meanResponse() / static_cast<double>(kMsec);
     if (!log.completions.empty()) {
         c.p95_response_ms =
@@ -41,6 +90,7 @@ characterizeMs(const trace::MsTrace &tr, const disk::ServiceLog &log)
 void
 addHourScale(DriveCharacterization &c, const trace::HourTrace &tr)
 {
+    coreMetrics().hour_scales.add(1);
     c.util_hour = utilizationProfile(tr);
     // Hour counts per bin; burstiness across day/week scales.
     c.hour_burstiness = analyzeCountSeries(tr.requestSeries(),
@@ -54,6 +104,7 @@ void
 addLifetimeScale(DriveCharacterization &c,
                  const trace::LifetimeRecord &rec)
 {
+    coreMetrics().lifetime_scales.add(1);
     c.lifetime_utilization = rec.utilization();
     c.lifetime_read_fraction = rec.readFraction();
     c.lifetime_requests = rec.total();

@@ -83,6 +83,12 @@ void addHourScale(DriveCharacterization &c,
 void addLifetimeScale(DriveCharacterization &c,
                       const trace::LifetimeRecord &rec);
 
+/**
+ * Force-register the core.* stats-kernel metrics so snapshots carry
+ * the characterization schema before any drive is characterized.
+ */
+void registerCoreMetrics();
+
 } // namespace core
 } // namespace dlw
 

@@ -4,15 +4,51 @@
 
 #include "common/logging.hh"
 #include "core/family.hh"
+#include "obs/metrics.hh"
 
 namespace dlw
 {
 namespace fleet
 {
 
+namespace
+{
+
+/**
+ * Stats-kernel volume: how much mergeable-statistics work the
+ * reduction layer performs.  Counts are a pure function of the shard
+ * set, so they are identical at any thread count.
+ */
+struct MergeMetrics
+{
+    obs::Counter &shard_merges = obs::counter("stats.shard_merges",
+        "shards", "stats",
+        "drive shards folded into a fleet aggregate (accumulate calls)");
+    obs::Counter &aggregate_merges = obs::counter("stats.aggregate_merges", "merges", "stats",
+        "aggregate-into-aggregate merges (hierarchical reduction)");
+    obs::Counter &ordered_reductions = obs::counter("stats.ordered_reductions", "reductions", "stats",
+        "full index-ordered shard reductions performed");
+};
+
+MergeMetrics &
+mergeMetrics()
+{
+    static MergeMetrics *m = new MergeMetrics();
+    return *m;
+}
+
+} // anonymous namespace
+
+void
+registerMergeMetrics()
+{
+    mergeMetrics();
+}
+
 void
 FleetAggregate::accumulate(const DriveShard &shard)
 {
+    mergeMetrics().shard_merges.add(1);
     ++drives;
     requests += shard.requests;
     reads += shard.reads;
@@ -37,6 +73,7 @@ FleetAggregate::accumulate(const DriveShard &shard)
 void
 FleetAggregate::merge(const FleetAggregate &other)
 {
+    mergeMetrics().aggregate_merges.add(1);
     drives += other.drives;
     requests += other.requests;
     reads += other.reads;
@@ -73,6 +110,7 @@ FleetAggregate::volumeGini() const
 FleetAggregate
 reduceOrdered(const std::vector<DriveShard> &shards)
 {
+    mergeMetrics().ordered_reductions.add(1);
     // Fold by ascending drive index, not storage order, so the same
     // floating-point operation sequence runs regardless of how the
     // parallel phase scattered the shards.

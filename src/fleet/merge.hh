@@ -131,6 +131,12 @@ struct FleetAggregate
  */
 FleetAggregate reduceOrdered(const std::vector<DriveShard> &shards);
 
+/**
+ * Force-register the stats.* merge metrics so snapshots carry the
+ * reduction-layer schema before any merge runs.
+ */
+void registerMergeMetrics();
+
 } // namespace fleet
 } // namespace dlw
 

@@ -13,12 +13,57 @@
 #include "core/report.hh"
 #include "disk/drive.hh"
 #include "fleet/pool.hh"
+#include "obs/metrics.hh"
+#include "obs/span.hh"
 #include "synth/workload.hh"
 
 namespace dlw
 {
 namespace fleet
 {
+
+namespace
+{
+
+/**
+ * Fleet pipeline metrics.  Everything except shard_seconds is a pure
+ * function of (config, fault spec) and therefore identical at any
+ * thread count; shard_seconds is wall time and is not.
+ */
+struct FleetMetrics
+{
+    obs::Counter &shards_ok = obs::counter("fleet.shards_ok", "shards",
+        "fleet", "drive shards characterized successfully");
+    obs::Counter &shards_failed = obs::counter("fleet.shards_failed",
+        "shards", "fleet",
+        "drive shards that failed every attempt and landed in the "
+        "failure appendix");
+    obs::Counter &retries = obs::counter("fleet.retries", "attempts",
+        "fleet", "shard attempts beyond the first (retry pressure)");
+    obs::Counter &backoffs = obs::counter("fleet.backoffs", "sleeps",
+        "fleet", "backoff sleeps taken before shard retries");
+    obs::Histogram &shard_seconds = obs::histogram("fleet.shard_seconds",
+        "s", "fleet",
+        "wall time of one drive-shard attempt (generate + service + "
+        "characterize); timing-dependent, unlike the fleet counters");
+};
+
+FleetMetrics &
+fleetMetrics()
+{
+    static FleetMetrics *m = new FleetMetrics();
+    return *m;
+}
+
+} // anonymous namespace
+
+void
+registerFleetMetrics()
+{
+    fleetMetrics();
+    registerPoolMetrics();
+    registerMergeMetrics();
+}
 
 namespace
 {
@@ -109,6 +154,9 @@ driveIdFor(const FleetConfig &config, std::size_t index)
 DriveShard
 characterizeDrive(const FleetConfig &config, std::size_t index)
 {
+    obs::ScopedSpan span("fleet.shard");
+    obs::ScopedTimer timer(fleetMetrics().shard_seconds);
+
     // Keyed by drive index so an armed mod=N spec fails the same
     // drives at any thread count (a global counter would not).
     if (FAULT_POINT_KEYED("fleet.shard", index)) {
@@ -136,11 +184,17 @@ characterizeDrive(const FleetConfig &config, std::size_t index)
     synth::Workload workload = makeWorkload(
         klass, dcfg.geometry.capacityBlocks(), config.rate, wseed);
 
-    trace::MsTrace tr =
-        workload.generate(rng, shard.drive_id, 0, config.window);
+    trace::MsTrace tr = [&] {
+        obs::ScopedSpan stage("generate");
+        return workload.generate(rng, shard.drive_id, 0, config.window);
+    }();
     disk::DiskDrive drive(dcfg);
-    const disk::ServiceLog log = drive.service(tr);
+    const disk::ServiceLog log = [&] {
+        obs::ScopedSpan stage("service");
+        return drive.service(tr);
+    }();
 
+    obs::ScopedSpan stage("characterize");
     shard.requests = tr.size();
     shard.arrival_rate = static_cast<double>(tr.size()) /
                          ticksToSeconds(config.window);
@@ -210,6 +264,7 @@ backoff(const FleetConfig &config, std::size_t index,
     Rng jitter = Rng(config.seed ^ 0x9e3779b97f4a7c15ULL)
                      .fork(index * 16 + attempt);
     ms *= jitter.uniform(0.5, 1.5);
+    fleetMetrics().backoffs.add(1);
     std::this_thread::sleep_for(
         std::chrono::duration<double, std::milli>(ms));
 }
@@ -219,6 +274,7 @@ backoff(const FleetConfig &config, std::size_t index,
 FleetResult
 runFleet(const FleetConfig &config)
 {
+    obs::ScopedSpan run_span("fleet.run");
     dlw_assert(config.drives > 0, "fleet needs at least one drive");
     const std::size_t max_attempts = std::max<std::size_t>(
         config.max_attempts, 1);
@@ -263,7 +319,13 @@ runFleet(const FleetConfig &config)
             result.failures.push_back(std::move(f));
         }
     }
-    result.aggregate = reduceOrdered(result.shards);
+    fleetMetrics().shards_ok.add(result.shards.size());
+    fleetMetrics().shards_failed.add(result.failures.size());
+    fleetMetrics().retries.add(result.retries);
+    {
+        obs::ScopedSpan merge_span("fleet.merge");
+        result.aggregate = reduceOrdered(result.shards);
+    }
     return result;
 }
 

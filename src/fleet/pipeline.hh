@@ -143,6 +143,13 @@ FleetResult runFleet(const FleetConfig &config);
 std::string renderFleetReport(const FleetConfig &config,
                               const FleetResult &result);
 
+/**
+ * Force-register every fleet.* and stats.* metric (pipeline, pool,
+ * and merge layers) so a snapshot taken before — or without — a fleet
+ * run still carries the full schema at zero.
+ */
+void registerFleetMetrics();
+
 } // namespace fleet
 } // namespace dlw
 

@@ -1,11 +1,43 @@
 #include "fleet/pool.hh"
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
 
 namespace dlw
 {
 namespace fleet
 {
+
+namespace
+{
+
+/** Scheduler health: how balanced the work-stealing pool runs. */
+struct PoolMetrics
+{
+    obs::Counter &tasks = obs::counter("fleet.pool.tasks", "tasks",
+        "fleet", "tasks submitted to the work-stealing pool");
+    obs::Counter &steals = obs::counter("fleet.pool.steals", "tasks",
+        "fleet",
+        "tasks taken from another worker's deque (load imbalance "
+        "indicator; varies with thread count by design)");
+    obs::Gauge &queue_depth = obs::gauge("fleet.pool.queue_depth",
+        "tasks", "fleet", "submitted-but-unfinished tasks right now");
+};
+
+PoolMetrics &
+poolMetrics()
+{
+    static PoolMetrics *m = new PoolMetrics();
+    return *m;
+}
+
+} // anonymous namespace
+
+void
+registerPoolMetrics()
+{
+    poolMetrics();
+}
 
 ThreadPool::ThreadPool(std::size_t threads)
     : queues_(threads ? threads : 1)
@@ -37,6 +69,9 @@ ThreadPool::submit(std::function<void()> task)
         queues_[next_queue_].push_back(std::move(task));
         next_queue_ = (next_queue_ + 1) % queues_.size();
         ++pending_;
+        poolMetrics().tasks.add(1);
+        poolMetrics().queue_depth.set(
+            static_cast<std::int64_t>(pending_));
     }
     work_cv_.notify_one();
 }
@@ -58,6 +93,7 @@ ThreadPool::take(std::size_t self, std::function<void()> &out)
         if (!queues_[victim].empty()) {
             out = std::move(queues_[victim].front());
             queues_[victim].pop_front();
+            poolMetrics().steals.add(1);
             return true;
         }
     }
@@ -82,6 +118,8 @@ ThreadPool::workerLoop(std::size_t self)
             if (err)
                 errors_.push_back(err);
             --pending_;
+            poolMetrics().queue_depth.set(
+                static_cast<std::int64_t>(pending_));
             if (pending_ == 0)
                 done_cv_.notify_all();
             continue;

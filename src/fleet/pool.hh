@@ -107,6 +107,14 @@ class ThreadPool
 void parallelFor(ThreadPool &pool, std::size_t n,
                  const std::function<void(std::size_t)> &fn);
 
+/**
+ * Force-register the fleet.pool.* metrics (tasks, steals, queue
+ * depth) so snapshots cover the scheduler schema before any pool
+ * runs.  Steal counts are scheduling-dependent by design — they are
+ * the one fleet counter that legitimately varies with thread count.
+ */
+void registerPoolMetrics();
+
 } // namespace fleet
 } // namespace dlw
 

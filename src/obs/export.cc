@@ -1,0 +1,287 @@
+#include "obs/export.hh"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace dlw
+{
+namespace obs
+{
+
+namespace
+{
+
+/** Finite-or-zero: exporters must never emit "inf" or "nan". */
+double
+finite(double v)
+{
+    return std::isfinite(v) ? v : 0.0;
+}
+
+/** Compact numeric form shared by every exporter (round-trippable). */
+std::string
+num(double v)
+{
+    std::ostringstream os;
+    os << std::setprecision(12) << finite(v);
+    return os.str();
+}
+
+/** JSON string escaping (quotes, backslashes, control bytes). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Prometheus metric name: dots to underscores under a dlw_ prefix. */
+std::string
+promName(const std::string &name)
+{
+    std::string out = "dlw_";
+    for (char c : name)
+        out += (c == '.' || c == '-') ? '_' : c;
+    return out;
+}
+
+void
+renderSpanText(std::ostringstream &os, const SpanStats &node,
+               std::size_t depth)
+{
+    if (depth != 0) {
+        os << std::string(2 * depth, ' ') << node.name;
+        const std::size_t used = 2 * depth + node.name.size();
+        os << std::string(used < 32 ? 32 - used : 1, ' ');
+        os << node.count << "x  total " << num(node.total_s)
+           << " s  mean "
+           << num(node.count
+                      ? node.total_s / static_cast<double>(node.count)
+                      : 0.0)
+           << " s\n";
+    }
+    for (const SpanStats &child : node.children)
+        renderSpanText(os, child, depth + 1);
+}
+
+void
+renderSpanJson(std::ostringstream &os, const SpanStats &node)
+{
+    os << "{\"name\":\"" << jsonEscape(node.name)
+       << "\",\"count\":" << node.count << ",\"total_s\":"
+       << num(node.total_s) << ",\"min_s\":" << num(node.min_s)
+       << ",\"max_s\":" << num(node.max_s) << ",\"children\":[";
+    bool first = true;
+    for (const SpanStats &child : node.children) {
+        if (!first)
+            os << ',';
+        first = false;
+        renderSpanJson(os, child);
+    }
+    os << "]}";
+}
+
+} // anonymous namespace
+
+Snapshot
+takeSnapshot()
+{
+    Snapshot snap;
+    snap.metrics = Registry::instance().snapshotMetrics();
+    snap.spans = spanSnapshot();
+    return snap;
+}
+
+StatusOr<ExportFormat>
+parseExportFormat(const std::string &name)
+{
+    if (name == "text")
+        return ExportFormat::kText;
+    if (name == "json")
+        return ExportFormat::kJson;
+    if (name == "prom")
+        return ExportFormat::kProm;
+    return Status::invalidArgument("unknown metrics format '" + name +
+                                   "' (text|json|prom)");
+}
+
+std::string
+renderText(const Snapshot &snap)
+{
+    std::ostringstream os;
+    os << "== metrics ==\n";
+    std::size_t width = 0;
+    for (const MetricSnapshot &m : snap.metrics)
+        width = std::max(width, m.info.name.size());
+    for (const MetricSnapshot &m : snap.metrics) {
+        os << "  " << m.info.name
+           << std::string(width - m.info.name.size() + 2, ' ');
+        switch (m.info.type) {
+          case MetricType::kCounter:
+            os << m.count << ' ' << m.info.unit;
+            break;
+          case MetricType::kGauge:
+            os << m.level << ' ' << m.info.unit;
+            break;
+          case MetricType::kHistogram:
+            os << m.count << " samples";
+            if (m.count != 0) {
+                os << ", mean " << num(m.mean) << ' ' << m.info.unit
+                   << ", p50 " << num(m.p50) << ", p95 "
+                   << num(m.p95) << ", p99 " << num(m.p99) << ", max "
+                   << num(m.max);
+            }
+            break;
+        }
+        os << "  [" << m.info.subsystem << "]\n";
+    }
+    os << "\n== spans ==\n";
+    if (snap.spans.children.empty())
+        os << "  (none recorded)\n";
+    renderSpanText(os, snap.spans, 0);
+    return os.str();
+}
+
+std::string
+renderJson(const Snapshot &snap)
+{
+    std::ostringstream os;
+    os << "{\"metrics\":{";
+    bool first = true;
+    for (const MetricSnapshot &m : snap.metrics) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << '"' << jsonEscape(m.info.name) << "\":{\"type\":\""
+           << metricTypeName(m.info.type) << "\",\"unit\":\""
+           << jsonEscape(m.info.unit) << "\",\"subsystem\":\""
+           << jsonEscape(m.info.subsystem) << '"';
+        switch (m.info.type) {
+          case MetricType::kCounter:
+            os << ",\"value\":" << m.count;
+            break;
+          case MetricType::kGauge:
+            os << ",\"value\":" << m.level;
+            break;
+          case MetricType::kHistogram:
+            os << ",\"count\":" << m.count << ",\"sum\":"
+               << num(m.sum) << ",\"mean\":" << num(m.mean)
+               << ",\"min\":" << num(m.min) << ",\"max\":"
+               << num(m.max) << ",\"p50\":" << num(m.p50)
+               << ",\"p95\":" << num(m.p95) << ",\"p99\":"
+               << num(m.p99);
+            break;
+        }
+        os << '}';
+    }
+    os << "},\"spans\":";
+    renderSpanJson(os, snap.spans);
+    os << '}';
+    return os.str();
+}
+
+std::string
+renderProm(const Snapshot &snap)
+{
+    std::ostringstream os;
+    for (const MetricSnapshot &m : snap.metrics) {
+        const std::string name = promName(m.info.name);
+        os << "# HELP " << name << ' ' << m.info.help << '\n';
+        switch (m.info.type) {
+          case MetricType::kCounter:
+            os << "# TYPE " << name << " counter\n"
+               << name << "_total " << m.count << '\n';
+            break;
+          case MetricType::kGauge:
+            os << "# TYPE " << name << " gauge\n"
+               << name << ' ' << m.level << '\n';
+            break;
+          case MetricType::kHistogram:
+            os << "# TYPE " << name << " summary\n";
+            os << name << "{quantile=\"0.5\"} " << num(m.p50) << '\n';
+            os << name << "{quantile=\"0.95\"} " << num(m.p95)
+               << '\n';
+            os << name << "{quantile=\"0.99\"} " << num(m.p99)
+               << '\n';
+            os << name << "_sum " << num(m.sum) << '\n';
+            os << name << "_count " << m.count << '\n';
+            break;
+        }
+    }
+    return os.str();
+}
+
+std::string
+render(const Snapshot &snap, ExportFormat format)
+{
+    switch (format) {
+      case ExportFormat::kText:
+        return renderText(snap);
+      case ExportFormat::kJson:
+        return renderJson(snap);
+      case ExportFormat::kProm:
+        return renderProm(snap);
+    }
+    return {};
+}
+
+BenchReportGuard::BenchReportGuard(std::string name)
+    : name_(std::move(name)),
+      start_(std::chrono::steady_clock::now())
+{
+    enable();
+}
+
+BenchReportGuard::~BenchReportGuard()
+{
+    const std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - start_;
+    const Snapshot snap = takeSnapshot();
+    disable();
+
+    const char *dir = std::getenv("DLW_BENCH_DIR");
+    std::string path = (dir && *dir) ? std::string(dir) + "/" : "";
+    path += "BENCH_" + name_ + ".json";
+
+    std::ofstream os(path);
+    if (!os) {
+        dlw_warn("cannot write bench report '", path, "'");
+        return;
+    }
+    os << "{\"bench\":\"" << jsonEscape(name_)
+       << "\",\"wall_seconds\":" << num(wall.count())
+       << ",\"snapshot\":" << renderJson(snap) << "}\n";
+}
+
+} // namespace obs
+} // namespace dlw

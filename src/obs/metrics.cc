@@ -1,0 +1,289 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/logging.hh"
+#include "obs/span.hh"
+
+namespace dlw
+{
+namespace obs
+{
+
+namespace detail
+{
+
+std::atomic<int> g_armed_sinks{0};
+
+std::size_t
+stripeIndex()
+{
+    // A stable per-thread stripe: hash the thread id once and cache
+    // it, so the hot path is a thread_local read, not a hash.
+    thread_local const std::size_t stripe =
+        std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+        kStripes;
+    return stripe;
+}
+
+} // namespace detail
+
+void
+enable()
+{
+    detail::g_armed_sinks.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+disable()
+{
+    const int prev =
+        detail::g_armed_sinks.fetch_sub(1, std::memory_order_relaxed);
+    dlw_assert(prev > 0, "obs::disable without matching enable");
+}
+
+bool
+enabled()
+{
+    return detail::armed();
+}
+
+const char *
+metricTypeName(MetricType type)
+{
+    switch (type) {
+      case MetricType::kCounter:
+        return "counter";
+      case MetricType::kGauge:
+        return "gauge";
+      case MetricType::kHistogram:
+        return "histogram";
+    }
+    return "unknown";
+}
+
+std::uint64_t
+Counter::value() const
+{
+    std::uint64_t total = 0;
+    for (const Slot &s : slots_)
+        total += s.v.load(std::memory_order_relaxed);
+    return total;
+}
+
+void
+Counter::reset()
+{
+    for (Slot &s : slots_)
+        s.v.store(0, std::memory_order_relaxed);
+}
+
+Histogram::Histogram(double lo, double hi,
+                     std::size_t bins_per_decade)
+    : lo_(lo), hi_(hi), bins_per_decade_(bins_per_decade)
+{
+    stripes_.reserve(detail::kStripes);
+    for (std::size_t i = 0; i < detail::kStripes; ++i) {
+        stripes_.push_back(
+            std::make_unique<Stripe>(lo, hi, bins_per_decade));
+    }
+}
+
+void
+Histogram::record(double x)
+{
+    if (!detail::armed())
+        return;
+    Stripe &s = *stripes_[detail::stripeIndex()];
+    std::lock_guard<std::mutex> lk(s.mu);
+    s.sum.add(x);
+    s.hist.add(x);
+}
+
+stats::Summary
+Histogram::summarize() const
+{
+    stats::Summary out;
+    for (const auto &s : stripes_) {
+        std::lock_guard<std::mutex> lk(s->mu);
+        out.merge(s->sum);
+    }
+    return out;
+}
+
+stats::LogHistogram
+Histogram::merged() const
+{
+    stats::LogHistogram out(lo_, hi_, bins_per_decade_);
+    for (const auto &s : stripes_) {
+        std::lock_guard<std::mutex> lk(s->mu);
+        out.merge(s->hist);
+    }
+    return out;
+}
+
+void
+Histogram::reset()
+{
+    for (const auto &s : stripes_) {
+        std::lock_guard<std::mutex> lk(s->mu);
+        s->sum.clear();
+        s->hist = stats::LogHistogram(lo_, hi_, bins_per_decade_);
+    }
+}
+
+Registry &
+Registry::instance()
+{
+    static Registry *r = new Registry();
+    return *r;
+}
+
+Registry::Entry &
+Registry::entryFor(const std::string &name, MetricType type,
+                   const std::string &unit,
+                   const std::string &subsystem,
+                   const std::string &help)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = std::lower_bound(
+        entries_.begin(), entries_.end(), name,
+        [](const std::unique_ptr<Entry> &e, const std::string &n) {
+            return e->info.name < n;
+        });
+    if (it != entries_.end() && (*it)->info.name == name) {
+        dlw_assert((*it)->info.type == type,
+                   "metric '", name, "' re-registered as ",
+                   metricTypeName(type), " but is ",
+                   metricTypeName((*it)->info.type));
+        return **it;
+    }
+    auto e = std::make_unique<Entry>();
+    e->info = MetricInfo{name, type, unit, subsystem, help};
+    Entry &ref = *e;
+    entries_.insert(it, std::move(e));
+    return ref;
+}
+
+Counter &
+Registry::counter(const std::string &name, const std::string &unit,
+                  const std::string &subsystem,
+                  const std::string &help)
+{
+    Entry &e =
+        entryFor(name, MetricType::kCounter, unit, subsystem, help);
+    if (!e.counter)
+        e.counter = std::make_unique<Counter>();
+    return *e.counter;
+}
+
+Gauge &
+Registry::gauge(const std::string &name, const std::string &unit,
+                const std::string &subsystem, const std::string &help)
+{
+    Entry &e = entryFor(name, MetricType::kGauge, unit, subsystem,
+                        help);
+    if (!e.gauge)
+        e.gauge = std::make_unique<Gauge>();
+    return *e.gauge;
+}
+
+Histogram &
+Registry::histogram(const std::string &name, const std::string &unit,
+                    const std::string &subsystem,
+                    const std::string &help, double lo, double hi,
+                    std::size_t bins_per_decade)
+{
+    Entry &e = entryFor(name, MetricType::kHistogram, unit, subsystem,
+                        help);
+    if (!e.histogram) {
+        e.histogram =
+            std::make_unique<Histogram>(lo, hi, bins_per_decade);
+    }
+    return *e.histogram;
+}
+
+std::vector<MetricSnapshot>
+Registry::snapshotMetrics() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    std::vector<MetricSnapshot> out;
+    out.reserve(entries_.size());
+    for (const auto &e : entries_) {
+        MetricSnapshot m;
+        m.info = e->info;
+        switch (e->info.type) {
+          case MetricType::kCounter:
+            m.count = e->counter->value();
+            break;
+          case MetricType::kGauge:
+            m.level = e->gauge->value();
+            break;
+          case MetricType::kHistogram: {
+            const stats::Summary s = e->histogram->summarize();
+            m.count = s.count();
+            if (s.count() != 0) {
+                const stats::LogHistogram h = e->histogram->merged();
+                m.sum = s.sum();
+                m.mean = s.mean();
+                m.min = s.min();
+                m.max = s.max();
+                m.p50 = h.quantile(0.5);
+                m.p95 = h.quantile(0.95);
+                m.p99 = h.quantile(0.99);
+            }
+            break;
+          }
+        }
+        out.push_back(std::move(m));
+    }
+    return out;
+}
+
+void
+Registry::resetValues()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto &e : entries_) {
+        if (e->counter)
+            e->counter->reset();
+        if (e->gauge)
+            e->gauge->reset();
+        if (e->histogram)
+            e->histogram->reset();
+    }
+}
+
+Counter &
+counter(const std::string &name, const std::string &unit,
+        const std::string &subsystem, const std::string &help)
+{
+    return Registry::instance().counter(name, unit, subsystem, help);
+}
+
+Gauge &
+gauge(const std::string &name, const std::string &unit,
+      const std::string &subsystem, const std::string &help)
+{
+    return Registry::instance().gauge(name, unit, subsystem, help);
+}
+
+Histogram &
+histogram(const std::string &name, const std::string &unit,
+          const std::string &subsystem, const std::string &help,
+          double lo, double hi, std::size_t bins_per_decade)
+{
+    return Registry::instance().histogram(name, unit, subsystem, help,
+                                          lo, hi, bins_per_decade);
+}
+
+void
+resetAll()
+{
+    Registry::instance().resetValues();
+    resetSpans();
+}
+
+} // namespace obs
+} // namespace dlw

@@ -1,0 +1,353 @@
+/**
+ * @file
+ * Process-wide metrics registry: counters, gauges, and value/latency
+ * histograms, updated from hot paths and read as a consistent
+ * snapshot.
+ *
+ * The design mirrors the fault-injection harness (common/fault.hh):
+ * nothing accumulates unless a sink is attached via obs::enable()
+ * (what `dlwtool --metrics` and the bench report guard do), and the
+ * disarmed cost of every mutator is exactly one relaxed atomic load —
+ * safe to leave on hot paths.
+ *
+ * Armed costs stay off the critical path too:
+ *
+ *  - Counter::add is a relaxed fetch-add on a cache-line-padded,
+ *    thread-striped slot (lock-free; no two hot threads share a line
+ *    in the common case).
+ *  - Gauge::set/add are single relaxed atomic ops.
+ *  - Histogram::record takes a thread-striped shard's mutex (never
+ *    contended in practice) and feeds the mergeable
+ *    stats::Summary + stats::LogHistogram pair; shards are merged
+ *    only at snapshot time.
+ *
+ * Metrics register on first use and live for the process lifetime,
+ * so call sites may cache references:
+ *
+ *     static obs::Counter &c = obs::counter("ingest.records_read", "records", "trace",
+ *         "records accepted into a trace");
+ *     c.add(n);
+ *
+ * Every registered name must be documented in docs/METRICS.md —
+ * scripts/check_metrics_docs.sh lints registration call sites against
+ * the reference, so keep the name literal on the same line as the
+ * obs::counter/gauge/histogram call.
+ */
+
+#ifndef DLW_OBS_METRICS_HH
+#define DLW_OBS_METRICS_HH
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "stats/histogram.hh"
+#include "stats/summary.hh"
+
+namespace dlw
+{
+namespace obs
+{
+
+namespace detail
+{
+
+extern std::atomic<int> g_armed_sinks;
+
+/** True when at least one sink is attached (one relaxed load). */
+inline bool
+armed()
+{
+    return g_armed_sinks.load(std::memory_order_relaxed) != 0;
+}
+
+/** Slots per striped metric; power of two. */
+constexpr std::size_t kStripes = 16;
+
+/** This thread's stable stripe index in [0, kStripes). */
+std::size_t stripeIndex();
+
+} // namespace detail
+
+/** Attach a sink: metrics (and spans) start accumulating. */
+void enable();
+
+/** Detach one sink; fully disarmed when the last one detaches. */
+void disable();
+
+/** True while at least one sink is attached. */
+bool enabled();
+
+/** What a registered metric is. */
+enum class MetricType
+{
+    kCounter,
+    kGauge,
+    kHistogram,
+};
+
+/** "counter" / "gauge" / "histogram". */
+const char *metricTypeName(MetricType type);
+
+/** Registration metadata carried into every snapshot and export. */
+struct MetricInfo
+{
+    std::string name;      ///< dotted path, e.g. "ingest.records_read"
+    MetricType type = MetricType::kCounter;
+    std::string unit;      ///< "records", "bytes", "s", ...
+    std::string subsystem; ///< owning subsystem ("trace", "fleet", ...)
+    std::string help;      ///< one-line description
+};
+
+/**
+ * Monotonic event counter, thread-striped and lock-free.
+ */
+class Counter
+{
+  public:
+    /** Add delta (no-op while disarmed). */
+    void
+    add(std::uint64_t delta = 1)
+    {
+        if (!detail::armed())
+            return;
+        slots_[detail::stripeIndex()].v.fetch_add(
+            delta, std::memory_order_relaxed);
+    }
+
+    /** Sum over all stripes. */
+    std::uint64_t value() const;
+
+    /** Zero every stripe (tests and per-run isolation). */
+    void reset();
+
+  private:
+    struct alignas(64) Slot
+    {
+        std::atomic<std::uint64_t> v{0};
+    };
+    std::array<Slot, detail::kStripes> slots_{};
+};
+
+/**
+ * Point-in-time integer level (queue depth, active workers).
+ */
+class Gauge
+{
+  public:
+    /** Set the level (no-op while disarmed). */
+    void
+    set(std::int64_t v)
+    {
+        if (!detail::armed())
+            return;
+        v_.store(v, std::memory_order_relaxed);
+    }
+
+    /** Adjust the level by delta (no-op while disarmed). */
+    void
+    add(std::int64_t delta)
+    {
+        if (!detail::armed())
+            return;
+        v_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    std::int64_t value() const
+    {
+        return v_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { v_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::int64_t> v_{0};
+};
+
+/**
+ * Value/latency distribution built on the repo's mergeable stats
+ * types: each thread stripe owns a stats::Summary (exact moments)
+ * plus a stats::LogHistogram (quantiles), merged on snapshot.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo               Lower histogram edge (> 0).
+     * @param hi               Upper histogram edge.
+     * @param bins_per_decade  Log-histogram resolution.
+     */
+    Histogram(double lo, double hi, std::size_t bins_per_decade);
+
+    /** Record one observation (no-op while disarmed). */
+    void record(double x);
+
+    /** Merge all stripes into one Summary. */
+    stats::Summary summarize() const;
+
+    /** Merge all stripes into one LogHistogram. */
+    stats::LogHistogram merged() const;
+
+    /** Clear every stripe. */
+    void reset();
+
+  private:
+    struct Stripe
+    {
+        Stripe(double lo, double hi, std::size_t bpd)
+            : hist(lo, hi, bpd)
+        {
+        }
+        mutable std::mutex mu;
+        stats::Summary sum;
+        stats::LogHistogram hist;
+    };
+    double lo_;
+    double hi_;
+    std::size_t bins_per_decade_;
+    std::vector<std::unique_ptr<Stripe>> stripes_;
+};
+
+/**
+ * One metric's state at snapshot time.
+ */
+struct MetricSnapshot
+{
+    MetricInfo info;
+    /** Counter value, or histogram observation count. */
+    std::uint64_t count = 0;
+    /** Gauge level. */
+    std::int64_t level = 0;
+    // Histogram distribution (zero when count == 0).
+    double sum = 0.0;
+    double mean = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+};
+
+/**
+ * The process-wide registry.  Metrics register on first use, keyed
+ * by name, and are never unregistered, so returned references stay
+ * valid for the process lifetime.  Registering the same name twice
+ * returns the existing metric (the types must agree).
+ */
+class Registry
+{
+  public:
+    static Registry &instance();
+
+    Counter &counter(const std::string &name, const std::string &unit,
+                     const std::string &subsystem,
+                     const std::string &help);
+    Gauge &gauge(const std::string &name, const std::string &unit,
+                 const std::string &subsystem, const std::string &help);
+    Histogram &histogram(const std::string &name,
+                         const std::string &unit,
+                         const std::string &subsystem,
+                         const std::string &help, double lo = 1e-6,
+                         double hi = 1e4,
+                         std::size_t bins_per_decade = 4);
+
+    /** All registered metrics, ascending by name (deterministic). */
+    std::vector<MetricSnapshot> snapshotMetrics() const;
+
+    /** Zero every metric's value; registrations stay. */
+    void resetValues();
+
+  private:
+    Registry() = default;
+
+    struct Entry
+    {
+        MetricInfo info;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+
+    Entry &entryFor(const std::string &name, MetricType type,
+                    const std::string &unit,
+                    const std::string &subsystem,
+                    const std::string &help);
+
+    mutable std::mutex mu_;
+    /** Sorted by name; values are stable heap objects. */
+    std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+/** Shorthand for Registry::instance().counter(...). */
+Counter &counter(const std::string &name, const std::string &unit,
+                 const std::string &subsystem, const std::string &help);
+
+/** Shorthand for Registry::instance().gauge(...). */
+Gauge &gauge(const std::string &name, const std::string &unit,
+             const std::string &subsystem, const std::string &help);
+
+/** Shorthand for Registry::instance().histogram(...). */
+Histogram &histogram(const std::string &name, const std::string &unit,
+                     const std::string &subsystem,
+                     const std::string &help, double lo = 1e-6,
+                     double hi = 1e4, std::size_t bins_per_decade = 4);
+
+/**
+ * RAII timer feeding a Histogram (seconds).  Disarmed cost: one
+ * relaxed load; no clock is read.
+ */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(Histogram &h)
+        : h_(h), armed_(detail::armed())
+    {
+        if (armed_)
+            start_ = std::chrono::steady_clock::now();
+    }
+
+    ~ScopedTimer()
+    {
+        if (!armed_)
+            return;
+        const std::chrono::duration<double> dt =
+            std::chrono::steady_clock::now() - start_;
+        h_.record(dt.count());
+    }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    Histogram &h_;
+    bool armed_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+/**
+ * RAII sink for tests and tools: enables metrics on construction,
+ * disables on destruction.  Does not reset values; pair with
+ * resetAll() when a test needs a clean slate.
+ */
+class ScopedEnable
+{
+  public:
+    ScopedEnable() { enable(); }
+    ~ScopedEnable() { disable(); }
+
+    ScopedEnable(const ScopedEnable &) = delete;
+    ScopedEnable &operator=(const ScopedEnable &) = delete;
+};
+
+/** Zero all metric values and clear the span tree. */
+void resetAll();
+
+} // namespace obs
+} // namespace dlw
+
+#endif // DLW_OBS_METRICS_HH

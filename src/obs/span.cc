@@ -1,0 +1,119 @@
+#include "obs/span.hh"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "obs/metrics.hh"
+
+namespace dlw
+{
+namespace obs
+{
+
+namespace
+{
+
+/** One aggregated tree node; children keyed (and ordered) by name. */
+struct Node
+{
+    std::uint64_t count = 0;
+    double total_s = 0.0;
+    double min_s = 0.0;
+    double max_s = 0.0;
+    std::map<std::string, std::unique_ptr<Node>> children;
+};
+
+std::mutex g_tree_mu;
+
+Node &
+treeRoot()
+{
+    static Node *root = new Node();
+    return *root;
+}
+
+/**
+ * Names of the spans currently open on this thread, outermost
+ * first.  Only pushed while armed, so an enable() arriving mid-span
+ * cannot leave an unmatched entry.
+ */
+thread_local std::vector<const char *> t_open_spans;
+
+void
+copyChildren(const Node &from, SpanStats &to)
+{
+    to.children.reserve(from.children.size());
+    for (const auto &[name, child] : from.children) {
+        SpanStats s;
+        s.name = name;
+        s.count = child->count;
+        s.total_s = child->total_s;
+        s.min_s = child->min_s;
+        s.max_s = child->max_s;
+        copyChildren(*child, s);
+        to.children.push_back(std::move(s));
+    }
+}
+
+} // anonymous namespace
+
+ScopedSpan::ScopedSpan(const char *name)
+{
+    if (!detail::armed())
+        return;
+    armed_ = true;
+    t_open_spans.push_back(name);
+    start_ = std::chrono::steady_clock::now();
+}
+
+ScopedSpan::~ScopedSpan()
+{
+    if (!armed_)
+        return;
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - start_;
+    const double elapsed = dt.count();
+
+    std::lock_guard<std::mutex> lk(g_tree_mu);
+    Node *node = &treeRoot();
+    for (const char *name : t_open_spans) {
+        std::unique_ptr<Node> &child = node->children[name];
+        if (!child)
+            child = std::make_unique<Node>();
+        node = child.get();
+    }
+    if (node->count == 0) {
+        node->min_s = elapsed;
+        node->max_s = elapsed;
+    } else {
+        node->min_s = std::min(node->min_s, elapsed);
+        node->max_s = std::max(node->max_s, elapsed);
+    }
+    ++node->count;
+    node->total_s += elapsed;
+    t_open_spans.pop_back();
+}
+
+SpanStats
+spanSnapshot()
+{
+    std::lock_guard<std::mutex> lk(g_tree_mu);
+    SpanStats root;
+    copyChildren(treeRoot(), root);
+    return root;
+}
+
+void
+resetSpans()
+{
+    std::lock_guard<std::mutex> lk(g_tree_mu);
+    Node &root = treeRoot();
+    root.children.clear();
+    root.count = 0;
+    root.total_s = root.min_s = root.max_s = 0.0;
+}
+
+} // namespace obs
+} // namespace dlw

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Scoped pipeline-stage timing organized as a span tree.
+ *
+ * A ScopedSpan marks one stage of a pipeline (open -> parse ->
+ * characterize -> merge); spans opened while another span is live on
+ * the same thread become its children, so the aggregated tree reads
+ * like a profile of the pipeline:
+ *
+ *     fleet.run                 1x   2.13 s
+ *       fleet.shard            64x   2.05 s
+ *         generate             64x   0.41 s
+ *         service              64x   1.44 s
+ *         characterize         64x   0.19 s
+ *       fleet.merge             1x   0.01 s
+ *
+ * Aggregation is by name path: all 64 "fleet.shard" spans fold into
+ * one node with count 64, whichever threads ran them.  Span *counts*
+ * are therefore deterministic at any thread count; totals are wall
+ * time and obviously are not.
+ *
+ * Cost model matches the metrics registry: while disarmed
+ * (obs::enable() not active) constructing a span is one relaxed
+ * atomic load and no clock read.  While armed, each span end takes a
+ * global tree mutex — spans mark stage boundaries (file reads, whole
+ * drives), never per-record work, so the lock is uncontended in
+ * practice.
+ */
+
+#ifndef DLW_OBS_SPAN_HH
+#define DLW_OBS_SPAN_HH
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dlw
+{
+namespace obs
+{
+
+/**
+ * Aggregated statistics of one span-tree node.
+ */
+struct SpanStats
+{
+    std::string name;
+    std::uint64_t count = 0; ///< completed spans at this path
+    double total_s = 0.0;    ///< summed wall time
+    double min_s = 0.0;
+    double max_s = 0.0;
+    /** Child nodes, ascending by name (deterministic order). */
+    std::vector<SpanStats> children;
+};
+
+/**
+ * RAII stage timer; nests into the per-thread span stack.
+ */
+class ScopedSpan
+{
+  public:
+    /**
+     * @param name Stage name; must outlive the span (string
+     *             literals).
+     */
+    explicit ScopedSpan(const char *name);
+
+    ~ScopedSpan();
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+  private:
+    bool armed_ = false;
+    std::chrono::steady_clock::time_point start_;
+};
+
+/**
+ * Deep copy of the aggregated span tree.
+ *
+ * @return A synthetic root node (empty name, zero stats) whose
+ *         children are the top-level spans.
+ */
+SpanStats spanSnapshot();
+
+/** Discard the aggregated tree (tests and per-run isolation). */
+void resetSpans();
+
+} // namespace obs
+} // namespace dlw
+
+#endif // DLW_OBS_SPAN_HH

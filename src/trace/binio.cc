@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "common/fault.hh"
+#include "obs/span.hh"
 
 namespace dlw
 {
@@ -90,6 +91,7 @@ readMsBinary(std::istream &is, const IngestOptions &opts,
              IngestStats *stats)
 {
     IngestStats st;
+    IngestMetricsScope obs_scope(st);
     auto finish = [&](StatusOr<MsTrace> r) {
         if (stats)
             *stats = st;
@@ -193,6 +195,7 @@ readMsBinary(std::istream &is, const IngestOptions &opts,
         r.op = static_cast<Op>(raw.op);
         trace.append(r);
         ++st.records_read;
+        st.bytes_read += sizeof(RawRecord);
         if (st.errors != 0)
             st.bytes_recovered += sizeof(RawRecord);
     }
@@ -205,11 +208,15 @@ StatusOr<MsTrace>
 readMsBinary(const std::string &path, const IngestOptions &opts,
              IngestStats *stats)
 {
-    if (FAULT_POINT("trace.open")) {
-        return Status::ioError("injected fault at trace.open on '" +
-                               path + "'");
+    std::ifstream is;
+    {
+        obs::ScopedSpan span("ingest.open");
+        if (FAULT_POINT("trace.open")) {
+            return Status::ioError(
+                "injected fault at trace.open on '" + path + "'");
+        }
+        is.open(path, std::ios::binary);
     }
-    std::ifstream is(path, std::ios::binary);
     if (!is) {
         return Status::ioError("cannot open '" + path +
                                "' for reading");

@@ -6,6 +6,7 @@
 
 #include "common/fault.hh"
 #include "common/strutil.hh"
+#include "obs/span.hh"
 
 namespace dlw
 {
@@ -18,6 +19,7 @@ namespace
 Status
 openIn(const std::string &path, std::ifstream &is)
 {
+    obs::ScopedSpan span("ingest.open");
     if (FAULT_POINT("trace.open")) {
         return Status::ioError("injected fault at trace.open on '" +
                                path + "'");
@@ -75,6 +77,7 @@ struct Gate
     accept(std::size_t input_bytes)
     {
         ++st.records_read;
+        st.bytes_read += input_bytes;
         if (st.errors != 0)
             st.bytes_recovered += input_bytes;
     }
@@ -114,6 +117,7 @@ readMsCsv(std::istream &is, const IngestOptions &opts,
           IngestStats *stats)
 {
     Gate gate{opts, {}};
+    IngestMetricsScope obs_scope(gate.st);
     auto fail = [&](Status s) -> StatusOr<MsTrace> {
         if (stats)
             *stats = gate.st;
@@ -265,6 +269,7 @@ readHourCsv(std::istream &is, const IngestOptions &opts,
             IngestStats *stats)
 {
     Gate gate{opts, {}};
+    IngestMetricsScope obs_scope(gate.st);
     auto fail = [&](Status s) -> StatusOr<HourTrace> {
         if (stats)
             *stats = gate.st;
@@ -395,6 +400,7 @@ readLifetimeCsv(std::istream &is, const IngestOptions &opts,
                 IngestStats *stats)
 {
     Gate gate{opts, {}};
+    IngestMetricsScope obs_scope(gate.st);
     auto fail = [&](Status s) -> StatusOr<LifetimeTrace> {
         if (stats)
             *stats = gate.st;

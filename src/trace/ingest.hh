@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/status.hh"
+#include "obs/span.hh"
 
 namespace dlw
 {
@@ -62,6 +63,8 @@ struct IngestStats
     std::uint64_t records_clamped = 0;
     /** Corrupt events observed (skipped + clamped + aborting one). */
     std::uint64_t errors = 0;
+    /** Input bytes of all accepted records. */
+    std::uint64_t bytes_read = 0;
     /**
      * Input bytes of records accepted after the first corrupt event —
      * data the kAbort policy would have thrown away.
@@ -92,6 +95,35 @@ struct IngestOptions
     /** Cap on IngestStats::error_samples. */
     std::size_t max_error_samples = 4;
 };
+
+/**
+ * RAII observability hook shared by every trace reader: times the
+ * whole pass as an "ingest.parse" span and, on destruction, adds the
+ * enclosed IngestStats to the process-wide ingest.* counters (see
+ * docs/METRICS.md).  Costs one relaxed atomic load when metrics are
+ * disarmed, like everything in src/obs.
+ */
+class IngestMetricsScope
+{
+  public:
+    /** @param st The pass's stats; must outlive this scope. */
+    explicit IngestMetricsScope(const IngestStats &st);
+    ~IngestMetricsScope();
+
+    IngestMetricsScope(const IngestMetricsScope &) = delete;
+    IngestMetricsScope &operator=(const IngestMetricsScope &) = delete;
+
+  private:
+    const IngestStats &st_;
+    obs::ScopedSpan span_;
+};
+
+/**
+ * Force-register every ingest.* metric so snapshots cover the
+ * ingestion schema even before a reader runs (dlwtool --metrics
+ * calls this up front).
+ */
+void registerIngestMetrics();
 
 } // namespace trace
 } // namespace dlw

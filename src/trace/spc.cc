@@ -6,6 +6,7 @@
 
 #include "common/fault.hh"
 #include "common/strutil.hh"
+#include "obs/span.hh"
 
 namespace dlw
 {
@@ -17,6 +18,7 @@ readSpc(std::istream &is, const std::string &drive_id,
         const IngestOptions &opts, IngestStats *stats, int asu)
 {
     IngestStats st;
+    IngestMetricsScope obs_scope(st);
     const bool clamp = opts.policy == RecordPolicy::kBestEffortClamp;
     MsTrace trace(drive_id, 0, 0);
     std::string line;
@@ -119,6 +121,7 @@ readSpc(std::istream &is, const std::string &drive_id,
         last = std::max(last, r.arrival);
         trace.append(r);
         ++st.records_read;
+        st.bytes_read += record_bytes;
         if (st.errors != 0)
             st.bytes_recovered += record_bytes;
     }
@@ -134,11 +137,15 @@ StatusOr<MsTrace>
 readSpc(const std::string &path, const std::string &drive_id,
         const IngestOptions &opts, IngestStats *stats, int asu)
 {
-    if (FAULT_POINT("trace.open")) {
-        return Status::ioError("injected fault at trace.open on '" +
-                               path + "'");
+    std::ifstream is;
+    {
+        obs::ScopedSpan span("ingest.open");
+        if (FAULT_POINT("trace.open")) {
+            return Status::ioError(
+                "injected fault at trace.open on '" + path + "'");
+        }
+        is.open(path);
     }
-    std::ifstream is(path);
     if (!is) {
         return Status::ioError("cannot open '" + path +
                                "' for reading");

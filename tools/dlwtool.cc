@@ -3,14 +3,18 @@
  * dlwtool — command-line front end for the dlw toolkit.
  *
  * Subcommands:
- *   generate  synthesize a Millisecond trace from a workload preset
- *   convert   translate between csv / binary / spc trace formats
- *   analyze   service a trace through the drive model and print the
- *             multi-scale characterization
- *   family    synthesize a drive family's lifetime CSV
- *   fleet     characterize N drives in parallel and print the
- *             cross-drive variability report
- *   corrupt   deterministically mangle a trace file (torture input)
+ *   generate    synthesize a Millisecond trace from a workload preset
+ *   convert     translate between csv / binary / spc trace formats
+ *   analyze     service a trace through the drive model and print the
+ *               multi-scale characterization
+ *   family      synthesize a drive family's lifetime CSV
+ *   fleet       characterize N drives in parallel and print the
+ *               cross-drive variability report
+ *   corrupt     deterministically mangle a trace file (torture input)
+ *   run-report  run analyze (with --in) or fleet (without), then
+ *               append the observability report: every metric the run
+ *               moved plus the aggregated span tree
+ *   help        print usage for one command (or all of them)
  *
  * Formats are chosen by file extension: .csv, .bin, .spc.
  *
@@ -20,13 +24,23 @@
  * the command runs.  This is the CLI boundary of the Status error
  * model: library failures arrive here as StatusError and leave as an
  * exit code.
+ *
+ * Observability: the global --metrics text|json|prom option enables
+ * the obs registry for the duration of the command and emits a
+ * snapshot afterwards — to stderr by default, or to --metrics-out
+ * FILE — so stdout (and its byte-identity contracts) is never
+ * perturbed.  See docs/METRICS.md for the metric reference.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <set>
 #include <string>
+#include <vector>
 
 #include "common/fault.hh"
 #include "common/logging.hh"
@@ -38,6 +52,8 @@
 #include "disk/drive.hh"
 #include "fleet/pipeline.hh"
 #include "fleet/pool.hh"
+#include "obs/export.hh"
+#include "obs/metrics.hh"
 #include "synth/family.hh"
 #include "synth/workload.hh"
 #include "trace/binio.hh"
@@ -258,34 +274,218 @@ cmdFamily(const dlw::Options &opts)
     return 0;
 }
 
+/** Register every subsystem's metric schema with the obs registry. */
 void
-usage()
+registerAllMetrics()
 {
-    std::cout <<
-        "dlwtool <command> [--option value ...]\n"
-        "\n"
-        "commands:\n"
-        "  generate  --class oltp|fileserver|streaming|backup\n"
-        "            --rate R --minutes M --seed S --out FILE\n"
-        "  convert   --in FILE --out FILE      (.csv/.bin/.spc)\n"
-        "            [--on-corrupt abort|skip|clamp]\n"
-        "  analyze   --in FILE [--drive enterprise|nearline]\n"
-        "            [--cache on|off] [--on-corrupt abort|skip|clamp]\n"
-        "  family    --drives N --min-hours A --max-hours B\n"
-        "            --seed S --name NAME --out FILE\n"
-        "  fleet     --drives N --threads T\n"
-        "            --preset oltp|fileserver|streaming|backup|mixed\n"
-        "            --rate R --minutes M --seed S --retries K\n"
-        "            [--drive enterprise|nearline]\n"
-        "  corrupt   --in FILE --out FILE\n"
-        "            --mode truncate|bitflip|garbage|dup|reorder\n"
-        "            --seed S --count N --offset B\n"
-        "\n"
-        "global options:\n"
-        "  --fault SPEC  arm failure points before the command runs,\n"
-        "                e.g. \"trace.open:once\" or\n"
-        "                \"fleet.shard:mod=8;trace.read.record:nth=100\"\n"
-        "                (modes: nth=N, mod=N, p=P[,seed=S], once)\n";
+    trace::registerIngestMetrics();
+    fleet::registerFleetMetrics();
+    core::registerCoreMetrics();
+}
+
+int
+cmdRunReport(const dlw::Options &opts)
+{
+    // run-report always observes itself, --metrics or not: register
+    // every schema so the report shows untouched metrics at zero.
+    registerAllMetrics();
+    obs::enable();
+
+    const int rc = opts.has("in") ? cmdAnalyze(opts) : cmdFleet(opts);
+    if (rc != 0)
+        return rc;
+    std::cout << '\n' << obs::renderText(obs::takeSnapshot());
+    return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Usage, flag validation, and the --metrics emitter.
+
+/** Per-command usage text, shown on help and on flag errors. */
+const std::map<std::string, const char *> &
+commandUsage()
+{
+    static const std::map<std::string, const char *> usages = {
+        {"generate",
+         "  generate    --class oltp|fileserver|streaming|backup\n"
+         "              --rate R --minutes M --seed S --out FILE\n"},
+        {"convert",
+         "  convert     --in FILE --out FILE      (.csv/.bin/.spc)\n"
+         "              [--on-corrupt abort|skip|clamp]\n"},
+        {"analyze",
+         "  analyze     --in FILE [--drive enterprise|nearline]\n"
+         "              [--cache on|off] [--on-corrupt abort|skip|clamp]\n"},
+        {"family",
+         "  family      --drives N --min-hours A --max-hours B\n"
+         "              --seed S --name NAME --out FILE\n"},
+        {"fleet",
+         "  fleet       --drives N --threads T\n"
+         "              --preset oltp|fileserver|streaming|backup|mixed\n"
+         "              --rate R --minutes M --seed S --retries K\n"
+         "              [--drive enterprise|nearline]\n"},
+        {"corrupt",
+         "  corrupt     --in FILE --out FILE\n"
+         "              --mode truncate|bitflip|garbage|dup|reorder\n"
+         "              --seed S --count N --offset B\n"},
+        {"run-report",
+         "  run-report  analyze (--in FILE) or fleet (no --in) plus the\n"
+         "              observability report: accepts the union of the\n"
+         "              analyze and fleet options\n"},
+    };
+    return usages;
+}
+
+/** Flags each command accepts (globals are allowed everywhere). */
+const std::map<std::string, std::set<std::string>> &
+commandFlags()
+{
+    static const std::map<std::string, std::set<std::string>> flags = {
+        {"generate", {"class", "rate", "minutes", "seed", "out"}},
+        {"convert", {"in", "out", "on-corrupt"}},
+        {"analyze", {"in", "drive", "cache", "on-corrupt"}},
+        {"family",
+         {"drives", "min-hours", "max-hours", "seed", "name", "out"}},
+        {"fleet",
+         {"drives", "threads", "preset", "rate", "minutes", "seed",
+          "retries", "drive"}},
+        {"corrupt", {"in", "out", "mode", "seed", "count", "offset"}},
+        {"run-report",
+         {"in", "drive", "cache", "on-corrupt", "drives", "threads",
+          "preset", "rate", "minutes", "seed", "retries"}},
+    };
+    return flags;
+}
+
+const char *kGlobalUsage =
+    "\n"
+    "global options (any command):\n"
+    "  --fault SPEC      arm failure points before the command runs,\n"
+    "                    e.g. \"trace.open:once\" or\n"
+    "                    \"fleet.shard:mod=8;trace.read.record:nth=100\"\n"
+    "                    (modes: nth=N, mod=N, p=P[,seed=S], once)\n"
+    "  --metrics FMT     emit an observability snapshot after the\n"
+    "                    command (text|json|prom); goes to stderr so\n"
+    "                    stdout reports stay byte-identical\n"
+    "  --metrics-out F   write the snapshot to file F instead of\n"
+    "                    stderr (implies --metrics, default text)\n"
+    "\n"
+    "see docs/METRICS.md for every metric the snapshot can contain\n";
+
+const std::set<std::string> kGlobalFlags = {"fault", "metrics",
+                                            "metrics-out"};
+
+void
+usage(std::ostream &os)
+{
+    os << "dlwtool <command> [--option value ...]\n"
+          "\n"
+          "commands:\n";
+    for (const auto &[name, text] : commandUsage())
+        os << text;
+    os << kGlobalUsage;
+}
+
+/** Print one command's usage (full usage for an unknown command). */
+void
+usageFor(std::ostream &os, const std::string &cmd)
+{
+    auto it = commandUsage().find(cmd);
+    if (it == commandUsage().end()) {
+        usage(os);
+        return;
+    }
+    os << "usage:\n" << it->second << kGlobalUsage;
+}
+
+/**
+ * Reject flags the command does not accept, pointing at the relevant
+ * usage instead of silently ignoring the typo.
+ */
+bool
+validateFlags(const std::string &cmd, const dlw::Options &opts)
+{
+    const auto &allowed = commandFlags().at(cmd);
+    bool ok = true;
+    for (const std::string &key : opts.keys()) {
+        if (allowed.count(key) || kGlobalFlags.count(key))
+            continue;
+        std::cerr << "dlwtool " << cmd << ": unknown option --" << key
+                  << '\n';
+        ok = false;
+    }
+    if (!ok)
+        usageFor(std::cerr, cmd);
+    return ok;
+}
+
+/**
+ * The --metrics / --metrics-out surface: arms the registry before the
+ * command and emits one snapshot afterwards (also after a failed
+ * command — observability of failures is half the point).
+ */
+class MetricsEmitter
+{
+  public:
+    void
+    setup(const dlw::Options &opts)
+    {
+        if (!opts.has("metrics") && !opts.has("metrics-out"))
+            return;
+        format_ = obs::parseExportFormat(opts.get("metrics", "text"))
+                      .valueOrThrow();
+        out_path_ = opts.get("metrics-out", "");
+        registerAllMetrics();
+        obs::enable();
+        armed_ = true;
+    }
+
+    void
+    emit()
+    {
+        if (!armed_)
+            return;
+        armed_ = false;
+        std::string text = obs::render(obs::takeSnapshot(), format_);
+        if (!text.empty() && text.back() != '\n')
+            text += '\n';
+        if (out_path_.empty()) {
+            std::cerr << text;
+            return;
+        }
+        std::ofstream os(out_path_);
+        if (!os) {
+            std::cerr << "dlwtool: cannot write metrics to '"
+                      << out_path_ << "'\n";
+            return;
+        }
+        os << text;
+    }
+
+  private:
+    bool armed_ = false;
+    obs::ExportFormat format_ = obs::ExportFormat::kText;
+    std::string out_path_;
+};
+
+int
+dispatch(const std::string &cmd, const dlw::Options &opts)
+{
+    if (cmd == "generate")
+        return cmdGenerate(opts);
+    if (cmd == "convert")
+        return cmdConvert(opts);
+    if (cmd == "analyze")
+        return cmdAnalyze(opts);
+    if (cmd == "family")
+        return cmdFamily(opts);
+    if (cmd == "fleet")
+        return cmdFleet(opts);
+    if (cmd == "corrupt")
+        return cmdCorrupt(opts);
+    if (cmd == "run-report")
+        return cmdRunReport(opts);
+    usage(std::cerr);
+    return 1;
 }
 
 } // anonymous namespace
@@ -294,35 +494,43 @@ int
 main(int argc, char **argv)
 {
     if (argc < 2) {
-        usage();
+        usage(std::cerr);
         return 1;
     }
     const std::string cmd = argv[1];
+    if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+        if (argc > 2)
+            usageFor(std::cout, argv[2]);
+        else
+            usage(std::cout);
+        return 0;
+    }
+    if (!commandFlags().count(cmd)) {
+        std::cerr << "dlwtool: unknown command '" << cmd << "'\n";
+        usage(std::cerr);
+        return 1;
+    }
+
     dlw::Options opts(argc, argv, 2);
+    if (!validateFlags(cmd, opts))
+        return 1;
+
+    MetricsEmitter metrics;
     try {
         if (opts.has("fault")) {
             Status s = fault::armFromSpec(opts.get("fault", ""));
             if (!s.ok())
                 throw StatusError(s);
         }
-        if (cmd == "generate")
-            return cmdGenerate(opts);
-        if (cmd == "convert")
-            return cmdConvert(opts);
-        if (cmd == "analyze")
-            return cmdAnalyze(opts);
-        if (cmd == "family")
-            return cmdFamily(opts);
-        if (cmd == "fleet")
-            return cmdFleet(opts);
-        if (cmd == "corrupt")
-            return cmdCorrupt(opts);
+        metrics.setup(opts);
+        const int rc = dispatch(cmd, opts);
+        metrics.emit();
+        return rc;
     } catch (const StatusError &e) {
         // The CLI boundary of the Status model: render the error,
         // exit nonzero, and leave core dumps to real crashes.
         std::cerr << "dlwtool: " << e.status().toString() << '\n';
+        metrics.emit();
         return 1;
     }
-    usage();
-    return 1;
 }
