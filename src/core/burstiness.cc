@@ -60,19 +60,56 @@ analyzeCounts(const stats::BinnedSeries &counts,
 
 } // anonymous namespace
 
+BurstinessAccumulator::BurstinessAccumulator(
+    Tick base_bin, std::vector<std::size_t> scales)
+    : base_bin_(base_bin), scales_(std::move(scales)),
+      counts_(0, base_bin, 0)
+{
+    dlw_assert(base_bin > 0, "base bin must be positive");
+}
+
+void
+BurstinessAccumulator::begin(const trace::RequestSource &src)
+{
+    // Pre-size the bins exactly like MsTrace::binCounts() does, so
+    // the series layout (and thus every downstream figure) matches
+    // the whole-trace path bit for bit.
+    const Tick duration = src.duration();
+    auto bins = static_cast<std::size_t>(
+        duration > 0 ? (duration + base_bin_ - 1) / base_bin_ : 0);
+    counts_ = stats::BinnedSeries(src.start(), base_bin_, bins);
+}
+
+void
+BurstinessAccumulator::observe(const trace::RequestBatch &batch)
+{
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        const Tick arrival = batch.arrival(i);
+        counts_.accumulateAt(arrival, 1.0);
+        if (have_prev_)
+            gaps_.add(static_cast<double>(arrival - prev_arrival_));
+        prev_arrival_ = arrival;
+        have_prev_ = true;
+    }
+}
+
+void
+BurstinessAccumulator::finish()
+{
+    rep_ = analyzeCounts(counts_, std::move(scales_));
+    rep_.interarrival_cv = gaps_.cv();
+}
+
 BurstinessReport
 analyzeBurstiness(const trace::MsTrace &tr, Tick base_bin,
                   std::vector<std::size_t> scales)
 {
-    dlw_assert(base_bin > 0, "base bin must be positive");
-    BurstinessReport rep =
-        analyzeCounts(tr.binCounts(base_bin), std::move(scales));
-
-    stats::Summary gaps;
-    for (double g : tr.interarrivals())
-        gaps.add(g);
-    rep.interarrival_cv = gaps.cv();
-    return rep;
+    BurstinessAccumulator acc(base_bin, std::move(scales));
+    trace::MsTraceSource src(tr);
+    CharacterizationPass pass;
+    pass.add(acc);
+    pass.run(src);
+    return acc.report();
 }
 
 BurstinessReport

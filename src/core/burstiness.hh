@@ -15,8 +15,10 @@
 
 #include <vector>
 
+#include "core/pass.hh"
 #include "stats/dispersion.hh"
 #include "stats/hurst.hh"
+#include "stats/summary.hh"
 #include "trace/mstrace.hh"
 
 namespace dlw
@@ -52,6 +54,44 @@ struct BurstinessReport
      * evaluated.
      */
     bool burstyAcrossScales(double growth_factor = 4.0) const;
+};
+
+/**
+ * Streaming burstiness analysis: accumulates the base-bin counts and
+ * the interarrival-gap summary incrementally (the gap stream is
+ * folded into a running Summary, never materialized), then derives
+ * the report in finish().  analyzeBurstiness() is a one-accumulator
+ * pass over an in-memory source, so both paths share one
+ * implementation.
+ */
+class BurstinessAccumulator : public TraceAccumulator
+{
+  public:
+    /**
+     * @param base_bin Finest counting bin (default 10 ms, > 0).
+     * @param scales   Aggregation factors for the IDC curve;
+     *                 defaults to powers of four up to ~10 minutes.
+     */
+    explicit BurstinessAccumulator(Tick base_bin = 10 * kMsec,
+                                   std::vector<std::size_t> scales = {});
+
+    const char *name() const override { return "burstiness"; }
+
+    void begin(const trace::RequestSource &src) override;
+    void observe(const trace::RequestBatch &batch) override;
+    void finish() override;
+
+    /** The report (valid after finish()). */
+    const BurstinessReport &report() const { return rep_; }
+
+  private:
+    Tick base_bin_;
+    std::vector<std::size_t> scales_;
+    stats::BinnedSeries counts_;
+    stats::Summary gaps_;
+    Tick prev_arrival_ = 0;
+    bool have_prev_ = false;
+    BurstinessReport rep_;
 };
 
 /**

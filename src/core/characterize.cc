@@ -44,27 +44,35 @@ registerCoreMetrics()
 }
 
 DriveCharacterization
-characterizeMs(const trace::MsTrace &tr, const disk::ServiceLog &log)
+characterizeMs(trace::RequestSource &src, const disk::ServiceLog &log)
 {
     obs::ScopedSpan span("characterize");
     coreMetrics().ms_runs.add(1);
 
     DriveCharacterization c;
-    c.drive_id = tr.driveId();
+    c.drive_id = src.driveId();
 
     {
         obs::ScopedSpan stage("utilization");
         c.util_1s = utilizationProfile(log, kSec);
         c.util_1min = utilizationProfile(log, kMinute);
     }
+
+    // One fused trip over the request stream feeds every
+    // trace-derived analysis.
+    BurstinessAccumulator burstiness;
+    RwMixAccumulator rwmix;
+    TraceTotalsAccumulator totals;
     {
-        obs::ScopedSpan stage("burstiness");
-        c.ms_burstiness = analyzeBurstiness(tr);
+        obs::ScopedSpan stage("trace-pass");
+        CharacterizationPass pass;
+        pass.add(burstiness);
+        pass.add(rwmix);
+        pass.add(totals);
+        pass.run(src);
     }
-    {
-        obs::ScopedSpan stage("rw-dynamics");
-        c.ms_rw = analyzeRwDynamics(tr);
-    }
+    c.ms_burstiness = burstiness.report();
+    c.ms_rw = rwmix.report();
 
     {
         obs::ScopedSpan stage("idleness");
@@ -82,9 +90,16 @@ characterizeMs(const trace::MsTrace &tr, const disk::ServiceLog &log)
             static_cast<double>(log.responseQuantile(0.99)) /
             static_cast<double>(kMsec);
     }
-    c.arrival_rate = tr.arrivalRate();
-    c.read_fraction = tr.readFraction();
+    c.arrival_rate = totals.arrivalRate();
+    c.read_fraction = totals.readFraction();
     return c;
+}
+
+DriveCharacterization
+characterizeMs(const trace::MsTrace &tr, const disk::ServiceLog &log)
+{
+    trace::MsTraceSource src(tr);
+    return characterizeMs(src, log);
 }
 
 void

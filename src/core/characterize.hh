@@ -65,8 +65,23 @@ struct DriveCharacterization
 };
 
 /**
+ * Characterize a drive from a streaming request source and the
+ * service log the disk model produced for it.  The trace-derived
+ * figures (burstiness, read/write dynamics, arrival rate, read
+ * fraction) come from one fused CharacterizationPass over the
+ * source — the stream is decoded once and peak memory is O(batch)
+ * plus bounded accumulator state; the log-derived figures
+ * (utilization, idleness, response quantiles) read the log as
+ * before.
+ */
+DriveCharacterization characterizeMs(trace::RequestSource &src,
+                                     const disk::ServiceLog &log);
+
+/**
  * Characterize a drive from its ms trace and the service log the
- * disk model produced for it.
+ * disk model produced for it.  Wraps the in-memory trace in a
+ * source and runs the streaming overload, so both paths share one
+ * implementation (and are byte-identical by construction).
  */
 DriveCharacterization characterizeMs(const trace::MsTrace &tr,
                                      const disk::ServiceLog &log);

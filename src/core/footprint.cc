@@ -11,96 +11,107 @@ namespace dlw
 namespace core
 {
 
-FootprintReport
-analyzeFootprint(const trace::MsTrace &tr, Lba capacity,
-                 std::size_t extents)
+FootprintAccumulator::FootprintAccumulator(Lba capacity,
+                                           std::size_t extents)
+    : extents_(extents), hits_(extents, 0.0)
 {
     dlw_assert(capacity > 0, "capacity must be positive");
     dlw_assert(extents >= 10, "need at least ten extents");
+    rep_.capacity = capacity;
+    rep_.extent_blocks = std::max<Lba>(capacity / extents, 1);
+}
 
-    FootprintReport rep;
-    rep.capacity = capacity;
-    rep.extent_blocks = std::max<Lba>(capacity / extents, 1);
-
-    std::vector<double> hits(extents, 0.0);
-    double total = 0.0;
-
-    std::uint64_t run = 0;
-    std::uint64_t runs = 0;
-    double seek_sum = 0.0;
-    std::size_t seeks = 0;
-    Lba prev_end = 0;
-    bool have_prev = false;
-
-    for (const trace::Request &r : tr.requests()) {
-        dlw_assert(r.lbaEnd() <= capacity,
+void
+FootprintAccumulator::observe(const trace::RequestBatch &batch)
+{
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        const Lba lba = batch.lba(i);
+        const Lba lba_end = batch.lbaEnd(i);
+        dlw_assert(lba_end <= rep_.capacity,
                    "request beyond stated capacity");
-        auto e = static_cast<std::size_t>(r.lba / rep.extent_blocks);
-        if (e >= extents)
-            e = extents - 1;
-        hits[e] += 1.0;
-        total += 1.0;
+        auto e = static_cast<std::size_t>(lba / rep_.extent_blocks);
+        if (e >= extents_)
+            e = extents_ - 1;
+        hits_[e] += 1.0;
+        total_ += 1.0;
+        ++n_;
 
-        if (have_prev) {
-            if (r.lba == prev_end) {
-                ++run;
+        if (have_prev_) {
+            if (lba == prev_end_) {
+                ++run_;
             } else {
-                ++runs;
-                rep.longest_run_requests =
-                    std::max(rep.longest_run_requests, run + 1);
-                run = 0;
+                ++runs_;
+                rep_.longest_run_requests =
+                    std::max(rep_.longest_run_requests, run_ + 1);
+                run_ = 0;
             }
-            const double d = r.lba >= prev_end
-                ? static_cast<double>(r.lba - prev_end)
-                : static_cast<double>(prev_end - r.lba);
-            seek_sum += d;
-            ++seeks;
+            const double d = lba >= prev_end_
+                ? static_cast<double>(lba - prev_end_)
+                : static_cast<double>(prev_end_ - lba);
+            seek_sum_ += d;
+            ++seeks_;
         }
-        prev_end = r.lbaEnd();
-        have_prev = true;
+        prev_end_ = lba_end;
+        have_prev_ = true;
     }
-    if (have_prev) {
-        ++runs;
-        rep.longest_run_requests =
-            std::max(rep.longest_run_requests, run + 1);
+}
+
+void
+FootprintAccumulator::finish()
+{
+    if (have_prev_) {
+        ++runs_;
+        rep_.longest_run_requests =
+            std::max(rep_.longest_run_requests, run_ + 1);
     }
 
-    if (total <= 0.0)
-        return rep;
+    if (total_ <= 0.0)
+        return;
 
     // Concentration over touched extents.
     std::vector<double> touched;
-    for (double h : hits) {
+    for (double h : hits_) {
         if (h > 0.0)
             touched.push_back(h);
     }
-    rep.extents_touched = touched.size();
-    rep.footprint_fraction =
+    rep_.extents_touched = touched.size();
+    rep_.footprint_fraction =
         static_cast<double>(touched.size()) /
-        static_cast<double>(extents);
+        static_cast<double>(extents_);
 
     std::sort(touched.begin(), touched.end(),
               std::greater<double>());
     auto share_of_top = [&](double fraction) {
         const auto k = std::max<std::size_t>(
             static_cast<std::size_t>(
-                fraction * static_cast<double>(extents)),
+                fraction * static_cast<double>(extents_)),
             1);
         double s = 0.0;
         for (std::size_t i = 0; i < std::min(k, touched.size()); ++i)
             s += touched[i];
-        return s / total;
+        return s / total_;
     };
-    rep.top1_share = share_of_top(0.01);
-    rep.top10_share = share_of_top(0.10);
-    rep.extent_gini = giniCoefficient(touched);
+    rep_.top1_share = share_of_top(0.01);
+    rep_.top10_share = share_of_top(0.10);
+    rep_.extent_gini = giniCoefficient(touched);
 
-    rep.mean_run_requests = static_cast<double>(tr.size()) /
-                            static_cast<double>(std::max<std::uint64_t>(
-                                runs, 1));
-    rep.mean_seek_blocks =
-        seeks ? seek_sum / static_cast<double>(seeks) : 0.0;
-    return rep;
+    rep_.mean_run_requests =
+        static_cast<double>(n_) /
+        static_cast<double>(std::max<std::uint64_t>(runs_, 1));
+    rep_.mean_seek_blocks =
+        seeks_ ? seek_sum_ / static_cast<double>(seeks_) : 0.0;
+}
+
+FootprintReport
+analyzeFootprint(const trace::MsTrace &tr, Lba capacity,
+                 std::size_t extents)
+{
+    FootprintAccumulator acc(capacity, extents);
+    trace::MsTraceSource src(tr);
+    CharacterizationPass pass;
+    pass.add(acc);
+    pass.run(src);
+    return acc.report();
 }
 
 } // namespace core

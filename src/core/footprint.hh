@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/pass.hh"
 #include "trace/mstrace.hh"
 
 namespace dlw
@@ -47,6 +48,45 @@ struct FootprintReport
     std::uint64_t longest_run_requests = 0;
     /** Mean seek distance between consecutive requests, blocks. */
     double mean_seek_blocks = 0.0;
+};
+
+/**
+ * Streaming spatial footprint: the per-extent hit histogram (O(extents)
+ * state, not O(requests)) and the run/seek scan accumulate per batch,
+ * with the previous request's end LBA carried across batch boundaries;
+ * the concentration metrics are derived in finish().
+ */
+class FootprintAccumulator : public TraceAccumulator
+{
+  public:
+    /**
+     * @param capacity Device capacity in blocks (>= every lbaEnd()).
+     * @param extents  Number of equal extents the device is divided
+     *                 into for the concentration metrics (>= 10).
+     */
+    explicit FootprintAccumulator(Lba capacity,
+                                  std::size_t extents = 1000);
+
+    const char *name() const override { return "footprint"; }
+
+    void observe(const trace::RequestBatch &batch) override;
+    void finish() override;
+
+    /** The report (valid after finish()). */
+    const FootprintReport &report() const { return rep_; }
+
+  private:
+    std::size_t extents_;
+    std::vector<double> hits_;
+    double total_ = 0.0;
+    std::uint64_t run_ = 0;
+    std::uint64_t runs_ = 0;
+    double seek_sum_ = 0.0;
+    std::size_t seeks_ = 0;
+    std::size_t n_ = 0;
+    Lba prev_end_ = 0;
+    bool have_prev_ = false;
+    FootprintReport rep_;
 };
 
 /**

@@ -1,0 +1,117 @@
+#include "core/pass.hh"
+
+#include "obs/metrics.hh"
+#include "obs/span.hh"
+
+namespace dlw
+{
+namespace core
+{
+
+namespace
+{
+
+/** Fusion bookkeeping for the streaming characterization pass. */
+struct PassMetrics
+{
+    obs::Counter &runs = obs::counter("core.pass.runs",
+        "passes", "core",
+        "fused characterization passes over a request stream");
+    obs::Counter &batches = obs::counter("core.pass.batches",
+        "batches", "core",
+        "request batches fanned out to accumulators by passes");
+    obs::Counter &fused = obs::counter("core.pass.accumulators",
+        "accumulators", "core",
+        "accumulators fed by passes (divide by core.pass.runs "
+        "for the mean fusion width)");
+};
+
+PassMetrics &
+passMetrics()
+{
+    static PassMetrics *m = new PassMetrics();
+    return *m;
+}
+
+} // anonymous namespace
+
+void
+registerPassMetrics()
+{
+    passMetrics();
+}
+
+void
+TraceTotalsAccumulator::begin(const trace::RequestSource &src)
+{
+    duration_ = src.duration();
+}
+
+void
+TraceTotalsAccumulator::observe(const trace::RequestBatch &batch)
+{
+    n_ += batch.size();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (batch.isRead(i))
+            ++reads_;
+        bytes_ += batch.bytes(i);
+        blocks_ += batch.blocks(i);
+    }
+}
+
+double
+TraceTotalsAccumulator::readFraction() const
+{
+    if (n_ == 0)
+        return 0.0;
+    return static_cast<double>(reads_) / static_cast<double>(n_);
+}
+
+double
+TraceTotalsAccumulator::arrivalRate() const
+{
+    if (n_ == 0 || duration_ <= 0)
+        return 0.0;
+    return static_cast<double>(n_) / ticksToSeconds(duration_);
+}
+
+double
+TraceTotalsAccumulator::meanRequestBlocks() const
+{
+    if (n_ == 0)
+        return 0.0;
+    return static_cast<double>(blocks_) / static_cast<double>(n_);
+}
+
+Status
+CharacterizationPass::run(trace::RequestSource &src,
+                          std::size_t batch_requests)
+{
+    obs::ScopedSpan span("core.pass");
+    if (obs::enabled()) {
+        PassMetrics &m = passMetrics();
+        m.runs.add(1);
+        m.fused.add(accs_.size());
+    }
+
+    for (TraceAccumulator *acc : accs_)
+        acc->begin(src);
+
+    trace::RequestBatch batch(batch_requests);
+    while (src.next(batch)) {
+        if (obs::enabled())
+            passMetrics().batches.add(1);
+        for (TraceAccumulator *acc : accs_)
+            acc->observe(batch);
+    }
+
+    Status s = src.status();
+    if (!s.ok())
+        return s;
+    for (TraceAccumulator *acc : accs_)
+        acc->finish();
+    return s;
+}
+
+} // namespace core
+} // namespace dlw

@@ -39,59 +39,96 @@ finishSeriesStats(RwDynamics &d)
 
 } // anonymous namespace
 
+RwMixAccumulator::RwMixAccumulator(Tick bin_width)
+    : reads_(0, bin_width, 0), all_(0, bin_width, 0)
+{
+    dlw_assert(bin_width > 0, "bin width must be positive");
+    d_.bin_width = bin_width;
+}
+
+void
+RwMixAccumulator::begin(const trace::RequestSource &src)
+{
+    // Pre-size exactly like MsTrace::binCounts().
+    const Tick duration = src.duration();
+    const Tick w = d_.bin_width;
+    auto bins = static_cast<std::size_t>(
+        duration > 0 ? (duration + w - 1) / w : 0);
+    reads_ = stats::BinnedSeries(src.start(), w, bins);
+    all_ = stats::BinnedSeries(src.start(), w, bins);
+}
+
+void
+RwMixAccumulator::observe(const trace::RequestBatch &batch)
+{
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        const bool is_read = batch.isRead(i);
+        ++n_;
+        if (is_read) {
+            ++read_n_;
+            reads_.accumulateAt(batch.arrival(i), 1.0);
+        }
+        all_.accumulateAt(batch.arrival(i), 1.0);
+
+        // Direction-run scan; run_len_ == 0 only before the first
+        // request, which makes the first iteration open a run no
+        // matter what prev_read_ holds.
+        if (is_read == prev_read_ && run_len_ > 0) {
+            ++run_len_;
+        } else {
+            if (run_len_ > 0) {
+                ++runs_;
+                if (!prev_read_) {
+                    d_.longest_write_run =
+                        std::max(d_.longest_write_run, run_len_);
+                    if (run_len_ >= 8)
+                        ++d_.write_bursts;
+                }
+            }
+            prev_read_ = is_read;
+            run_len_ = 1;
+        }
+    }
+}
+
+void
+RwMixAccumulator::finish()
+{
+    d_.read_fraction =
+        n_ > 0 ? static_cast<double>(read_n_) /
+                     static_cast<double>(n_)
+               : 0.0;
+
+    d_.read_fraction_series.reserve(all_.size());
+    for (std::size_t i = 0; i < all_.size(); ++i) {
+        const double total = all_.at(i);
+        d_.read_fraction_series.push_back(
+            total > 0.0 ? reads_.at(i) / total : -1.0);
+    }
+    finishSeriesStats(d_);
+
+    if (n_ > 0) {
+        ++runs_;
+        if (!prev_read_) {
+            d_.longest_write_run =
+                std::max(d_.longest_write_run, run_len_);
+            if (run_len_ >= 8)
+                ++d_.write_bursts;
+        }
+        d_.mean_run_length = static_cast<double>(n_) /
+                             static_cast<double>(runs_);
+    }
+}
+
 RwDynamics
 analyzeRwDynamics(const trace::MsTrace &tr, Tick bin_width)
 {
-    dlw_assert(bin_width > 0, "bin width must be positive");
-    RwDynamics d;
-    d.bin_width = bin_width;
-    d.read_fraction = tr.readFraction();
-
-    const stats::BinnedSeries reads =
-        tr.binCounts(bin_width, trace::MsTrace::Filter::Reads);
-    const stats::BinnedSeries all =
-        tr.binCounts(bin_width, trace::MsTrace::Filter::All);
-    d.read_fraction_series.reserve(all.size());
-    for (std::size_t i = 0; i < all.size(); ++i) {
-        const double total = all.at(i);
-        d.read_fraction_series.push_back(
-            total > 0.0 ? reads.at(i) / total : -1.0);
-    }
-    finishSeriesStats(d);
-
-    // Direction runs.
-    const auto &reqs = tr.requests();
-    if (!reqs.empty()) {
-        std::size_t runs = 0;
-        std::size_t run_len = 0;
-        bool prev_read = reqs.front().isRead();
-        for (const trace::Request &r : reqs) {
-            if (r.isRead() == prev_read && run_len > 0) {
-                ++run_len;
-            } else {
-                if (run_len > 0) {
-                    ++runs;
-                    if (!prev_read) {
-                        d.longest_write_run =
-                            std::max(d.longest_write_run, run_len);
-                        if (run_len >= 8)
-                            ++d.write_bursts;
-                    }
-                }
-                prev_read = r.isRead();
-                run_len = 1;
-            }
-        }
-        ++runs;
-        if (!prev_read) {
-            d.longest_write_run = std::max(d.longest_write_run, run_len);
-            if (run_len >= 8)
-                ++d.write_bursts;
-        }
-        d.mean_run_length = static_cast<double>(reqs.size()) /
-                            static_cast<double>(runs);
-    }
-    return d;
+    RwMixAccumulator acc(bin_width);
+    trace::MsTraceSource src(tr);
+    CharacterizationPass pass;
+    pass.add(acc);
+    pass.run(src);
+    return acc.report();
 }
 
 RwDynamics

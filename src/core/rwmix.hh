@@ -14,6 +14,7 @@
 
 #include <vector>
 
+#include "core/pass.hh"
 #include "stats/timeseries.hh"
 #include "trace/hourtrace.hh"
 #include "trace/mstrace.hh"
@@ -44,6 +45,40 @@ struct RwDynamics
     std::size_t longest_write_run = 0;
     /** Number of write bursts (maximal write runs of >= 8 requests). */
     std::size_t write_bursts = 0;
+};
+
+/**
+ * Streaming read/write dynamics: per-bin read/all counts accumulate
+ * incrementally and the direction-run scan carries its state (current
+ * direction, open run length) across batch boundaries, so the result
+ * is independent of how the stream was chunked.  analyzeRwDynamics()
+ * over a whole trace is a one-accumulator pass over an in-memory
+ * source.
+ */
+class RwMixAccumulator : public TraceAccumulator
+{
+  public:
+    /** @param bin_width Mixing bin (default one minute, > 0). */
+    explicit RwMixAccumulator(Tick bin_width = kMinute);
+
+    const char *name() const override { return "rwmix"; }
+
+    void begin(const trace::RequestSource &src) override;
+    void observe(const trace::RequestBatch &batch) override;
+    void finish() override;
+
+    /** The report (valid after finish()). */
+    const RwDynamics &report() const { return d_; }
+
+  private:
+    stats::BinnedSeries reads_;
+    stats::BinnedSeries all_;
+    std::size_t n_ = 0;
+    std::size_t read_n_ = 0;
+    std::size_t runs_ = 0;
+    std::size_t run_len_ = 0;
+    bool prev_read_ = false;
+    RwDynamics d_;
 };
 
 /**

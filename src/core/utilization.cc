@@ -10,39 +10,51 @@ namespace dlw
 namespace core
 {
 
+UtilizationAccumulator::UtilizationAccumulator(Tick bin_width)
+{
+    dlw_assert(bin_width > 0, "bin width must be positive");
+    p_.bin_width = bin_width;
+}
+
+void
+UtilizationAccumulator::observe(double u)
+{
+    dlw_assert(u >= -1e-9 && u <= 1.0 + 1e-9,
+               "utilization outside [0, 1]");
+    p_.series.push_back(u);
+    ecdf_.add(u);
+    sum_ += u;
+    if (u <= 0.0)
+        ++idle_;
+    if (u >= 0.9)
+        ++saturated_;
+    p_.peak = std::max(p_.peak, u);
+}
+
+UtilizationProfile
+UtilizationAccumulator::finish()
+{
+    if (p_.series.empty())
+        return p_;
+    const double n = static_cast<double>(p_.series.size());
+    p_.mean = sum_ / n;
+    p_.median = ecdf_.median();
+    p_.p95 = ecdf_.quantile(0.95);
+    p_.idle_fraction = static_cast<double>(idle_) / n;
+    p_.saturated_fraction = static_cast<double>(saturated_) / n;
+    return p_;
+}
+
 namespace
 {
 
 UtilizationProfile
-profileFromSeries(std::vector<double> series, Tick bin_width)
+profileFromSeries(const std::vector<double> &series, Tick bin_width)
 {
-    UtilizationProfile p;
-    p.bin_width = bin_width;
-    p.series = std::move(series);
-    if (p.series.empty())
-        return p;
-
-    stats::Ecdf ecdf;
-    std::size_t idle = 0, saturated = 0;
-    double sum = 0.0;
-    for (double u : p.series) {
-        dlw_assert(u >= -1e-9 && u <= 1.0 + 1e-9,
-                   "utilization outside [0, 1]");
-        ecdf.add(u);
-        sum += u;
-        if (u <= 0.0)
-            ++idle;
-        if (u >= 0.9)
-            ++saturated;
-        p.peak = std::max(p.peak, u);
-    }
-    const double n = static_cast<double>(p.series.size());
-    p.mean = sum / n;
-    p.median = ecdf.median();
-    p.p95 = ecdf.quantile(0.95);
-    p.idle_fraction = static_cast<double>(idle) / n;
-    p.saturated_fraction = static_cast<double>(saturated) / n;
-    return p;
+    UtilizationAccumulator acc(bin_width);
+    for (double u : series)
+        acc.observe(u);
+    return acc.finish();
 }
 
 } // anonymous namespace

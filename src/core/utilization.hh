@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "disk/drive.hh"
+#include "stats/ecdf.hh"
 #include "stats/summary.hh"
 #include "trace/hourtrace.hh"
 
@@ -44,6 +45,33 @@ struct UtilizationProfile
     double saturated_fraction = 0.0;
     /** The per-bin utilization series itself. */
     std::vector<double> series;
+};
+
+/**
+ * Incremental utilization profile: feed one clamped per-bin sample at
+ * a time (in bin order) and finish into the profile.  The streaming
+ * drive pipeline emits bin samples as busy intervals close, so the
+ * profile never needs the whole series twice; the series itself is
+ * still recorded in the profile (O(bins), not O(requests)).
+ */
+class UtilizationAccumulator
+{
+  public:
+    /** @param bin_width Measurement window (> 0). */
+    explicit UtilizationAccumulator(Tick bin_width);
+
+    /** One per-bin utilization sample in [0, 1], in bin order. */
+    void observe(double u);
+
+    /** Derive the profile over everything observed so far. */
+    UtilizationProfile finish();
+
+  private:
+    UtilizationProfile p_;
+    stats::Ecdf ecdf_;
+    std::size_t idle_ = 0;
+    std::size_t saturated_ = 0;
+    double sum_ = 0.0;
 };
 
 /**

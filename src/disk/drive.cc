@@ -125,28 +125,70 @@ namespace
 {
 
 /**
+ * Pulls one request at a time off a batch stream.  The engine's event
+ * loop wants single-request lookahead (the next arrival is scheduled
+ * while the current one is processed); this adapter hides the batch
+ * boundary so only one RequestBatch is ever resident.
+ */
+class BatchCursor
+{
+  public:
+    BatchCursor(trace::RequestSource &src, std::size_t batch_requests)
+        : src_(src), batch_(batch_requests)
+    {
+    }
+
+    /** Copy the next request into `out`; false at end-of-stream. */
+    bool
+    next(trace::Request &out)
+    {
+        if (pos_ >= batch_.size()) {
+            if (!src_.next(batch_))
+                return false;
+            pos_ = 0;
+        }
+        out = batch_.get(pos_++);
+        return true;
+    }
+
+  private:
+    trace::RequestSource &src_;
+    trace::RequestBatch batch_;
+    std::size_t pos_ = 0;
+};
+
+/**
  * The running engine: a single drive state machine over an event
  * queue.  Kept out of the header; DiskDrive::service() owns one per
  * call, so the drive object itself stays reusable and stateless.
+ *
+ * The engine consumes its input strictly in arrival order with
+ * one-request lookahead, so it runs off a RequestSource cursor: the
+ * pending request is copied out, the next one is pulled when (and
+ * only when) the pending one arrives.
  */
 class Engine
 {
   public:
-    Engine(const DriveConfig &config, const trace::MsTrace &tr)
+    Engine(const DriveConfig &config, trace::RequestSource &src,
+           CompletionSink *sink, std::size_t batch_requests)
         : config_(config),
           model_(config.geometry, config.seek),
           cache_(config.cache),
           sched_(config.sched),
-          trace_(tr)
+          cursor_(src, batch_requests),
+          sink_(sink)
     {
-        log_.window_start = tr.start();
-        log_.window_end = tr.end();
+        log_.window_start = src.start();
+        log_.window_end = src.end();
+        prev_arrival_ = log_.window_start;
     }
 
     ServiceLog
     run()
     {
-        if (!trace_.empty())
+        pullNext();
+        if (has_pending_)
             scheduleNextArrival();
         eq_.run();
         // The queue drains only when every request completed and the
@@ -161,22 +203,41 @@ class Engine
 
   private:
     void
+    pullNext()
+    {
+        has_pending_ = cursor_.next(pending_);
+        if (!has_pending_)
+            return;
+        // Incremental form of MsTrace::validate(): the stream never
+        // exists as a whole, so the invariants are checked as it is
+        // consumed.
+        dlw_assert(pending_.blocks > 0, "request with zero blocks");
+        dlw_assert(pending_.arrival >= prev_arrival_,
+                   "arrivals not sorted");
+        dlw_assert(pending_.arrival >= log_.window_start &&
+                       pending_.arrival < log_.window_end,
+                   "arrival outside observation window");
+        prev_arrival_ = pending_.arrival;
+    }
+
+    void
     scheduleNextArrival()
     {
-        const trace::Request &r = trace_.at(next_arrival_);
-        eq_.schedule(r.arrival, [this](Tick t) { onArrival(t); },
+        eq_.schedule(pending_.arrival,
+                     [this](Tick t) { onArrival(t); },
                      sim::Priority::High);
     }
 
     void
     onArrival(Tick now)
     {
-        const std::size_t idx = next_arrival_++;
-        if (next_arrival_ < trace_.size())
+        const std::size_t idx = next_index_++;
+        QueuedRequest qr{pending_, idx};
+        pullNext();
+        if (has_pending_)
             scheduleNextArrival();
 
         cancelDestageTimer();
-        QueuedRequest qr{trace_.at(idx), idx};
 
         // Cache-served requests never touch the mechanism and
         // complete immediately, even while it is busy.
@@ -265,7 +326,7 @@ class Engine
             return;
         // After the last arrival there is nothing to wait for; drain
         // immediately so the run terminates.
-        const bool draining = next_arrival_ >= trace_.size();
+        const bool draining = !has_pending_;
         const Tick wait = draining ? 0 : config_.destage_idle_wait;
         destage_timer_ = eq_.schedule(
             now + wait, [this](Tick t) { startDestage(t); },
@@ -327,7 +388,10 @@ class Engine
         c.finish = finish;
         c.read = qr.req.isRead();
         c.cache_hit = hit;
-        log_.completions.push_back(c);
+        if (sink_)
+            sink_->onCompletion(c);
+        else
+            log_.completions.push_back(c);
     }
 
     void
@@ -358,12 +422,16 @@ class Engine
     DiskModel model_;
     DiskCache cache_;
     Scheduler sched_;
-    const trace::MsTrace &trace_;
+    BatchCursor cursor_;
+    CompletionSink *sink_;
 
     sim::EventQueue eq_;
     ServiceLog log_;
     std::vector<QueuedRequest> queue_;
-    std::size_t next_arrival_ = 0;
+    trace::Request pending_{};
+    bool has_pending_ = false;
+    std::size_t next_index_ = 0;
+    Tick prev_arrival_ = 0;
     std::uint64_t head_cylinder_ = 0;
     bool busy_ = false;
     Tick last_busy_end_ = 0;
@@ -381,8 +449,22 @@ ServiceLog
 DiskDrive::service(const trace::MsTrace &tr)
 {
     dlw_assert(tr.validate(), "input trace failed validation");
-    Engine engine(config_, tr);
-    return engine.run();
+    trace::MsTraceSource src(tr);
+    return service(src);
+}
+
+ServiceLog
+DiskDrive::service(trace::RequestSource &src, CompletionSink *sink,
+                   std::size_t batch_requests)
+{
+    Engine engine(config_, src, sink, batch_requests);
+    ServiceLog log = engine.run();
+    // A source that dies mid-stream looks like a clean end to the
+    // cursor; surface the failure instead of a silently short log.
+    const Status st = src.status();
+    if (!st.ok())
+        throw StatusError(st);
+    return log;
 }
 
 } // namespace disk

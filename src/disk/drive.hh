@@ -22,6 +22,7 @@
 #include "disk/scheduler.hh"
 #include "trace/aggregate.hh"
 #include "trace/mstrace.hh"
+#include "trace/source.hh"
 
 namespace dlw
 {
@@ -69,6 +70,26 @@ struct Completion
 
     /** Response time (queueing + service). */
     Tick response() const { return finish - arrival; }
+};
+
+/**
+ * Receives per-request completions as the engine produces them.
+ *
+ * Passing a sink to DiskDrive::service() redirects the Completion
+ * records here instead of materializing ServiceLog::completions —
+ * the one O(requests) component of a ServiceLog.  A streamed run
+ * with a sink therefore holds only the current batch, the in-flight
+ * queue, and the (coalesced) busy intervals.  Callbacks arrive in
+ * completion order, exactly the order ServiceLog::completions would
+ * have been filled in.
+ */
+class CompletionSink
+{
+  public:
+    virtual ~CompletionSink() = default;
+
+    /** One request finished. */
+    virtual void onCompletion(const Completion &c) = 0;
 };
 
 /**
@@ -144,6 +165,30 @@ class DiskDrive
      * @return The complete service log.
      */
     ServiceLog service(const trace::MsTrace &tr);
+
+    /**
+     * Service a request stream.
+     *
+     * Pulls batches from `src` on demand and replays them through the
+     * engine with one-request lookahead, so only the current batch is
+     * resident — the streamed equivalent of service(MsTrace), with
+     * byte-identical results at every batch size.  The whole-trace
+     * validation becomes incremental: arrivals must be sorted, inside
+     * the source's window, with nonzero block counts (asserted as the
+     * stream is consumed).
+     *
+     * @param src            Request stream, in arrival order.
+     * @param sink           Optional completion sink; when non-null,
+     *                       completions stream there and
+     *                       ServiceLog::completions stays empty.
+     * @param batch_requests Batch capacity used to pull from src.
+     * @return The service log (throws StatusError when the source
+     *         reports a mid-stream decode failure).
+     */
+    ServiceLog service(trace::RequestSource &src,
+                       CompletionSink *sink = nullptr,
+                       std::size_t batch_requests =
+                           trace::kDefaultBatchRequests);
 
   private:
     DriveConfig config_;

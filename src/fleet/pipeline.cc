@@ -105,6 +105,35 @@ makeWorkload(FleetPreset klass, Lba capacity, double rate,
     dlw_panic("mixed preset must be resolved per drive");
 }
 
+/**
+ * Distils the completion stream into shard statistics on the fly.
+ * Both shard paths run through it — the streaming engine feeds it
+ * live, the reference path replays ServiceLog::completions into it —
+ * so the two paths share one definition of the statistics and stay
+ * byte-identical by construction.
+ */
+class ShardCompletionSink : public disk::CompletionSink
+{
+  public:
+    explicit ShardCompletionSink(DriveShard &shard) : shard_(shard) {}
+
+    void
+    onCompletion(const disk::Completion &c) override
+    {
+        if (c.read)
+            ++shard_.reads;
+        if (c.cache_hit)
+            ++shard_.cache_hits;
+        const double ms = static_cast<double>(c.response()) /
+                          static_cast<double>(kMsec);
+        shard_.response_ms.add(ms);
+        shard_.response_hist.add(ms);
+    }
+
+  private:
+    DriveShard &shard_;
+};
+
 } // anonymous namespace
 
 const char *
@@ -184,32 +213,45 @@ characterizeDrive(const FleetConfig &config, std::size_t index)
     synth::Workload workload = makeWorkload(
         klass, dcfg.geometry.capacityBlocks(), config.rate, wseed);
 
-    trace::MsTrace tr = [&] {
-        obs::ScopedSpan stage("generate");
-        return workload.generate(rng, shard.drive_id, 0, config.window);
-    }();
     disk::DiskDrive drive(dcfg);
-    const disk::ServiceLog log = [&] {
+    ShardCompletionSink sink(shard);
+    std::size_t requests = 0;
+    disk::ServiceLog log;
+    if (config.stream) {
+        // Bounded-memory path: batches flow workload -> engine and
+        // completions flow engine -> shard statistics, so neither the
+        // trace nor the completion vector is ever materialized.
+        synth::WorkloadSource wsrc = [&] {
+            obs::ScopedSpan stage("generate");
+            return workload.openSource(rng, shard.drive_id, 0,
+                                       config.window);
+        }();
+        requests = wsrc.size();
         obs::ScopedSpan stage("service");
-        return drive.service(tr);
-    }();
+        log = drive.service(
+            wsrc, &sink,
+            std::max<std::size_t>(config.batch_requests, 1));
+    } else {
+        trace::MsTrace tr = [&] {
+            obs::ScopedSpan stage("generate");
+            return workload.generate(rng, shard.drive_id, 0,
+                                     config.window);
+        }();
+        requests = tr.size();
+        {
+            obs::ScopedSpan stage("service");
+            log = drive.service(tr);
+        }
+        for (const disk::Completion &c : log.completions)
+            sink.onCompletion(c);
+    }
 
     obs::ScopedSpan stage("characterize");
-    shard.requests = tr.size();
-    shard.arrival_rate = static_cast<double>(tr.size()) /
+    shard.requests = requests;
+    shard.arrival_rate = static_cast<double>(requests) /
                          ticksToSeconds(config.window);
     shard.utilization = log.utilization();
 
-    for (const disk::Completion &c : log.completions) {
-        if (c.read)
-            ++shard.reads;
-        if (c.cache_hit)
-            ++shard.cache_hits;
-        const double ms = static_cast<double>(c.response()) /
-                          static_cast<double>(kMsec);
-        shard.response_ms.add(ms);
-        shard.response_hist.add(ms);
-    }
     for (Tick gap : log.idleIntervals())
         shard.idle_hist.add(ticksToSeconds(gap));
 

@@ -23,6 +23,7 @@
 #include "common/status.hh"
 #include "common/types.hh"
 #include "fleet/merge.hh"
+#include "trace/batch.hh"
 
 namespace dlw
 {
@@ -71,6 +72,17 @@ struct FleetConfig
      * than failing the run.
      */
     std::size_t max_attempts = 3;
+    /**
+     * Stream each shard's workload straight through the drive model
+     * (the default): requests are synthesized per batch and
+     * completions distilled into the shard statistics as they
+     * happen, so a shard's resident footprint is O(batch) instead of
+     * O(requests).  The report is byte-identical either way; off
+     * exists for A/B checks and as the reference path.
+     */
+    bool stream = true;
+    /** Batch capacity (requests) used by the streaming path. */
+    std::size_t batch_requests = trace::kDefaultBatchRequests;
 };
 
 /**

@@ -23,9 +23,8 @@ constexpr double kBurstyCv = 1.3;
  * think threshold, and estimate the ON/OFF parameters.
  */
 void
-fitOnOff(const trace::MsTrace &tr, ExtractedModel &m)
+fitOnOff(const std::vector<double> &gaps, ExtractedModel &m)
 {
-    const std::vector<double> gaps = tr.interarrivals();
     dlw_assert(!gaps.empty(), "fitOnOff needs interarrivals");
 
     // Threshold: well above the typical in-burst gap.  The median is
@@ -74,65 +73,110 @@ fitOnOff(const trace::MsTrace &tr, ExtractedModel &m)
 
 } // anonymous namespace
 
-ExtractedModel
-extractModel(const trace::MsTrace &tr, Lba capacity)
+ModelAccumulator::ModelAccumulator(Lba capacity)
 {
-    dlw_assert(tr.size() >= 100,
-               "model extraction needs at least 100 requests");
     dlw_assert(capacity > 0, "capacity must be positive");
+    m_.capacity = capacity;
+}
 
-    ExtractedModel m;
-    m.capacity = capacity;
-    m.rate = tr.arrivalRate();
-    m.read_fraction = tr.readFraction();
-    m.sequential_fraction = tr.sequentialFraction();
+void
+ModelAccumulator::begin(const trace::RequestSource &src)
+{
+    duration_ = src.duration();
+}
+
+void
+ModelAccumulator::observe(const trace::RequestBatch &batch)
+{
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        const Tick arrival = batch.arrival(i);
+        const bool is_read = batch.isRead(i);
+        const BlockCount blocks = batch.blocks(i);
+
+        ++n_;
+        if (is_read)
+            ++reads_;
+        if (have_prev_) {
+            // The one materialization of the gap stream per pass:
+            // both the CV and the ON/OFF fit read this vector.
+            gaps_.push_back(
+                static_cast<double>(arrival - prev_arrival_));
+            if (batch.lba(i) == prev_end_)
+                ++seq_;
+            if (is_read != prev_read_)
+                ++changes_;
+        }
+        log_sizes_.push_back(
+            std::log(static_cast<double>(blocks)));
+        max_blocks_ = std::max(max_blocks_, blocks);
+
+        prev_arrival_ = arrival;
+        prev_end_ = batch.lbaEnd(i);
+        prev_read_ = is_read;
+        have_prev_ = true;
+    }
+}
+
+void
+ModelAccumulator::finish()
+{
+    dlw_assert(n_ >= 100,
+               "model extraction needs at least 100 requests");
+
+    m_.rate = (n_ == 0 || duration_ <= 0)
+        ? 0.0
+        : static_cast<double>(n_) / ticksToSeconds(duration_);
+    m_.read_fraction = n_ > 0
+        ? static_cast<double>(reads_) / static_cast<double>(n_)
+        : 0.0;
+    m_.sequential_fraction = n_ < 2
+        ? 0.0
+        : static_cast<double>(seq_) / static_cast<double>(n_ - 1);
 
     // Interarrival burstiness.
     stats::Summary gap_summary;
-    for (double g : tr.interarrivals())
+    for (double g : gaps_)
         gap_summary.add(g);
-    m.interarrival_cv = gap_summary.cv();
-    m.bursty = m.interarrival_cv > kBurstyCv;
-    if (m.bursty)
-        fitOnOff(tr, m);
+    m_.interarrival_cv = gap_summary.cv();
+    m_.bursty = m_.interarrival_cv > kBurstyCv;
+    if (m_.bursty)
+        fitOnOff(gaps_, m_);
 
     // Direction persistence from the change rate:
     // P(change) = (1 - p) * 2 f (1 - f).
-    std::size_t changes = 0;
-    for (std::size_t i = 1; i < tr.size(); ++i) {
-        if (tr.at(i).isRead() != tr.at(i - 1).isRead())
-            ++changes;
-    }
-    const double f = m.read_fraction;
+    const double f = m_.read_fraction;
     const double base = 2.0 * f * (1.0 - f);
     if (base > 1e-6) {
         const double p_change =
-            static_cast<double>(changes) /
-            static_cast<double>(tr.size() - 1);
-        m.persistence = std::clamp(1.0 - p_change / base, 0.0, 0.95);
+            static_cast<double>(changes_) /
+            static_cast<double>(n_ - 1);
+        m_.persistence = std::clamp(1.0 - p_change / base, 0.0, 0.95);
     }
 
     // Size body: log-space median and sigma.
-    std::vector<double> log_sizes;
-    log_sizes.reserve(tr.size());
-    BlockCount max_blocks = 1;
-    for (const trace::Request &r : tr.requests()) {
-        log_sizes.push_back(std::log(static_cast<double>(r.blocks)));
-        max_blocks = std::max(max_blocks, r.blocks);
-    }
-    std::sort(log_sizes.begin(), log_sizes.end());
-    const double log_median = log_sizes[log_sizes.size() / 2];
+    std::sort(log_sizes_.begin(), log_sizes_.end());
+    const double log_median = log_sizes_[log_sizes_.size() / 2];
     double var = 0.0;
-    for (double l : log_sizes) {
+    for (double l : log_sizes_) {
         const double d = l - log_median;
         var += d * d;
     }
-    var /= static_cast<double>(log_sizes.size());
-    m.size_median = static_cast<BlockCount>(
+    var /= static_cast<double>(log_sizes_.size());
+    m_.size_median = static_cast<BlockCount>(
         std::max(std::exp(log_median) + 0.5, 1.0));
-    m.size_sigma = std::sqrt(var);
-    m.size_max = max_blocks;
-    return m;
+    m_.size_sigma = std::sqrt(var);
+    m_.size_max = max_blocks_;
+}
+
+ExtractedModel
+extractModel(const trace::MsTrace &tr, Lba capacity)
+{
+    ModelAccumulator acc(capacity);
+    trace::MsTraceSource src(tr);
+    core::CharacterizationPass pass;
+    pass.add(acc);
+    pass.run(src);
+    return acc.model();
 }
 
 Workload

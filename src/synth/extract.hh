@@ -19,7 +19,9 @@
 #define DLW_SYNTH_EXTRACT_HH
 
 #include <string>
+#include <vector>
 
+#include "core/pass.hh"
 #include "synth/workload.hh"
 #include "trace/mstrace.hh"
 
@@ -76,6 +78,50 @@ struct ExtractedModel
 
     /** One-line human-readable description. */
     std::string describe() const;
+};
+
+/**
+ * Streaming model extraction.
+ *
+ * Accumulates every per-request estimate (rate, mix, sequentiality,
+ * direction changes, size body, interarrival gaps) in one trip over
+ * the stream.  The seed extractor materialized tr.interarrivals()
+ * twice (once for the CV, once inside the ON/OFF fit); the
+ * accumulator records the gap vector exactly once per pass and
+ * derives both from it.  The gap and log-size vectors are the two
+ * deliberate O(n) auxiliaries — the ON/OFF segmentation and the
+ * size body both need order statistics (medians) that have no
+ * bounded-memory exact form; everything else is O(1) state.
+ */
+class ModelAccumulator : public core::TraceAccumulator
+{
+  public:
+    /** @param capacity Device capacity in blocks (> 0). */
+    explicit ModelAccumulator(Lba capacity);
+
+    const char *name() const override { return "model"; }
+
+    void begin(const trace::RequestSource &src) override;
+    void observe(const trace::RequestBatch &batch) override;
+    void finish() override;
+
+    /** The fitted model (valid after finish()). */
+    const ExtractedModel &model() const { return m_; }
+
+  private:
+    ExtractedModel m_;
+    Tick duration_ = 0;
+    std::size_t n_ = 0;
+    std::size_t reads_ = 0;
+    std::size_t seq_ = 0;
+    std::size_t changes_ = 0;
+    std::vector<double> gaps_;
+    std::vector<double> log_sizes_;
+    BlockCount max_blocks_ = 1;
+    Tick prev_arrival_ = 0;
+    Lba prev_end_ = 0;
+    bool prev_read_ = false;
+    bool have_prev_ = false;
 };
 
 /**

@@ -50,12 +50,10 @@ trace::MsTrace
 Workload::generate(Rng &rng, const std::string &drive_id, Tick start,
                    Tick duration) const
 {
-    dlw_assert(arrival_, "workload has no arrival process");
-    arrival_->reset();
-    const std::vector<Tick> arrivals =
-        arrival_->generate(rng, start, duration);
-    return generateFromArrivals(rng, drive_id, start, duration,
-                                arrivals);
+    WorkloadSource src = openSource(rng, drive_id, start, duration);
+    trace::MsTrace tr;
+    trace::drainToTrace(src, tr);
+    return tr;
 }
 
 trace::MsTrace
@@ -63,34 +61,77 @@ Workload::generateFromArrivals(Rng &rng, const std::string &drive_id,
                                Tick start, Tick duration,
                                const std::vector<Tick> &arrivals) const
 {
+    WorkloadSource src = openSourceFromArrivals(
+        rng, drive_id, start, duration, arrivals);
+    trace::MsTrace tr;
+    trace::drainToTrace(src, tr);
+    return tr;
+}
+
+WorkloadSource
+Workload::openSource(Rng &rng, const std::string &drive_id,
+                     Tick start, Tick duration) const
+{
+    dlw_assert(arrival_, "workload has no arrival process");
+    arrival_->reset();
+    return openSourceFromArrivals(
+        rng, drive_id, start, duration,
+        arrival_->generate(rng, start, duration));
+}
+
+WorkloadSource
+Workload::openSourceFromArrivals(Rng &rng, const std::string &drive_id,
+                                 Tick start, Tick duration,
+                                 std::vector<Tick> arrivals) const
+{
     dlw_assert(size_, "workload has no size model");
     dlw_assert(spatial_, "workload has no spatial model");
+    return WorkloadSource(*this, rng, drive_id, start, duration,
+                          std::move(arrivals));
+}
 
-    trace::MsTrace tr(drive_id, start, duration);
-    spatial_->reset();
+WorkloadSource::WorkloadSource(const Workload &w, Rng &rng,
+                               std::string drive_id, Tick start,
+                               Tick duration,
+                               std::vector<Tick> arrivals)
+    : w_(w),
+      rng_(rng),
+      drive_id_(std::move(drive_id)),
+      start_(start),
+      duration_(duration),
+      arrivals_(std::move(arrivals))
+{
+    w_.spatial_->reset();
+}
 
-    bool prev_read = true;
-    bool have_prev = false;
-    for (Tick at : arrivals) {
-        dlw_assert(at >= start && at < start + duration,
+bool
+WorkloadSource::next(trace::RequestBatch &batch)
+{
+    batch.clear();
+    while (!batch.full() && pos_ < arrivals_.size()) {
+        const Tick at = arrivals_[pos_++];
+        dlw_assert(at >= start_ && at < start_ + duration_,
                    "arrival outside window");
         trace::Request r;
         r.arrival = at;
-        r.blocks = size_->nextBlocks(rng);
+        r.blocks = w_.size_->nextBlocks(rng_);
 
         bool is_read;
-        if (have_prev && rng.bernoulli(persistence_))
-            is_read = prev_read;
+        if (have_prev_ && rng_.bernoulli(w_.persistence_))
+            is_read = prev_read_;
         else
-            is_read = rng.bernoulli(read_fraction_);
-        prev_read = is_read;
-        have_prev = true;
+            is_read = rng_.bernoulli(w_.read_fraction_);
+        prev_read_ = is_read;
+        have_prev_ = true;
         r.op = is_read ? trace::Op::Read : trace::Op::Write;
 
-        r.lba = spatial_->nextLba(rng, r.blocks);
-        tr.append(r);
+        r.lba = w_.spatial_->nextLba(rng_, r.blocks);
+        batch.append(r);
     }
-    return tr;
+    if (batch.empty())
+        return false;
+    trace::noteBatchDecoded(batch);
+    return true;
 }
 
 Workload

@@ -15,16 +15,20 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "synth/arrival.hh"
 #include "synth/sizes.hh"
 #include "synth/spatial.hh"
 #include "trace/mstrace.hh"
+#include "trace/source.hh"
 
 namespace dlw
 {
 namespace synth
 {
+
+class WorkloadSource;
 
 /**
  * A complete single-drive workload description.
@@ -81,6 +85,24 @@ class Workload
         Rng &rng, const std::string &drive_id, Tick start,
         Tick duration, const std::vector<Tick> &arrivals) const;
 
+    /**
+     * Open the workload as a request stream.
+     *
+     * The streaming form of generate(): the arrival vector is drawn
+     * up front (identical RNG stream), but sizes, directions and
+     * placements are drawn lazily as batches are pulled, so the
+     * requests themselves are never materialized as a whole.
+     * Draining the source yields byte-for-byte the trace generate()
+     * returns.  The workload and `rng` must outlive the source.
+     */
+    WorkloadSource openSource(Rng &rng, const std::string &drive_id,
+                              Tick start, Tick duration) const;
+
+    /** openSource() over an externally produced arrival vector. */
+    WorkloadSource openSourceFromArrivals(
+        Rng &rng, const std::string &drive_id, Tick start,
+        Tick duration, std::vector<Tick> arrivals) const;
+
     // ---- Presets -----------------------------------------------
 
     /**
@@ -108,11 +130,54 @@ class Workload
     static Workload makeBackup(Lba capacity, double rate);
 
   private:
+    friend class WorkloadSource;
+
     std::unique_ptr<ArrivalProcess> arrival_;
     std::unique_ptr<SizeModel> size_;
     std::unique_ptr<SpatialModel> spatial_;
     double read_fraction_ = 0.67;
     double persistence_ = 0.0;
+};
+
+/**
+ * RequestSource that synthesizes batches on the fly.
+ *
+ * Holds the pre-drawn arrival ticks (the only O(requests) piece of a
+ * synthetic stream — 8 bytes per request) and draws the rest of each
+ * request per batch, in exactly the order generateFromArrivals()
+ * draws them.  Single pass: there is no rewind, because replaying
+ * would re-draw from the caller's RNG.
+ */
+class WorkloadSource : public trace::RequestSource
+{
+  public:
+    const std::string &driveId() const override { return drive_id_; }
+
+    Tick start() const override { return start_; }
+
+    Tick duration() const override { return duration_; }
+
+    bool next(trace::RequestBatch &batch) override;
+
+    /** Total number of requests the stream delivers. */
+    std::size_t size() const { return arrivals_.size(); }
+
+  private:
+    friend class Workload;
+
+    WorkloadSource(const Workload &w, Rng &rng, std::string drive_id,
+                   Tick start, Tick duration,
+                   std::vector<Tick> arrivals);
+
+    const Workload &w_;
+    Rng &rng_;
+    std::string drive_id_;
+    Tick start_ = 0;
+    Tick duration_ = 0;
+    std::vector<Tick> arrivals_;
+    std::size_t pos_ = 0;
+    bool prev_read_ = true;
+    bool have_prev_ = false;
 };
 
 } // namespace synth

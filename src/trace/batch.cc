@@ -1,0 +1,59 @@
+#include "trace/batch.hh"
+
+#include "common/logging.hh"
+
+namespace dlw
+{
+namespace trace
+{
+
+RequestBatch::RequestBatch(std::size_t capacity)
+    : capacity_(capacity)
+{
+    dlw_assert(capacity > 0, "batch capacity must be positive");
+    arrivals_.reserve(capacity);
+    lbas_.reserve(capacity);
+    blocks_.reserve(capacity);
+    ops_.reserve(capacity);
+}
+
+void
+RequestBatch::clear()
+{
+    arrivals_.clear();
+    lbas_.clear();
+    blocks_.clear();
+    ops_.clear();
+}
+
+void
+RequestBatch::append(const Request &req)
+{
+    dlw_assert(!full(), "append to a full batch");
+    arrivals_.push_back(req.arrival);
+    lbas_.push_back(req.lba);
+    blocks_.push_back(req.blocks);
+    ops_.push_back(req.op);
+}
+
+Request
+RequestBatch::get(std::size_t i) const
+{
+    dlw_assert(i < size(), "batch index out of range");
+    Request r;
+    r.arrival = arrivals_[i];
+    r.lba = lbas_[i];
+    r.blocks = blocks_[i];
+    r.op = ops_[i];
+    return r;
+}
+
+std::size_t
+RequestBatch::byteSize() const
+{
+    return size() * (sizeof(Tick) + sizeof(Lba) + sizeof(BlockCount) +
+                     sizeof(Op));
+}
+
+} // namespace trace
+} // namespace dlw

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Fixed-capacity request batch: the unit of the streaming pipeline.
+ *
+ * The streaming data path decodes a trace chunk-by-chunk instead of
+ * materializing one std::vector<Request> per drive; a RequestBatch is
+ * one such chunk.  Storage is struct-of-arrays so a kernel that only
+ * needs arrivals (binned counts, interarrival gaps) walks a dense
+ * Tick array instead of striding over 32-byte records, and so the
+ * batch's memory footprint is exactly capacity * 21 bytes regardless
+ * of how the fields pad inside Request.
+ *
+ * A batch is reused across the whole stream: the source clears and
+ * refills it, so steady-state decoding allocates nothing.
+ */
+
+#ifndef DLW_TRACE_BATCH_HH
+#define DLW_TRACE_BATCH_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/record.hh"
+
+namespace dlw
+{
+namespace trace
+{
+
+/** Default batch capacity: 4096 requests ~= 84 KiB of payload. */
+constexpr std::size_t kDefaultBatchRequests = 4096;
+
+/**
+ * A bounded chunk of a request stream, in arrival order.
+ */
+class RequestBatch
+{
+  public:
+    /** @param capacity Fixed capacity in requests (> 0). */
+    explicit RequestBatch(std::size_t capacity = kDefaultBatchRequests);
+
+    /** Fixed capacity in requests. */
+    std::size_t capacity() const { return capacity_; }
+
+    /** Requests currently held. */
+    std::size_t size() const { return arrivals_.size(); }
+
+    /** True when the batch holds no requests. */
+    bool empty() const { return arrivals_.empty(); }
+
+    /** True when the batch is at capacity. */
+    bool full() const { return arrivals_.size() == capacity_; }
+
+    /** Drop all requests (capacity and storage are kept). */
+    void clear();
+
+    /** Append a request (asserts the batch is not full). */
+    void append(const Request &req);
+
+    /** Arrival tick of request i. */
+    Tick arrival(std::size_t i) const { return arrivals_[i]; }
+
+    /** Starting LBA of request i. */
+    Lba lba(std::size_t i) const { return lbas_[i]; }
+
+    /** Length of request i in blocks. */
+    BlockCount blocks(std::size_t i) const { return blocks_[i]; }
+
+    /** Direction of request i. */
+    Op op(std::size_t i) const { return ops_[i]; }
+
+    /** True when request i is a read. */
+    bool isRead(std::size_t i) const { return ops_[i] == Op::Read; }
+
+    /** One past the last block request i touches. */
+    Lba lbaEnd(std::size_t i) const { return lbas_[i] + blocks_[i]; }
+
+    /** Payload bytes of request i. */
+    std::uint64_t
+    bytes(std::size_t i) const
+    {
+        return static_cast<std::uint64_t>(blocks_[i]) * kBlockBytes;
+    }
+
+    /** Reassembled request i (for AoS consumers). */
+    Request get(std::size_t i) const;
+
+    /** Dense arrival-tick array (size() entries). */
+    const std::vector<Tick> &arrivals() const { return arrivals_; }
+
+    /** Payload bytes currently held across all columns. */
+    std::size_t byteSize() const;
+
+  private:
+    std::size_t capacity_;
+    std::vector<Tick> arrivals_;
+    std::vector<Lba> lbas_;
+    std::vector<BlockCount> blocks_;
+    std::vector<Op> ops_;
+};
+
+} // namespace trace
+} // namespace dlw
+
+#endif // DLW_TRACE_BATCH_HH

@@ -7,8 +7,7 @@
 #include <ostream>
 #include <sstream>
 
-#include "common/fault.hh"
-#include "obs/span.hh"
+#include "trace/stream.hh"
 
 namespace dlw
 {
@@ -37,14 +36,6 @@ void
 writeRaw(std::ostream &os, const T &v)
 {
     os.write(reinterpret_cast<const char *>(&v), sizeof(T));
-}
-
-template <typename T>
-bool
-readRaw(std::istream &is, T &v)
-{
-    is.read(reinterpret_cast<char *>(&v), sizeof(T));
-    return static_cast<bool>(is);
 }
 
 } // anonymous namespace
@@ -90,143 +81,14 @@ StatusOr<MsTrace>
 readMsBinary(std::istream &is, const IngestOptions &opts,
              IngestStats *stats)
 {
-    IngestStats st;
-    IngestMetricsScope obs_scope(st);
-    auto finish = [&](StatusOr<MsTrace> r) {
-        if (stats)
-            *stats = st;
-        return r;
-    };
-
-    // The header is not policy-recoverable: without a trustworthy
-    // record count and id there is nothing to resynchronize on.
-    std::array<char, 8> magic{};
-    is.read(magic.data(), magic.size());
-    if (!is || magic != kMagic) {
-        return finish(Status::corruptData(
-            "not a dlw binary ms trace (bad magic)"));
-    }
-
-    std::uint32_t id_len = 0;
-    if (!readRaw(is, id_len)) {
-        return finish(Status::truncated(
-            "truncated binary trace while reading id length"));
-    }
-    if (id_len > 4096) {
-        std::ostringstream os;
-        os << "implausible drive-id length " << id_len;
-        return finish(Status::corruptData(os.str()));
-    }
-    std::string id(id_len, '\0');
-    is.read(id.data(), id_len);
-    if (!is) {
-        return finish(Status::truncated(
-            "truncated binary trace while reading drive id"));
-    }
-
-    Tick start = 0, duration = 0;
-    std::uint64_t count = 0;
-    if (!readRaw(is, start) || !readRaw(is, duration) ||
-        !readRaw(is, count)) {
-        return finish(Status::truncated(
-            "truncated binary trace while reading header"));
-    }
-    if (duration < 0) {
-        return finish(
-            Status::corruptData("negative duration in binary header"));
-    }
-
-    const bool clamp = opts.policy == RecordPolicy::kBestEffortClamp;
-    MsTrace trace(id, start, duration);
-    for (std::uint64_t i = 0; i < count; ++i) {
-        RawRecord raw{};
-        if (!readRaw(is, raw)) {
-            std::ostringstream os;
-            os << "truncated binary trace at record " << i << " of "
-               << count;
-            st.noteError(os.str(), opts.max_error_samples);
-            if (opts.policy == RecordPolicy::kAbort)
-                return finish(Status::truncated(os.str()));
-            // Keep the prefix: everything before the cut is intact.
-            st.records_skipped += count - i;
-            break;
-        }
-
-        std::string why;
-        bool was_clamped = false;
-        if (FAULT_POINT("trace.read.record")) {
-            std::ostringstream os;
-            os << "injected fault at trace.read.record (record " << i
-               << ")";
-            why = os.str();
-        } else if (raw.op > 1) {
-            std::ostringstream os;
-            os << "bad op byte at record " << i;
-            why = os.str();
-            if (clamp) {
-                raw.op &= 1;
-                was_clamped = true;
-            }
-        } else if (raw.blocks == 0) {
-            std::ostringstream os;
-            os << "zero-length request at record " << i;
-            why = os.str();
-            if (clamp) {
-                raw.blocks = 1;
-                was_clamped = true;
-            }
-        }
-
-        if (!why.empty()) {
-            st.noteError(why, opts.max_error_samples);
-            if (opts.policy == RecordPolicy::kAbort)
-                return finish(Status::corruptData(why));
-            if (!was_clamped) {
-                ++st.records_skipped;
-                continue;
-            }
-            ++st.records_clamped;
-        }
-
-        Request r;
-        r.arrival = raw.arrival;
-        r.lba = raw.lba;
-        r.blocks = raw.blocks;
-        r.op = static_cast<Op>(raw.op);
-        trace.append(r);
-        ++st.records_read;
-        st.bytes_read += sizeof(RawRecord);
-        if (st.errors != 0)
-            st.bytes_recovered += sizeof(RawRecord);
-    }
-    if (stats)
-        *stats = st;
-    return trace;
+    return drainMsSource(openMsBinarySource(is, opts), stats);
 }
 
 StatusOr<MsTrace>
 readMsBinary(const std::string &path, const IngestOptions &opts,
              IngestStats *stats)
 {
-    std::ifstream is;
-    {
-        obs::ScopedSpan span("ingest.open");
-        if (FAULT_POINT("trace.open")) {
-            return Status::ioError(
-                "injected fault at trace.open on '" + path + "'");
-        }
-        is.open(path, std::ios::binary);
-    }
-    if (!is) {
-        return Status::ioError("cannot open '" + path +
-                               "' for reading");
-    }
-    StatusOr<MsTrace> r = readMsBinary(is, opts, stats);
-    if (!r.ok()) {
-        Status e = r.status();
-        return e.withContext("reading '" + path + "'");
-    }
-    return r;
+    return drainMsSource(openMsBinarySource(path, opts), stats);
 }
 
 MsTrace

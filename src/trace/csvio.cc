@@ -7,6 +7,9 @@
 #include "common/fault.hh"
 #include "common/strutil.hh"
 #include "obs/span.hh"
+#include "trace/gate.hh"
+#include "trace/source.hh"
+#include "trace/stream.hh"
 
 namespace dlw
 {
@@ -41,48 +44,6 @@ openOut(const std::string &path)
     return os;
 }
 
-/**
- * Per-file corrupt-record bookkeeping shared by the CSV readers.
- *
- * Call corrupt() on every corrupt event; a non-OK return means the
- * policy is kAbort and the read must stop with that status.
- * Otherwise the caller either clamps (clamp policy, when a repair
- * exists) or skips the record.
- */
-struct Gate
-{
-    const IngestOptions &opts;
-    IngestStats st;
-
-    bool
-    clampMode() const
-    {
-        return opts.policy == RecordPolicy::kBestEffortClamp;
-    }
-
-    Status
-    corrupt(std::string msg)
-    {
-        st.noteError(msg, opts.max_error_samples);
-        if (opts.policy == RecordPolicy::kAbort)
-            return Status::corruptData(std::move(msg));
-        return Status();
-    }
-
-    void skip() { ++st.records_skipped; }
-
-    void clamped() { ++st.records_clamped; }
-
-    void
-    accept(std::size_t input_bytes)
-    {
-        ++st.records_read;
-        st.bytes_read += input_bytes;
-        if (st.errors != 0)
-            st.bytes_recovered += input_bytes;
-    }
-};
-
 std::string
 atLine(std::size_t lineno, const std::string &what)
 {
@@ -116,119 +77,14 @@ StatusOr<MsTrace>
 readMsCsv(std::istream &is, const IngestOptions &opts,
           IngestStats *stats)
 {
-    Gate gate{opts, {}};
-    IngestMetricsScope obs_scope(gate.st);
-    auto fail = [&](Status s) -> StatusOr<MsTrace> {
-        if (stats)
-            *stats = gate.st;
-        return s;
-    };
-
-    std::string line;
-    if (!std::getline(is, line))
-        return fail(Status::truncated("empty ms-trace CSV"));
-    auto head = split(trim(line), ',');
-    std::int64_t start = 0, duration = 0;
-    if (head.size() != 4 || head[0] != "# dlw-ms-v1" ||
-        !tryParseInt(head[2], start) ||
-        !tryParseInt(head[3], duration) || duration < 0) {
-        return fail(Status::corruptData("bad ms-trace header '" +
-                                        trim(line) + "'"));
-    }
-    MsTrace trace(head[1], start, duration);
-    if (!std::getline(is, line)) {
-        return fail(
-            Status::truncated("truncated CSV: missing column header"));
-    }
-
-    std::size_t lineno = 2;
-    while (std::getline(is, line)) {
-        ++lineno;
-        std::string t = trim(line);
-        if (t.empty())
-            continue;
-        const std::size_t record_bytes = line.size() + 1;
-
-        std::string why;
-        bool was_clamped = false;
-        Request r;
-        if (FAULT_POINT("trace.read.record")) {
-            why = atLine(lineno, "injected fault at trace.read.record");
-        } else {
-            auto f = split(t, ',');
-            std::uint64_t blocks = 0;
-            if (f.size() != 4) {
-                why = atLine(lineno, "expected 4 fields");
-            } else if (!tryParseInt(f[0], r.arrival)) {
-                why = atLine(lineno,
-                             "malformed arrival '" + trim(f[0]) + "'");
-            } else if (!tryParseUint(f[1], r.lba)) {
-                why = atLine(lineno,
-                             "malformed lba '" + trim(f[1]) + "'");
-            } else if (!tryParseUint(f[2], blocks)) {
-                why = atLine(lineno,
-                             "malformed blocks '" + trim(f[2]) + "'");
-            } else {
-                r.blocks = static_cast<BlockCount>(blocks);
-                const std::string op = trim(f[3]);
-                if (op == "R") {
-                    r.op = Op::Read;
-                } else if (op == "W") {
-                    r.op = Op::Write;
-                } else if (gate.clampMode() && (op == "r" || op == "w")) {
-                    r.op = op == "r" ? Op::Read : Op::Write;
-                    was_clamped = true;
-                    why = atLine(lineno, "lowercase op '" + op + "'");
-                } else {
-                    why = atLine(lineno, "bad op '" + op + "'");
-                }
-                if (why.empty() || was_clamped) {
-                    if (r.blocks == 0) {
-                        if (gate.clampMode()) {
-                            r.blocks = 1;
-                            was_clamped = true;
-                            why = atLine(lineno, "zero-length request");
-                        } else {
-                            was_clamped = false;
-                            why = atLine(lineno, "zero-length request");
-                        }
-                    }
-                }
-            }
-        }
-
-        if (!why.empty()) {
-            Status s = gate.corrupt(why);
-            if (!s.ok())
-                return fail(std::move(s));
-            if (!was_clamped) {
-                gate.skip();
-                continue;
-            }
-            gate.clamped();
-        }
-        trace.append(r);
-        gate.accept(record_bytes);
-    }
-    if (stats)
-        *stats = gate.st;
-    return trace;
+    return drainMsSource(openMsCsvSource(is, opts), stats);
 }
 
 StatusOr<MsTrace>
 readMsCsv(const std::string &path, const IngestOptions &opts,
           IngestStats *stats)
 {
-    std::ifstream is;
-    Status s = openIn(path, is);
-    if (!s.ok())
-        return s;
-    StatusOr<MsTrace> r = readMsCsv(is, opts, stats);
-    if (!r.ok()) {
-        Status e = r.status();
-        return e.withContext("reading '" + path + "'");
-    }
-    return r;
+    return drainMsSource(openMsCsvSource(path, opts), stats);
 }
 
 MsTrace

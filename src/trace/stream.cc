@@ -1,0 +1,447 @@
+#include "trace/stream.hh"
+
+#include <array>
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <sstream>
+#include <utility>
+
+#include "common/fault.hh"
+#include "common/strutil.hh"
+#include "obs/span.hh"
+
+namespace dlw
+{
+namespace trace
+{
+
+namespace
+{
+
+Status
+openIn(const std::string &path, std::ifstream &is, bool binary)
+{
+    obs::ScopedSpan span("ingest.open");
+    if (FAULT_POINT("trace.open")) {
+        return Status::ioError("injected fault at trace.open on '" +
+                               path + "'");
+    }
+    if (binary)
+        is.open(path, std::ios::binary);
+    else
+        is.open(path);
+    if (!is)
+        return Status::ioError("cannot open '" + path + "' for reading");
+    return Status();
+}
+
+std::string
+atLine(std::size_t lineno, const std::string &what)
+{
+    std::ostringstream os;
+    os << "line " << lineno << ": " << what;
+    return os.str();
+}
+
+/**
+ * Streaming decoder for the dlw-ms-v1 CSV format.  One getline/parse
+ * loop per next() call, stopping at batch capacity; the per-record
+ * logic is the seed reader's, verbatim, so policies, stats, and error
+ * text stay identical between the streaming and whole-file paths.
+ */
+class MsCsvSource final : public FileSource
+{
+  public:
+    MsCsvSource(const IngestOptions &opts, std::string drive_id,
+                Tick start, Tick duration,
+                std::unique_ptr<std::istream> owned, std::istream &is)
+        : FileSource(opts, std::move(drive_id), start, duration,
+                     std::move(owned), is)
+    {
+    }
+
+    bool
+    next(RequestBatch &batch) override
+    {
+        batch.clear();
+        if (done_)
+            return false;
+
+        std::string line;
+        while (!batch.full() && std::getline(is_, line)) {
+            ++lineno_;
+            std::string t = trim(line);
+            if (t.empty())
+                continue;
+            const std::size_t record_bytes = line.size() + 1;
+
+            std::string why;
+            bool was_clamped = false;
+            Request r;
+            if (FAULT_POINT("trace.read.record")) {
+                why = atLine(lineno_,
+                             "injected fault at trace.read.record");
+            } else {
+                auto f = split(t, ',');
+                std::uint64_t blocks = 0;
+                if (f.size() != 4) {
+                    why = atLine(lineno_, "expected 4 fields");
+                } else if (!tryParseInt(f[0], r.arrival)) {
+                    why = atLine(lineno_, "malformed arrival '" +
+                                              trim(f[0]) + "'");
+                } else if (!tryParseUint(f[1], r.lba)) {
+                    why = atLine(lineno_,
+                                 "malformed lba '" + trim(f[1]) + "'");
+                } else if (!tryParseUint(f[2], blocks)) {
+                    why = atLine(lineno_, "malformed blocks '" +
+                                              trim(f[2]) + "'");
+                } else {
+                    r.blocks = static_cast<BlockCount>(blocks);
+                    const std::string op = trim(f[3]);
+                    if (op == "R") {
+                        r.op = Op::Read;
+                    } else if (op == "W") {
+                        r.op = Op::Write;
+                    } else if (gate_.clampMode() &&
+                               (op == "r" || op == "w")) {
+                        r.op = op == "r" ? Op::Read : Op::Write;
+                        was_clamped = true;
+                        why = atLine(lineno_,
+                                     "lowercase op '" + op + "'");
+                    } else {
+                        why = atLine(lineno_, "bad op '" + op + "'");
+                    }
+                    if (why.empty() || was_clamped) {
+                        if (r.blocks == 0) {
+                            if (gate_.clampMode()) {
+                                r.blocks = 1;
+                                was_clamped = true;
+                                why = atLine(lineno_,
+                                             "zero-length request");
+                            } else {
+                                was_clamped = false;
+                                why = atLine(lineno_,
+                                             "zero-length request");
+                            }
+                        }
+                    }
+                }
+            }
+
+            if (!why.empty()) {
+                Status s = gate_.corrupt(why);
+                if (!s.ok()) {
+                    status_ = std::move(s);
+                    done_ = true;
+                    return false;
+                }
+                if (!was_clamped) {
+                    gate_.skip();
+                    continue;
+                }
+                gate_.clamped();
+            }
+            batch.append(r);
+            gate_.accept(record_bytes);
+        }
+
+        if (!batch.full())
+            done_ = true;
+        if (batch.empty())
+            return false;
+        noteBatchDecoded(batch);
+        return true;
+    }
+
+  private:
+    std::size_t lineno_ = 2; ///< two header lines already consumed
+};
+
+constexpr std::array<char, 8> kMagic =
+    {'D', 'L', 'W', 'M', 'S', '1', '\0', '\0'};
+
+/** On-disk request record, explicitly padded to 24 bytes. */
+struct RawRecord
+{
+    std::int64_t arrival;
+    std::uint64_t lba;
+    std::uint32_t blocks;
+    std::uint8_t op;
+    std::uint8_t pad[3];
+};
+static_assert(sizeof(RawRecord) == 24, "raw record layout changed");
+
+template <typename T>
+bool
+readRaw(std::istream &is, T &v)
+{
+    is.read(reinterpret_cast<char *>(&v), sizeof(T));
+    return static_cast<bool>(is);
+}
+
+/**
+ * Streaming decoder for the DLWMS1 binary format.  The record count
+ * comes from the header, so end-of-stream and truncation are
+ * distinguishable; a truncated tail under the recovering policies
+ * keeps the intact prefix, exactly like the whole-file reader.
+ */
+class MsBinarySource final : public FileSource
+{
+  public:
+    MsBinarySource(const IngestOptions &opts, std::string drive_id,
+                   Tick start, Tick duration, std::uint64_t count,
+                   std::unique_ptr<std::istream> owned,
+                   std::istream &is)
+        : FileSource(opts, std::move(drive_id), start, duration,
+                     std::move(owned), is),
+          count_(count)
+    {
+    }
+
+    bool
+    next(RequestBatch &batch) override
+    {
+        batch.clear();
+        if (done_)
+            return false;
+
+        const bool clamp = gate_.clampMode();
+        while (!batch.full() && i_ < count_) {
+            RawRecord raw{};
+            if (!readRaw(is_, raw)) {
+                std::ostringstream os;
+                os << "truncated binary trace at record " << i_
+                   << " of " << count_;
+                gate_.st.noteError(os.str(),
+                                   opts_.max_error_samples);
+                if (opts_.policy == RecordPolicy::kAbort) {
+                    status_ = Status::truncated(os.str());
+                    done_ = true;
+                    return false;
+                }
+                // Keep the prefix: everything before the cut is
+                // intact.
+                gate_.st.records_skipped += count_ - i_;
+                i_ = count_;
+                break;
+            }
+            const std::uint64_t rec = i_++;
+
+            std::string why;
+            bool was_clamped = false;
+            if (FAULT_POINT("trace.read.record")) {
+                std::ostringstream os;
+                os << "injected fault at trace.read.record (record "
+                   << rec << ")";
+                why = os.str();
+            } else if (raw.op > 1) {
+                std::ostringstream os;
+                os << "bad op byte at record " << rec;
+                why = os.str();
+                if (clamp) {
+                    raw.op &= 1;
+                    was_clamped = true;
+                }
+            } else if (raw.blocks == 0) {
+                std::ostringstream os;
+                os << "zero-length request at record " << rec;
+                why = os.str();
+                if (clamp) {
+                    raw.blocks = 1;
+                    was_clamped = true;
+                }
+            }
+
+            if (!why.empty()) {
+                Status s = gate_.corrupt(why);
+                if (!s.ok()) {
+                    status_ = std::move(s);
+                    done_ = true;
+                    return false;
+                }
+                if (!was_clamped) {
+                    gate_.skip();
+                    continue;
+                }
+                gate_.clamped();
+            }
+
+            Request r;
+            r.arrival = raw.arrival;
+            r.lba = raw.lba;
+            r.blocks = raw.blocks;
+            r.op = static_cast<Op>(raw.op);
+            batch.append(r);
+            gate_.accept(sizeof(RawRecord));
+        }
+
+        if (i_ >= count_)
+            done_ = true;
+        if (batch.empty())
+            return false;
+        noteBatchDecoded(batch);
+        return true;
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+    std::uint64_t i_ = 0;
+};
+
+StatusOr<std::unique_ptr<FileSource>>
+makeCsvSource(std::unique_ptr<std::istream> owned, std::istream &is,
+              const IngestOptions &opts)
+{
+    std::string line;
+    if (!std::getline(is, line))
+        return Status::truncated("empty ms-trace CSV");
+    auto head = split(trim(line), ',');
+    std::int64_t start = 0, duration = 0;
+    if (head.size() != 4 || head[0] != "# dlw-ms-v1" ||
+        !tryParseInt(head[2], start) ||
+        !tryParseInt(head[3], duration) || duration < 0) {
+        return Status::corruptData("bad ms-trace header '" +
+                                   trim(line) + "'");
+    }
+    std::string id = head[1];
+    if (!std::getline(is, line)) {
+        return Status::truncated(
+            "truncated CSV: missing column header");
+    }
+    return std::unique_ptr<FileSource>(new MsCsvSource(
+        opts, std::move(id), start, duration, std::move(owned), is));
+}
+
+StatusOr<std::unique_ptr<FileSource>>
+makeBinarySource(std::unique_ptr<std::istream> owned,
+                 std::istream &is, const IngestOptions &opts)
+{
+    // The header is not policy-recoverable: without a trustworthy
+    // record count and id there is nothing to resynchronize on.
+    std::array<char, 8> magic{};
+    is.read(magic.data(), magic.size());
+    if (!is || magic != kMagic) {
+        return Status::corruptData(
+            "not a dlw binary ms trace (bad magic)");
+    }
+
+    std::uint32_t id_len = 0;
+    if (!readRaw(is, id_len)) {
+        return Status::truncated(
+            "truncated binary trace while reading id length");
+    }
+    if (id_len > 4096) {
+        std::ostringstream os;
+        os << "implausible drive-id length " << id_len;
+        return Status::corruptData(os.str());
+    }
+    std::string id(id_len, '\0');
+    is.read(id.data(), id_len);
+    if (!is) {
+        return Status::truncated(
+            "truncated binary trace while reading drive id");
+    }
+
+    Tick start = 0, duration = 0;
+    std::uint64_t count = 0;
+    if (!readRaw(is, start) || !readRaw(is, duration) ||
+        !readRaw(is, count)) {
+        return Status::truncated(
+            "truncated binary trace while reading header");
+    }
+    if (duration < 0) {
+        return Status::corruptData(
+            "negative duration in binary header");
+    }
+    return std::unique_ptr<FileSource>(
+        new MsBinarySource(opts, std::move(id), start, duration,
+                           count, std::move(owned), is));
+}
+
+StatusOr<std::unique_ptr<FileSource>>
+openFromPath(const std::string &path, const IngestOptions &opts,
+             bool binary)
+{
+    auto owned = std::make_unique<std::ifstream>();
+    Status s = openIn(path, *owned, binary);
+    if (!s.ok())
+        return s;
+    std::istream &is = *owned;
+    auto r = binary ? makeBinarySource(std::move(owned), is, opts)
+                    : makeCsvSource(std::move(owned), is, opts);
+    if (!r.ok()) {
+        Status e = r.status();
+        return e.withContext("reading '" + path + "'");
+    }
+    r.value()->setContext("reading '" + path + "'");
+    return r;
+}
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(),
+                     suffix) == 0;
+}
+
+} // anonymous namespace
+
+StatusOr<std::unique_ptr<FileSource>>
+openMsCsvSource(std::istream &is, const IngestOptions &opts)
+{
+    return makeCsvSource(nullptr, is, opts);
+}
+
+StatusOr<std::unique_ptr<FileSource>>
+openMsCsvSource(const std::string &path, const IngestOptions &opts)
+{
+    return openFromPath(path, opts, /*binary=*/false);
+}
+
+StatusOr<std::unique_ptr<FileSource>>
+openMsBinarySource(std::istream &is, const IngestOptions &opts)
+{
+    return makeBinarySource(nullptr, is, opts);
+}
+
+StatusOr<std::unique_ptr<FileSource>>
+openMsBinarySource(const std::string &path, const IngestOptions &opts)
+{
+    return openFromPath(path, opts, /*binary=*/true);
+}
+
+StatusOr<MsTrace>
+drainMsSource(StatusOr<std::unique_ptr<FileSource>> src,
+              IngestStats *stats)
+{
+    if (!src.ok()) {
+        if (stats)
+            *stats = IngestStats{};
+        return src.status();
+    }
+    FileSource &source = *src.value();
+    MsTrace trace;
+    Status s = drainToTrace(source, trace);
+    if (stats)
+        *stats = source.stats();
+    if (!s.ok())
+        return s;
+    return trace;
+}
+
+StatusOr<std::unique_ptr<FileSource>>
+openMsSource(const std::string &path, const IngestOptions &opts)
+{
+    if (endsWith(path, ".bin"))
+        return openMsBinarySource(path, opts);
+    if (endsWith(path, ".csv"))
+        return openMsCsvSource(path, opts);
+    return Status::invalidArgument(
+        "no streaming decoder for '" + path +
+        "' (expected .csv or .bin; SPC traces need a global sort)");
+}
+
+} // namespace trace
+} // namespace dlw

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Streaming ms-trace file decoders: CSV and binary sources that
+ * deliver a file chunk-by-chunk instead of materializing it.
+ *
+ * These are the file-backed implementations of trace::RequestSource.
+ * The header (drive id, observation window) is decoded eagerly by the
+ * open*() factory — header corruption is never recoverable and fails
+ * the open — and the records are decoded lazily, one RequestBatch per
+ * next() call, under the caller's corrupt-record policy.  Peak decode
+ * memory is O(batch), not O(file).
+ *
+ * The whole-trace readers in trace/csvio.hh and trace/binio.hh are
+ * thin drains over these sources, so there is exactly one decode
+ * implementation per format and the streaming path is byte-for-byte
+ * the same parse the legacy path performs.
+ */
+
+#ifndef DLW_TRACE_STREAM_HH
+#define DLW_TRACE_STREAM_HH
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/status.hh"
+#include "trace/gate.hh"
+#include "trace/ingest.hh"
+#include "trace/source.hh"
+
+namespace dlw
+{
+namespace trace
+{
+
+/**
+ * Base of the file-backed sources: metadata, policy gate, terminal
+ * status, and the ingest.* metrics scope (flushed on destruction,
+ * like the whole-trace readers).
+ */
+class FileSource : public RequestSource
+{
+  public:
+    ~FileSource() override = default;
+
+    const std::string &driveId() const override { return drive_id_; }
+
+    Tick start() const override { return start_; }
+
+    Tick duration() const override { return duration_; }
+
+    Status
+    status() const override
+    {
+        if (status_.ok() || context_.empty())
+            return status_;
+        Status s = status_;
+        return s.withContext(context_);
+    }
+
+    /** Ingestion counters accumulated so far. */
+    const IngestStats &stats() const { return gate_.st; }
+
+    /**
+     * Context frame ("reading '<path>'") prepended to mid-stream
+     * errors; the path factories set it so streaming failures name
+     * their file like the whole-trace readers do.
+     */
+    void setContext(std::string ctx) { context_ = std::move(ctx); }
+
+  protected:
+    FileSource(const IngestOptions &opts, std::string drive_id,
+               Tick start, Tick duration,
+               std::unique_ptr<std::istream> owned, std::istream &is)
+        : drive_id_(std::move(drive_id)), start_(start),
+          duration_(duration), opts_(opts), owned_(std::move(owned)),
+          is_(is), gate_{opts_, {}}, obs_scope_(gate_.st)
+    {
+    }
+
+    std::string drive_id_;
+    Tick start_ = 0;
+    Tick duration_ = 0;
+    IngestOptions opts_;
+    std::unique_ptr<std::istream> owned_; ///< set for path opens
+    std::istream &is_;
+    Gate gate_;
+    IngestMetricsScope obs_scope_;
+    Status status_;
+    std::string context_;
+    bool done_ = false;
+};
+
+/**
+ * Open a streaming CSV decoder over a caller-owned stream (which
+ * must outlive the source) or a file path.  Fails on a bad or
+ * truncated header.
+ */
+StatusOr<std::unique_ptr<FileSource>> openMsCsvSource(
+    std::istream &is, const IngestOptions &opts);
+StatusOr<std::unique_ptr<FileSource>> openMsCsvSource(
+    const std::string &path, const IngestOptions &opts);
+
+/** Open a streaming binary decoder (stream or path). */
+StatusOr<std::unique_ptr<FileSource>> openMsBinarySource(
+    std::istream &is, const IngestOptions &opts);
+StatusOr<std::unique_ptr<FileSource>> openMsBinarySource(
+    const std::string &path, const IngestOptions &opts);
+
+/**
+ * Drain a freshly opened source into a whole trace, propagating the
+ * open error verbatim when there is no source.  The legacy readers in
+ * csvio/binio are this shim over the streaming decoders, so both
+ * paths share one decode implementation byte for byte.  On any
+ * failure `stats` (when given) holds the counters accumulated before
+ * the error.
+ */
+StatusOr<MsTrace> drainMsSource(
+    StatusOr<std::unique_ptr<FileSource>> src, IngestStats *stats);
+
+/**
+ * Open a streaming decoder picked by file extension (.csv or .bin).
+ * SPC traces are not streamable — their arrivals need a global sort —
+ * so .spc returns InvalidArgument; materialize those via readSpc().
+ */
+StatusOr<std::unique_ptr<FileSource>> openMsSource(
+    const std::string &path, const IngestOptions &opts);
+
+} // namespace trace
+} // namespace dlw
+
+#endif // DLW_TRACE_STREAM_HH

@@ -298,6 +298,29 @@ TEST(FleetPipeline, ParallelEqualsSerialAtEveryThreadCount)
     }
 }
 
+TEST(FleetPipeline, StreamingMatchesReferenceAtEveryBatchSize)
+{
+    // The reference path materializes the trace and the completion
+    // vector; the streaming path (the default) materializes neither.
+    // Shards and report must agree byte for byte at any batch size.
+    FleetConfig ref_cfg = smallFleet(1);
+    ref_cfg.stream = false;
+    const FleetResult reference = runFleet(ref_cfg);
+
+    for (std::size_t batch : {std::size_t{1}, std::size_t{7},
+                              std::size_t{4096}}) {
+        FleetConfig cfg = smallFleet(2);
+        cfg.batch_requests = batch;
+        const FleetResult streamed = runFleet(cfg);
+        ASSERT_EQ(streamed.shards.size(), reference.shards.size());
+        for (std::size_t i = 0; i < reference.shards.size(); ++i)
+            expectShardsEqual(streamed.shards[i],
+                              reference.shards[i]);
+        EXPECT_EQ(renderFleetReport(cfg, streamed),
+                  renderFleetReport(ref_cfg, reference));
+    }
+}
+
 TEST(FleetPipeline, CharacterizeDriveIsPure)
 {
     const FleetConfig cfg = smallFleet(1);

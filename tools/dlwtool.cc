@@ -42,6 +42,8 @@
 #include <string>
 #include <vector>
 
+#include <sys/resource.h>
+
 #include "common/fault.hh"
 #include "common/logging.hh"
 #include "common/options.hh"
@@ -56,11 +58,14 @@
 #include "obs/metrics.hh"
 #include "synth/family.hh"
 #include "synth/workload.hh"
+#include "core/pass.hh"
 #include "trace/binio.hh"
 #include "trace/corrupt.hh"
 #include "trace/csvio.hh"
 #include "trace/ingest.hh"
+#include "trace/source.hh"
 #include "trace/spc.hh"
+#include "trace/stream.hh"
 
 namespace
 {
@@ -162,18 +167,58 @@ cmdConvert(const dlw::Options &opts)
     return 0;
 }
 
+/** The --batch option (streaming chunk capacity, >= 1). */
+std::size_t
+batchOption(const dlw::Options &opts)
+{
+    const auto n = opts.getInt(
+        "batch",
+        static_cast<std::int64_t>(trace::kDefaultBatchRequests));
+    if (n < 1)
+        dlw_fatal("--batch must be >= 1");
+    return static_cast<std::size_t>(n);
+}
+
+/**
+ * Pass 0 of streaming analyze: decode the file once checking the
+ * whole-trace invariants (sorted arrivals, inside the window, nonzero
+ * sizes) incrementally.  True means the stream can be fed straight to
+ * the engine; false sends the caller to the whole-trace path, whose
+ * sort-then-validate handles disordered input exactly as before.
+ * Decode failures throw, like the whole-trace reader would.
+ */
+bool
+streamReadyTrace(const std::string &path,
+                 const trace::IngestOptions &io,
+                 std::size_t batch_requests, trace::IngestStats *stats)
+{
+    auto src = trace::openMsSource(path, io).valueOrThrow();
+    trace::RequestBatch batch(batch_requests);
+    Tick prev = src->start();
+    const Tick end = src->end();
+    while (src->next(batch)) {
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            const Tick at = batch.arrival(i);
+            if (batch.blocks(i) == 0 || at < prev || at >= end)
+                return false;
+            prev = at;
+        }
+    }
+    Status st = src->status();
+    if (!st.ok())
+        throw StatusError(st);
+    *stats = src->stats();
+    return true;
+}
+
 int
 cmdAnalyze(const dlw::Options &opts)
 {
     const std::string in = opts.get("in", "");
     if (in.empty())
         dlw_fatal("analyze needs --in");
-    trace::IngestStats stats;
-    trace::MsTrace tr = readAny(in, ingestOptions(opts), &stats);
-    if (stats.dirty())
-        std::cout << "ingestion: " << stats.summary() << "\n\n";
-    tr.sortByArrival();
-    tr.validate(true);
+    const trace::IngestOptions io = ingestOptions(opts);
+    const std::size_t batch = batchOption(opts);
 
     disk::DriveConfig cfg = opts.get("drive", "enterprise") ==
                                     "nearline"
@@ -181,8 +226,40 @@ cmdAnalyze(const dlw::Options &opts)
         : disk::DriveConfig::makeEnterprise();
     if (opts.get("cache", "on") == "off")
         cfg.cache.enabled = false;
-
     disk::DiskDrive drive(cfg);
+
+    // Streaming path (the default): three O(batch)-memory trips over
+    // the file — validate, service, characterize — instead of one
+    // whole-trace materialization.  Output is byte-identical.
+    if (opts.get("stream", "on") != "off" &&
+        (endsWith(in, ".csv") || endsWith(in, ".bin"))) {
+        trace::IngestStats stats;
+        if (streamReadyTrace(in, io, batch, &stats)) {
+            if (stats.dirty())
+                std::cout << "ingestion: " << stats.summary()
+                          << "\n\n";
+            auto service_src = trace::openMsSource(in, io)
+                                   .valueOrThrow();
+            disk::ServiceLog log =
+                drive.service(*service_src, nullptr, batch);
+            auto pass_src = trace::openMsSource(in, io).valueOrThrow();
+            core::DriveCharacterization c =
+                core::characterizeMs(*pass_src, log);
+            Status st = pass_src->status();
+            if (!st.ok())
+                throw StatusError(st);
+            std::cout << c.render();
+            return 0;
+        }
+    }
+
+    trace::IngestStats stats;
+    trace::MsTrace tr = readAny(in, io, &stats);
+    if (stats.dirty())
+        std::cout << "ingestion: " << stats.summary() << "\n\n";
+    tr.sortByArrival();
+    tr.validate(true);
+
     disk::ServiceLog log = drive.service(tr);
     core::DriveCharacterization c = core::characterizeMs(tr, log);
     std::cout << c.render();
@@ -207,6 +284,8 @@ cmdFleet(const dlw::Options &opts)
     cfg.nearline = opts.get("drive", "enterprise") == "nearline";
     cfg.max_attempts =
         static_cast<std::size_t>(opts.getInt("retries", 3));
+    cfg.stream = opts.get("stream", "on") != "off";
+    cfg.batch_requests = batchOption(opts);
 
     const auto t0 = std::chrono::steady_clock::now();
     fleet::FleetResult result = fleet::runFleet(cfg);
@@ -279,8 +358,10 @@ void
 registerAllMetrics()
 {
     trace::registerIngestMetrics();
+    trace::registerBatchMetrics();
     fleet::registerFleetMetrics();
     core::registerCoreMetrics();
+    core::registerPassMetrics();
 }
 
 int
@@ -314,7 +395,8 @@ commandUsage()
          "              [--on-corrupt abort|skip|clamp]\n"},
         {"analyze",
          "  analyze     --in FILE [--drive enterprise|nearline]\n"
-         "              [--cache on|off] [--on-corrupt abort|skip|clamp]\n"},
+         "              [--cache on|off] [--on-corrupt abort|skip|clamp]\n"
+         "              [--stream on|off] [--batch N]\n"},
         {"family",
          "  family      --drives N --min-hours A --max-hours B\n"
          "              --seed S --name NAME --out FILE\n"},
@@ -322,7 +404,8 @@ commandUsage()
          "  fleet       --drives N --threads T\n"
          "              --preset oltp|fileserver|streaming|backup|mixed\n"
          "              --rate R --minutes M --seed S --retries K\n"
-         "              [--drive enterprise|nearline]\n"},
+         "              [--drive enterprise|nearline]\n"
+         "              [--stream on|off] [--batch N]\n"},
         {"corrupt",
          "  corrupt     --in FILE --out FILE\n"
          "              --mode truncate|bitflip|garbage|dup|reorder\n"
@@ -342,16 +425,18 @@ commandFlags()
     static const std::map<std::string, std::set<std::string>> flags = {
         {"generate", {"class", "rate", "minutes", "seed", "out"}},
         {"convert", {"in", "out", "on-corrupt"}},
-        {"analyze", {"in", "drive", "cache", "on-corrupt"}},
+        {"analyze",
+         {"in", "drive", "cache", "on-corrupt", "stream", "batch"}},
         {"family",
          {"drives", "min-hours", "max-hours", "seed", "name", "out"}},
         {"fleet",
          {"drives", "threads", "preset", "rate", "minutes", "seed",
-          "retries", "drive"}},
+          "retries", "drive", "stream", "batch"}},
         {"corrupt", {"in", "out", "mode", "seed", "count", "offset"}},
         {"run-report",
          {"in", "drive", "cache", "on-corrupt", "drives", "threads",
-          "preset", "rate", "minutes", "seed", "retries"}},
+          "preset", "rate", "minutes", "seed", "retries", "stream",
+          "batch"}},
     };
     return flags;
 }
@@ -368,11 +453,16 @@ const char *kGlobalUsage =
     "                    stdout reports stay byte-identical\n"
     "  --metrics-out F   write the snapshot to file F instead of\n"
     "                    stderr (implies --metrics, default text)\n"
+    "  --max-rss-mb N    after the command, fail (exit 1) when the\n"
+    "                    process's peak RSS exceeded N MiB; the\n"
+    "                    bounded-memory guard CI runs on the\n"
+    "                    streaming pipeline\n"
     "\n"
     "see docs/METRICS.md for every metric the snapshot can contain\n";
 
 const std::set<std::string> kGlobalFlags = {"fault", "metrics",
-                                            "metrics-out"};
+                                            "metrics-out",
+                                            "max-rss-mb"};
 
 void
 usage(std::ostream &os)
@@ -467,6 +557,30 @@ class MetricsEmitter
     std::string out_path_;
 };
 
+/**
+ * The --max-rss-mb guard: compares the process's peak resident set
+ * against the budget and turns an overrun into a nonzero exit.  The
+ * verdict goes to stderr so the stdout byte-identity contracts hold
+ * with or without the flag.
+ */
+int
+checkRssBudget(const dlw::Options &opts, int rc)
+{
+    if (!opts.has("max-rss-mb"))
+        return rc;
+    const std::int64_t budget = opts.getInt("max-rss-mb", 0);
+    struct rusage ru = {};
+    getrusage(RUSAGE_SELF, &ru);
+    const std::int64_t peak_mb = ru.ru_maxrss / 1024; // KiB on Linux
+    std::cerr << "rss: peak " << peak_mb << " MiB, budget " << budget
+              << " MiB\n";
+    if (peak_mb > budget) {
+        std::cerr << "rss: budget exceeded\n";
+        return rc == 0 ? 1 : rc;
+    }
+    return rc;
+}
+
 int
 dispatch(const std::string &cmd, const dlw::Options &opts)
 {
@@ -525,7 +639,7 @@ main(int argc, char **argv)
         metrics.setup(opts);
         const int rc = dispatch(cmd, opts);
         metrics.emit();
-        return rc;
+        return checkRssBudget(opts, rc);
     } catch (const StatusError &e) {
         // The CLI boundary of the Status model: render the error,
         // exit nonzero, and leave core dumps to real crashes.
