@@ -19,6 +19,7 @@
 #include "obs/export.hh"
 #include "obs/metrics.hh"
 #include "obs/span.hh"
+#include "obs/timeline.hh"
 #include "synth/workload.hh"
 #include "trace/csvio.hh"
 
@@ -113,6 +114,44 @@ BM_SpanArmed(benchmark::State &state)
         static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_SpanArmed);
+
+void
+BM_TimelineInstantDisarmed(benchmark::State &state)
+{
+    for (auto _ : state)
+        obs::emitInstant("bench.timeline.tick");
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TimelineInstantDisarmed);
+
+void
+BM_TimelineInstantArmed(benchmark::State &state)
+{
+    obs::enableTimeline();
+    for (auto _ : state)
+        obs::emitInstant("bench.timeline.tick");
+    obs::disableTimeline();
+    obs::resetTimeline();
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TimelineInstantArmed);
+
+void
+BM_TimelineSpanArmed(benchmark::State &state)
+{
+    obs::enableTimeline();
+    for (auto _ : state) {
+        obs::ScopedSpan span("bench.timeline.span");
+        benchmark::ClobberMemory();
+    }
+    obs::disableTimeline();
+    obs::resetTimeline();
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TimelineSpanArmed);
 
 /** ~40k-request CSV trace, built once and reread per iteration. */
 const std::string &

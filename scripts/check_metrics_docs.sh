@@ -8,6 +8,12 @@
 # the same line as the obs::counter( / obs::gauge( / obs::histogram(
 # registration call.
 #
+# Timeline event names follow the same rule: every
+# obs::emitInstant("name") / obs::emitCounter("name", ...) site in
+# src/ must keep the literal on the call line and be documented in
+# the same doc, so the trace-viewer vocabulary is as trustworthy as
+# the metric list.
+#
 # Usage: scripts/check_metrics_docs.sh [repo-root]
 
 set -u
@@ -30,6 +36,15 @@ if [ -z "$names" ]; then
     exit 1
 fi
 
+events=$(grep -rhoE 'obs::(emitInstant|emitCounter)\("[^"]+"' src \
+         | sed 's/.*("//; s/"$//' | sort -u)
+
+if [ -z "$events" ]; then
+    echo "error: found no timeline event emissions under src/" >&2
+    echo "check_metrics_docs: FAILED" >&2
+    exit 1
+fi
+
 bad=0
 for name in $names; do
     if ! grep -q "\`$name\`" "$doc"; then
@@ -39,8 +54,17 @@ for name in $names; do
     fi
 done
 
+for name in $events; do
+    if ! grep -q "\`$name\`" "$doc"; then
+        echo "error: timeline event '$name' is emitted in src/ but" \
+             "not documented in $doc" >&2
+        bad=1
+    fi
+done
+
 if [ "$bad" != 0 ]; then
     echo "check_metrics_docs: FAILED" >&2
     exit 1
 fi
-echo "check_metrics_docs: OK ($(echo "$names" | wc -l) metrics)"
+echo "check_metrics_docs: OK ($(echo "$names" | wc -l) metrics," \
+     "$(echo "$events" | wc -l) timeline events)"

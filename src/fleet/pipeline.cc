@@ -15,6 +15,7 @@
 #include "fleet/pool.hh"
 #include "obs/metrics.hh"
 #include "obs/span.hh"
+#include "obs/timeline.hh"
 #include "synth/workload.hh"
 
 namespace dlw
@@ -307,6 +308,7 @@ backoff(const FleetConfig &config, std::size_t index,
                      .fork(index * 16 + attempt);
     ms *= jitter.uniform(0.5, 1.5);
     fleetMetrics().backoffs.add(1);
+    obs::emitInstant("fleet.backoff");
     std::this_thread::sleep_for(
         std::chrono::duration<double, std::milli>(ms));
 }
@@ -340,6 +342,7 @@ runFleet(const FleetConfig &config)
             }
             if (slot.attempts >= max_attempts)
                 return;
+            obs::emitInstant("fleet.retry");
             backoff(config, i, slot.attempts);
         }
     });

@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "obs/metrics.hh"
+#include "obs/timeline.hh"
 
 namespace dlw
 {
@@ -72,6 +73,7 @@ ThreadPool::submit(std::function<void()> task)
         poolMetrics().tasks.add(1);
         poolMetrics().queue_depth.set(
             static_cast<std::int64_t>(pending_));
+        obs::emitInstant("fleet.pool.task");
     }
     work_cv_.notify_one();
 }
@@ -94,6 +96,7 @@ ThreadPool::take(std::size_t self, std::function<void()> &out)
             out = std::move(queues_[victim].front());
             queues_[victim].pop_front();
             poolMetrics().steals.add(1);
+            obs::emitInstant("fleet.pool.steal");
             return true;
         }
     }

@@ -228,11 +228,17 @@ renderProm(const Snapshot &snap)
             break;
           case MetricType::kHistogram:
             os << "# TYPE " << name << " summary\n";
-            os << name << "{quantile=\"0.5\"} " << num(m.p50) << '\n';
-            os << name << "{quantile=\"0.95\"} " << num(m.p95)
-               << '\n';
-            os << name << "{quantile=\"0.99\"} " << num(m.p99)
-               << '\n';
+            // With zero samples the quantiles are undefined, not 0;
+            // emit only the explicit empty _sum/_count pair so a
+            // scraper never ingests a fabricated "p99 = 0".
+            if (m.count != 0) {
+                os << name << "{quantile=\"0.5\"} " << num(m.p50)
+                   << '\n';
+                os << name << "{quantile=\"0.95\"} " << num(m.p95)
+                   << '\n';
+                os << name << "{quantile=\"0.99\"} " << num(m.p99)
+                   << '\n';
+            }
             os << name << "_sum " << num(m.sum) << '\n';
             os << name << "_count " << m.count << '\n';
             break;

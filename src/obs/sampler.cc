@@ -1,0 +1,107 @@
+#include "obs/sampler.hh"
+
+#include <cstdio>
+
+#include <unistd.h>
+
+#include "obs/metrics.hh"
+#include "obs/timeline.hh"
+
+namespace dlw
+{
+namespace obs
+{
+
+std::uint64_t
+processRssBytes()
+{
+    std::FILE *f = std::fopen("/proc/self/statm", "r");
+    if (f == nullptr)
+        return 0;
+    unsigned long long size = 0;
+    unsigned long long resident = 0;
+    const int got = std::fscanf(f, "%llu %llu", &size, &resident);
+    std::fclose(f);
+    if (got != 2)
+        return 0;
+    const long page = ::sysconf(_SC_PAGESIZE);
+    return resident * static_cast<std::uint64_t>(page > 0 ? page : 4096);
+}
+
+CounterSampler::CounterSampler(std::chrono::milliseconds period)
+    : period_(period.count() > 0 ? period
+                                 : std::chrono::milliseconds(10))
+{
+}
+
+CounterSampler::~CounterSampler()
+{
+    stop();
+}
+
+void
+CounterSampler::start()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    if (running_)
+        return;
+    // Hold a sink so the gauges we sample actually move.
+    enable();
+    stopping_ = false;
+    running_ = true;
+    thread_ = std::thread([this] { loop(); });
+}
+
+void
+CounterSampler::stop()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (!running_)
+            return;
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        running_ = false;
+    }
+    // One final sample so the tracks extend to the end of the run.
+    sampleOnce();
+    disable();
+}
+
+void
+CounterSampler::sampleOnce()
+{
+    if (!timelineEnabled())
+        return;
+    for (const MetricSnapshot &m :
+         Registry::instance().snapshotMetrics()) {
+        if (m.info.type != MetricType::kGauge)
+            continue;
+        emitCounter(internTimelineName(m.info.name),
+                    static_cast<double>(m.level));
+    }
+    const std::uint64_t rss = processRssBytes();
+    if (rss != 0)
+        obs::emitCounter("process.rss_bytes", static_cast<double>(rss));
+}
+
+void
+CounterSampler::loop()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+        if (stopping_)
+            return;
+        lk.unlock();
+        sampleOnce();
+        lk.lock();
+        cv_.wait_for(lk, period_, [this] { return stopping_; });
+    }
+}
+
+} // namespace obs
+} // namespace dlw

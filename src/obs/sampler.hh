@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Low-rate counter-track sampler for the timeline.
+ *
+ * Gauges answer "what is the level right now?" — but a metrics
+ * snapshot only captures the final instant, and the interesting
+ * levels (queue depth while the fleet drains, peak batch bytes while
+ * the streaming pipeline ramps, process RSS) move *during* the run.
+ * The sampler is a background thread that, every period, reads every
+ * registered gauge plus the process's resident set size and emits
+ * them as timeline counter events, so the exported trace carries
+ * counter tracks alongside the span timeline.
+ *
+ * The sampler holds one obs sink (gauges only move while the
+ * registry is armed) and emits only while the timeline is armed, so
+ * it is inert unless both layers are on — dlwtool's --trace-out
+ * arms both.  Sampling cost is one registry snapshot per tick
+ * (default 10 ms), far off any hot path.
+ */
+
+#ifndef DLW_OBS_SAMPLER_HH
+#define DLW_OBS_SAMPLER_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace dlw
+{
+namespace obs
+{
+
+/** Current resident set size in bytes (0 when unavailable). */
+std::uint64_t processRssBytes();
+
+/**
+ * Background thread emitting gauge levels and process RSS as
+ * timeline counter tracks.
+ */
+class CounterSampler
+{
+  public:
+    /** @param period Sampling interval (default 10 ms). */
+    explicit CounterSampler(std::chrono::milliseconds period =
+                                std::chrono::milliseconds(10));
+
+    /** Stops and joins. */
+    ~CounterSampler();
+
+    CounterSampler(const CounterSampler &) = delete;
+    CounterSampler &operator=(const CounterSampler &) = delete;
+
+    /** Start sampling (idempotent). */
+    void start();
+
+    /** Take one final sample, then stop and join (idempotent). */
+    void stop();
+
+  private:
+    void loop();
+    void sampleOnce();
+
+    std::chrono::milliseconds period_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+    bool running_ = false;
+    std::thread thread_;
+};
+
+} // namespace obs
+} // namespace dlw
+
+#endif // DLW_OBS_SAMPLER_HH

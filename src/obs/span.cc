@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "obs/metrics.hh"
+#include "obs/timeline.hh"
 
 namespace dlw
 {
@@ -61,15 +62,26 @@ copyChildren(const Node &from, SpanStats &to)
 
 ScopedSpan::ScopedSpan(const char *name)
 {
-    if (!detail::armed())
+    const bool metrics = detail::armed();
+    const bool timeline = detail::timelineArmed();
+    if (!metrics && !timeline)
         return;
-    armed_ = true;
-    t_open_spans.push_back(name);
-    start_ = std::chrono::steady_clock::now();
+    if (timeline) {
+        tl_armed_ = true;
+        name_ = name;
+        detail::timelineEmit(name, TimelineEventKind::kBegin, 0.0);
+    }
+    if (metrics) {
+        armed_ = true;
+        t_open_spans.push_back(name);
+        start_ = std::chrono::steady_clock::now();
+    }
 }
 
 ScopedSpan::~ScopedSpan()
 {
+    if (tl_armed_)
+        detail::timelineEmit(name_, TimelineEventKind::kEnd, 0.0);
     if (!armed_)
         return;
     const std::chrono::duration<double> dt =

@@ -21,10 +21,16 @@
  *
  * Cost model matches the metrics registry: while disarmed
  * (obs::enable() not active) constructing a span is one relaxed
- * atomic load and no clock read.  While armed, each span end takes a
- * global tree mutex — spans mark stage boundaries (file reads, whole
- * drives), never per-record work, so the lock is uncontended in
- * practice.
+ * atomic load per sink family (metrics, timeline) and no clock
+ * read.  While armed, each span end takes a global tree mutex —
+ * spans mark stage boundaries (file reads, whole drives), never
+ * per-record work, so the lock is uncontended in practice.
+ *
+ * Spans are also the timeline's duration events: while the timeline
+ * recorder is armed (obs/timeline.hh), every ScopedSpan emits a
+ * begin event at construction and an end event at destruction into
+ * the per-thread ring, so arming tracing requires no call-site
+ * changes anywhere spans already exist.
  */
 
 #ifndef DLW_OBS_SPAN_HH
@@ -72,7 +78,9 @@ class ScopedSpan
     ScopedSpan &operator=(const ScopedSpan &) = delete;
 
   private:
-    bool armed_ = false;
+    bool armed_ = false;    ///< metrics sink live at construction
+    bool tl_armed_ = false; ///< timeline recorder live at construction
+    const char *name_ = nullptr;
     std::chrono::steady_clock::time_point start_;
 };
 

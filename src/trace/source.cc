@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/metrics.hh"
+#include "obs/timeline.hh"
 
 namespace dlw
 {
@@ -50,6 +51,11 @@ registerBatchMetrics()
 void
 noteBatchDecoded(const RequestBatch &batch)
 {
+    if (obs::timelineEnabled()) {
+        obs::emitInstant("trace.batch.decoded");
+        obs::emitCounter("trace.batch.bytes",
+                         static_cast<double>(batch.byteSize()));
+    }
     if (!obs::enabled())
         return;
     BatchMetrics &m = batchMetrics();

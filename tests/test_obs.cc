@@ -254,6 +254,38 @@ TEST(ObsExport, PromGolden)
               "dlw_test_depth -2\n");
 }
 
+TEST(ObsExport, PromZeroCountHistogramOmitsQuantiles)
+{
+    Snapshot snap;
+    MetricSnapshot h;
+    h.info = {"test.lat", MetricType::kHistogram, "s", "demo",
+              "latency"};
+    h.count = 0;
+    snap.metrics.push_back(h);
+    // Quantiles of an empty distribution are undefined, not 0: only
+    // the explicit empty _sum/_count pair may appear.
+    EXPECT_EQ(renderProm(snap),
+              "# HELP dlw_test_lat latency\n"
+              "# TYPE dlw_test_lat summary\n"
+              "dlw_test_lat_sum 0\n"
+              "dlw_test_lat_count 0\n");
+
+    // One observation brings the quantile lines back.
+    snap.metrics[0].count = 1;
+    snap.metrics[0].sum = 0.5;
+    snap.metrics[0].p50 = 0.5;
+    snap.metrics[0].p95 = 0.5;
+    snap.metrics[0].p99 = 0.5;
+    EXPECT_EQ(renderProm(snap),
+              "# HELP dlw_test_lat latency\n"
+              "# TYPE dlw_test_lat summary\n"
+              "dlw_test_lat{quantile=\"0.5\"} 0.5\n"
+              "dlw_test_lat{quantile=\"0.95\"} 0.5\n"
+              "dlw_test_lat{quantile=\"0.99\"} 0.5\n"
+              "dlw_test_lat_sum 0.5\n"
+              "dlw_test_lat_count 1\n");
+}
+
 TEST(ObsExport, TextGolden)
 {
     Snapshot snap;

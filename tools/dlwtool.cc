@@ -14,6 +14,8 @@
  *   run-report  run analyze (with --in) or fleet (without), then
  *               append the observability report: every metric the run
  *               moved plus the aggregated span tree
+ *   bench-diff  compare two BENCH_*.json perf snapshots against
+ *               regression thresholds (exit 2 on regression)
  *   help        print usage for one command (or all of them)
  *
  * Formats are chosen by file extension: .csv, .bin, .spc.
@@ -30,6 +32,14 @@
  * snapshot afterwards — to stderr by default, or to --metrics-out
  * FILE — so stdout (and its byte-identity contracts) is never
  * perturbed.  See docs/METRICS.md for the metric reference.
+ *
+ * Tracing: the global --trace-out FILE option arms the timeline
+ * flight recorder (obs/timeline.hh) plus the counter sampler for the
+ * duration of the command and writes a Chrome trace_event JSON file
+ * afterwards — loadable in Perfetto or chrome://tracing.  A crash
+ * handler dumps the last-N events to the same file on a fatal
+ * signal.  Like --metrics, only stderr and the output file are
+ * touched; stdout stays byte-identical.
  */
 
 #include <algorithm>
@@ -54,8 +64,12 @@
 #include "disk/drive.hh"
 #include "fleet/pipeline.hh"
 #include "fleet/pool.hh"
+#include "obs/benchdiff.hh"
 #include "obs/export.hh"
 #include "obs/metrics.hh"
+#include "obs/sampler.hh"
+#include "obs/timeline.hh"
+#include "obs/timeline_export.hh"
 #include "synth/family.hh"
 #include "synth/workload.hh"
 #include "core/pass.hh"
@@ -364,6 +378,32 @@ registerAllMetrics()
     core::registerPassMetrics();
 }
 
+/**
+ * bench-diff: the regression gate over two BenchReportGuard
+ * snapshots.  Exit 0 when clean, 2 when any tracked quantity moved
+ * beyond its threshold — distinct from 1 (usage/IO errors) so CI can
+ * tell "slower" from "broken".
+ */
+int
+cmdBenchDiff(const std::string &old_path, const std::string &new_path,
+             const dlw::Options &opts)
+{
+    obs::BenchDiffThresholds th;
+    th.wall_pct = opts.getDouble("max-wall-pct", th.wall_pct);
+    th.p95_pct = opts.getDouble("max-p95-pct", th.p95_pct);
+    th.counter_pct =
+        opts.getDouble("max-counter-pct", th.counter_pct);
+
+    obs::BenchReport older =
+        obs::readBenchReport(old_path).valueOrThrow();
+    obs::BenchReport newer =
+        obs::readBenchReport(new_path).valueOrThrow();
+    obs::BenchDiffResult diff =
+        obs::diffBenchReports(older, newer, th);
+    std::cout << obs::renderBenchDiff(older, newer, diff);
+    return diff.regressed ? 2 : 0;
+}
+
 int
 cmdRunReport(const dlw::Options &opts)
 {
@@ -414,6 +454,10 @@ commandUsage()
          "  run-report  analyze (--in FILE) or fleet (no --in) plus the\n"
          "              observability report: accepts the union of the\n"
          "              analyze and fleet options\n"},
+        {"bench-diff",
+         "  bench-diff  OLD.json NEW.json    (BENCH_* perf snapshots)\n"
+         "              [--max-wall-pct P] [--max-p95-pct P]\n"
+         "              [--max-counter-pct P]    exit 2 on regression\n"},
     };
     return usages;
 }
@@ -437,6 +481,8 @@ commandFlags()
          {"in", "drive", "cache", "on-corrupt", "drives", "threads",
           "preset", "rate", "minutes", "seed", "retries", "stream",
           "batch"}},
+        {"bench-diff",
+         {"max-wall-pct", "max-p95-pct", "max-counter-pct"}},
     };
     return flags;
 }
@@ -457,12 +503,18 @@ const char *kGlobalUsage =
     "                    process's peak RSS exceeded N MiB; the\n"
     "                    bounded-memory guard CI runs on the\n"
     "                    streaming pipeline\n"
+    "  --trace-out F     record a timeline of the command (spans,\n"
+    "                    instants, counter tracks) and write Chrome\n"
+    "                    trace_event JSON to F — open it in Perfetto\n"
+    "                    (ui.perfetto.dev) or chrome://tracing; a\n"
+    "                    fatal signal dumps the flight recorder to\n"
+    "                    the same file\n"
     "\n"
     "see docs/METRICS.md for every metric the snapshot can contain\n";
 
 const std::set<std::string> kGlobalFlags = {"fault", "metrics",
                                             "metrics-out",
-                                            "max-rss-mb"};
+                                            "max-rss-mb", "trace-out"};
 
 void
 usage(std::ostream &os)
@@ -558,6 +610,62 @@ class MetricsEmitter
 };
 
 /**
+ * The --trace-out surface: arms the timeline recorder, the crash
+ * dump, and the counter sampler before the command, then writes the
+ * Chrome trace afterwards (also after a failed command — the
+ * flight-recorder view of a failure is the interesting one).  The
+ * sampler holds its own obs sink so gauge tracks move even without
+ * --metrics; that sink never writes stdout, so the byte-identity
+ * contracts hold.
+ */
+class TimelineEmitter
+{
+  public:
+    void
+    setup(const dlw::Options &opts)
+    {
+        if (!opts.has("trace-out"))
+            return;
+        out_path_ = opts.get("trace-out", "trace.json");
+        registerAllMetrics();
+        obs::enableTimeline();
+        obs::installTimelineCrashHandler(out_path_);
+        sampler_.start();
+        armed_ = true;
+    }
+
+    void
+    emit()
+    {
+        if (!armed_)
+            return;
+        armed_ = false;
+        sampler_.stop();
+        obs::disarmTimelineCrashHandler();
+        obs::TimelineSnapshot snap = obs::timelineSnapshot();
+        obs::disableTimeline();
+        Status s = obs::writeChromeTrace(out_path_, snap);
+        if (!s.ok()) {
+            std::cerr << "dlwtool: cannot write trace: "
+                      << s.toString() << '\n';
+            return;
+        }
+        std::cerr << "trace: " << snap.events.size()
+                  << " event(s) from " << snap.threads
+                  << " thread(s)";
+        if (snap.dropped != 0)
+            std::cerr << ", " << snap.dropped
+                      << " dropped to ring wraparound";
+        std::cerr << " -> " << out_path_ << '\n';
+    }
+
+  private:
+    bool armed_ = false;
+    std::string out_path_;
+    obs::CounterSampler sampler_;
+};
+
+/**
  * The --max-rss-mb guard: compares the process's peak resident set
  * against the budget and turns an overrun into a nonzero exit.  The
  * verdict goes to stderr so the stdout byte-identity contracts hold
@@ -625,11 +733,32 @@ main(int argc, char **argv)
         return 1;
     }
 
+    // bench-diff takes its two inputs positionally (old first, like
+    // diff itself); everything else is pure --key value.
+    if (cmd == "bench-diff") {
+        if (argc < 4 || argv[2][0] == '-' || argv[3][0] == '-') {
+            std::cerr
+                << "dlwtool bench-diff: need OLD.json NEW.json\n";
+            usageFor(std::cerr, cmd);
+            return 1;
+        }
+        dlw::Options opts(argc, argv, 4);
+        if (!validateFlags(cmd, opts))
+            return 1;
+        try {
+            return cmdBenchDiff(argv[2], argv[3], opts);
+        } catch (const StatusError &e) {
+            std::cerr << "dlwtool: " << e.status().toString() << '\n';
+            return 1;
+        }
+    }
+
     dlw::Options opts(argc, argv, 2);
     if (!validateFlags(cmd, opts))
         return 1;
 
     MetricsEmitter metrics;
+    TimelineEmitter timeline;
     try {
         if (opts.has("fault")) {
             Status s = fault::armFromSpec(opts.get("fault", ""));
@@ -637,13 +766,16 @@ main(int argc, char **argv)
                 throw StatusError(s);
         }
         metrics.setup(opts);
+        timeline.setup(opts);
         const int rc = dispatch(cmd, opts);
+        timeline.emit();
         metrics.emit();
         return checkRssBudget(opts, rc);
     } catch (const StatusError &e) {
         // The CLI boundary of the Status model: render the error,
         // exit nonzero, and leave core dumps to real crashes.
         std::cerr << "dlwtool: " << e.status().toString() << '\n';
+        timeline.emit();
         metrics.emit();
         return 1;
     }
