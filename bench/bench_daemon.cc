@@ -1,0 +1,271 @@
+/**
+ * @file
+ * M6: the daemon under sustained connections and under overload.
+ *
+ * Two behaviours are measured.  First, sustained service: waves of
+ * concurrent streaming clients hit one dlwd and every per-client
+ * report must come back byte-identical, with per-client throughput
+ * (records served per second) recorded.  Second, shedding: with the
+ * connection budget deliberately filled by idle sessions, every
+ * further attempt must be refused with the overload error rather
+ * than queued, and the refusal rate is recorded.
+ *
+ * The BenchReportGuard snapshot carries the daemon's own counters
+ * (daemon.sessions.*, net.shed.*, daemon.fold_seconds) alongside the
+ * wall numbers printed here, so BENCH_daemon.json is the perf
+ * trajectory for the network layer.
+ */
+
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "benchutil.hh"
+#include "common/rng.hh"
+#include "daemon/server.hh"
+#include "obs/export.hh"
+#include "synth/workload.hh"
+#include "trace/csvio.hh"
+
+using namespace dlw;
+
+namespace
+{
+
+double
+nowSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Connect to the local daemon; returns the fd or -1. */
+int
+dialLocal(std::uint16_t port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return fd;
+}
+
+bool
+sendAll(int fd, const std::string &bytes)
+{
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        const ssize_t n =
+            ::send(fd, bytes.data() + off, bytes.size() - off,
+                   MSG_NOSIGNAL);
+        if (n <= 0)
+            return false;
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/** Read until the peer closes; returns everything received. */
+std::string
+recvAll(int fd)
+{
+    std::string out;
+    char buf[65536];
+    for (;;) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            break;
+        out.append(buf, static_cast<std::size_t>(n));
+    }
+    return out;
+}
+
+/**
+ * One full csv streaming session; returns the report text, or the
+ * empty string on any protocol failure.
+ */
+std::string
+streamOnce(std::uint16_t port, const std::string &payload,
+           const std::string &tenant)
+{
+    const int fd = dialLocal(port);
+    if (fd < 0)
+        return {};
+    std::string report;
+    if (sendAll(fd, "DLWS1 csv " + tenant + "\n") &&
+        sendAll(fd, payload)) {
+        ::shutdown(fd, SHUT_WR);
+        const std::string raw = recvAll(fd);
+        // "DLWS1 ok <id>\n" then "DLWR1 ok <n>\n<report>".
+        const std::size_t ack = raw.find('\n');
+        if (ack != std::string::npos &&
+            raw.compare(0, 8, "DLWS1 ok") == 0) {
+            const std::size_t hdr = raw.find('\n', ack + 1);
+            if (hdr != std::string::npos &&
+                raw.compare(ack + 1, 8, "DLWR1 ok") == 0)
+                report = raw.substr(hdr + 1);
+        }
+    }
+    ::close(fd);
+    return report;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    obs::BenchReportGuard obs_guard("daemon");
+    daemon::registerNetMetrics();
+    daemon::registerDaemonMetrics();
+
+    std::cout << "Daemon under load: sustained sessions and "
+                 "shedding (M6)\n\n";
+    bool ok = true;
+
+    // One oltp trace shared by every client; heavy enough that the
+    // fold dominates framing overhead.
+    Rng rng(bench::kSeed);
+    synth::Workload w = synth::Workload::makeOltp(1 << 24, 200.0, 11);
+    const trace::MsTrace tr =
+        w.generate(rng, "m6-drive", 0, 2 * kMinute);
+    std::ostringstream csv;
+    trace::writeMsCsv(csv, tr);
+    const std::string payload = csv.str();
+    const std::size_t n_records = tr.size();
+
+    daemon::ServerConfig cfg;
+    cfg.port = 0;
+    cfg.max_connections = 128;
+    daemon::Server server(cfg);
+    if (!server.start().ok()) {
+        std::cerr << "FAIL: server start\n";
+        return 1;
+    }
+    std::thread loop([&server] { (void)server.run(); });
+
+    // ---- Sustained waves of concurrent clients -------------------
+    constexpr int kWaves = 4;
+    constexpr int kClientsPerWave = 16;
+    const std::uint16_t port = server.port();
+
+    std::string reference;
+    int mismatches = 0;
+    const double t0 = nowSeconds();
+    for (int wave = 0; wave < kWaves; ++wave) {
+        std::vector<std::string> reports(kClientsPerWave);
+        std::vector<std::thread> clients;
+        clients.reserve(kClientsPerWave);
+        for (int c = 0; c < kClientsPerWave; ++c)
+            clients.emplace_back([&, c] {
+                reports[static_cast<std::size_t>(c)] = streamOnce(
+                    port, payload, "bench" + std::to_string(c));
+            });
+        for (auto &t : clients)
+            t.join();
+        for (const std::string &r : reports) {
+            if (reference.empty())
+                reference = r;
+            if (r.empty() || r != reference)
+                ++mismatches;
+        }
+    }
+    const double sustained_s = nowSeconds() - t0;
+    const int n_sessions = kWaves * kClientsPerWave;
+    const double rec_per_s =
+        static_cast<double>(n_records) * n_sessions / sustained_s;
+
+    std::cout << "sustained: " << n_sessions << " sessions of "
+              << n_records << " records in " << sustained_s
+              << " s  (" << rec_per_s << " records/s, "
+              << (rec_per_s / n_sessions) << " per client)\n";
+    if (reference.empty() || mismatches != 0) {
+        std::cout << "FAIL: " << mismatches
+                  << " sessions differed from the first report\n";
+        ok = false;
+    }
+
+    // ---- Shedding: fill the budget, then probe -------------------
+    // Idle sessions (hello sent, stream left open) pin connection
+    // slots, so every probe past the budget must be refused.
+    constexpr int kHold = 8;
+    constexpr int kProbes = 32;
+
+    daemon::ServerConfig shed_cfg;
+    shed_cfg.port = 0;
+    shed_cfg.max_connections = kHold;
+    daemon::Server shed_server(shed_cfg);
+    if (!shed_server.start().ok()) {
+        std::cerr << "FAIL: shed server start\n";
+        server.requestStop();
+        loop.join();
+        return 1;
+    }
+    std::thread shed_loop([&shed_server] { (void)shed_server.run(); });
+
+    std::vector<int> held;
+    for (int i = 0; i < kHold; ++i) {
+        const int fd = dialLocal(shed_server.port());
+        if (fd >= 0 && sendAll(fd, "DLWS1 csv hold\n"))
+            held.push_back(fd);
+    }
+    // Let the event loop accept the holders before probing.
+    while (shed_server.activeConnections() <
+           static_cast<std::size_t>(kHold))
+        std::this_thread::yield();
+
+    int shed = 0;
+    const double t1 = nowSeconds();
+    for (int i = 0; i < kProbes; ++i) {
+        const int fd = dialLocal(shed_server.port());
+        if (fd < 0)
+            continue;
+        sendAll(fd, "DLWS1 csv probe\n");
+        ::shutdown(fd, SHUT_WR);
+        if (recvAll(fd).find("DLWR1 error overloaded") !=
+            std::string::npos)
+            ++shed;
+        ::close(fd);
+    }
+    const double shed_s = nowSeconds() - t1;
+
+    std::cout << "shedding:  " << shed << "/" << kProbes
+              << " probes refused past a budget of " << kHold
+              << " (" << (100.0 * shed / kProbes) << "%, "
+              << (kProbes / shed_s) << " refusals/s)\n";
+    if (shed != kProbes) {
+        std::cout << "FAIL: " << (kProbes - shed)
+                  << " probes were not shed\n";
+        ok = false;
+    }
+
+    for (const int fd : held)
+        ::close(fd);
+    shed_server.requestStop();
+    shed_loop.join();
+    server.requestStop();
+    loop.join();
+
+    std::cout << "\n" << (ok ? "OK" : "FAILED") << "\n";
+    return ok ? 0 : 1;
+}

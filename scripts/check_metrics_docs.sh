@@ -62,6 +62,24 @@ for name in $events; do
     fi
 done
 
+# Reverse direction for the service-layer vocabulary: every net.* /
+# daemon.* name the doc claims must still be registered or emitted
+# in src/, so renaming a daemon metric cannot leave the doc
+# describing counters that no longer exist.
+documented=$(grep -hoE '`(net|daemon)\.[a-z0-9._]+`' "$doc" \
+             | tr -d '\`' | sort -u)
+known=" $(printf '%s\n%s' "$names" "$events" | tr '\n' ' ') "
+for name in $documented; do
+    case "$known" in
+        *" $name "*) ;;
+        *)
+            echo "error: '$name' is documented in $doc but neither" \
+                 "registered nor emitted anywhere under src/" >&2
+            bad=1
+            ;;
+    esac
+done
+
 if [ "$bad" != 0 ]; then
     echo "check_metrics_docs: FAILED" >&2
     exit 1

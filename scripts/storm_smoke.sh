@@ -1,0 +1,165 @@
+#!/bin/sh
+# Connection-storm smoke for the dlwd daemon.
+#
+# Launches one server on an ephemeral port, fires N parallel stream
+# clients at it (half csv, half binary, all carrying the same trace),
+# and requires every per-client report to be byte-identical to the
+# batch `dlwtool characterize` output for the same file.  Then probes
+# the HTTP side (/healthz, /metrics, session listing), verifies that
+# a zero-budget server sheds with 503 and a stream refusal, and
+# finally asserts the storm server drains cleanly on SIGTERM.
+#
+# Usage: scripts/storm_smoke.sh <path-to-dlwtool> [n-clients]
+#
+# Exits 0 on success, 1 on any mismatch or protocol failure.
+
+set -u
+
+tool="${1:?usage: storm_smoke.sh <path-to-dlwtool> [n-clients]}"
+nclients="${2:-64}"
+
+if [ ! -x "$tool" ]; then
+    echo "error: '$tool' is not executable" >&2
+    exit 1
+fi
+# The harness needs an absolute tool path: clients run from $work.
+case "$tool" in
+    /*) ;;
+    *) tool="$(pwd)/$tool" ;;
+esac
+
+work="$(mktemp -d "${TMPDIR:-/tmp}/dlw_storm.XXXXXX")"
+server_pid=""
+shed_pid=""
+
+cleanup() {
+    [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null
+    [ -n "$shed_pid" ] && kill "$shed_pid" 2>/dev/null
+    wait 2>/dev/null
+    rm -rf "$work"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "storm_smoke: FAILED: $*" >&2
+    exit 1
+}
+
+# --- fixture: one trace, both encodings, and the batch reference ---
+
+"$tool" generate --class oltp --rate 80 --minutes 1 \
+    --out "$work/trace.bin" >/dev/null \
+    || fail "generate"
+"$tool" convert --in "$work/trace.bin" --out "$work/trace.csv" \
+    >/dev/null \
+    || fail "convert"
+"$tool" characterize --in "$work/trace.csv" > "$work/ref.txt" \
+    || fail "batch characterize"
+[ -s "$work/ref.txt" ] || fail "batch reference report is empty"
+
+# --- server on an ephemeral port ----------------------------------
+
+"$tool" serve --port 0 --port-file "$work/port" \
+    --max-conns $((nclients + 8)) 2> "$work/server.log" &
+server_pid=$!
+
+i=0
+while [ ! -s "$work/port" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "server did not write its port file"
+    kill -0 "$server_pid" 2>/dev/null || fail "server died at startup"
+    sleep 0.1
+done
+port="$(cat "$work/port")"
+
+# --- the storm: N parallel clients, alternating csv/bin -----------
+
+c=0
+client_pids=""
+while [ "$c" -lt "$nclients" ]; do
+    if [ $((c % 2)) -eq 0 ]; then in="$work/trace.csv";
+    else in="$work/trace.bin"; fi
+    "$tool" stream --in "$in" --port "$port" --tenant "storm$c" \
+        > "$work/out.$c" 2> "$work/err.$c" &
+    client_pids="$client_pids $!"
+    c=$((c + 1))
+done
+
+rc=0
+for pid in $client_pids; do
+    wait "$pid" || rc=1
+done
+[ "$rc" -eq 0 ] || fail "one or more stream clients exited nonzero"
+
+c=0
+while [ "$c" -lt "$nclients" ]; do
+    cmp -s "$work/ref.txt" "$work/out.$c" \
+        || fail "client $c report differs from batch output"
+    c=$((c + 1))
+done
+
+# --- HTTP probes ---------------------------------------------------
+
+if command -v curl >/dev/null 2>&1; then
+    curl -fsS "http://127.0.0.1:$port/healthz" > "$work/healthz" \
+        || fail "/healthz"
+    grep -q "ok" "$work/healthz" || fail "/healthz body"
+
+    curl -fsS "http://127.0.0.1:$port/metrics" > "$work/metrics" \
+        || fail "/metrics"
+    grep -q "^dlw_net_accepted_total" "$work/metrics" \
+        || fail "/metrics lacks dlw_net_accepted_total"
+    done_n=$(sed -n \
+        's/^dlw_daemon_sessions_completed_total \([0-9.]*\)$/\1/p' \
+        "$work/metrics")
+    [ "${done_n%%.*}" = "$nclients" ] \
+        || fail "expected $nclients completed sessions, got '$done_n'"
+
+    curl -fsS "http://127.0.0.1:$port/v1/sessions" > "$work/sessions" \
+        || fail "/v1/sessions"
+    grep -q '"done"' "$work/sessions" || fail "session list"
+else
+    echo "storm_smoke: curl not found, skipping HTTP probes" >&2
+fi
+
+# --- shedding: a zero-budget server must refuse politely ----------
+
+"$tool" serve --port 0 --port-file "$work/shed_port" \
+    --max-conns 0 2> "$work/shed.log" &
+shed_pid=$!
+i=0
+while [ ! -s "$work/shed_port" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "shed server did not start"
+    sleep 0.1
+done
+sport="$(cat "$work/shed_port")"
+
+if "$tool" stream --in "$work/trace.csv" --port "$sport" \
+    > "$work/shed_out" 2> "$work/shed_err"; then
+    fail "stream against a zero-budget server should fail"
+fi
+grep -q "overloaded" "$work/shed_err" \
+    || fail "shed refusal did not mention overload"
+
+if command -v curl >/dev/null 2>&1; then
+    code=$(curl -s -o /dev/null -w '%{http_code}' \
+        "http://127.0.0.1:$sport/healthz")
+    [ "$code" = "503" ] || fail "expected HTTP 503 from shed, got $code"
+fi
+
+# --- clean drain on SIGTERM ---------------------------------------
+
+kill -TERM "$server_pid"
+wait "$server_pid"
+st=$?
+server_pid=""
+[ "$st" -eq 0 ] || fail "storm server exited $st after SIGTERM"
+
+kill -TERM "$shed_pid"
+wait "$shed_pid"
+st=$?
+shed_pid=""
+[ "$st" -eq 0 ] || fail "shed server exited $st after SIGTERM"
+
+echo "storm_smoke: OK ($nclients clients, all reports byte-identical)"

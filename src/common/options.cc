@@ -23,6 +23,22 @@ Options::Options(int argc, char *const *argv, int first)
     }
 }
 
+std::string
+Options::shapeError(int argc, char *const *argv, int first)
+{
+    for (int i = first; i < argc; ++i) {
+        const std::string key = argv[i];
+        if (!startsWith(key, "--"))
+            return "expected --option, got '" + key + "'";
+        if (key.find('=') != std::string::npos)
+            continue;
+        if (i + 1 >= argc)
+            return "option '" + key + "' needs a value";
+        ++i;
+    }
+    return {};
+}
+
 bool
 Options::has(const std::string &key) const
 {

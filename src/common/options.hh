@@ -29,6 +29,16 @@ class Options
      */
     Options(int argc, char *const *argv, int first);
 
+    /**
+     * Grammar pre-check for CLI boundaries that want to turn a
+     * malformed command line into a usage error instead of the
+     * constructor's fatal: returns a description of the first
+     * violation ("option '--x' needs a value"), or the empty
+     * string when argv[first..argc) parses cleanly.
+     */
+    static std::string shapeError(int argc, char *const *argv,
+                                  int first);
+
     /** True when the key was supplied. */
     bool has(const std::string &key) const;
 

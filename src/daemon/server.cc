@@ -1,0 +1,751 @@
+#include "daemon/server.hh"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sstream>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/strutil.hh"
+#include "net/wire.hh"
+#include "obs/export.hh"
+#include "obs/metrics.hh"
+#include "obs/timeline.hh"
+
+namespace dlw
+{
+namespace daemon
+{
+
+namespace
+{
+
+/** net.* metric handles, registered once. */
+struct NetMetrics
+{
+    obs::Counter &accepted = obs::counter("net.accepted", "connections", "net",
+        "TCP connections accepted");
+    obs::Counter &closed = obs::counter("net.closed", "connections", "net",
+        "TCP connections closed (any reason)");
+    obs::Gauge &active = obs::gauge("net.active", "connections", "net",
+        "TCP connections currently open");
+    obs::Counter &bytes_in = obs::counter("net.bytes_in", "bytes", "net",
+        "payload bytes read from peers");
+    obs::Counter &bytes_out = obs::counter("net.bytes_out", "bytes", "net",
+        "payload bytes written to peers");
+    obs::Counter &http_requests = obs::counter("net.http.requests", "requests", "net",
+        "HTTP requests parsed and routed");
+    obs::Counter &protocol_errors = obs::counter("net.protocol_errors", "errors", "net",
+        "connections failed by malformed bytes");
+    obs::Counter &shed_connections = obs::counter("net.shed.connections", "connections", "net",
+        "connections shed at accept (over the connection budget)");
+    obs::Counter &shed_buffer = obs::counter("net.shed.buffer", "connections", "net",
+        "connections cut for exceeding the per-connection buffer cap");
+    obs::Counter &shed_http = obs::counter("net.shed.http", "requests", "net",
+        "HTTP requests answered 503 on shed connections");
+};
+
+NetMetrics &
+netMetrics()
+{
+    static NetMetrics m;
+    return m;
+}
+
+/** daemon.* metric handles, registered once. */
+struct DaemonMetrics
+{
+    obs::Counter &opened = obs::counter("daemon.sessions.opened", "sessions", "daemon",
+        "streaming sessions admitted (hello accepted)");
+    obs::Counter &completed = obs::counter("daemon.sessions.completed", "sessions", "daemon",
+        "streaming sessions that delivered a final report");
+    obs::Counter &aborted = obs::counter("daemon.sessions.aborted", "sessions", "daemon",
+        "streaming sessions that failed (protocol error, bad data, disconnect)");
+    obs::Gauge &active = obs::gauge("daemon.sessions.active", "sessions", "daemon",
+        "streaming sessions currently open");
+    obs::Counter &requests_streamed = obs::counter("daemon.requests_streamed", "records", "daemon",
+        "trace records decoded across all sessions");
+    obs::Counter &folds = obs::counter("daemon.folds", "folds", "daemon",
+        "final folds handed to the thread pool");
+    obs::Histogram &fold_seconds = obs::histogram("daemon.fold_seconds", "s", "daemon",
+        "wall time of one final fold (finish + render)");
+};
+
+DaemonMetrics &
+daemonMetrics()
+{
+    static DaemonMetrics m;
+    return m;
+}
+
+std::uint64_t
+nowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+Status
+setNonBlocking(int fd)
+{
+    const int flags = fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+        return Status::ioError(std::string("fcntl O_NONBLOCK: ") +
+                               std::strerror(errno));
+    }
+    return Status();
+}
+
+} // namespace
+
+void
+registerNetMetrics()
+{
+    netMetrics();
+}
+
+void
+registerDaemonMetrics()
+{
+    daemonMetrics();
+}
+
+Server::Server(ServerConfig config) : config_(config)
+{
+}
+
+Server::~Server()
+{
+    shutdownAll();
+    if (listen_fd_ >= 0)
+        ::close(listen_fd_);
+    if (wake_fd_ >= 0)
+        ::close(wake_fd_);
+    if (epoll_fd_ >= 0)
+        ::close(epoll_fd_);
+}
+
+Status
+Server::start()
+{
+    registerNetMetrics();
+    registerDaemonMetrics();
+
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+    if (listen_fd_ < 0)
+        return Status::ioError(std::string("socket: ") +
+                               std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(config_.port);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) < 0) {
+        return Status::ioError(std::string("bind: ") +
+                               std::strerror(errno));
+    }
+    if (::listen(listen_fd_, 128) < 0) {
+        return Status::ioError(std::string("listen: ") +
+                               std::strerror(errno));
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listen_fd_,
+                      reinterpret_cast<sockaddr *>(&addr), &len) < 0) {
+        return Status::ioError(std::string("getsockname: ") +
+                               std::strerror(errno));
+    }
+    bound_port_ = ntohs(addr.sin_port);
+
+    epoll_fd_ = ::epoll_create1(0);
+    if (epoll_fd_ < 0)
+        return Status::ioError(std::string("epoll_create1: ") +
+                               std::strerror(errno));
+
+    wake_fd_ = ::eventfd(0, EFD_NONBLOCK);
+    if (wake_fd_ < 0)
+        return Status::ioError(std::string("eventfd: ") +
+                               std::strerror(errno));
+
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = listen_fd_;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) < 0)
+        return Status::ioError(std::string("epoll_ctl listener: ") +
+                               std::strerror(errno));
+    ev.data.fd = wake_fd_;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0)
+        return Status::ioError(std::string("epoll_ctl eventfd: ") +
+                               std::strerror(errno));
+
+    const std::size_t threads =
+        config_.threads != 0 ? config_.threads
+                             : fleet::ThreadPool::hardwareThreads();
+    pool_ = std::make_unique<fleet::ThreadPool>(threads);
+    return Status();
+}
+
+Status
+Server::run()
+{
+    std::vector<epoll_event> events(64);
+    for (;;) {
+        if (stop_requested_.load(std::memory_order_relaxed) &&
+            !draining_) {
+            draining_ = true;
+            obs::emitInstant("daemon.drain");
+            if (listen_fd_ >= 0) {
+                ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_,
+                            nullptr);
+                ::close(listen_fd_);
+                listen_fd_ = -1;
+            }
+            drain_deadline_ns_ =
+                nowNs() + config_.drain_grace_ms * 1000000ull;
+        }
+        if (draining_) {
+            if (conns_.empty())
+                break;
+            if (nowNs() >= drain_deadline_ns_) {
+                shutdownAll();
+                break;
+            }
+        }
+
+        const int timeout_ms = draining_ ? 50 : 500;
+        const int n = ::epoll_wait(epoll_fd_, events.data(),
+                                   static_cast<int>(events.size()),
+                                   timeout_ms);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return Status::ioError(std::string("epoll_wait: ") +
+                                   std::strerror(errno));
+        }
+        for (int i = 0; i < n; ++i) {
+            const int fd = events[i].data.fd;
+            if (fd == listen_fd_) {
+                acceptReady();
+                continue;
+            }
+            if (fd == wake_fd_) {
+                std::uint64_t tick = 0;
+                while (::read(wake_fd_, &tick, sizeof(tick)) > 0) {
+                }
+                finishFolds();
+                continue;
+            }
+            auto it = fd_to_token_.find(fd);
+            if (it == fd_to_token_.end())
+                continue;
+            const std::uint64_t token = it->second;
+            const std::uint32_t mask = events[i].events;
+            if (mask & (EPOLLHUP | EPOLLERR)) {
+                // The read path sees the EOF/reset and settles the
+                // connection; pending bytes still drain first.
+                auto ct = conns_.find(token);
+                if (ct != conns_.end())
+                    connReadable(*ct->second);
+                continue;
+            }
+            if (mask & EPOLLIN) {
+                auto ct = conns_.find(token);
+                if (ct != conns_.end())
+                    connReadable(*ct->second);
+            }
+            if ((mask & EPOLLOUT) && conns_.count(token) != 0)
+                connWritable(*conns_[token]);
+        }
+    }
+    pool_->wait();
+    finishFolds();
+    return Status();
+}
+
+void
+Server::requestStop()
+{
+    stop_requested_.store(true, std::memory_order_relaxed);
+    const std::uint64_t one = 1;
+    // write(2) on an eventfd is async-signal-safe; the loop wakes
+    // even if it was parked in epoll_wait.
+    [[maybe_unused]] ssize_t rc =
+        ::write(wake_fd_, &one, sizeof(one));
+}
+
+void
+Server::acceptReady()
+{
+    for (;;) {
+        const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                                 SOCK_NONBLOCK);
+        if (fd < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return;
+            if (errno == EINTR)
+                continue;
+            return;
+        }
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+        auto c = std::make_unique<Conn>();
+        c->fd = fd;
+        c->token = next_token_++;
+        c->shed = conns_.size() >= config_.max_connections;
+
+        netMetrics().accepted.add();
+        netMetrics().active.add(1);
+        obs::emitInstant("net.accept");
+        if (c->shed) {
+            netMetrics().shed_connections.add();
+            obs::emitInstant("net.shed");
+        }
+
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.fd = fd;
+        if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+            ::close(fd);
+            netMetrics().active.add(-1);
+            netMetrics().closed.add();
+            continue;
+        }
+        fd_to_token_[fd] = c->token;
+        conns_[c->token] = std::move(c);
+    }
+}
+
+void
+Server::connReadable(Conn &c)
+{
+    char buf[64 * 1024];
+    for (;;) {
+        const ssize_t n = ::read(c.fd, buf, sizeof(buf));
+        if (n > 0) {
+            c.in.append(buf, static_cast<std::size_t>(n));
+            netMetrics().bytes_in.add(
+                static_cast<std::uint64_t>(n));
+            if (c.in.size() + c.out.size() >
+                config_.max_buffer_bytes) {
+                netMetrics().shed_buffer.add();
+                obs::emitInstant("net.shed");
+                if (c.session != nullptr &&
+                    c.session->settleOnce()) {
+                    c.session->abort("connection buffer cap exceeded");
+                    daemonMetrics().aborted.add();
+                    daemonMetrics().active.add(-1);
+                }
+                closeConn(c.token);
+                return;
+            }
+            continue;
+        }
+        if (n == 0) {
+            c.saw_eof = true;
+            break;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            break;
+        if (errno == EINTR)
+            continue;
+        c.saw_eof = true;
+        break;
+    }
+    pumpConn(c);
+}
+
+void
+Server::pumpConn(Conn &c)
+{
+    const std::uint64_t token = c.token;
+    if (c.state == ConnState::kSniff)
+        sniff(c);
+    if (conns_.count(token) == 0)
+        return;
+    Conn &cc = *conns_[token];
+    switch (cc.state) {
+    case ConnState::kHttp:
+        serveHttp(cc);
+        break;
+    case ConnState::kStream:
+        streamBytes(cc);
+        break;
+    case ConnState::kSniff:
+    case ConnState::kFold:
+        if (cc.saw_eof && cc.state == ConnState::kSniff &&
+            cc.in.empty()) {
+            // Connected and went away without a byte.
+            closeConn(cc.token);
+            return;
+        }
+        break;
+    }
+    if (conns_.count(token) != 0)
+        updateEpoll(*conns_[token]);
+}
+
+void
+Server::sniff(Conn &c)
+{
+    const std::size_t n = c.in.size();
+    if (n == 0)
+        return;
+    // "DLWS1 ..." → ingest session; anything else → HTTP.  Decide as
+    // soon as the available bytes diverge from the hello magic.
+    const std::size_t probe = std::min<std::size_t>(n, 5);
+    if (std::memcmp(c.in.data(), "DLWS1", probe) != 0) {
+        c.state = ConnState::kHttp;
+        return;
+    }
+    if (n < 5)
+        return; // could still be either; wait
+    const std::size_t nl = c.in.find('\n');
+    if (nl == net::ByteQueue::npos) {
+        if (n > net::kMaxHelloBytes) {
+            netMetrics().protocol_errors.add();
+            queueWrite(c, net::renderReportError(
+                              "oversized hello line"));
+            c.close_after_flush = true;
+            c.state = ConnState::kFold; // no further reads parsed
+        }
+        return;
+    }
+    std::string line(c.in.data(), nl);
+    c.in.consume(nl + 1);
+
+    net::StreamHello hello;
+    Status s = net::parseStreamHello(line, hello);
+    if (!s.ok()) {
+        netMetrics().protocol_errors.add();
+        queueWrite(c, net::renderReportError(s.message()));
+        c.close_after_flush = true;
+        c.state = ConnState::kFold;
+        return;
+    }
+    if (c.shed || draining_) {
+        queueWrite(c, net::renderReportError("overloaded"));
+        c.close_after_flush = true;
+        c.state = ConnState::kFold;
+        return;
+    }
+
+    std::ostringstream id;
+    id << hello.tenant << '-' << next_session_++;
+    c.session = std::make_shared<Session>(id.str(), hello.tenant,
+                                          hello.format);
+    // The registry keeps finished sessions queryable over HTTP, but
+    // bounded: evict settled sessions once it outgrows the
+    // connection budget by 4x.
+    if (sessions_.size() >= config_.max_connections * 4) {
+        for (auto it = sessions_.begin(); it != sessions_.end();) {
+            if (it->second->state() != SessionState::kStreaming &&
+                sessions_.size() >= config_.max_connections * 2) {
+                it = sessions_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+    sessions_[c.session->id()] = c.session;
+    daemonMetrics().opened.add();
+    daemonMetrics().active.add(1);
+    queueWrite(c, net::renderStreamAck(c.session->id()));
+    c.state = ConnState::kStream;
+}
+
+void
+Server::serveHttp(Conn &c)
+{
+    for (;;) {
+        net::HttpRequest req;
+        std::string why;
+        const net::HttpParser::Result r = c.http.next(c.in, req, why);
+        if (r == net::HttpParser::Result::kNeedMore)
+            break;
+        if (r == net::HttpParser::Result::kError) {
+            netMetrics().protocol_errors.add();
+            queueWrite(c, net::renderHttpResponse(
+                              400, "Bad Request", "text/plain",
+                              why + "\n", false));
+            c.close_after_flush = true;
+            return;
+        }
+        netMetrics().http_requests.add();
+        if (c.shed || draining_) {
+            netMetrics().shed_http.add();
+            obs::emitInstant("net.shed");
+            queueWrite(c, net::renderHttpResponse(
+                              503, "Service Unavailable",
+                              "text/plain", "overloaded\n", false));
+            c.close_after_flush = true;
+            return;
+        }
+        bool keep_alive = req.keepAlive();
+        queueWrite(c, routeHttp(req, keep_alive));
+        if (!keep_alive) {
+            c.close_after_flush = true;
+            return;
+        }
+    }
+    if (c.saw_eof && c.in.empty()) {
+        if (c.out.empty())
+            closeConn(c.token);
+        else
+            c.close_after_flush = true;
+    }
+}
+
+std::string
+Server::routeHttp(const net::HttpRequest &req, bool &keep_alive)
+{
+    if (req.method != "GET") {
+        keep_alive = false;
+        return net::renderHttpResponse(405, "Method Not Allowed",
+                                       "text/plain",
+                                       "only GET is served\n", false);
+    }
+    if (req.target == "/healthz") {
+        return net::renderHttpResponse(200, "OK", "text/plain",
+                                       "ok\n", keep_alive);
+    }
+    if (req.target == "/metrics") {
+        return net::renderHttpResponse(
+            200, "OK", "text/plain; version=0.0.4",
+            obs::renderProm(obs::takeSnapshot()), keep_alive);
+    }
+    if (req.target == "/v1/sessions") {
+        std::ostringstream os;
+        os << "[";
+        bool first = true;
+        for (const auto &kv : sessions_) {
+            if (!first)
+                os << ",";
+            first = false;
+            os << "{\"session\":\"" << kv.first << "\",\"state\":\""
+               << sessionStateName(kv.second->state()) << "\"}";
+        }
+        os << "]\n";
+        return net::renderHttpResponse(200, "OK", "application/json",
+                                       os.str(), keep_alive);
+    }
+    const std::string prefix = "/v1/sessions/";
+    const std::string suffix = "/report";
+    if (startsWith(req.target, prefix) &&
+        endsWith(req.target, suffix) &&
+        req.target.size() > prefix.size() + suffix.size()) {
+        const std::string id = req.target.substr(
+            prefix.size(),
+            req.target.size() - prefix.size() - suffix.size());
+        auto it = sessions_.find(id);
+        if (it == sessions_.end()) {
+            return net::renderHttpResponse(
+                404, "Not Found", "text/plain",
+                "no such session\n", keep_alive);
+        }
+        return net::renderHttpResponse(200, "OK", "application/json",
+                                       it->second->reportJson(),
+                                       keep_alive);
+    }
+    return net::renderHttpResponse(404, "Not Found", "text/plain",
+                                   "unknown path\n", keep_alive);
+}
+
+void
+Server::streamBytes(Conn &c)
+{
+    const std::uint64_t before = c.session->records();
+    if (!c.in.empty()) {
+        Status s = c.session->consume(c.in);
+        daemonMetrics().requests_streamed.add(c.session->records() -
+                                              before);
+        if (!s.ok()) {
+            failSession(c, s.message(), /*protocol=*/true);
+            return;
+        }
+    }
+    // The payload is over when the binary end frame lands or (CSV)
+    // when the peer half-closes; either way validate + final fold.
+    if (c.session->inputComplete() || c.saw_eof) {
+        Status s = c.session->finishInput(c.in);
+        if (!s.ok()) {
+            failSession(c, s.message(), /*protocol=*/false);
+            return;
+        }
+        startFold(c);
+    }
+}
+
+void
+Server::failSession(Conn &c, const std::string &why, bool protocol)
+{
+    if (protocol)
+        netMetrics().protocol_errors.add();
+    if (c.session->settleOnce()) {
+        daemonMetrics().aborted.add();
+        daemonMetrics().active.add(-1);
+    }
+    queueWrite(c, net::renderReportError(why));
+    c.close_after_flush = true;
+    c.state = ConnState::kFold;
+}
+
+void
+Server::startFold(Conn &c)
+{
+    c.state = ConnState::kFold;
+    daemonMetrics().folds.add();
+    std::shared_ptr<Session> session = c.session;
+    const std::uint64_t token = c.token;
+    Server *self = this;
+    pool_->submit([self, session, token]() {
+        FoldDone done;
+        done.token = token;
+        done.session = session;
+        try {
+            obs::ScopedTimer t(daemonMetrics().fold_seconds);
+            done.text = session->finalReportText();
+            done.ok = true;
+        } catch (const std::exception &e) {
+            session->abort(e.what());
+            done.text = e.what();
+            done.ok = false;
+        }
+        {
+            std::lock_guard<std::mutex> lock(self->folds_mu_);
+            self->folds_done_.push_back(std::move(done));
+        }
+        const std::uint64_t one = 1;
+        [[maybe_unused]] ssize_t rc =
+            ::write(self->wake_fd_, &one, sizeof(one));
+    });
+}
+
+void
+Server::finishFolds()
+{
+    std::vector<FoldDone> done;
+    {
+        std::lock_guard<std::mutex> lock(folds_mu_);
+        done.swap(folds_done_);
+    }
+    for (FoldDone &d : done) {
+        if (d.session->settleOnce()) {
+            if (d.ok)
+                daemonMetrics().completed.add();
+            else
+                daemonMetrics().aborted.add();
+            daemonMetrics().active.add(-1);
+        }
+        auto it = conns_.find(d.token);
+        if (it == conns_.end())
+            continue; // client vanished mid-fold
+        Conn &c = *it->second;
+        if (d.ok) {
+            queueWrite(c, net::renderReportOk(d.text.size()));
+            queueWrite(c, d.text);
+        } else {
+            queueWrite(c, net::renderReportError(d.text));
+        }
+        c.close_after_flush = true;
+        connWritable(c);
+    }
+}
+
+void
+Server::queueWrite(Conn &c, const std::string &bytes)
+{
+    // Append only: the actual write happens on the next EPOLLOUT
+    // (armed via updateEpoll), so queueing can never invalidate the
+    // connection mid-caller.
+    c.out.append(bytes);
+    updateEpoll(c);
+}
+
+void
+Server::connWritable(Conn &c)
+{
+    while (!c.out.empty()) {
+        const ssize_t n = ::write(c.fd, c.out.data(), c.out.size());
+        if (n > 0) {
+            netMetrics().bytes_out.add(
+                static_cast<std::uint64_t>(n));
+            c.out.consume(static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            break;
+        if (n < 0 && errno == EINTR)
+            continue;
+        // Peer is gone; nothing left to flush to it.
+        if (c.session != nullptr && c.session->settleOnce()) {
+            c.session->abort("peer disconnected");
+            daemonMetrics().aborted.add();
+            daemonMetrics().active.add(-1);
+        }
+        closeConn(c.token);
+        return;
+    }
+    if (c.out.empty() && c.close_after_flush) {
+        closeConn(c.token);
+        return;
+    }
+    updateEpoll(c);
+}
+
+void
+Server::updateEpoll(Conn &c)
+{
+    const bool want = !c.out.empty();
+    if (want == c.want_write)
+        return;
+    c.want_write = want;
+    epoll_event ev{};
+    ev.events = EPOLLIN | (want ? EPOLLOUT : 0u);
+    ev.data.fd = c.fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c.fd, &ev);
+}
+
+void
+Server::closeConn(std::uint64_t token)
+{
+    auto it = conns_.find(token);
+    if (it == conns_.end())
+        return;
+    Conn &c = *it->second;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, c.fd, nullptr);
+    fd_to_token_.erase(c.fd);
+    ::close(c.fd);
+    netMetrics().active.add(-1);
+    netMetrics().closed.add();
+    conns_.erase(it);
+}
+
+void
+Server::shutdownAll()
+{
+    while (!conns_.empty()) {
+        Conn &c = *conns_.begin()->second;
+        if (c.session != nullptr && c.session->settleOnce()) {
+            c.session->abort("server shutting down");
+            daemonMetrics().aborted.add();
+            daemonMetrics().active.add(-1);
+        }
+        closeConn(c.token);
+    }
+}
+
+} // namespace daemon
+} // namespace dlw

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * dlwd: the characterization daemon's epoll event loop.
+ *
+ * One thread owns every socket.  The loop accepts connections,
+ * sniffs the first bytes to split them into ingest sessions (hello
+ * line "DLWS1 ...") and HTTP results queries ("GET /metrics", ...),
+ * and pumps non-blocking reads/writes through per-connection bounded
+ * ByteQueues.  Ingest bytes feed a net::StreamDecoder whose batches
+ * fold incrementally into a core::LiveCharacterization, so a
+ * session's memory is one batch plus the accumulators — never the
+ * trace.  The only work that leaves the loop thread is the final
+ * fold (finish + render), which runs on a fleet::ThreadPool and
+ * posts its completion back through an eventfd.
+ *
+ * Overload policy is shedding, not queueing: connections beyond
+ * max_connections are answered with 503 / "DLWR1 error overloaded"
+ * and closed; a connection whose buffered bytes exceed the
+ * per-connection cap is closed outright.  SIGTERM (via
+ * requestStop(), which is async-signal-safe) drains: the listener
+ * closes immediately, in-flight sessions get drain_grace_ms to
+ * finish, stragglers are then cut.
+ */
+
+#ifndef DLW_DAEMON_SERVER_HH
+#define DLW_DAEMON_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.hh"
+#include "daemon/session.hh"
+#include "fleet/pool.hh"
+#include "net/http.hh"
+
+namespace dlw
+{
+namespace daemon
+{
+
+/** Tunables for one Server. */
+struct ServerConfig
+{
+    /** TCP port; 0 binds an ephemeral port (read it via port()). */
+    std::uint16_t port = 7433;
+
+    /** Accept budget: connections beyond this are shed with 503. */
+    std::size_t max_connections = 256;
+
+    /** Per-connection cap on buffered (unparsed + unsent) bytes. */
+    std::size_t max_buffer_bytes = std::size_t(4) << 20;
+
+    /** Fold pool width; 0 = fleet::ThreadPool::hardwareThreads(). */
+    std::size_t threads = 0;
+
+    /** Grace period for in-flight sessions after requestStop(). */
+    std::uint64_t drain_grace_ms = 5000;
+};
+
+/**
+ * The daemon.  start() binds, run() loops until requestStop() (or
+ * stop()) and the drain completes.  One Server per process is the
+ * intended shape, but nothing prevents several.
+ */
+class Server
+{
+  public:
+    explicit Server(ServerConfig config);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bind + listen + arm epoll.  Call once, before run(). */
+    Status start();
+
+    /** Bound TCP port (useful with config.port == 0). */
+    std::uint16_t port() const { return bound_port_; }
+
+    /**
+     * Run the event loop on the calling thread until a stop request
+     * has been honoured and every connection has drained or been
+     * cut.
+     */
+    Status run();
+
+    /**
+     * Request a graceful drain.  Async-signal-safe (an atomic store
+     * plus an eventfd write), so it may be called from a SIGTERM
+     * handler or any thread.
+     */
+    void requestStop();
+
+    /** Connections currently open (loop thread only). */
+    std::size_t activeConnections() const { return conns_.size(); }
+
+  private:
+    enum class ConnState
+    {
+        kSniff,  ///< deciding: stream hello vs HTTP
+        kHttp,   ///< serving GETs
+        kStream, ///< ingesting a session payload
+        kFold,   ///< stream done; waiting on the pool
+    };
+
+    struct Conn
+    {
+        int fd = -1;
+        std::uint64_t token = 0; ///< stable id (fds are reused)
+        ConnState state = ConnState::kSniff;
+        net::ByteQueue in;
+        net::ByteQueue out;
+        net::HttpParser http;
+        std::shared_ptr<Session> session;
+        bool shed = false;            ///< over budget at accept
+        bool close_after_flush = false;
+        bool saw_eof = false;
+        bool want_write = false; ///< EPOLLOUT currently armed
+    };
+
+    struct FoldDone
+    {
+        std::uint64_t token = 0;
+        std::shared_ptr<Session> session;
+        bool ok = false;
+        std::string text; ///< report body or error message
+    };
+
+    void acceptReady();
+    void connReadable(Conn &c);
+    void connWritable(Conn &c);
+    void pumpConn(Conn &c);
+    void sniff(Conn &c);
+    void serveHttp(Conn &c);
+    std::string routeHttp(const net::HttpRequest &req,
+                          bool &keep_alive);
+    void streamBytes(Conn &c);
+    void failSession(Conn &c, const std::string &why, bool protocol);
+    void startFold(Conn &c);
+    void finishFolds();
+    void queueWrite(Conn &c, const std::string &bytes);
+    void updateEpoll(Conn &c);
+    void closeConn(std::uint64_t token);
+    void shutdownAll();
+
+    ServerConfig config_;
+    std::uint16_t bound_port_ = 0;
+    int listen_fd_ = -1;
+    int epoll_fd_ = -1;
+    int wake_fd_ = -1; ///< eventfd: fold completions + stop requests
+
+    std::map<std::uint64_t, std::unique_ptr<Conn>> conns_;
+    std::map<int, std::uint64_t> fd_to_token_;
+    std::uint64_t next_token_ = 1;
+    std::uint64_t next_session_ = 1;
+
+    /** Live sessions by id, for the HTTP results plane. */
+    std::map<std::string, std::shared_ptr<Session>> sessions_;
+
+    std::unique_ptr<fleet::ThreadPool> pool_;
+    std::mutex folds_mu_;
+    std::vector<FoldDone> folds_done_;
+
+    std::atomic<bool> stop_requested_{false};
+    bool draining_ = false;
+    std::uint64_t drain_deadline_ns_ = 0;
+};
+
+/**
+ * Force-register the net.* connection/shedding metrics so snapshots
+ * cover the schema before any server runs.
+ */
+void registerNetMetrics();
+
+/**
+ * Force-register the daemon.* session metrics so snapshots cover the
+ * schema before any server runs.
+ */
+void registerDaemonMetrics();
+
+} // namespace daemon
+} // namespace dlw
+
+#endif // DLW_DAEMON_SERVER_HH

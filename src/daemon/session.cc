@@ -1,0 +1,206 @@
+#include "daemon/session.hh"
+
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+namespace dlw
+{
+namespace daemon
+{
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+const char *
+sessionStateName(SessionState s)
+{
+    switch (s) {
+    case SessionState::kStreaming:
+        return "streaming";
+    case SessionState::kDone:
+        return "done";
+    case SessionState::kAborted:
+        return "aborted";
+    }
+    return "?";
+}
+
+Session::Session(std::string id, std::string tenant,
+                 net::StreamFormat format)
+    : id_(std::move(id)), tenant_(std::move(tenant)),
+      format_(format), decoder_(format, net::kMaxFrameBytes)
+{
+}
+
+Status
+Session::consume(net::ByteQueue &in)
+{
+    Status s = decoder_.drain(in);
+    if (!s.ok()) {
+        abort(s.message());
+        return s;
+    }
+    s = foldPending();
+    if (!s.ok())
+        abort(s.message());
+    return s;
+}
+
+Status
+Session::finishInput(net::ByteQueue &in)
+{
+    // A CSV file whose last record line has no trailing newline is
+    // legal from disk (getline delivers it), so it must be legal
+    // over the wire too: complete the line and drain it.
+    if (format_ == net::StreamFormat::kCsv && !in.empty()) {
+        in.append("\n", 1);
+        Status s = consume(in);
+        if (!s.ok())
+            return s;
+    }
+    Status s = decoder_.endOfInput();
+    if (!s.ok()) {
+        abort(s.message());
+        return s;
+    }
+    s = foldPending();
+    if (!s.ok()) {
+        abort(s.message());
+        return s;
+    }
+    // A header-only stream is valid (an empty trace characterizes to
+    // an empty report), but no header at all cannot reach here: the
+    // decoder fails endOfInput() first.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (live_ == nullptr) {
+        live_ = std::make_unique<core::LiveCharacterization>(
+            decoder_.header());
+    }
+    return Status();
+}
+
+void
+Session::abort(const std::string &why)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (state_ == SessionState::kStreaming) {
+        state_ = SessionState::kAborted;
+        error_ = why;
+    }
+}
+
+std::string
+Session::finalReportText()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const core::DriveCharacterization c = live_->finish();
+    if (state_ == SessionState::kStreaming)
+        state_ = SessionState::kDone;
+    return c.render();
+}
+
+std::string
+Session::reportJson() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::ostringstream os;
+    os << "{\"session\":\"" << jsonEscape(id_) << "\",\"tenant\":\""
+       << jsonEscape(tenant_) << "\",\"state\":\""
+       << sessionStateName(state_) << "\"";
+    if (!error_.empty())
+        os << ",\"error\":\"" << jsonEscape(error_) << "\"";
+    if (live_ != nullptr) {
+        os << ",\"records\":" << live_->requests()
+           << ",\"characterization\":"
+           << core::renderCharacterizationJson(live_->snapshot());
+    } else {
+        os << ",\"records\":0";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+SessionState
+Session::state() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return state_;
+}
+
+std::uint64_t
+Session::records() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return live_ == nullptr ? 0 : live_->requests();
+}
+
+bool
+Session::settleOnce()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (settled_)
+        return false;
+    settled_ = true;
+    return true;
+}
+
+Status
+Session::foldPending()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (live_ == nullptr) {
+        if (!decoder_.headerReady())
+            return Status();
+        live_ = std::make_unique<core::LiveCharacterization>(
+            decoder_.header());
+    }
+    while (decoder_.take(batch_)) {
+        Status s = live_->observe(batch_);
+        if (!s.ok())
+            return s;
+    }
+    return Status();
+}
+
+} // namespace daemon
+} // namespace dlw

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * One tenant's streaming characterization session.
+ *
+ * A session glues the wire decoder (net/wire.hh) to the push-driven
+ * characterization (core/live.hh) for one ingest connection.  The
+ * epoll loop owns the byte flow and calls consume()/finishInput()
+ * from the loop thread; the final fold (finish + render) runs on the
+ * fleet pool; and HTTP handlers may ask for a live JSON report at
+ * any moment.  A small mutex around the LiveCharacterization keeps
+ * those three callers honest — snapshots are cheap (accumulator
+ * copies), so the loop thread never blocks behind a fold for long.
+ *
+ * Sessions are held by shared_ptr from both the connection and the
+ * session registry, so a client that disconnects mid-fold cannot
+ * dangle the pool task.
+ */
+
+#ifndef DLW_DAEMON_SESSION_HH
+#define DLW_DAEMON_SESSION_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.hh"
+#include "core/live.hh"
+#include "net/buffer.hh"
+#include "net/wire.hh"
+#include "trace/batch.hh"
+
+namespace dlw
+{
+namespace daemon
+{
+
+/**
+ * Lifecycle of a session as exposed over HTTP.
+ */
+enum class SessionState
+{
+    kStreaming, ///< bytes still arriving
+    kDone,      ///< final report rendered
+    kAborted,   ///< protocol/validation error or abrupt disconnect
+};
+
+/** "streaming" / "done" / "aborted". */
+const char *sessionStateName(SessionState s);
+
+/**
+ * One streaming session: decoder + live characterization + final
+ * report.  Thread-safe where the daemon needs it to be (see file
+ * comment); everything else is loop-thread-only.
+ */
+class Session
+{
+  public:
+    /**
+     * @param id      Registry key, e.g. "acme-3".
+     * @param tenant  Tenant label from the hello line.
+     * @param format  Payload encoding.
+     */
+    Session(std::string id, std::string tenant,
+            net::StreamFormat format);
+
+    const std::string &id() const { return id_; }
+    const std::string &tenant() const { return tenant_; }
+
+    /** Loop thread: decode and fold every parseable byte of `in`. */
+    Status consume(net::ByteQueue &in);
+
+    /**
+     * Loop thread: no more payload bytes will arrive (the peer
+     * half-closed, or the binary end frame landed).  Flushes a final
+     * CSV line that arrived without its newline, validates stream
+     * completeness, and folds any final partial batch; on OK the
+     * session is ready for finalReportText().
+     *
+     * @param in Remaining unparsed connection bytes.
+     */
+    Status finishInput(net::ByteQueue &in);
+
+    /**
+     * Loop thread: true once the payload ended cleanly on its own
+     * (binary end frame) — the signal to fold without waiting for
+     * the half-close.
+     */
+    bool inputComplete() const { return decoder_.done(); }
+
+    /** Loop thread: mark the session failed (protocol error, drop). */
+    void abort(const std::string &why);
+
+    /**
+     * Fold/pool thread: finish the accumulators and render the final
+     * plain-text report (the bytes the client receives after
+     * "DLWR1 ok").  Call once, after finishInput() returned OK.
+     */
+    std::string finalReportText();
+
+    /**
+     * Any thread: JSON state + characterization snapshot for
+     * `GET /v1/sessions/<id>/report`.  While streaming this is a
+     * mid-stream snapshot; after the fold it is the final result.
+     */
+    std::string reportJson() const;
+
+    /** Any thread: current lifecycle state. */
+    SessionState state() const;
+
+    /** Any thread: records folded so far. */
+    std::uint64_t records() const;
+
+    /**
+     * Any thread: one-shot accounting latch.  The daemon counts each
+     * session exactly once (completed or aborted, active -1); the
+     * first caller wins and does the counting.
+     */
+    bool settleOnce();
+
+  private:
+    /** Drain decoder batches into the characterization. */
+    Status foldPending();
+
+    const std::string id_;
+    const std::string tenant_;
+    const net::StreamFormat format_;
+    net::StreamDecoder decoder_;
+    trace::RequestBatch batch_;
+
+    mutable std::mutex mu_; ///< guards live_, state_, error_, settled_
+    std::unique_ptr<core::LiveCharacterization> live_;
+    SessionState state_ = SessionState::kStreaming;
+    std::string error_;
+    bool settled_ = false;
+};
+
+} // namespace daemon
+} // namespace dlw
+
+#endif // DLW_DAEMON_SESSION_HH

@@ -1,0 +1,47 @@
+#include "net/buffer.hh"
+
+#include <cstring>
+
+namespace dlw
+{
+namespace net
+{
+
+void
+ByteQueue::append(const char *data, std::size_t n)
+{
+    // Compact when the dead prefix is both large and the majority of
+    // the backing store: amortized O(1) per byte.
+    if (head_ > 4096 && head_ > buf_.size() - head_) {
+        buf_.erase(0, head_);
+        head_ = 0;
+    }
+    buf_.append(data, n);
+}
+
+void
+ByteQueue::consume(std::size_t n)
+{
+    head_ += n;
+    if (head_ >= buf_.size())
+        clear();
+}
+
+void
+ByteQueue::clear()
+{
+    buf_.clear();
+    head_ = 0;
+}
+
+std::size_t
+ByteQueue::find(char c) const
+{
+    const char *p = static_cast<const char *>(
+        std::memchr(data(), c, size()));
+    return p == nullptr ? npos
+                        : static_cast<std::size_t>(p - data());
+}
+
+} // namespace net
+} // namespace dlw

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Bounded per-connection byte buffer.
+ *
+ * Every connection in the daemon owns two of these — bytes read but
+ * not yet parsed, bytes rendered but not yet written — and the
+ * overload policy is expressed through their caps: a connection
+ * whose unparsed input cannot shrink (one CSV line or frame bigger
+ * than the cap) or whose output the peer will not drain is shed,
+ * never grown.  The buffer is a flat string with a consumed-prefix
+ * cursor; compaction happens only when the dead prefix dominates,
+ * so steady-state append/consume does not memmove per byte.
+ */
+
+#ifndef DLW_NET_BUFFER_HH
+#define DLW_NET_BUFFER_HH
+
+#include <cstddef>
+#include <string>
+
+namespace dlw
+{
+namespace net
+{
+
+/**
+ * FIFO byte queue with a contiguous unconsumed view.
+ */
+class ByteQueue
+{
+  public:
+    /** Bytes currently queued. */
+    std::size_t size() const { return buf_.size() - head_; }
+
+    /** True when nothing is queued. */
+    bool empty() const { return head_ == buf_.size(); }
+
+    /** Contiguous view of the unconsumed bytes (size() long). */
+    const char *data() const { return buf_.data() + head_; }
+
+    /** Append n raw bytes. */
+    void append(const char *data, std::size_t n);
+
+    /** Append a string's bytes. */
+    void append(const std::string &s) { append(s.data(), s.size()); }
+
+    /** Drop the first n unconsumed bytes (n <= size()). */
+    void consume(std::size_t n);
+
+    /** Drop everything. */
+    void clear();
+
+    /**
+     * Offset of byte `c` within the unconsumed view, or npos.
+     */
+    std::size_t find(char c) const;
+
+    static constexpr std::size_t npos = std::string::npos;
+
+  private:
+    std::string buf_;
+    std::size_t head_ = 0;
+};
+
+} // namespace net
+} // namespace dlw
+
+#endif // DLW_NET_BUFFER_HH

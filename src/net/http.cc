@@ -1,0 +1,138 @@
+#include "net/http.hh"
+
+#include <cctype>
+#include <cstring>
+#include <sstream>
+
+#include "common/strutil.hh"
+
+namespace dlw
+{
+namespace net
+{
+
+namespace
+{
+
+std::string
+toLower(std::string s)
+{
+    for (char &c : s)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    return s;
+}
+
+/**
+ * Offset one past the head terminator ("\r\n\r\n" or "\n\n"), or
+ * ByteQueue::npos when the head is still incomplete.
+ */
+std::size_t
+findHeadEnd(const char *data, std::size_t n)
+{
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+        if (data[i] != '\n')
+            continue;
+        if (data[i + 1] == '\n')
+            return i + 2;
+        if (i + 2 < n && data[i + 1] == '\r' && data[i + 2] == '\n')
+            return i + 3;
+    }
+    return ByteQueue::npos;
+}
+
+} // namespace
+
+std::string
+HttpRequest::headerValue(const std::string &name) const
+{
+    for (const auto &h : headers) {
+        if (h.first == name)
+            return h.second;
+    }
+    return "";
+}
+
+bool
+HttpRequest::keepAlive() const
+{
+    const std::string conn = toLower(headerValue("connection"));
+    if (conn.find("close") != std::string::npos)
+        return false;
+    if (version == "HTTP/1.0")
+        return conn.find("keep-alive") != std::string::npos;
+    return true;
+}
+
+HttpParser::Result
+HttpParser::next(ByteQueue &in, HttpRequest &out, std::string &why)
+{
+    const std::size_t end = findHeadEnd(in.data(), in.size());
+    if (end == ByteQueue::npos) {
+        if (in.size() > kMaxHttpHeadBytes) {
+            why = "oversized request head";
+            return Result::kError;
+        }
+        return Result::kNeedMore;
+    }
+
+    std::string head(in.data(), end);
+    in.consume(end);
+
+    out = HttpRequest();
+    std::istringstream is(head);
+    std::string line;
+    bool first = true;
+    while (std::getline(is, line)) {
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty())
+            break;
+        if (first) {
+            auto parts = split(line, ' ');
+            if (parts.size() != 3) {
+                why = "malformed request line";
+                return Result::kError;
+            }
+            out.method = parts[0];
+            out.target = parts[1];
+            out.version = parts[2];
+            if (!startsWith(out.version, "HTTP/")) {
+                why = "malformed HTTP version";
+                return Result::kError;
+            }
+            first = false;
+            continue;
+        }
+        const std::size_t colon = line.find(':');
+        if (colon == std::string::npos) {
+            why = "malformed header line";
+            return Result::kError;
+        }
+        out.headers.emplace_back(toLower(trim(line.substr(0, colon))),
+                                 trim(line.substr(colon + 1)));
+    }
+    if (first) {
+        why = "empty request";
+        return Result::kError;
+    }
+    return Result::kRequest;
+}
+
+std::string
+renderHttpResponse(int status_code, const std::string &reason,
+                   const std::string &content_type,
+                   const std::string &body, bool keep_alive)
+{
+    std::ostringstream os;
+    os << "HTTP/1.1 " << status_code << ' ' << reason << "\r\n"
+       << "Content-Type: " << content_type << "\r\n"
+       << "Content-Length: " << body.size() << "\r\n"
+       << "Connection: " << (keep_alive ? "keep-alive" : "close")
+       << "\r\n\r\n"
+       << body;
+    return os.str();
+}
+
+} // namespace net
+} // namespace dlw

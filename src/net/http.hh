@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Minimal incremental HTTP/1.1 parser and response renderer for the
+ * daemon's results plane.
+ *
+ * The daemon only serves small GETs (/healthz, /metrics, session
+ * reports), so this is deliberately a subset: request line + headers,
+ * no request bodies, no chunked transfer, no continuation lines.
+ * What it does handle carefully is the event-loop reality — requests
+ * arriving one byte per epoll wakeup, several requests pipelined into
+ * one read, and header blocks that never terminate (capped, then
+ * shed).
+ */
+
+#ifndef DLW_NET_HTTP_HH
+#define DLW_NET_HTTP_HH
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.hh"
+#include "net/buffer.hh"
+
+namespace dlw
+{
+namespace net
+{
+
+/** Cap on one request's head (request line + headers). */
+inline constexpr std::size_t kMaxHttpHeadBytes = 16 * 1024;
+
+/** One parsed request head. */
+struct HttpRequest
+{
+    std::string method;
+    std::string target;
+    std::string version;
+    /** Header name/value pairs; names lowered. */
+    std::vector<std::pair<std::string, std::string>> headers;
+
+    /** First value of a header (lowercase name), or "". */
+    std::string headerValue(const std::string &name) const;
+
+    /** True when the peer asked to keep the connection open. */
+    bool keepAlive() const;
+};
+
+/**
+ * Incremental request-head parser.
+ *
+ * Feed bytes with next(): each call either parses one complete
+ * pipelined request out of the queue, reports that more bytes are
+ * needed, or fails the connection.
+ */
+class HttpParser
+{
+  public:
+    enum class Result
+    {
+        kRequest,  ///< `out` holds one parsed request.
+        kNeedMore, ///< No complete head buffered yet.
+        kError,    ///< Malformed or oversized; close the connection.
+    };
+
+    /**
+     * Try to parse one request head from `in`.
+     *
+     * @param in  Connection read buffer; consumed through the blank
+     *            line on success.
+     * @param out Receives the parsed request on kRequest.
+     * @param why Receives a diagnostic on kError.
+     */
+    Result next(ByteQueue &in, HttpRequest &out, std::string &why);
+};
+
+/**
+ * Render a full HTTP/1.1 response with Content-Length framing.
+ *
+ * @param status_code   e.g. 200, 404, 503.
+ * @param reason        e.g. "OK".
+ * @param content_type  Value for Content-Type.
+ * @param body          Response payload.
+ * @param keep_alive    Emits `Connection: keep-alive` or `close`.
+ */
+std::string renderHttpResponse(int status_code,
+                               const std::string &reason,
+                               const std::string &content_type,
+                               const std::string &body,
+                               bool keep_alive);
+
+} // namespace net
+} // namespace dlw
+
+#endif // DLW_NET_HTTP_HH

@@ -1,0 +1,347 @@
+#include "net/wire.hh"
+
+#include <cstring>
+#include <sstream>
+
+#include "common/strutil.hh"
+
+namespace dlw
+{
+namespace net
+{
+
+const char *
+streamFormatName(StreamFormat f)
+{
+    return f == StreamFormat::kCsv ? "csv" : "bin";
+}
+
+Status
+parseStreamHello(const std::string &line, StreamHello &out)
+{
+    auto f = split(trim(line), ' ');
+    if (f.empty() || f[0] != kHelloMagic)
+        return Status::invalidArgument("not a dlw stream hello");
+    if (f.size() < 2 || f.size() > 3) {
+        return Status::invalidArgument(
+            "malformed hello (want 'DLWS1 <csv|bin> [tenant]')");
+    }
+    if (f[1] == "csv") {
+        out.format = StreamFormat::kCsv;
+    } else if (f[1] == "bin") {
+        out.format = StreamFormat::kBin;
+    } else {
+        return Status::invalidArgument("unknown stream format '" +
+                                       f[1] + "' (csv|bin)");
+    }
+    out.tenant = "anon";
+    if (f.size() == 3) {
+        if (f[2].empty() || f[2].size() > 64)
+            return Status::invalidArgument("bad tenant id length");
+        for (char c : f[2]) {
+            const bool ok = (c >= 'a' && c <= 'z') ||
+                            (c >= 'A' && c <= 'Z') ||
+                            (c >= '0' && c <= '9') || c == '.' ||
+                            c == '_' || c == '-';
+            if (!ok) {
+                return Status::invalidArgument(
+                    "bad tenant id (want [A-Za-z0-9._-])");
+            }
+        }
+        out.tenant = f[2];
+    }
+    return Status();
+}
+
+std::string
+renderStreamHello(StreamFormat format, const std::string &tenant)
+{
+    std::string s = kHelloMagic;
+    s += ' ';
+    s += streamFormatName(format);
+    if (!tenant.empty()) {
+        s += ' ';
+        s += tenant;
+    }
+    s += '\n';
+    return s;
+}
+
+std::string
+renderStreamAck(const std::string &session_id)
+{
+    std::string s = kHelloMagic;
+    s += " ok ";
+    s += session_id;
+    s += '\n';
+    return s;
+}
+
+std::string
+renderReportOk(std::size_t report_bytes)
+{
+    std::ostringstream os;
+    os << kReportMagic << " ok " << report_bytes << '\n';
+    return os.str();
+}
+
+std::string
+renderReportError(const std::string &message)
+{
+    // The message rides on one line; newlines would break framing.
+    std::string flat = message;
+    for (char &c : flat) {
+        if (c == '\n' || c == '\r')
+            c = ' ';
+    }
+    std::string s = kReportMagic;
+    s += " error ";
+    s += flat;
+    s += '\n';
+    return s;
+}
+
+void
+appendFrame(std::string &out, const char *data, std::size_t n)
+{
+    const auto len = static_cast<std::uint32_t>(n);
+    char hdr[4] = {static_cast<char>(len & 0xff),
+                   static_cast<char>((len >> 8) & 0xff),
+                   static_cast<char>((len >> 16) & 0xff),
+                   static_cast<char>((len >> 24) & 0xff)};
+    out.append(hdr, sizeof(hdr));
+    out.append(data, n);
+}
+
+void
+appendEndFrame(std::string &out)
+{
+    const char hdr[4] = {0, 0, 0, 0};
+    out.append(hdr, sizeof(hdr));
+}
+
+StreamDecoder::StreamDecoder(StreamFormat format,
+                             std::size_t max_line_bytes)
+    : format_(format), max_line_bytes_(max_line_bytes)
+{
+}
+
+Status
+StreamDecoder::drain(ByteQueue &in)
+{
+    if (done_ && !in.empty())
+        return Status::invalidArgument("bytes after end-of-stream");
+    return format_ == StreamFormat::kCsv ? drainCsv(in)
+                                         : drainBin(in);
+}
+
+Status
+StreamDecoder::drainCsv(ByteQueue &in)
+{
+    for (;;) {
+        const std::size_t nl = in.find('\n');
+        if (nl == ByteQueue::npos) {
+            if (in.size() > max_line_bytes_) {
+                return Status::invalidArgument(
+                    "oversized CSV line (connection buffer budget "
+                    "exceeded)");
+            }
+            return Status();
+        }
+        std::string line(in.data(), nl);
+        in.consume(nl + 1);
+
+        if (!saw_header_line_) {
+            Status s = trace::parseMsCsvHeaderLine(line, header_);
+            if (!s.ok())
+                return s;
+            saw_header_line_ = true;
+            header_ready_ = true;
+            continue;
+        }
+        if (!saw_column_line_) {
+            saw_column_line_ = true;
+            continue;
+        }
+        const std::string t = trim(line);
+        if (t.empty())
+            continue;
+        trace::Request r;
+        trace::MsRecordParse p =
+            trace::parseMsCsvRecordLine(t, /*clamp=*/false, r);
+        if (!p.why.empty()) {
+            std::ostringstream os;
+            os << "record " << records_ << ": " << p.why;
+            return Status::corruptData(os.str());
+        }
+        pending_.push_back(r);
+        ++records_;
+    }
+}
+
+Status
+StreamDecoder::drainBin(ByteQueue &in)
+{
+    for (;;) {
+        if (saw_end_frame_) {
+            if (!in.empty()) {
+                return Status::invalidArgument(
+                    "bytes after the end-of-stream frame");
+            }
+            return Status();
+        }
+        if (!have_frame_len_) {
+            if (in.size() < 4)
+                return Status();
+            std::uint32_t len = 0;
+            std::memcpy(&len, in.data(), 4);
+            in.consume(4);
+            if (len > kMaxFrameBytes) {
+                std::ostringstream os;
+                os << "oversized frame (" << len << " > "
+                   << kMaxFrameBytes << " bytes)";
+                return Status::invalidArgument(os.str());
+            }
+            frame_len_ = len;
+            have_frame_len_ = true;
+        }
+        if (frame_len_ == 0) {
+            saw_end_frame_ = true;
+            have_frame_len_ = false;
+            Status s = decodeBinPayload();
+            if (!s.ok())
+                return s;
+            if (!header_ready_ || records_ != expected_records_ ||
+                payload_.size() != 0) {
+                std::ostringstream os;
+                os << "truncated binary stream: " << records_
+                   << " of " << expected_records_
+                   << " records before the end frame";
+                return Status::truncated(os.str());
+            }
+            done_ = true;
+            continue;
+        }
+        if (in.size() < frame_len_) {
+            // Partial frame: wait for more bytes (the frame length
+            // itself is already capped, so buffering it is bounded).
+            return Status();
+        }
+        payload_.append(in.data(), frame_len_);
+        in.consume(frame_len_);
+        have_frame_len_ = false;
+        Status s = decodeBinPayload();
+        if (!s.ok())
+            return s;
+    }
+}
+
+Status
+StreamDecoder::decodeBinPayload()
+{
+    if (!header_ready_) {
+        // Fixed prefix: magic(8) + id_len(4).
+        if (payload_.size() < 12)
+            return Status();
+        if (std::memcmp(payload_.data(), trace::kMsBinaryMagic.data(),
+                        8) != 0) {
+            return Status::corruptData(
+                "not a dlw binary ms trace (bad magic)");
+        }
+        std::uint32_t id_len = 0;
+        std::memcpy(&id_len, payload_.data() + 8, 4);
+        if (id_len > 4096) {
+            std::ostringstream os;
+            os << "implausible drive-id length " << id_len;
+            return Status::corruptData(os.str());
+        }
+        // Full header: prefix + id + start(8) + duration(8) +
+        // count(8).
+        const std::size_t need = 12 + id_len + 24;
+        if (payload_.size() < need)
+            return Status();
+        header_.drive_id.assign(payload_.data() + 12, id_len);
+        std::int64_t start = 0, duration = 0;
+        std::uint64_t count = 0;
+        std::memcpy(&start, payload_.data() + 12 + id_len, 8);
+        std::memcpy(&duration, payload_.data() + 12 + id_len + 8, 8);
+        std::memcpy(&count, payload_.data() + 12 + id_len + 16, 8);
+        if (duration < 0) {
+            return Status::corruptData(
+                "negative duration in binary header");
+        }
+        header_.start = start;
+        header_.duration = duration;
+        expected_records_ = count;
+        payload_.consume(need);
+        header_ready_ = true;
+    }
+    while (payload_.size() >= sizeof(trace::MsRawRecord) &&
+           records_ < expected_records_) {
+        trace::MsRawRecord raw;
+        std::memcpy(&raw, payload_.data(), sizeof(raw));
+        payload_.consume(sizeof(raw));
+        trace::Request r;
+        trace::MsRecordParse p =
+            trace::decodeMsRawRecord(raw, /*clamp=*/false, r);
+        if (!p.why.empty()) {
+            std::ostringstream os;
+            os << p.why << " at record " << records_;
+            return Status::corruptData(os.str());
+        }
+        pending_.push_back(r);
+        ++records_;
+    }
+    if (records_ == expected_records_ && header_ready_ &&
+        payload_.size() != 0) {
+        return Status::corruptData(
+            "trailing bytes after the last binary record");
+    }
+    return Status();
+}
+
+Status
+StreamDecoder::endOfInput()
+{
+    if (format_ == StreamFormat::kCsv) {
+        if (!saw_header_line_) {
+            return Status::truncated(
+                "connection closed before the ms-trace header");
+        }
+        done_ = true;
+        return Status();
+    }
+    if (!done_) {
+        std::ostringstream os;
+        os << "connection closed mid-stream (" << records_
+           << " records, no end frame)";
+        return Status::truncated(os.str());
+    }
+    return Status();
+}
+
+bool
+StreamDecoder::take(trace::RequestBatch &batch)
+{
+    batch.clear();
+    const std::size_t avail = pending_.size() - pending_head_;
+    if (avail == 0 || (!done_ && avail < batch.capacity())) {
+        if (pending_head_ != 0 && pending_head_ == pending_.size()) {
+            pending_.clear();
+            pending_head_ = 0;
+        }
+        return false;
+    }
+    const std::size_t n = std::min(avail, batch.capacity());
+    for (std::size_t i = 0; i < n; ++i)
+        batch.append(pending_[pending_head_ + i]);
+    pending_head_ += n;
+    if (pending_head_ == pending_.size()) {
+        pending_.clear();
+        pending_head_ = 0;
+    }
+    return true;
+}
+
+} // namespace net
+} // namespace dlw

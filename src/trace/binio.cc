@@ -17,20 +17,6 @@ namespace trace
 namespace
 {
 
-constexpr std::array<char, 8> kMagic =
-    {'D', 'L', 'W', 'M', 'S', '1', '\0', '\0'};
-
-/** On-disk request record, explicitly padded to 24 bytes. */
-struct RawRecord
-{
-    std::int64_t arrival;
-    std::uint64_t lba;
-    std::uint32_t blocks;
-    std::uint8_t op;
-    std::uint8_t pad[3];
-};
-static_assert(sizeof(RawRecord) == 24, "raw record layout changed");
-
 template <typename T>
 void
 writeRaw(std::ostream &os, const T &v)
@@ -43,7 +29,7 @@ writeRaw(std::ostream &os, const T &v)
 void
 writeMsBinary(std::ostream &os, const MsTrace &trace)
 {
-    os.write(kMagic.data(), kMagic.size());
+    os.write(kMsBinaryMagic.data(), kMsBinaryMagic.size());
     auto id_len = static_cast<std::uint32_t>(trace.driveId().size());
     writeRaw(os, id_len);
     os.write(trace.driveId().data(), id_len);
@@ -53,7 +39,7 @@ writeMsBinary(std::ostream &os, const MsTrace &trace)
     writeRaw(os, count);
 
     for (const Request &r : trace.requests()) {
-        RawRecord raw{};
+        MsRawRecord raw{};
         raw.arrival = r.arrival;
         raw.lba = r.lba;
         raw.blocks = r.blocks;

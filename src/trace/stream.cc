@@ -83,50 +83,11 @@ class MsCsvSource final : public FileSource
                 why = atLine(lineno_,
                              "injected fault at trace.read.record");
             } else {
-                auto f = split(t, ',');
-                std::uint64_t blocks = 0;
-                if (f.size() != 4) {
-                    why = atLine(lineno_, "expected 4 fields");
-                } else if (!tryParseInt(f[0], r.arrival)) {
-                    why = atLine(lineno_, "malformed arrival '" +
-                                              trim(f[0]) + "'");
-                } else if (!tryParseUint(f[1], r.lba)) {
-                    why = atLine(lineno_,
-                                 "malformed lba '" + trim(f[1]) + "'");
-                } else if (!tryParseUint(f[2], blocks)) {
-                    why = atLine(lineno_, "malformed blocks '" +
-                                              trim(f[2]) + "'");
-                } else {
-                    r.blocks = static_cast<BlockCount>(blocks);
-                    const std::string op = trim(f[3]);
-                    if (op == "R") {
-                        r.op = Op::Read;
-                    } else if (op == "W") {
-                        r.op = Op::Write;
-                    } else if (gate_.clampMode() &&
-                               (op == "r" || op == "w")) {
-                        r.op = op == "r" ? Op::Read : Op::Write;
-                        was_clamped = true;
-                        why = atLine(lineno_,
-                                     "lowercase op '" + op + "'");
-                    } else {
-                        why = atLine(lineno_, "bad op '" + op + "'");
-                    }
-                    if (why.empty() || was_clamped) {
-                        if (r.blocks == 0) {
-                            if (gate_.clampMode()) {
-                                r.blocks = 1;
-                                was_clamped = true;
-                                why = atLine(lineno_,
-                                             "zero-length request");
-                            } else {
-                                was_clamped = false;
-                                why = atLine(lineno_,
-                                             "zero-length request");
-                            }
-                        }
-                    }
-                }
+                MsRecordParse p =
+                    parseMsCsvRecordLine(t, gate_.clampMode(), r);
+                was_clamped = p.clamped;
+                if (!p.why.empty())
+                    why = atLine(lineno_, p.why);
             }
 
             if (!why.empty()) {
@@ -157,20 +118,6 @@ class MsCsvSource final : public FileSource
   private:
     std::size_t lineno_ = 2; ///< two header lines already consumed
 };
-
-constexpr std::array<char, 8> kMagic =
-    {'D', 'L', 'W', 'M', 'S', '1', '\0', '\0'};
-
-/** On-disk request record, explicitly padded to 24 bytes. */
-struct RawRecord
-{
-    std::int64_t arrival;
-    std::uint64_t lba;
-    std::uint32_t blocks;
-    std::uint8_t op;
-    std::uint8_t pad[3];
-};
-static_assert(sizeof(RawRecord) == 24, "raw record layout changed");
 
 template <typename T>
 bool
@@ -208,7 +155,7 @@ class MsBinarySource final : public FileSource
 
         const bool clamp = gate_.clampMode();
         while (!batch.full() && i_ < count_) {
-            RawRecord raw{};
+            MsRawRecord raw{};
             if (!readRaw(is_, raw)) {
                 std::ostringstream os;
                 os << "truncated binary trace at record " << i_
@@ -230,26 +177,19 @@ class MsBinarySource final : public FileSource
 
             std::string why;
             bool was_clamped = false;
+            Request r;
             if (FAULT_POINT("trace.read.record")) {
                 std::ostringstream os;
                 os << "injected fault at trace.read.record (record "
                    << rec << ")";
                 why = os.str();
-            } else if (raw.op > 1) {
-                std::ostringstream os;
-                os << "bad op byte at record " << rec;
-                why = os.str();
-                if (clamp) {
-                    raw.op &= 1;
-                    was_clamped = true;
-                }
-            } else if (raw.blocks == 0) {
-                std::ostringstream os;
-                os << "zero-length request at record " << rec;
-                why = os.str();
-                if (clamp) {
-                    raw.blocks = 1;
-                    was_clamped = true;
+            } else {
+                MsRecordParse p = decodeMsRawRecord(raw, clamp, r);
+                was_clamped = p.clamped;
+                if (!p.why.empty()) {
+                    std::ostringstream os;
+                    os << p.why << " at record " << rec;
+                    why = os.str();
                 }
             }
 
@@ -267,13 +207,8 @@ class MsBinarySource final : public FileSource
                 gate_.clamped();
             }
 
-            Request r;
-            r.arrival = raw.arrival;
-            r.lba = raw.lba;
-            r.blocks = raw.blocks;
-            r.op = static_cast<Op>(raw.op);
             batch.append(r);
-            gate_.accept(sizeof(RawRecord));
+            gate_.accept(sizeof(MsRawRecord));
         }
 
         if (i_ >= count_)
@@ -296,21 +231,17 @@ makeCsvSource(std::unique_ptr<std::istream> owned, std::istream &is,
     std::string line;
     if (!std::getline(is, line))
         return Status::truncated("empty ms-trace CSV");
-    auto head = split(trim(line), ',');
-    std::int64_t start = 0, duration = 0;
-    if (head.size() != 4 || head[0] != "# dlw-ms-v1" ||
-        !tryParseInt(head[2], start) ||
-        !tryParseInt(head[3], duration) || duration < 0) {
-        return Status::corruptData("bad ms-trace header '" +
-                                   trim(line) + "'");
-    }
-    std::string id = head[1];
+    MsStreamHeader head;
+    Status hs = parseMsCsvHeaderLine(line, head);
+    if (!hs.ok())
+        return hs;
     if (!std::getline(is, line)) {
         return Status::truncated(
             "truncated CSV: missing column header");
     }
-    return std::unique_ptr<FileSource>(new MsCsvSource(
-        opts, std::move(id), start, duration, std::move(owned), is));
+    return std::unique_ptr<FileSource>(
+        new MsCsvSource(opts, std::move(head.drive_id), head.start,
+                        head.duration, std::move(owned), is));
 }
 
 StatusOr<std::unique_ptr<FileSource>>
@@ -321,7 +252,7 @@ makeBinarySource(std::unique_ptr<std::istream> owned,
     // record count and id there is nothing to resynchronize on.
     std::array<char, 8> magic{};
     is.read(magic.data(), magic.size());
-    if (!is || magic != kMagic) {
+    if (!is || magic != kMsBinaryMagic) {
         return Status::corruptData(
             "not a dlw binary ms trace (bad magic)");
     }
@@ -387,6 +318,96 @@ endsWith(const std::string &s, const std::string &suffix)
 }
 
 } // anonymous namespace
+
+const std::array<char, 8> kMsBinaryMagic =
+    {'D', 'L', 'W', 'M', 'S', '1', '\0', '\0'};
+
+Status
+parseMsCsvHeaderLine(const std::string &line, MsStreamHeader &out)
+{
+    auto head = split(trim(line), ',');
+    std::int64_t start = 0, duration = 0;
+    if (head.size() != 4 || head[0] != "# dlw-ms-v1" ||
+        !tryParseInt(head[2], start) ||
+        !tryParseInt(head[3], duration) || duration < 0) {
+        return Status::corruptData("bad ms-trace header '" +
+                                   trim(line) + "'");
+    }
+    out.drive_id = head[1];
+    out.start = start;
+    out.duration = duration;
+    return Status();
+}
+
+MsRecordParse
+parseMsCsvRecordLine(const std::string &trimmed, bool clamp,
+                     Request &out)
+{
+    MsRecordParse p;
+    auto f = split(trimmed, ',');
+    std::uint64_t blocks = 0;
+    if (f.size() != 4) {
+        p.why = "expected 4 fields";
+    } else if (!tryParseInt(f[0], out.arrival)) {
+        p.why = "malformed arrival '" + trim(f[0]) + "'";
+    } else if (!tryParseUint(f[1], out.lba)) {
+        p.why = "malformed lba '" + trim(f[1]) + "'";
+    } else if (!tryParseUint(f[2], blocks)) {
+        p.why = "malformed blocks '" + trim(f[2]) + "'";
+    } else {
+        out.blocks = static_cast<BlockCount>(blocks);
+        const std::string op = trim(f[3]);
+        if (op == "R") {
+            out.op = Op::Read;
+        } else if (op == "W") {
+            out.op = Op::Write;
+        } else if (clamp && (op == "r" || op == "w")) {
+            out.op = op == "r" ? Op::Read : Op::Write;
+            p.clamped = true;
+            p.why = "lowercase op '" + op + "'";
+        } else {
+            p.why = "bad op '" + op + "'";
+        }
+        if (p.why.empty() || p.clamped) {
+            if (out.blocks == 0) {
+                if (clamp) {
+                    out.blocks = 1;
+                    p.clamped = true;
+                    p.why = "zero-length request";
+                } else {
+                    p.clamped = false;
+                    p.why = "zero-length request";
+                }
+            }
+        }
+    }
+    return p;
+}
+
+MsRecordParse
+decodeMsRawRecord(const MsRawRecord &raw, bool clamp, Request &out)
+{
+    MsRecordParse p;
+    MsRawRecord r = raw;
+    if (r.op > 1) {
+        p.why = "bad op byte";
+        if (clamp) {
+            r.op &= 1;
+            p.clamped = true;
+        }
+    } else if (r.blocks == 0) {
+        p.why = "zero-length request";
+        if (clamp) {
+            r.blocks = 1;
+            p.clamped = true;
+        }
+    }
+    out.arrival = r.arrival;
+    out.lba = r.lba;
+    out.blocks = r.blocks;
+    out.op = static_cast<Op>(r.op & 1);
+    return p;
+}
 
 StatusOr<std::unique_ptr<FileSource>>
 openMsCsvSource(std::istream &is, const IngestOptions &opts)

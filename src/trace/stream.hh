@@ -19,6 +19,8 @@
 #ifndef DLW_TRACE_STREAM_HH
 #define DLW_TRACE_STREAM_HH
 
+#include <array>
+#include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <string>
@@ -118,6 +120,65 @@ StatusOr<std::unique_ptr<FileSource>> openMsBinarySource(
  */
 StatusOr<MsTrace> drainMsSource(
     StatusOr<std::unique_ptr<FileSource>> src, IngestStats *stats);
+
+// ---------------------------------------------------------------------------
+// The ms-trace wire grammar, exported so the network framing layer
+// (src/net) decodes exactly the bytes the file decoders decode — one
+// record codec per format, whether it arrives from a file or a
+// socket.
+
+/** Stream metadata carried by a ms-trace header (CSV or binary). */
+struct MsStreamHeader
+{
+    std::string drive_id;
+    Tick start = 0;
+    Tick duration = 0;
+};
+
+/** Parse a `# dlw-ms-v1,<id>,<start>,<duration>` header line. */
+Status parseMsCsvHeaderLine(const std::string &line,
+                            MsStreamHeader &out);
+
+/**
+ * Outcome of decoding one record (CSV line or raw binary record).
+ * `why` is the bare corruption reason; callers decorate it with
+ * their own position frame (line number, record index).
+ */
+struct MsRecordParse
+{
+    std::string why;      ///< empty for a clean parse
+    bool clamped = false; ///< repaired under the clamp policy
+
+    /** True when the output record is usable (clean or repaired). */
+    bool usable() const { return why.empty() || clamped; }
+};
+
+/**
+ * Parse one trimmed, non-empty CSV record line
+ * (`arrival,lba,blocks,op`).  `clamp` enables the best-effort
+ * repairs of RecordPolicy::kBestEffortClamp (lowercase ops,
+ * zero-length requests).
+ */
+MsRecordParse parseMsCsvRecordLine(const std::string &trimmed,
+                                   bool clamp, Request &out);
+
+/** On-wire binary request record, explicitly padded to 24 bytes. */
+struct MsRawRecord
+{
+    std::int64_t arrival;
+    std::uint64_t lba;
+    std::uint32_t blocks;
+    std::uint8_t op;
+    std::uint8_t pad[3];
+};
+static_assert(sizeof(MsRawRecord) == 24, "raw record layout changed");
+
+/** Magic prefix of a DLWMS1 binary ms trace. */
+extern const std::array<char, 8> kMsBinaryMagic;
+
+/** Validate (and under `clamp`, repair) one raw binary record. */
+MsRecordParse decodeMsRawRecord(const MsRawRecord &raw, bool clamp,
+                                Request &out);
 
 /**
  * Open a streaming decoder picked by file extension (.csv or .bin).

@@ -1,0 +1,769 @@
+/**
+ * @file
+ * The network and daemon layer: ByteQueue, the incremental HTTP
+ * parser, the DLWS1 stream decoder (both encodings, fed in
+ * adversarial fragment sizes), and end-to-end sessions against a
+ * live epoll server — including the byte-identity contract between
+ * a streamed session's report and the batch `characterize` path.
+ */
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "core/live.hh"
+#include "daemon/server.hh"
+#include "daemon/session.hh"
+#include "net/buffer.hh"
+#include "net/http.hh"
+#include "net/wire.hh"
+#include "obs/metrics.hh"
+#include "trace/stream.hh"
+
+namespace
+{
+
+using namespace dlw;
+
+// ---------------------------------------------------------------------------
+// ByteQueue
+
+TEST(ByteQueue, AppendConsumeFind)
+{
+    net::ByteQueue q;
+    EXPECT_TRUE(q.empty());
+    q.append("hello\nworld");
+    EXPECT_EQ(q.size(), 11u);
+    EXPECT_EQ(q.find('\n'), 5u);
+    q.consume(6);
+    EXPECT_EQ(q.size(), 5u);
+    EXPECT_EQ(std::string(q.data(), q.size()), "world");
+    EXPECT_EQ(q.find('\n'), net::ByteQueue::npos);
+    q.consume(5);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(ByteQueue, CompactionKeepsBytesIntact)
+{
+    net::ByteQueue q;
+    std::string all;
+    // Interleave appends and consumes so the dead prefix repeatedly
+    // crosses the compaction threshold.
+    std::string drained;
+    for (int i = 0; i < 200; ++i) {
+        std::string chunk(257, static_cast<char>('a' + i % 26));
+        q.append(chunk);
+        all += chunk;
+        const std::size_t take = q.size() / 2 + 1;
+        drained.append(q.data(), take);
+        q.consume(take);
+    }
+    drained.append(q.data(), q.size());
+    q.consume(q.size());
+    EXPECT_EQ(drained, all);
+}
+
+// ---------------------------------------------------------------------------
+// HTTP parser
+
+TEST(HttpParser, ParsesOneRequest)
+{
+    net::ByteQueue in;
+    in.append("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+    net::HttpParser p;
+    net::HttpRequest req;
+    std::string why;
+    ASSERT_EQ(p.next(in, req, why), net::HttpParser::Result::kRequest);
+    EXPECT_EQ(req.method, "GET");
+    EXPECT_EQ(req.target, "/healthz");
+    EXPECT_EQ(req.headerValue("host"), "x");
+    EXPECT_TRUE(req.keepAlive());
+    EXPECT_TRUE(in.empty());
+}
+
+TEST(HttpParser, ByteAtATime)
+{
+    const std::string raw =
+        "GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n";
+    net::ByteQueue in;
+    net::HttpParser p;
+    net::HttpRequest req;
+    std::string why;
+    for (std::size_t i = 0; i + 1 < raw.size(); ++i) {
+        in.append(&raw[i], 1);
+        ASSERT_EQ(p.next(in, req, why),
+                  net::HttpParser::Result::kNeedMore)
+            << "at byte " << i;
+    }
+    in.append(&raw[raw.size() - 1], 1);
+    ASSERT_EQ(p.next(in, req, why), net::HttpParser::Result::kRequest);
+    EXPECT_EQ(req.target, "/metrics");
+    EXPECT_FALSE(req.keepAlive());
+}
+
+TEST(HttpParser, PipelinedRequests)
+{
+    net::ByteQueue in;
+    in.append("GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n");
+    net::HttpParser p;
+    net::HttpRequest req;
+    std::string why;
+    ASSERT_EQ(p.next(in, req, why), net::HttpParser::Result::kRequest);
+    EXPECT_EQ(req.target, "/a");
+    ASSERT_EQ(p.next(in, req, why), net::HttpParser::Result::kRequest);
+    EXPECT_EQ(req.target, "/b");
+    EXPECT_EQ(p.next(in, req, why),
+              net::HttpParser::Result::kNeedMore);
+}
+
+TEST(HttpParser, OversizedHeadIsAnError)
+{
+    net::ByteQueue in;
+    in.append("GET / HTTP/1.1\r\n");
+    std::string filler = "X-Pad: " + std::string(1024, 'p') + "\r\n";
+    while (in.size() <= net::kMaxHttpHeadBytes)
+        in.append(filler);
+    net::HttpParser p;
+    net::HttpRequest req;
+    std::string why;
+    EXPECT_EQ(p.next(in, req, why), net::HttpParser::Result::kError);
+}
+
+TEST(HttpParser, MalformedRequestLine)
+{
+    net::ByteQueue in;
+    in.append("NONSENSE\r\n\r\n");
+    net::HttpParser p;
+    net::HttpRequest req;
+    std::string why;
+    EXPECT_EQ(p.next(in, req, why), net::HttpParser::Result::kError);
+}
+
+// ---------------------------------------------------------------------------
+// Stream hello
+
+TEST(StreamHello, RoundTrip)
+{
+    net::StreamHello h;
+    ASSERT_TRUE(
+        net::parseStreamHello("DLWS1 csv tenant-7", h).ok());
+    EXPECT_EQ(h.format, net::StreamFormat::kCsv);
+    EXPECT_EQ(h.tenant, "tenant-7");
+    ASSERT_TRUE(net::parseStreamHello("DLWS1 bin", h).ok());
+    EXPECT_EQ(h.format, net::StreamFormat::kBin);
+    EXPECT_EQ(h.tenant, "anon");
+    EXPECT_FALSE(net::parseStreamHello("DLWS1 xml", h).ok());
+    EXPECT_FALSE(net::parseStreamHello("GET / HTTP/1.1", h).ok());
+    EXPECT_FALSE(net::parseStreamHello("DLWS1 csv bad*tenant", h).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Stream decoder, CSV
+
+/** A small well-formed CSV trace (n records, 1 ms apart). */
+std::string
+csvTrace(std::size_t n)
+{
+    std::ostringstream os;
+    os << "# dlw-ms-v1,drv-a,0," << (n + 1) * 1000000ull << "\n";
+    os << "arrival_ns,lba,blocks,op\n";
+    for (std::size_t i = 0; i < n; ++i) {
+        os << i * 1000000ull << ',' << (i * 64) % 4096 << ','
+           << 8 + (i % 3) * 8 << ',' << (i % 4 == 0 ? 'W' : 'R')
+           << '\n';
+    }
+    return os.str();
+}
+
+/** Feed `payload` to a decoder in fragments of `step` bytes. */
+Status
+feed(net::StreamDecoder &dec, const std::string &payload,
+     std::size_t step)
+{
+    net::ByteQueue q;
+    for (std::size_t off = 0; off < payload.size(); off += step) {
+        q.append(payload.data() + off,
+                 std::min(step, payload.size() - off));
+        Status s = dec.drain(q);
+        if (!s.ok())
+            return s;
+    }
+    return dec.endOfInput();
+}
+
+TEST(StreamDecoderCsv, PartialReadsAnySplit)
+{
+    const std::string payload = csvTrace(50);
+    for (std::size_t step : {1ul, 3ul, 7ul, 64ul, payload.size()}) {
+        net::StreamDecoder dec(net::StreamFormat::kCsv, 1 << 20);
+        ASSERT_TRUE(feed(dec, payload, step).ok()) << "step " << step;
+        EXPECT_TRUE(dec.done());
+        EXPECT_EQ(dec.records(), 50u);
+        EXPECT_EQ(dec.header().drive_id, "drv-a");
+        trace::RequestBatch batch(16);
+        std::size_t total = 0;
+        while (dec.take(batch))
+            total += batch.size();
+        EXPECT_EQ(total, 50u);
+    }
+}
+
+TEST(StreamDecoderCsv, DeliversOnlyFullBatchesWhileLive)
+{
+    net::StreamDecoder dec(net::StreamFormat::kCsv, 1 << 20);
+    net::ByteQueue q;
+    q.append(csvTrace(10));
+    ASSERT_TRUE(dec.drain(q).ok());
+    trace::RequestBatch batch(16);
+    // 10 < capacity 16 and the stream is still live: no delivery.
+    EXPECT_FALSE(dec.take(batch));
+    ASSERT_TRUE(dec.endOfInput().ok());
+    EXPECT_TRUE(dec.take(batch));
+    EXPECT_EQ(batch.size(), 10u);
+}
+
+TEST(StreamDecoderCsv, BadHeaderFails)
+{
+    net::StreamDecoder dec(net::StreamFormat::kCsv, 1 << 20);
+    net::ByteQueue q;
+    q.append("# not-a-trace,x\n");
+    EXPECT_FALSE(dec.drain(q).ok());
+}
+
+TEST(StreamDecoderCsv, CorruptRecordAborts)
+{
+    net::StreamDecoder dec(net::StreamFormat::kCsv, 1 << 20);
+    net::ByteQueue q;
+    q.append("# dlw-ms-v1,d,0,1000000000\n"
+             "arrival_ns,lba,blocks,op\n"
+             "12,34,0,R\n"); // zero-length request
+    EXPECT_FALSE(dec.drain(q).ok());
+}
+
+TEST(StreamDecoderCsv, OversizedLineFails)
+{
+    net::StreamDecoder dec(net::StreamFormat::kCsv, 64);
+    net::ByteQueue q;
+    q.append(std::string(80, 'x')); // no newline in sight
+    EXPECT_FALSE(dec.drain(q).ok());
+}
+
+TEST(StreamDecoderCsv, EofBeforeHeaderIsTruncated)
+{
+    net::StreamDecoder dec(net::StreamFormat::kCsv, 1 << 20);
+    EXPECT_FALSE(dec.endOfInput().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Stream decoder, binary
+
+/** The raw DLWMS1 byte stream matching csvTrace(n). */
+std::string
+binTrace(std::size_t n)
+{
+    std::string out(trace::kMsBinaryMagic.begin(),
+                    trace::kMsBinaryMagic.end());
+    const std::string id = "drv-a";
+    const std::uint32_t id_len = static_cast<std::uint32_t>(id.size());
+    out.append(reinterpret_cast<const char *>(&id_len), 4);
+    out += id;
+    const std::int64_t start = 0;
+    const std::int64_t duration =
+        static_cast<std::int64_t>((n + 1) * 1000000ull);
+    const std::uint64_t count = n;
+    out.append(reinterpret_cast<const char *>(&start), 8);
+    out.append(reinterpret_cast<const char *>(&duration), 8);
+    out.append(reinterpret_cast<const char *>(&count), 8);
+    for (std::size_t i = 0; i < n; ++i) {
+        trace::MsRawRecord r{};
+        r.arrival = static_cast<std::int64_t>(i * 1000000ull);
+        r.lba = (i * 64) % 4096;
+        r.blocks = static_cast<std::uint32_t>(8 + (i % 3) * 8);
+        r.op = (i % 4 == 0) ? 1 : 0;
+        out.append(reinterpret_cast<const char *>(&r), sizeof(r));
+    }
+    return out;
+}
+
+/** Chop a raw payload into wire frames of `frame_bytes` each. */
+std::string
+frame(const std::string &raw, std::size_t frame_bytes,
+      bool end_frame = true)
+{
+    std::string out;
+    for (std::size_t off = 0; off < raw.size(); off += frame_bytes) {
+        net::appendFrame(out, raw.data() + off,
+                         std::min(frame_bytes, raw.size() - off));
+    }
+    if (end_frame)
+        net::appendEndFrame(out);
+    return out;
+}
+
+TEST(StreamDecoderBin, PartialReadsAnySplit)
+{
+    const std::string payload = frame(binTrace(40), 37);
+    for (std::size_t step : {1ul, 5ul, 13ul, 101ul, payload.size()}) {
+        net::StreamDecoder dec(net::StreamFormat::kBin, 1 << 20);
+        ASSERT_TRUE(feed(dec, payload, step).ok()) << "step " << step;
+        EXPECT_TRUE(dec.done());
+        EXPECT_EQ(dec.records(), 40u);
+    }
+}
+
+TEST(StreamDecoderBin, AbruptEofIsTruncated)
+{
+    const std::string payload = frame(binTrace(40), 64,
+                                      /*end_frame=*/false);
+    net::StreamDecoder dec(net::StreamFormat::kBin, 1 << 20);
+    net::ByteQueue q;
+    q.append(payload);
+    ASSERT_TRUE(dec.drain(q).ok());
+    EXPECT_FALSE(dec.done());
+    EXPECT_FALSE(dec.endOfInput().ok());
+}
+
+TEST(StreamDecoderBin, OversizedFrameFails)
+{
+    net::StreamDecoder dec(net::StreamFormat::kBin, 1 << 20);
+    net::ByteQueue q;
+    const std::uint32_t huge = net::kMaxFrameBytes + 1;
+    q.append(reinterpret_cast<const char *>(&huge), 4);
+    EXPECT_FALSE(dec.drain(q).ok());
+}
+
+TEST(StreamDecoderBin, ShortRecordCountFails)
+{
+    // End frame lands while records are missing.
+    std::string raw = binTrace(10);
+    raw.resize(raw.size() - sizeof(trace::MsRawRecord));
+    net::StreamDecoder dec(net::StreamFormat::kBin, 1 << 20);
+    net::ByteQueue q;
+    q.append(frame(raw, 4096));
+    EXPECT_FALSE(dec.drain(q).ok());
+}
+
+TEST(StreamDecoderBin, TrailingBytesFail)
+{
+    std::string raw = binTrace(10);
+    raw += "junk";
+    net::StreamDecoder dec(net::StreamFormat::kBin, 1 << 20);
+    net::ByteQueue q;
+    q.append(frame(raw, 4096));
+    EXPECT_FALSE(dec.drain(q).ok());
+}
+
+TEST(StreamDecoderBin, BadMagicFails)
+{
+    std::string raw = binTrace(5);
+    raw[0] = 'X';
+    net::StreamDecoder dec(net::StreamFormat::kBin, 1 << 20);
+    net::ByteQueue q;
+    q.append(frame(raw, 4096));
+    EXPECT_FALSE(dec.drain(q).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Wire/file equivalence: a streamed trace characterizes exactly like
+// the same bytes read from disk.
+
+/** Write `content` to a unique temp file; returns its path. */
+std::string
+writeTemp(const std::string &content, const std::string &suffix)
+{
+    static int seq = 0;
+    std::string path = ::testing::TempDir() + "dlw_daemon_" +
+                       std::to_string(::getpid()) + "_" +
+                       std::to_string(seq++) + suffix;
+    std::ofstream os(path, std::ios::binary);
+    os << content;
+    return path;
+}
+
+/** The batch path: file -> openMsSource -> LiveCharacterization. */
+std::string
+characterizeFile(const std::string &path)
+{
+    auto src =
+        trace::openMsSource(path, trace::IngestOptions{}).valueOrThrow();
+    trace::MsStreamHeader meta;
+    meta.drive_id = src->driveId();
+    meta.start = src->start();
+    meta.duration = src->duration();
+    core::LiveCharacterization live(meta);
+    trace::RequestBatch batch;
+    while (src->next(batch)) {
+        const Status s = live.observe(batch);
+        if (!s.ok())
+            throw StatusError(s);
+    }
+    const Status st = src->status();
+    if (!st.ok())
+        throw StatusError(st);
+    return live.finish().render();
+}
+
+TEST(SessionEquivalence, CsvSessionMatchesBatch)
+{
+    const std::string payload = csvTrace(200);
+    const std::string path = writeTemp(payload, ".csv");
+
+    daemon::Session s("t-1", "t", net::StreamFormat::kCsv);
+    net::ByteQueue q;
+    for (std::size_t off = 0; off < payload.size(); off += 7) {
+        q.append(payload.data() + off,
+                 std::min<std::size_t>(7, payload.size() - off));
+        const Status st = s.consume(q);
+        ASSERT_TRUE(st.ok()) << st.toString();
+    }
+    const Status st = s.finishInput(q);
+    ASSERT_TRUE(st.ok()) << st.toString();
+    EXPECT_EQ(s.finalReportText(), characterizeFile(path));
+    EXPECT_EQ(s.state(), daemon::SessionState::kDone);
+    std::remove(path.c_str());
+}
+
+TEST(SessionEquivalence, BinSessionMatchesCsvSession)
+{
+    // Same records, both encodings: identical reports.
+    daemon::Session cs("c-1", "c", net::StreamFormat::kCsv);
+    net::ByteQueue cq;
+    cq.append(csvTrace(120));
+    ASSERT_TRUE(cs.consume(cq).ok());
+    ASSERT_TRUE(cs.finishInput(cq).ok());
+
+    daemon::Session bs("b-1", "b", net::StreamFormat::kBin);
+    net::ByteQueue bq;
+    bq.append(frame(binTrace(120), 333));
+    ASSERT_TRUE(bs.consume(bq).ok());
+    ASSERT_TRUE(bs.finishInput(bq).ok());
+
+    EXPECT_EQ(cs.finalReportText(), bs.finalReportText());
+}
+
+TEST(Session, MidStreamJsonReport)
+{
+    daemon::Session s("t-2", "t", net::StreamFormat::kCsv);
+    net::ByteQueue q;
+    q.append(csvTrace(5000));
+    ASSERT_TRUE(s.consume(q).ok());
+    const std::string json = s.reportJson();
+    EXPECT_NE(json.find("\"state\":\"streaming\""), std::string::npos);
+    EXPECT_NE(json.find("\"characterization\":{"), std::string::npos);
+    // The snapshot must not perturb the final result.
+    ASSERT_TRUE(s.finishInput(q).ok());
+    daemon::Session ref("t-3", "t", net::StreamFormat::kCsv);
+    net::ByteQueue rq;
+    rq.append(csvTrace(5000));
+    ASSERT_TRUE(ref.consume(rq).ok());
+    ASSERT_TRUE(ref.finishInput(rq).ok());
+    EXPECT_EQ(s.finalReportText(), ref.finalReportText());
+}
+
+// ---------------------------------------------------------------------------
+// Live server integration
+
+/** Blocking client socket with a receive timeout. */
+class TestClient
+{
+  public:
+    explicit TestClient(std::uint16_t port)
+    {
+        fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(port);
+        timeval tv{10, 0};
+        ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+        connected_ =
+            ::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) == 0;
+    }
+
+    ~TestClient()
+    {
+        if (fd_ >= 0)
+            ::close(fd_);
+    }
+
+    bool connected() const { return connected_; }
+
+    void
+    send(const std::string &bytes)
+    {
+        std::size_t off = 0;
+        while (off < bytes.size()) {
+            const ssize_t w = ::write(fd_, bytes.data() + off,
+                                      bytes.size() - off);
+            ASSERT_GT(w, 0);
+            off += static_cast<std::size_t>(w);
+        }
+    }
+
+    void halfClose() { ::shutdown(fd_, SHUT_WR); }
+
+    std::string
+    recvLine()
+    {
+        std::string line;
+        char c = 0;
+        while (::read(fd_, &c, 1) == 1) {
+            if (c == '\n')
+                break;
+            line += c;
+        }
+        return line;
+    }
+
+    std::string
+    recvAll()
+    {
+        std::string all;
+        char buf[4096];
+        ssize_t r;
+        while ((r = ::read(fd_, buf, sizeof(buf))) > 0)
+            all.append(buf, static_cast<std::size_t>(r));
+        return all;
+    }
+
+    std::string
+    recvBytes(std::size_t n)
+    {
+        std::string out;
+        char buf[4096];
+        while (out.size() < n) {
+            const ssize_t r = ::read(
+                fd_, buf,
+                std::min(sizeof(buf), n - out.size()));
+            if (r <= 0)
+                break;
+            out.append(buf, static_cast<std::size_t>(r));
+        }
+        return out;
+    }
+
+  private:
+    int fd_ = -1;
+    bool connected_ = false;
+};
+
+/** A running server plus its loop thread. */
+class ServerFixture
+{
+  public:
+    explicit ServerFixture(daemon::ServerConfig cfg)
+    {
+        cfg.port = 0;
+        server_ = std::make_unique<daemon::Server>(cfg);
+        const Status s = server_->start();
+        EXPECT_TRUE(s.ok()) << s.toString();
+        thread_ = std::thread([this] { run_status_ = server_->run(); });
+    }
+
+    ~ServerFixture() { stop(); }
+
+    void
+    stop()
+    {
+        if (!thread_.joinable())
+            return;
+        server_->requestStop();
+        thread_.join();
+        EXPECT_TRUE(run_status_.ok()) << run_status_.toString();
+    }
+
+    std::uint16_t port() const { return server_->port(); }
+
+  private:
+    std::unique_ptr<daemon::Server> server_;
+    std::thread thread_;
+    Status run_status_;
+};
+
+std::string
+httpGet(std::uint16_t port, const std::string &target)
+{
+    TestClient c(port);
+    EXPECT_TRUE(c.connected());
+    c.send("GET " + target + " HTTP/1.1\r\nConnection: close\r\n\r\n");
+    return c.recvAll();
+}
+
+TEST(ServerIntegration, HealthzAndMetrics)
+{
+    obs::ScopedEnable metrics;
+    ServerFixture f(daemon::ServerConfig{});
+    const std::string health = httpGet(f.port(), "/healthz");
+    EXPECT_NE(health.find("200 OK"), std::string::npos);
+    EXPECT_NE(health.find("ok\n"), std::string::npos);
+    const std::string prom = httpGet(f.port(), "/metrics");
+    EXPECT_NE(prom.find("dlw_net_accepted_total"), std::string::npos);
+    EXPECT_NE(prom.find("dlw_daemon_sessions_opened_total"),
+              std::string::npos);
+    const std::string missing =
+        httpGet(f.port(), "/v1/sessions/nope/report");
+    EXPECT_NE(missing.find("404"), std::string::npos);
+}
+
+TEST(ServerIntegration, CsvSessionEndToEnd)
+{
+    obs::ScopedEnable metrics;
+    const std::string payload = csvTrace(300);
+    const std::string path = writeTemp(payload, ".csv");
+    const std::string expected = characterizeFile(path);
+    std::remove(path.c_str());
+
+    ServerFixture f(daemon::ServerConfig{});
+    TestClient c(f.port());
+    ASSERT_TRUE(c.connected());
+    c.send(net::renderStreamHello(net::StreamFormat::kCsv, "acme"));
+    const std::string ack = c.recvLine();
+    ASSERT_NE(ack.find("DLWS1 ok acme-"), std::string::npos) << ack;
+
+    c.send(payload);
+    c.halfClose();
+
+    const std::string head = c.recvLine();
+    ASSERT_NE(head.find("DLWR1 ok "), std::string::npos) << head;
+    const std::size_t nbytes = static_cast<std::size_t>(
+        std::stoul(head.substr(std::strlen("DLWR1 ok "))));
+    EXPECT_EQ(c.recvBytes(nbytes), expected);
+}
+
+TEST(ServerIntegration, BinSessionAndLiveReport)
+{
+    obs::ScopedEnable metrics;
+    ServerFixture f(daemon::ServerConfig{});
+    TestClient c(f.port());
+    ASSERT_TRUE(c.connected());
+    c.send(net::renderStreamHello(net::StreamFormat::kBin, "bintest"));
+    const std::string ack = c.recvLine();
+    const std::string session_id = ack.substr(std::strlen("DLWS1 ok "));
+
+    // First half of the frames, then query the live report.
+    const std::string raw = binTrace(500);
+    const std::string half1(raw.data(), raw.size() / 2);
+    const std::string half2(raw.data() + raw.size() / 2,
+                            raw.size() - raw.size() / 2);
+    std::string framed;
+    net::appendFrame(framed, half1.data(), half1.size());
+    c.send(framed);
+
+    // Mid-stream the session is queryable and still streaming (with
+    // the default 4096-record batch nothing has folded yet — live
+    // folds happen on full batches only).
+    const std::string live = httpGet(
+        f.port(), "/v1/sessions/" + session_id + "/report");
+    EXPECT_NE(live.find("\"state\":\"streaming\""), std::string::npos)
+        << live;
+
+    framed.clear();
+    net::appendFrame(framed, half2.data(), half2.size());
+    net::appendEndFrame(framed);
+    c.send(framed);
+
+    const std::string head = c.recvLine();
+    ASSERT_NE(head.find("DLWR1 ok "), std::string::npos) << head;
+    const std::size_t nbytes = static_cast<std::size_t>(
+        std::stoul(head.substr(std::strlen("DLWR1 ok "))));
+    const std::string report = c.recvBytes(nbytes);
+    EXPECT_FALSE(report.empty());
+
+    // After the fold the HTTP report flips to done.
+    const std::string done = httpGet(
+        f.port(), "/v1/sessions/" + session_id + "/report");
+    EXPECT_NE(done.find("\"state\":\"done\""), std::string::npos)
+        << done;
+}
+
+TEST(ServerIntegration, AbruptDisconnectMidStream)
+{
+    obs::ScopedEnable metrics;
+    ServerFixture f(daemon::ServerConfig{});
+    {
+        TestClient c(f.port());
+        ASSERT_TRUE(c.connected());
+        c.send(net::renderStreamHello(net::StreamFormat::kBin, "gone"));
+        c.recvLine();
+        const std::string raw = binTrace(100);
+        std::string framed;
+        net::appendFrame(framed, raw.data(), raw.size() / 3);
+        c.send(framed);
+        // Destructor closes the socket with the stream incomplete.
+    }
+    // The server survives and answers; the session aborts.
+    for (int tries = 0; tries < 100; ++tries) {
+        const std::string list = httpGet(f.port(), "/v1/sessions");
+        if (list.find("\"state\":\"aborted\"") != std::string::npos)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    const std::string list = httpGet(f.port(), "/v1/sessions");
+    EXPECT_NE(list.find("\"state\":\"aborted\""), std::string::npos)
+        << list;
+}
+
+TEST(ServerIntegration, CorruptStreamGetsErrorResponse)
+{
+    ServerFixture f(daemon::ServerConfig{});
+    TestClient c(f.port());
+    ASSERT_TRUE(c.connected());
+    c.send("DLWS1 csv\n");
+    c.recvLine();
+    c.send("# dlw-ms-v1,d,0,1000000000\n"
+           "arrival_ns,lba,blocks,op\n"
+           "garbage line that is not a record\n");
+    const std::string resp = c.recvLine();
+    EXPECT_NE(resp.find("DLWR1 error"), std::string::npos) << resp;
+}
+
+TEST(ServerIntegration, ShedsPastConnectionBudget)
+{
+    obs::ScopedEnable metrics;
+    daemon::ServerConfig cfg;
+    cfg.max_connections = 0; // everything sheds
+    ServerFixture f(cfg);
+
+    const std::string http = httpGet(f.port(), "/healthz");
+    EXPECT_NE(http.find("503"), std::string::npos) << http;
+
+    TestClient c(f.port());
+    ASSERT_TRUE(c.connected());
+    c.send("DLWS1 csv shedme\n");
+    const std::string resp = c.recvLine();
+    EXPECT_NE(resp.find("DLWR1 error overloaded"), std::string::npos)
+        << resp;
+}
+
+TEST(ServerIntegration, DrainCompletesInFlightSession)
+{
+    obs::ScopedEnable metrics;
+    ServerFixture f(daemon::ServerConfig{});
+    TestClient c(f.port());
+    ASSERT_TRUE(c.connected());
+    c.send(net::renderStreamHello(net::StreamFormat::kCsv, "drain"));
+    c.recvLine();
+    const std::string payload = csvTrace(100);
+    c.send(payload.substr(0, payload.size() / 2));
+
+    // SIGTERM semantics: stop accepting, finish what's in flight.
+    std::thread stopper([&f] { f.stop(); });
+    c.send(payload.substr(payload.size() / 2));
+    c.halfClose();
+    const std::string head = c.recvLine();
+    EXPECT_NE(head.find("DLWR1 ok "), std::string::npos) << head;
+    stopper.join();
+}
+
+} // anonymous namespace

@@ -16,6 +16,12 @@
  *               moved plus the aggregated span tree
  *   bench-diff  compare two BENCH_*.json perf snapshots against
  *               regression thresholds (exit 2 on regression)
+ *   characterize trace-derived characterization only (no drive
+ *               model) — the batch twin of a dlwd streaming session
+ *   serve       run dlwd: the characterization daemon (epoll loop,
+ *               streaming sessions, HTTP results plane)
+ *   stream      stream a trace to a running dlwd and print the
+ *               final report
  *   help        print usage for one command (or all of them)
  *
  * Formats are chosen by file extension: .csv, .bin, .spc.
@@ -44,6 +50,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -52,7 +59,11 @@
 #include <string>
 #include <vector>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
 #include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include "common/fault.hh"
 #include "common/logging.hh"
@@ -61,7 +72,11 @@
 #include "common/status.hh"
 #include "common/strutil.hh"
 #include "core/characterize.hh"
+#include "core/live.hh"
+#include "daemon/server.hh"
 #include "disk/drive.hh"
+#include "net/buffer.hh"
+#include "net/wire.hh"
 #include "fleet/pipeline.hh"
 #include "fleet/pool.hh"
 #include "obs/benchdiff.hh"
@@ -367,6 +382,264 @@ cmdFamily(const dlw::Options &opts)
     return 0;
 }
 
+void registerAllMetrics();
+
+/**
+ * characterize: the trace-derived characterization only (burstiness,
+ * arrival dynamics, read/write mix) — no drive model, no service
+ * pass, so it works one-shot over a stream.  This is the batch twin
+ * of a dlwd session: the daemon's final report for a streamed trace
+ * is byte-identical to `dlwtool characterize` over the same file.
+ */
+int
+cmdCharacterize(const dlw::Options &opts)
+{
+    const std::string in = opts.get("in", "");
+    if (in.empty())
+        dlw_fatal("characterize needs --in");
+    const trace::IngestOptions io = ingestOptions(opts);
+    auto src = trace::openMsSource(in, io).valueOrThrow();
+
+    trace::MsStreamHeader meta;
+    meta.drive_id = src->driveId();
+    meta.start = src->start();
+    meta.duration = src->duration();
+    core::LiveCharacterization live(meta);
+
+    trace::RequestBatch batch(batchOption(opts));
+    while (src->next(batch)) {
+        Status s = live.observe(batch);
+        if (!s.ok())
+            throw StatusError(s);
+    }
+    Status st = src->status();
+    if (!st.ok())
+        throw StatusError(st);
+    std::cout << live.finish().render();
+    return 0;
+}
+
+/** The serve loop's SIGTERM/SIGINT target. */
+daemon::Server *g_serve_server = nullptr;
+
+extern "C" void
+serveSignalHandler(int)
+{
+    if (g_serve_server != nullptr)
+        g_serve_server->requestStop();
+}
+
+int
+cmdServe(const dlw::Options &opts)
+{
+    // The daemon always observes itself: /metrics must be live even
+    // when nobody passed --metrics.
+    registerAllMetrics();
+    obs::enable();
+
+    daemon::ServerConfig cfg;
+    cfg.port = static_cast<std::uint16_t>(opts.getInt("port", 7433));
+    cfg.max_connections =
+        static_cast<std::size_t>(opts.getInt("max-conns", 256));
+    cfg.max_buffer_bytes = static_cast<std::size_t>(
+                               opts.getInt("max-buffer-kb", 4096)) *
+                           1024;
+    cfg.threads =
+        static_cast<std::size_t>(opts.getInt("threads", 0));
+    cfg.drain_grace_ms = static_cast<std::uint64_t>(
+        opts.getInt("drain-grace-ms", 5000));
+
+    daemon::Server server(cfg);
+    Status s = server.start();
+    if (!s.ok())
+        throw StatusError(s);
+
+    const std::string port_file = opts.get("port-file", "");
+    if (!port_file.empty()) {
+        std::ofstream os(port_file);
+        if (!os)
+            dlw_fatal("cannot write port file '", port_file, "'");
+        os << server.port() << '\n';
+    }
+
+    g_serve_server = &server;
+    std::signal(SIGTERM, serveSignalHandler);
+    std::signal(SIGINT, serveSignalHandler);
+
+    std::cerr << "dlwd: listening on 127.0.0.1:" << server.port()
+              << " (max " << cfg.max_connections
+              << " connections)\n";
+    s = server.run();
+    g_serve_server = nullptr;
+    if (!s.ok())
+        throw StatusError(s);
+    std::cerr << "dlwd: drained, exiting\n";
+    return 0;
+}
+
+/** Blocking small-write helper for the stream client. */
+void
+sendAll(int fd, const char *data, std::size_t n)
+{
+    while (n != 0) {
+        const ssize_t w = ::write(fd, data, n);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            throw StatusError(Status::ioError(
+                std::string("write: ") + std::strerror(errno)));
+        }
+        data += w;
+        n -= static_cast<std::size_t>(w);
+    }
+}
+
+/** Blocking read of one '\n'-terminated line (stripped). */
+std::string
+recvLine(int fd)
+{
+    std::string line;
+    char c = 0;
+    for (;;) {
+        const ssize_t r = ::read(fd, &c, 1);
+        if (r < 0 && errno == EINTR)
+            continue;
+        if (r <= 0)
+            throw StatusError(Status::truncated(
+                "server closed the connection mid-line"));
+        if (c == '\n')
+            return line;
+        line += c;
+        if (line.size() > 1 << 16)
+            throw StatusError(
+                Status::corruptData("oversized response line"));
+    }
+}
+
+/**
+ * stream: the reference dlwd client.  Streams a trace file to a
+ * running daemon (csv raw, bin framed) and prints the final report —
+ * the same bytes `dlwtool characterize` prints for that file.
+ */
+int
+cmdStream(const dlw::Options &opts)
+{
+    const std::string in = opts.get("in", "");
+    if (in.empty())
+        dlw_fatal("stream needs --in");
+    const bool bin = endsWith(in, ".bin");
+    if (!bin && !endsWith(in, ".csv"))
+        dlw_fatal("stream wants a .csv or .bin trace, got '", in, "'");
+    const std::string host = opts.get("host", "127.0.0.1");
+    const int port = static_cast<int>(opts.getInt("port", 7433));
+    const std::string tenant = opts.get("tenant", "anon");
+
+    std::ifstream is(in, std::ios::binary);
+    if (!is)
+        throw StatusError(
+            Status::ioError("cannot open trace '" + in + "'"));
+
+    std::signal(SIGPIPE, SIG_IGN);
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        throw StatusError(Status::ioError(
+            std::string("socket: ") + std::strerror(errno)));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        throw StatusError(Status::invalidArgument(
+            "bad --host '" + host + "' (want a dotted IPv4 address)"));
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        ::close(fd);
+        throw StatusError(Status::unavailable(
+            "connect " + host + ":" + std::to_string(port) + ": " +
+            std::strerror(errno)));
+    }
+
+    int rc = 1;
+    try {
+        const std::string hello = net::renderStreamHello(
+            bin ? net::StreamFormat::kBin : net::StreamFormat::kCsv,
+            tenant);
+        sendAll(fd, hello.data(), hello.size());
+
+        const std::string ack = recvLine(fd);
+        const auto ack_fields = split(ack, ' ');
+        if (ack_fields.size() != 3 ||
+            ack_fields[0] != net::kHelloMagic ||
+            ack_fields[1] != "ok") {
+            throw StatusError(
+                Status::corruptData("bad hello ack '" + ack + "'"));
+        }
+        std::cerr << "stream: session " << ack_fields[2] << '\n';
+
+        std::vector<char> buf(64 * 1024);
+        std::string framed;
+        while (is) {
+            is.read(buf.data(),
+                    static_cast<std::streamsize>(buf.size()));
+            const auto got = static_cast<std::size_t>(is.gcount());
+            if (got == 0)
+                break;
+            if (bin) {
+                framed.clear();
+                net::appendFrame(framed, buf.data(), got);
+                sendAll(fd, framed.data(), framed.size());
+            } else {
+                sendAll(fd, buf.data(), got);
+            }
+        }
+        if (bin) {
+            framed.clear();
+            net::appendEndFrame(framed);
+            sendAll(fd, framed.data(), framed.size());
+        }
+        ::shutdown(fd, SHUT_WR);
+
+        const std::string resp = recvLine(fd);
+        const auto fields = split(resp, ' ');
+        if (fields.size() == 3 && fields[0] == net::kReportMagic &&
+            fields[1] == "ok") {
+            const std::uint64_t nbytes =
+                parseUint(fields[2], "report size");
+            std::string report(nbytes, '\0');
+            std::size_t off = 0;
+            while (off < nbytes) {
+                const ssize_t r =
+                    ::read(fd, &report[off], nbytes - off);
+                if (r < 0 && errno == EINTR)
+                    continue;
+                if (r <= 0)
+                    throw StatusError(Status::truncated(
+                        "server closed mid-report"));
+                off += static_cast<std::size_t>(r);
+            }
+            std::cout << report;
+            rc = 0;
+        } else if (fields.size() >= 2 &&
+                   fields[0] == net::kReportMagic &&
+                   fields[1] == "error") {
+            std::cerr << "stream: server error: "
+                      << resp.substr(std::strlen(net::kReportMagic) +
+                                     std::strlen(" error "))
+                      << '\n';
+            rc = 1;
+        } else {
+            throw StatusError(
+                Status::corruptData("bad response '" + resp + "'"));
+        }
+    } catch (...) {
+        ::close(fd);
+        throw;
+    }
+    ::close(fd);
+    return rc;
+}
+
 /** Register every subsystem's metric schema with the obs registry. */
 void
 registerAllMetrics()
@@ -376,6 +649,8 @@ registerAllMetrics()
     fleet::registerFleetMetrics();
     core::registerCoreMetrics();
     core::registerPassMetrics();
+    daemon::registerNetMetrics();
+    daemon::registerDaemonMetrics();
 }
 
 /**
@@ -458,6 +733,21 @@ commandUsage()
          "  bench-diff  OLD.json NEW.json    (BENCH_* perf snapshots)\n"
          "              [--max-wall-pct P] [--max-p95-pct P]\n"
          "              [--max-counter-pct P]    exit 2 on regression\n"},
+        {"characterize",
+         "  characterize --in FILE    trace-derived characterization\n"
+         "              only (no drive model) — the batch twin of a\n"
+         "              dlwd streaming session\n"
+         "              [--on-corrupt abort|skip|clamp] [--batch N]\n"},
+        {"serve",
+         "  serve       run dlwd: stream traces in, characterize\n"
+         "              live, query reports over HTTP\n"
+         "              [--port P] [--port-file F] [--max-conns N]\n"
+         "              [--max-buffer-kb K] [--threads T]\n"
+         "              [--drain-grace-ms MS]\n"},
+        {"stream",
+         "  stream      --in FILE    stream a .csv/.bin trace to a\n"
+         "              running dlwd and print the final report\n"
+         "              [--host H] [--port P] [--tenant NAME]\n"},
     };
     return usages;
 }
@@ -483,6 +773,11 @@ commandFlags()
           "batch"}},
         {"bench-diff",
          {"max-wall-pct", "max-p95-pct", "max-counter-pct"}},
+        {"characterize", {"in", "on-corrupt", "batch"}},
+        {"serve",
+         {"port", "port-file", "max-conns", "max-buffer-kb",
+          "threads", "drain-grace-ms"}},
+        {"stream", {"in", "host", "port", "tenant"}},
     };
     return flags;
 }
@@ -706,8 +1001,14 @@ dispatch(const std::string &cmd, const dlw::Options &opts)
         return cmdCorrupt(opts);
     if (cmd == "run-report")
         return cmdRunReport(opts);
+    if (cmd == "characterize")
+        return cmdCharacterize(opts);
+    if (cmd == "serve")
+        return cmdServe(opts);
+    if (cmd == "stream")
+        return cmdStream(opts);
     usage(std::cerr);
-    return 1;
+    return 2;
 }
 
 } // anonymous namespace
@@ -715,9 +1016,12 @@ dispatch(const std::string &cmd, const dlw::Options &opts)
 int
 main(int argc, char **argv)
 {
+    // Usage errors exit 2, uniformly: no arguments, an unknown
+    // command, an unknown flag, missing positionals.  Exit 1 is
+    // reserved for a correct invocation that failed.
     if (argc < 2) {
         usage(std::cerr);
-        return 1;
+        return 2;
     }
     const std::string cmd = argv[1];
     if (cmd == "help" || cmd == "--help" || cmd == "-h") {
@@ -730,7 +1034,7 @@ main(int argc, char **argv)
     if (!commandFlags().count(cmd)) {
         std::cerr << "dlwtool: unknown command '" << cmd << "'\n";
         usage(std::cerr);
-        return 1;
+        return 2;
     }
 
     // bench-diff takes its two inputs positionally (old first, like
@@ -740,11 +1044,18 @@ main(int argc, char **argv)
             std::cerr
                 << "dlwtool bench-diff: need OLD.json NEW.json\n";
             usageFor(std::cerr, cmd);
-            return 1;
+            return 2;
+        }
+        const std::string shape =
+            dlw::Options::shapeError(argc, argv, 4);
+        if (!shape.empty()) {
+            std::cerr << "dlwtool " << cmd << ": " << shape << '\n';
+            usageFor(std::cerr, cmd);
+            return 2;
         }
         dlw::Options opts(argc, argv, 4);
         if (!validateFlags(cmd, opts))
-            return 1;
+            return 2;
         try {
             return cmdBenchDiff(argv[2], argv[3], opts);
         } catch (const StatusError &e) {
@@ -753,9 +1064,15 @@ main(int argc, char **argv)
         }
     }
 
+    const std::string shape = dlw::Options::shapeError(argc, argv, 2);
+    if (!shape.empty()) {
+        std::cerr << "dlwtool " << cmd << ": " << shape << '\n';
+        usageFor(std::cerr, cmd);
+        return 2;
+    }
     dlw::Options opts(argc, argv, 2);
     if (!validateFlags(cmd, opts))
-        return 1;
+        return 2;
 
     MetricsEmitter metrics;
     TimelineEmitter timeline;
