@@ -1,0 +1,249 @@
+#!/bin/sh
+# Chaos smoke for the dlwd daemon: survivability under fire.
+#
+# One daemon runs with socket-level fault injection armed (short
+# reads, EINTR, short writes on every wrapped syscall), a state
+# directory for crash-safe checkpoints, and tight connection
+# deadlines.  Against it the harness throws:
+#
+#   1. a slow-loris connection that trickles a partial hello — it
+#      must be evicted with "DLWR1 error timeout" within the header
+#      deadline, not held forever;
+#   2. a storm of stream clients, some of which are SIGKILLed
+#      mid-stream — the daemon must abort those sessions and keep
+#      serving the rest;
+#   3. SIGKILL of the daemon itself mid-storm, then a restart on the
+#      same port from the same state directory — in-flight clients
+#      may exit 3 (server went away), but a second client wave must
+#      complete against the restarted daemon;
+#   4. byte-identity: every report a surviving client prints must be
+#      cmp-identical to `dlwtool characterize` for the same trace.
+#
+# Usage: scripts/chaos_smoke.sh <path-to-dlwtool> [n-clients]
+#
+# Exits 0 on success, 1 on any failure.
+
+set -u
+
+tool="${1:?usage: chaos_smoke.sh <path-to-dlwtool> [n-clients]}"
+nclients="${2:-32}"
+
+if [ ! -x "$tool" ]; then
+    echo "error: '$tool' is not executable" >&2
+    exit 1
+fi
+case "$tool" in
+    /*) ;;
+    *) tool="$(pwd)/$tool" ;;
+esac
+
+work="$(mktemp -d "${TMPDIR:-/tmp}/dlw_chaos.XXXXXX")"
+server_pid=""
+
+cleanup() {
+    [ -n "$server_pid" ] && kill -9 "$server_pid" 2>/dev/null
+    wait 2>/dev/null
+    rm -rf "$work"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "chaos_smoke: FAILED: $*" >&2
+    exit 1
+}
+
+# Fault spec armed inside the daemon process: every wrapped socket
+# syscall misbehaves on a schedule, and the reports must not care.
+faults="net.io.read.short:mod=7;net.io.read.eintr:mod=11"
+faults="$faults;net.io.write.short:mod=13"
+
+start_server() {
+    # $1 = port (0 for ephemeral), $2 = port file
+    "$tool" serve --port "$1" --port-file "$2" \
+        --max-conns $((nclients * 2 + 16)) \
+        --state-dir "$work/state" --ckpt-ms 50 \
+        --first-byte-timeout-ms 2000 --header-timeout-ms 500 \
+        --idle-timeout-ms 5000 --write-stall-timeout-ms 5000 \
+        --fault "$faults" 2>> "$work/server.log" &
+    server_pid=$!
+}
+
+wait_port_file() {
+    i=0
+    while [ ! -s "$1" ]; do
+        i=$((i + 1))
+        [ "$i" -gt 100 ] && fail "server did not write its port file"
+        kill -0 "$server_pid" 2>/dev/null \
+            || fail "server died at startup"
+        sleep 0.1
+    done
+}
+
+# --- fixture: one trace, both encodings, batch reference ----------
+
+"$tool" generate --class oltp --rate 80 --minutes 1 \
+    --out "$work/trace.bin" >/dev/null || fail "generate"
+"$tool" convert --in "$work/trace.bin" --out "$work/trace.csv" \
+    >/dev/null || fail "convert"
+"$tool" characterize --in "$work/trace.csv" > "$work/ref.txt" \
+    || fail "batch characterize"
+[ -s "$work/ref.txt" ] || fail "batch reference report is empty"
+
+start_server 0 "$work/port"
+wait_port_file "$work/port"
+port="$(cat "$work/port")"
+
+# --- slow loris: eviction within the header deadline --------------
+
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$port" <<'EOF' || fail "slow-loris eviction"
+import socket, sys, time
+port = int(sys.argv[1])
+s = socket.create_connection(("127.0.0.1", port), timeout=10)
+s.sendall(b"DLW")           # partial hello, never completed
+t0 = time.monotonic()
+s.settimeout(10)
+data = b""
+try:
+    while b"\n" not in data:
+        chunk = s.recv(256)
+        if not chunk:
+            break
+        data += chunk
+except socket.timeout:
+    sys.exit("slow-loris connection was never evicted")
+elapsed = time.monotonic() - t0
+if b"DLWR1 error timeout" not in data:
+    sys.exit(f"expected a timeout error line, got {data!r}")
+# Header deadline is 500 ms; allow generous CI scheduling slack.
+if elapsed > 5.0:
+    sys.exit(f"eviction took {elapsed:.1f}s, deadline is 0.5s")
+print(f"chaos_smoke: slow loris evicted after {elapsed:.2f}s")
+EOF
+else
+    echo "chaos_smoke: python3 not found, skipping slow loris" >&2
+fi
+
+# --- wave 1: storm with client SIGKILLs and a daemon SIGKILL ------
+
+half=$((nclients / 2))
+c=0
+wave1_pids=""
+while [ "$c" -lt "$half" ]; do
+    if [ $((c % 2)) -eq 0 ]; then in="$work/trace.csv";
+    else in="$work/trace.bin"; fi
+    "$tool" stream --in "$in" --port "$port" --tenant "chaos$c" \
+        --retries 5 --retry-seed "$c" --connect-timeout-ms 2000 \
+        > "$work/out.$c" 2> "$work/err.$c" &
+    wave1_pids="$wave1_pids $!"
+    c=$((c + 1))
+done
+
+# SIGKILL every fifth client almost immediately: torn connections
+# the daemon must absorb.
+sleep 0.05
+k=0
+for pid in $wave1_pids; do
+    [ $((k % 5)) -eq 0 ] && kill -9 "$pid" 2>/dev/null
+    k=$((k + 1))
+done
+
+# SIGKILL the daemon itself mid-storm, then restart it on the same
+# port from the same state directory.
+kill -9 "$server_pid"
+wait "$server_pid" 2>/dev/null
+server_pid=""
+sleep 0.2
+start_server "$port" "$work/port2"
+wait_port_file "$work/port2"
+[ "$(cat "$work/port2")" = "$port" ] \
+    || fail "restarted server lost its port"
+
+# Wave-1 verdicts: 0 (made it), 3 (server went away mid-stream), or
+# killed by the harness.  Anything else is a bug; any rc-0 report
+# must be byte-identical to batch.
+c=0
+for pid in $wave1_pids; do
+    wait "$pid"
+    rc=$?
+    case "$rc" in
+    0)
+        cmp -s "$work/ref.txt" "$work/out.$c" \
+            || fail "wave-1 client $c report differs from batch"
+        ;;
+    3 | 137) ;;
+    1)
+        # Retries exhausted while the daemon was down: excusable in
+        # the kill window, but the error must be connection-level.
+        grep -Eq "retries exhausted|connect" "$work/err.$c" \
+            || fail "wave-1 client $c exited 1: $(cat "$work/err.$c")"
+        ;;
+    *)
+        fail "wave-1 client $c exited $rc: $(cat "$work/err.$c")"
+        ;;
+    esac
+    c=$((c + 1))
+done
+
+# --- wave 2: a full storm against the restarted daemon ------------
+
+c="$half"
+wave2_pids=""
+while [ "$c" -lt "$nclients" ]; do
+    if [ $((c % 2)) -eq 0 ]; then in="$work/trace.csv";
+    else in="$work/trace.bin"; fi
+    "$tool" stream --in "$in" --port "$port" --tenant "chaos$c" \
+        --retries 5 --retry-seed "$c" --connect-timeout-ms 2000 \
+        > "$work/out.$c" 2> "$work/err.$c" &
+    wave2_pids="$wave2_pids $!"
+    c=$((c + 1))
+done
+
+rc=0
+for pid in $wave2_pids; do
+    wait "$pid" || rc=1
+done
+[ "$rc" -eq 0 ] || fail "a wave-2 client failed against the restart"
+
+c="$half"
+while [ "$c" -lt "$nclients" ]; do
+    cmp -s "$work/ref.txt" "$work/out.$c" \
+        || fail "wave-2 client $c report differs from batch"
+    c=$((c + 1))
+done
+
+# --- the restarted daemon remembers and still answers -------------
+
+if command -v curl >/dev/null 2>&1; then
+    curl -fsS "http://127.0.0.1:$port/healthz" | grep -q ok \
+        || fail "/healthz after chaos"
+    curl -fsS "http://127.0.0.1:$port/metrics" > "$work/metrics" \
+        || fail "/metrics after chaos"
+    saved=$(sed -n \
+        's/^dlw_daemon_ckpt_saved_total \([0-9.]*\)$/\1/p' \
+        "$work/metrics")
+    [ -n "$saved" ] && [ "${saved%%.*}" -gt 0 ] \
+        || fail "no checkpoints were saved (got '$saved')"
+    restored=$(sed -n \
+        's/^dlw_daemon_ckpt_restored_total \([0-9.]*\)$/\1/p' \
+        "$work/metrics")
+    [ -n "$restored" ] && [ "${restored%%.*}" -gt 0 ] \
+        || fail "restart restored no sessions (got '$restored')"
+    curl -fsS "http://127.0.0.1:$port/v1/sessions" \
+        > "$work/sessions" || fail "/v1/sessions after chaos"
+    grep -q '"done"' "$work/sessions" \
+        || fail "no completed sessions listed after chaos"
+else
+    echo "chaos_smoke: curl not found, skipping HTTP probes" >&2
+fi
+
+# --- and still drains cleanly on SIGTERM --------------------------
+
+kill -TERM "$server_pid"
+wait "$server_pid"
+st=$?
+server_pid=""
+[ "$st" -eq 0 ] || fail "daemon exited $st after SIGTERM"
+
+echo "chaos_smoke: OK ($nclients clients, daemon SIGKILL+restart," \
+     "all surviving reports byte-identical)"

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The shared retry backoff policy: capped exponential base with
+ * seeded jitter.
+ *
+ * PR 2 introduced this schedule for fleet shard retries; the daemon
+ * era reuses it for the `dlwtool stream` client's reconnect loop, so
+ * there is exactly one definition of "how long to wait before
+ * attempt k".  The delay is a pure function of (seed, key, attempt):
+ * deterministic for a fixed seed at any thread count, never a
+ * function of wall clock or scheduling — the same property the
+ * fleet's byte-identity contract relies on.
+ */
+
+#ifndef DLW_COMMON_RETRY_HH
+#define DLW_COMMON_RETRY_HH
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/rng.hh"
+
+namespace dlw
+{
+
+/**
+ * Backoff before retry `attempt` (1-based) of the work item `key`.
+ *
+ * The base doubles per attempt from base_ms up to cap_ms, then a
+ * jitter factor in [0.5, 1.5) is applied from an RNG forked purely
+ * on (seed, key, attempt).
+ *
+ * @param seed    Policy seed (callers salt their config seed).
+ * @param key     Work-item index (drive index, client attempt lane).
+ * @param attempt Retry number, starting at 1 for the first retry.
+ * @param base_ms First-retry base delay in milliseconds.
+ * @param cap_ms  Upper bound on the un-jittered base.
+ * @return Delay in (fractional) milliseconds.
+ */
+inline double
+retryBackoffMs(std::uint64_t seed, std::uint64_t key,
+               std::size_t attempt, double base_ms, double cap_ms)
+{
+    double ms = base_ms;
+    for (std::size_t a = 1; a < attempt && ms < cap_ms; ++a)
+        ms *= 2.0;
+    ms = std::min(ms, cap_ms);
+    Rng jitter = Rng(seed ^ 0x9e3779b97f4a7c15ULL)
+                     .fork(key * 16 + attempt);
+    return ms * jitter.uniform(0.5, 1.5);
+}
+
+} // namespace dlw
+
+#endif // DLW_COMMON_RETRY_HH

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/binenc.hh"
 #include "common/logging.hh"
 #include "stats/acf.hh"
 #include "stats/summary.hh"
@@ -98,6 +99,37 @@ BurstinessAccumulator::finish()
 {
     rep_ = analyzeCounts(counts_, std::move(scales_));
     rep_.interarrival_cv = gaps_.cv();
+}
+
+void
+BurstinessAccumulator::saveState(BinEnc &enc) const
+{
+    enc.i64(base_bin_);
+    enc.u64(scales_.size());
+    for (std::size_t s : scales_)
+        enc.u64(s);
+    counts_.saveState(enc);
+    gaps_.saveState(enc);
+    enc.i64(prev_arrival_);
+    enc.u8(have_prev_ ? 1 : 0);
+}
+
+bool
+BurstinessAccumulator::loadState(BinDec &dec)
+{
+    base_bin_ = dec.i64();
+    const std::uint64_t n_scales = dec.u64();
+    if (!dec.ok() || base_bin_ <= 0 ||
+        n_scales * 8 > dec.remaining())
+        return false;
+    scales_.resize(static_cast<std::size_t>(n_scales));
+    for (std::size_t &s : scales_)
+        s = static_cast<std::size_t>(dec.u64());
+    if (!counts_.loadState(dec) || !gaps_.loadState(dec))
+        return false;
+    prev_arrival_ = dec.i64();
+    have_prev_ = dec.u8() != 0;
+    return dec.ok();
 }
 
 BurstinessReport

@@ -84,6 +84,12 @@ class BurstinessAccumulator : public TraceAccumulator
     /** The report (valid after finish()). */
     const BurstinessReport &report() const { return rep_; }
 
+    /** Append the pre-finish accumulator state (bit-exact). */
+    void saveState(BinEnc &enc) const;
+
+    /** Restore state written by saveState(); false on a bad blob. */
+    bool loadState(BinDec &dec);
+
   private:
     Tick base_bin_;
     std::vector<std::size_t> scales_;

@@ -157,6 +157,39 @@ LiveCharacterization::snapshot() const
     return assemble(b, rw, t);
 }
 
+void
+LiveCharacterization::saveState(BinEnc &enc) const
+{
+    enc.str(meta_.drive_id);
+    enc.i64(meta_.start);
+    enc.i64(meta_.duration);
+    burstiness_.saveState(enc);
+    rwmix_.saveState(enc);
+    totals_.saveState(enc);
+    enc.u64(n_);
+    enc.i64(prev_);
+}
+
+std::unique_ptr<LiveCharacterization>
+LiveCharacterization::restore(BinDec &dec)
+{
+    trace::MsStreamHeader meta;
+    meta.drive_id = dec.str();
+    meta.start = dec.i64();
+    meta.duration = dec.i64();
+    if (!dec.ok())
+        return nullptr;
+    auto live = std::make_unique<LiveCharacterization>(meta);
+    if (!live->burstiness_.loadState(dec) ||
+        !live->rwmix_.loadState(dec) || !live->totals_.loadState(dec))
+        return nullptr;
+    live->n_ = dec.u64();
+    live->prev_ = dec.i64();
+    if (!dec.ok())
+        return nullptr;
+    return live;
+}
+
 DriveCharacterization
 LiveCharacterization::finish()
 {

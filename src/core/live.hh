@@ -23,8 +23,10 @@
 #define DLW_CORE_LIVE_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
+#include "common/binenc.hh"
 #include "common/status.hh"
 #include "core/burstiness.hh"
 #include "core/characterize.hh"
@@ -80,6 +82,23 @@ class LiveCharacterization
      * characterization.  Call exactly once, after the last batch.
      */
     DriveCharacterization finish();
+
+    /**
+     * Append the full pre-finish state — stream header plus every
+     * accumulator, bit-exact — for a crash-safe checkpoint.  Must
+     * not be called after finish() (the burstiness scales are
+     * consumed there).
+     */
+    void saveState(BinEnc &enc) const;
+
+    /**
+     * Reconstruct a live characterization from saveState() bytes.
+     * Feeding the restored instance the remainder of the stream
+     * yields reports byte-identical to an uninterrupted run.
+     *
+     * @return nullptr when the blob is truncated or garbled.
+     */
+    static std::unique_ptr<LiveCharacterization> restore(BinDec &dec);
 
   private:
     DriveCharacterization assemble(const BurstinessAccumulator &b,

@@ -1,5 +1,6 @@
 #include "core/pass.hh"
 
+#include "common/binenc.hh"
 #include "obs/metrics.hh"
 #include "obs/span.hh"
 
@@ -81,6 +82,27 @@ TraceTotalsAccumulator::meanRequestBlocks() const
     if (n_ == 0)
         return 0.0;
     return static_cast<double>(blocks_) / static_cast<double>(n_);
+}
+
+void
+TraceTotalsAccumulator::saveState(BinEnc &enc) const
+{
+    enc.u64(n_);
+    enc.u64(reads_);
+    enc.u64(bytes_);
+    enc.u64(blocks_);
+    enc.i64(duration_);
+}
+
+bool
+TraceTotalsAccumulator::loadState(BinDec &dec)
+{
+    n_ = static_cast<std::size_t>(dec.u64());
+    reads_ = static_cast<std::size_t>(dec.u64());
+    bytes_ = dec.u64();
+    blocks_ = dec.u64();
+    duration_ = dec.i64();
+    return dec.ok();
 }
 
 Status

@@ -38,6 +38,10 @@
 
 namespace dlw
 {
+
+class BinEnc;
+class BinDec;
+
 namespace core
 {
 
@@ -100,6 +104,12 @@ class TraceTotalsAccumulator : public TraceAccumulator
 
     /** Mean request size in blocks (0 when empty). */
     double meanRequestBlocks() const;
+
+    /** Append the accumulator state. */
+    void saveState(BinEnc &enc) const;
+
+    /** Restore state written by saveState(); false on truncation. */
+    bool loadState(BinDec &dec);
 
   private:
     std::size_t n_ = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/binenc.hh"
 #include "common/logging.hh"
 
 namespace dlw
@@ -118,6 +119,36 @@ RwMixAccumulator::finish()
         d_.mean_run_length = static_cast<double>(n_) /
                              static_cast<double>(runs_);
     }
+}
+
+void
+RwMixAccumulator::saveState(BinEnc &enc) const
+{
+    enc.i64(d_.bin_width);
+    reads_.saveState(enc);
+    all_.saveState(enc);
+    enc.u64(n_);
+    enc.u64(read_n_);
+    enc.u64(runs_);
+    enc.u64(run_len_);
+    enc.u8(prev_read_ ? 1 : 0);
+}
+
+bool
+RwMixAccumulator::loadState(BinDec &dec)
+{
+    const Tick bin_width = dec.i64();
+    if (!dec.ok() || bin_width <= 0)
+        return false;
+    d_.bin_width = bin_width;
+    if (!reads_.loadState(dec) || !all_.loadState(dec))
+        return false;
+    n_ = static_cast<std::size_t>(dec.u64());
+    read_n_ = static_cast<std::size_t>(dec.u64());
+    runs_ = static_cast<std::size_t>(dec.u64());
+    run_len_ = static_cast<std::size_t>(dec.u64());
+    prev_read_ = dec.u8() != 0;
+    return dec.ok();
 }
 
 RwDynamics

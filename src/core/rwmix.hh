@@ -70,6 +70,12 @@ class RwMixAccumulator : public TraceAccumulator
     /** The report (valid after finish()). */
     const RwDynamics &report() const { return d_; }
 
+    /** Append the pre-finish accumulator state (bit-exact). */
+    void saveState(BinEnc &enc) const;
+
+    /** Restore state written by saveState(); false on a bad blob. */
+    bool loadState(BinDec &dec);
+
   private:
     stats::BinnedSeries reads_;
     stats::BinnedSeries all_;

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Crash-safe on-disk session checkpoints.
+ *
+ * A daemon with a --state-dir periodically serializes every session
+ * it knows about to `<state-dir>/<session-id>.ckpt` and reloads the
+ * directory on the next start, so a SIGKILL mid-analysis loses at
+ * most one checkpoint interval of accounting and no finished
+ * report.
+ *
+ * One file per session, written whole: the bytes are a fixed magic
+ * ("DLWCKPT1"), a format version, and one Session::saveState() blob.
+ * Writes go to a `.tmp` sibling first and rename into place, so a
+ * crash mid-write leaves the previous checkpoint intact and a
+ * reader never sees a torn file.  Unknown versions, short files and
+ * garbled blobs are rejected (the decoder latches), never guessed
+ * at — a bad checkpoint costs one session's history, not the
+ * daemon's startup.  Session ids are `<tenant>-<n>` with the tenant
+ * charset already restricted by the hello parser, so ids are safe
+ * as file names.
+ */
+
+#ifndef DLW_DAEMON_CHECKPOINT_HH
+#define DLW_DAEMON_CHECKPOINT_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.hh"
+#include "daemon/session.hh"
+
+namespace dlw
+{
+namespace daemon
+{
+
+/** Magic prefix of a checkpoint file. */
+inline constexpr const char *kCheckpointMagic = "DLWCKPT1";
+
+/** Current checkpoint format version. */
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/** `<dir>/<id>.ckpt`. */
+std::string checkpointPath(const std::string &dir,
+                           const std::string &id);
+
+/**
+ * Atomically write one session's checkpoint into dir (tmp+rename).
+ */
+Status saveSessionCheckpoint(const std::string &dir, const Session &s);
+
+/**
+ * Load one checkpoint file.
+ *
+ * @return The restored session, or nullptr with `why` set when the
+ *         file is unreadable, has the wrong magic/version, or the
+ *         blob is truncated/garbled.
+ */
+std::shared_ptr<Session> loadSessionCheckpoint(const std::string &path,
+                                               std::string &why);
+
+/** All `*.ckpt` paths in dir, sorted (empty on a missing dir). */
+std::vector<std::string> listCheckpointFiles(const std::string &dir);
+
+/** Delete one session's checkpoint (missing files are a no-op). */
+void removeSessionCheckpoint(const std::string &dir,
+                             const std::string &id);
+
+} // namespace daemon
+} // namespace dlw
+
+#endif // DLW_DAEMON_CHECKPOINT_HH

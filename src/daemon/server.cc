@@ -11,9 +11,12 @@
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include "common/strutil.hh"
+#include "daemon/checkpoint.hh"
+#include "net/io.hh"
 #include "net/wire.hh"
 #include "obs/export.hh"
 #include "obs/metrics.hh"
@@ -76,6 +79,18 @@ struct DaemonMetrics
         "final folds handed to the thread pool");
     obs::Histogram &fold_seconds = obs::histogram("daemon.fold_seconds", "s", "daemon",
         "wall time of one final fold (finish + render)");
+    obs::Counter &evict_first_byte = obs::counter("daemon.evict.first_byte", "connections", "daemon",
+        "connections evicted: accepted but never sent a byte");
+    obs::Counter &evict_header = obs::counter("daemon.evict.header", "connections", "daemon",
+        "connections evicted: hello line / HTTP head never completed (slow loris)");
+    obs::Counter &evict_idle = obs::counter("daemon.evict.idle", "connections", "daemon",
+        "connections evicted: payload or keep-alive gap exceeded the idle deadline");
+    obs::Counter &evict_write_stall = obs::counter("daemon.evict.write_stall", "connections", "daemon",
+        "connections cut: peer stopped draining our writes");
+    obs::Counter &ckpt_saved = obs::counter("daemon.ckpt.saved", "checkpoints", "daemon",
+        "session checkpoints written to the state dir");
+    obs::Counter &ckpt_restored = obs::counter("daemon.ckpt.restored", "sessions", "daemon",
+        "sessions restored from the state dir at startup");
 };
 
 DaemonMetrics &
@@ -139,6 +154,15 @@ Server::start()
 {
     registerNetMetrics();
     registerDaemonMetrics();
+    net::registerNetIoMetrics();
+
+    if (!config_.state_dir.empty()) {
+        Status s = restoreState();
+        if (!s.ok())
+            return s;
+        next_ckpt_ns_ =
+            nowNs() + config_.checkpoint_interval_ms * 1000000ull;
+    }
 
     listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
     if (listen_fd_ < 0)
@@ -224,7 +248,7 @@ Server::run()
             }
         }
 
-        const int timeout_ms = draining_ ? 50 : 500;
+        const int timeout_ms = loopTimeoutMs(nowNs());
         const int n = ::epoll_wait(epoll_fd_, events.data(),
                                    static_cast<int>(events.size()),
                                    timeout_ms);
@@ -268,10 +292,232 @@ Server::run()
             if ((mask & EPOLLOUT) && conns_.count(token) != 0)
                 connWritable(*conns_[token]);
         }
+
+        const std::uint64_t now = nowNs();
+        expireDeadlines(now);
+        if (next_ckpt_ns_ != 0 && now >= next_ckpt_ns_) {
+            checkpointSessions(/*force=*/false);
+            next_ckpt_ns_ =
+                nowNs() + config_.checkpoint_interval_ms * 1000000ull;
+        }
     }
     pool_->wait();
     finishFolds();
+    // A graceful exit persists every session's terminal state, so a
+    // restart serves the full registry.
+    if (!config_.state_dir.empty())
+        checkpointSessions(/*force=*/true);
     return Status();
+}
+
+int
+Server::loopTimeoutMs(std::uint64_t now_ns) const
+{
+    std::uint64_t cap_ms = draining_ ? 50 : 500;
+    std::uint64_t next = wheel_.nextDeadline();
+    if (next_ckpt_ns_ != 0 && next_ckpt_ns_ < next)
+        next = next_ckpt_ns_;
+    if (next != UINT64_MAX) {
+        const std::uint64_t delta_ms =
+            next <= now_ns ? 0 : (next - now_ns + 999999) / 1000000;
+        if (delta_ms < cap_ms)
+            cap_ms = delta_ms;
+    }
+    return static_cast<int>(cap_ms);
+}
+
+void
+Server::expireDeadlines(std::uint64_t now_ns)
+{
+    due_.clear();
+    wheel_.expire(now_ns, due_);
+    for (std::uint64_t token : due_) {
+        auto it = conns_.find(token);
+        if (it == conns_.end())
+            continue; // stale entry: connection already gone
+        Conn &c = *it->second;
+        if (c.read_deadline_ns != 0 && now_ns >= c.read_deadline_ns) {
+            evictRead(c);
+            continue;
+        }
+        if (c.write_deadline_ns != 0 &&
+            now_ns >= c.write_deadline_ns) {
+            daemonMetrics().evict_write_stall.add();
+            obs::emitInstant("daemon.evict");
+            dropConn(c, "write stall: peer stopped reading");
+            continue;
+        }
+        // Stale entry for a deadline that has since been pushed out
+        // (or disarmed): re-arm the wheel at the live deadline.
+        std::uint64_t next = UINT64_MAX;
+        if (c.read_deadline_ns != 0)
+            next = c.read_deadline_ns;
+        if (c.write_deadline_ns != 0 && c.write_deadline_ns < next)
+            next = c.write_deadline_ns;
+        if (next != UINT64_MAX)
+            wheel_.schedule(token, next);
+    }
+}
+
+void
+Server::armRead(Conn &c, ReadDeadline kind)
+{
+    std::uint64_t timeout_ms = 0;
+    switch (kind) {
+    case ReadDeadline::kNone:
+        break;
+    case ReadDeadline::kFirstByte:
+        timeout_ms = config_.first_byte_timeout_ms;
+        break;
+    case ReadDeadline::kHeader:
+        timeout_ms = config_.header_timeout_ms;
+        break;
+    case ReadDeadline::kIdle:
+        timeout_ms = config_.idle_timeout_ms;
+        break;
+    }
+    if (timeout_ms == 0) {
+        c.read_kind = ReadDeadline::kNone;
+        c.read_deadline_ns = 0;
+        return;
+    }
+    c.read_kind = kind;
+    c.read_deadline_ns = nowNs() + timeout_ms * 1000000ull;
+    wheel_.schedule(c.token, c.read_deadline_ns);
+}
+
+void
+Server::armWrite(Conn &c)
+{
+    if (config_.write_stall_timeout_ms == 0)
+        return;
+    c.write_deadline_ns =
+        nowNs() + config_.write_stall_timeout_ms * 1000000ull;
+    wheel_.schedule(c.token, c.write_deadline_ns);
+}
+
+void
+Server::evictRead(Conn &c)
+{
+    obs::emitInstant("daemon.evict");
+    switch (c.read_kind) {
+    case ReadDeadline::kFirstByte:
+        daemonMetrics().evict_first_byte.add();
+        // Never spoke: no protocol to answer in.
+        dropConn(c, "timeout waiting for first byte");
+        return;
+    case ReadDeadline::kHeader:
+        daemonMetrics().evict_header.add();
+        break;
+    case ReadDeadline::kIdle:
+        daemonMetrics().evict_idle.add();
+        break;
+    case ReadDeadline::kNone:
+        return; // raced a disarm; nothing to evict
+    }
+    c.read_kind = ReadDeadline::kNone;
+    c.read_deadline_ns = 0;
+    if (c.state == ConnState::kStream) {
+        failSession(c, "timeout: no payload bytes before the idle"
+                       " deadline",
+                    /*protocol=*/false);
+        return;
+    }
+    if (c.state == ConnState::kHttp && !c.in.empty()) {
+        // Mid-head: tell the slow client why before closing.
+        queueWrite(c, net::renderHttpResponse(
+                          408, "Request Timeout", "text/plain",
+                          "header read deadline exceeded\n", false));
+        c.close_after_flush = true;
+        c.state = ConnState::kFold;
+        return;
+    }
+    if (c.state == ConnState::kSniff && !c.in.empty()) {
+        // A partial DLWS1 hello (or ambiguous bytes): answer on the
+        // stream plane, where 5-byte prefixes have already matched.
+        queueWrite(c, net::renderReportError(
+                          "timeout waiting for hello"));
+        c.close_after_flush = true;
+        c.state = ConnState::kFold;
+        return;
+    }
+    // Idle keep-alive (or empty sniff) reap: close quietly.
+    dropConn(c, "idle timeout");
+}
+
+void
+Server::dropConn(Conn &c, const std::string &why)
+{
+    if (c.session != nullptr && c.session->settleOnce()) {
+        c.session->abort(why);
+        daemonMetrics().aborted.add();
+        daemonMetrics().active.add(-1);
+    }
+    closeConn(c.token);
+}
+
+Status
+Server::restoreState()
+{
+    ::mkdir(config_.state_dir.c_str(), 0755);
+    for (const std::string &path :
+         listCheckpointFiles(config_.state_dir)) {
+        std::string why;
+        std::shared_ptr<Session> s = loadSessionCheckpoint(path, why);
+        if (s == nullptr) {
+            // One bad checkpoint must not block startup; drop it so
+            // the next sweep does not trip over it again.
+            ::unlink(path.c_str());
+            continue;
+        }
+        if (s->state() == SessionState::kStreaming) {
+            // The connection died with the old process; account the
+            // session as aborted, but keep its partial story
+            // queryable.
+            s->abort("daemon restarted mid-stream");
+            if (s->settleOnce())
+                daemonMetrics().aborted.add();
+        }
+        sessions_[s->id()] = s;
+        ckpt_stamp_[s->id()] = {s->records(), s->state()};
+        daemonMetrics().ckpt_restored.add();
+        obs::emitInstant("daemon.ckpt");
+        // Session ids are "<tenant>-<n>"; keep new ids unique.
+        const std::size_t dash = s->id().rfind('-');
+        if (dash != std::string::npos) {
+            std::uint64_t n = 0;
+            if (tryParseUint(s->id().substr(dash + 1), n) &&
+                n >= next_session_)
+                next_session_ = n + 1;
+        }
+    }
+    return Status();
+}
+
+void
+Server::checkpointSessions(bool force)
+{
+    for (const auto &kv : sessions_) {
+        Session &s = *kv.second;
+        const std::pair<std::uint64_t, SessionState> stamp{
+            s.records(), s.state()};
+        auto it = ckpt_stamp_.find(kv.first);
+        if (!force && it != ckpt_stamp_.end() && it->second == stamp)
+            continue; // unchanged since the last sweep
+        Status st = saveSessionCheckpoint(config_.state_dir, s);
+        if (st.ok()) {
+            ckpt_stamp_[kv.first] = stamp;
+            daemonMetrics().ckpt_saved.add();
+            obs::emitInstant("daemon.ckpt");
+        }
+    }
+    // Forget stamps for sessions the registry has evicted.
+    for (auto it = ckpt_stamp_.begin(); it != ckpt_stamp_.end();) {
+        if (sessions_.count(it->first) == 0)
+            it = ckpt_stamp_.erase(it);
+        else
+            ++it;
+    }
 }
 
 void
@@ -289,13 +535,14 @@ void
 Server::acceptReady()
 {
     for (;;) {
-        const int fd = ::accept4(listen_fd_, nullptr, nullptr,
-                                 SOCK_NONBLOCK);
+        const int fd = net::acceptFd(listen_fd_);
         if (fd < 0) {
             if (errno == EAGAIN || errno == EWOULDBLOCK)
                 return;
             if (errno == EINTR)
                 continue;
+            // ECONNABORTED and friends: the pending connection (if
+            // any) is retried on the next level-triggered wake.
             return;
         }
         const int one = 1;
@@ -324,7 +571,9 @@ Server::acceptReady()
             continue;
         }
         fd_to_token_[fd] = c->token;
-        conns_[c->token] = std::move(c);
+        Conn &ref = *c;
+        conns_[ref.token] = std::move(c);
+        armRead(ref, ReadDeadline::kFirstByte);
     }
 }
 
@@ -332,9 +581,11 @@ void
 Server::connReadable(Conn &c)
 {
     char buf[64 * 1024];
+    bool progressed = false;
     for (;;) {
-        const ssize_t n = ::read(c.fd, buf, sizeof(buf));
+        const ssize_t n = net::readFd(c.fd, buf, sizeof(buf));
         if (n > 0) {
+            progressed = true;
             c.in.append(buf, static_cast<std::size_t>(n));
             netMetrics().bytes_in.add(
                 static_cast<std::uint64_t>(n));
@@ -342,13 +593,7 @@ Server::connReadable(Conn &c)
                 config_.max_buffer_bytes) {
                 netMetrics().shed_buffer.add();
                 obs::emitInstant("net.shed");
-                if (c.session != nullptr &&
-                    c.session->settleOnce()) {
-                    c.session->abort("connection buffer cap exceeded");
-                    daemonMetrics().aborted.add();
-                    daemonMetrics().active.add(-1);
-                }
-                closeConn(c.token);
+                dropConn(c, "connection buffer cap exceeded");
                 return;
             }
             continue;
@@ -361,8 +606,21 @@ Server::connReadable(Conn &c)
             break;
         if (errno == EINTR)
             continue;
-        c.saw_eof = true;
-        break;
+        // A read error (reset, timeout) is a torn connection, never
+        // end-of-stream: a CSV session completed by it would report
+        // success on half a trace.
+        dropConn(c, std::string("connection error: ") +
+                        std::strerror(errno));
+        return;
+    }
+    if (progressed) {
+        // First byte promotes to the absolute header deadline; later
+        // bytes only refresh an idle deadline (a trickling hello must
+        // not keep extending its clock).
+        if (c.read_kind == ReadDeadline::kFirstByte)
+            armRead(c, ReadDeadline::kHeader);
+        else if (c.read_kind == ReadDeadline::kIdle)
+            armRead(c, ReadDeadline::kIdle);
     }
     pumpConn(c);
 }
@@ -420,6 +678,7 @@ Server::sniff(Conn &c)
                               "oversized hello line"));
             c.close_after_flush = true;
             c.state = ConnState::kFold; // no further reads parsed
+            armRead(c, ReadDeadline::kNone);
         }
         return;
     }
@@ -433,12 +692,14 @@ Server::sniff(Conn &c)
         queueWrite(c, net::renderReportError(s.message()));
         c.close_after_flush = true;
         c.state = ConnState::kFold;
+        armRead(c, ReadDeadline::kNone);
         return;
     }
     if (c.shed || draining_) {
         queueWrite(c, net::renderReportError("overloaded"));
         c.close_after_flush = true;
         c.state = ConnState::kFold;
+        armRead(c, ReadDeadline::kNone);
         return;
     }
 
@@ -453,6 +714,9 @@ Server::sniff(Conn &c)
         for (auto it = sessions_.begin(); it != sessions_.end();) {
             if (it->second->state() != SessionState::kStreaming &&
                 sessions_.size() >= config_.max_connections * 2) {
+                if (!config_.state_dir.empty())
+                    removeSessionCheckpoint(config_.state_dir,
+                                            it->first);
                 it = sessions_.erase(it);
             } else {
                 ++it;
@@ -464,11 +728,13 @@ Server::sniff(Conn &c)
     daemonMetrics().active.add(1);
     queueWrite(c, net::renderStreamAck(c.session->id()));
     c.state = ConnState::kStream;
+    armRead(c, ReadDeadline::kIdle);
 }
 
 void
 Server::serveHttp(Conn &c)
 {
+    bool served = false;
     for (;;) {
         net::HttpRequest req;
         std::string why;
@@ -484,6 +750,7 @@ Server::serveHttp(Conn &c)
             return;
         }
         netMetrics().http_requests.add();
+        served = true;
         if (c.shed || draining_) {
             netMetrics().shed_http.add();
             obs::emitInstant("net.shed");
@@ -500,6 +767,8 @@ Server::serveHttp(Conn &c)
             return;
         }
     }
+    if (served)
+        armRead(c, ReadDeadline::kIdle); // between keep-alive requests
     if (c.saw_eof && c.in.empty()) {
         if (c.out.empty())
             closeConn(c.token);
@@ -593,6 +862,10 @@ Server::failSession(Conn &c, const std::string &why, bool protocol)
 {
     if (protocol)
         netMetrics().protocol_errors.add();
+    // Decoder-path callers already aborted with a more precise
+    // message (abort only latches the first one); eviction callers
+    // land here directly, so the session must flip to aborted now.
+    c.session->abort(why);
     if (c.session->settleOnce()) {
         daemonMetrics().aborted.add();
         daemonMetrics().active.add(-1);
@@ -600,12 +873,14 @@ Server::failSession(Conn &c, const std::string &why, bool protocol)
     queueWrite(c, net::renderReportError(why));
     c.close_after_flush = true;
     c.state = ConnState::kFold;
+    armRead(c, ReadDeadline::kNone); // flush is the write's problem
 }
 
 void
 Server::startFold(Conn &c)
 {
     c.state = ConnState::kFold;
+    armRead(c, ReadDeadline::kNone); // input is done; pool has it
     daemonMetrics().folds.add();
     std::shared_ptr<Session> session = c.session;
     const std::uint64_t token = c.token;
@@ -670,16 +945,22 @@ Server::queueWrite(Conn &c, const std::string &bytes)
     // Append only: the actual write happens on the next EPOLLOUT
     // (armed via updateEpoll), so queueing can never invalidate the
     // connection mid-caller.
+    const bool was_empty = c.out.empty();
     c.out.append(bytes);
+    if (was_empty && !c.out.empty())
+        armWrite(c);
     updateEpoll(c);
 }
 
 void
 Server::connWritable(Conn &c)
 {
+    bool progressed = false;
     while (!c.out.empty()) {
-        const ssize_t n = ::write(c.fd, c.out.data(), c.out.size());
+        const ssize_t n =
+            net::writeFd(c.fd, c.out.data(), c.out.size());
         if (n > 0) {
+            progressed = true;
             netMetrics().bytes_out.add(
                 static_cast<std::uint64_t>(n));
             c.out.consume(static_cast<std::size_t>(n));
@@ -690,17 +971,17 @@ Server::connWritable(Conn &c)
         if (n < 0 && errno == EINTR)
             continue;
         // Peer is gone; nothing left to flush to it.
-        if (c.session != nullptr && c.session->settleOnce()) {
-            c.session->abort("peer disconnected");
-            daemonMetrics().aborted.add();
-            daemonMetrics().active.add(-1);
-        }
-        closeConn(c.token);
+        dropConn(c, "peer disconnected");
         return;
     }
-    if (c.out.empty() && c.close_after_flush) {
-        closeConn(c.token);
-        return;
+    if (c.out.empty()) {
+        c.write_deadline_ns = 0;
+        if (c.close_after_flush) {
+            closeConn(c.token);
+            return;
+        }
+    } else if (progressed) {
+        armWrite(c); // stall clock restarts on any forward motion
     }
     updateEpoll(c);
 }

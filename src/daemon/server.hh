@@ -37,6 +37,7 @@
 #include "daemon/session.hh"
 #include "fleet/pool.hh"
 #include "net/http.hh"
+#include "net/timer.hh"
 
 namespace dlw
 {
@@ -60,6 +61,36 @@ struct ServerConfig
 
     /** Grace period for in-flight sessions after requestStop(). */
     std::uint64_t drain_grace_ms = 5000;
+
+    // Connection lifecycle deadlines (0 disables the deadline).
+
+    /** Accept to first byte: a connection that never speaks. */
+    std::uint64_t first_byte_timeout_ms = 10000;
+
+    /**
+     * First byte to complete hello line / HTTP head.  Absolute from
+     * the first byte — trickling one byte per interval (slow loris)
+     * does not extend it.
+     */
+    std::uint64_t header_timeout_ms = 10000;
+
+    /**
+     * Gap between payload reads on a stream, or between requests on
+     * an HTTP keep-alive connection.
+     */
+    std::uint64_t idle_timeout_ms = 60000;
+
+    /** Write progress stall: the peer stops draining our bytes. */
+    std::uint64_t write_stall_timeout_ms = 10000;
+
+    /**
+     * Directory for crash-safe session checkpoints; empty disables
+     * checkpointing.  Created if missing; reloaded on start().
+     */
+    std::string state_dir;
+
+    /** Checkpoint sweep interval (with a non-empty state_dir). */
+    std::uint64_t checkpoint_interval_ms = 1000;
 };
 
 /**
@@ -108,6 +139,15 @@ class Server
         kFold,   ///< stream done; waiting on the pool
     };
 
+    /** Which read deadline a connection is currently under. */
+    enum class ReadDeadline : std::uint8_t
+    {
+        kNone,      ///< not expecting bytes (folding, draining out)
+        kFirstByte, ///< accepted, nothing heard yet
+        kHeader,    ///< hello line / HTTP head incomplete
+        kIdle,      ///< between payload chunks / keep-alive requests
+    };
+
     struct Conn
     {
         int fd = -1;
@@ -121,6 +161,10 @@ class Server
         bool close_after_flush = false;
         bool saw_eof = false;
         bool want_write = false; ///< EPOLLOUT currently armed
+
+        ReadDeadline read_kind = ReadDeadline::kNone;
+        std::uint64_t read_deadline_ns = 0;  ///< 0 = unarmed
+        std::uint64_t write_deadline_ns = 0; ///< 0 = unarmed
     };
 
     struct FoldDone
@@ -147,6 +191,18 @@ class Server
     void updateEpoll(Conn &c);
     void closeConn(std::uint64_t token);
     void shutdownAll();
+    void dropConn(Conn &c, const std::string &why);
+
+    // Deadline machinery.
+    void armRead(Conn &c, ReadDeadline kind);
+    void armWrite(Conn &c);
+    int loopTimeoutMs(std::uint64_t now_ns) const;
+    void expireDeadlines(std::uint64_t now_ns);
+    void evictRead(Conn &c);
+
+    // Checkpoint machinery.
+    Status restoreState();
+    void checkpointSessions(bool force);
 
     ServerConfig config_;
     std::uint16_t bound_port_ = 0;
@@ -169,6 +225,14 @@ class Server
     std::atomic<bool> stop_requested_{false};
     bool draining_ = false;
     std::uint64_t drain_deadline_ns_ = 0;
+
+    net::TimerWheel wheel_;
+    std::vector<std::uint64_t> due_; ///< scratch for expiry sweeps
+
+    std::uint64_t next_ckpt_ns_ = 0; ///< 0 = checkpointing off
+    /** Last checkpointed (records, state) per session id. */
+    std::map<std::string, std::pair<std::uint64_t, SessionState>>
+        ckpt_stamp_;
 };
 
 /**

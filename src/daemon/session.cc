@@ -75,7 +75,12 @@ Session::Session(std::string id, std::string tenant,
 Status
 Session::consume(net::ByteQueue &in)
 {
+    const std::size_t before = in.size();
     Status s = decoder_.drain(in);
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        payload_bytes_ += before - in.size();
+    }
     if (!s.ok()) {
         abort(s.message());
         return s;
@@ -133,10 +138,18 @@ std::string
 Session::finalReportText()
 {
     std::lock_guard<std::mutex> lock(mu_);
+    if (!final_text_.empty())
+        return final_text_; // restored (or refolded) done session
     const core::DriveCharacterization c = live_->finish();
     if (state_ == SessionState::kStreaming)
         state_ = SessionState::kDone;
-    return c.render();
+    // Cache everything a restart needs to keep serving this session:
+    // finish() consumed the accumulators, so this is the last moment
+    // the result can be rendered.
+    final_records_ = live_->requests();
+    final_char_json_ = core::renderCharacterizationJson(c);
+    final_text_ = c.render();
+    return final_text_;
 }
 
 std::string
@@ -153,6 +166,11 @@ Session::reportJson() const
         os << ",\"records\":" << live_->requests()
            << ",\"characterization\":"
            << core::renderCharacterizationJson(live_->snapshot());
+    } else if (!final_char_json_.empty()) {
+        // Restored after a restart: the live accumulators are gone,
+        // but the fold's rendered result survives in the checkpoint.
+        os << ",\"records\":" << final_records_
+           << ",\"characterization\":" << final_char_json_;
     } else {
         os << ",\"records\":0";
     }
@@ -182,6 +200,74 @@ Session::settleOnce()
         return false;
     settled_ = true;
     return true;
+}
+
+std::uint64_t
+Session::payloadBytes() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return payload_bytes_;
+}
+
+void
+Session::saveState(BinEnc &enc) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    enc.str(id_);
+    enc.str(tenant_);
+    enc.u8(format_ == net::StreamFormat::kBin ? 1 : 0);
+    enc.u8(static_cast<std::uint8_t>(state_));
+    enc.str(error_);
+    enc.u8(settled_ ? 1 : 0);
+    enc.u64(payload_bytes_);
+    const bool has_final = !final_text_.empty();
+    enc.u8(has_final ? 1 : 0);
+    if (has_final) {
+        enc.str(final_text_);
+        enc.str(final_char_json_);
+        enc.u64(final_records_);
+    }
+    decoder_.saveState(enc);
+    // Post-finish accumulators are consumed; the final blob above
+    // carries everything a done session still serves.
+    const bool has_live = live_ != nullptr && !has_final;
+    enc.u8(has_live ? 1 : 0);
+    if (has_live)
+        live_->saveState(enc);
+}
+
+std::shared_ptr<Session>
+Session::restore(BinDec &dec)
+{
+    const std::string id = dec.str();
+    const std::string tenant = dec.str();
+    const std::uint8_t format = dec.u8();
+    const std::uint8_t state = dec.u8();
+    if (!dec.ok() || format > 1 ||
+        state > static_cast<std::uint8_t>(SessionState::kAborted))
+        return nullptr;
+    auto s = std::make_shared<Session>(
+        id, tenant,
+        format ? net::StreamFormat::kBin : net::StreamFormat::kCsv);
+    s->state_ = static_cast<SessionState>(state);
+    s->error_ = dec.str();
+    s->settled_ = dec.u8() != 0;
+    s->payload_bytes_ = dec.u64();
+    if (dec.u8() != 0) {
+        s->final_text_ = dec.str();
+        s->final_char_json_ = dec.str();
+        s->final_records_ = dec.u64();
+    }
+    if (!s->decoder_.loadState(dec))
+        return nullptr;
+    if (dec.u8() != 0) {
+        s->live_ = core::LiveCharacterization::restore(dec);
+        if (s->live_ == nullptr)
+            return nullptr;
+    }
+    if (!dec.ok())
+        return nullptr;
+    return s;
 }
 
 Status

@@ -118,6 +118,28 @@ class Session
      */
     bool settleOnce();
 
+    /** Any thread: payload bytes consumed so far. */
+    std::uint64_t payloadBytes() const;
+
+    /**
+     * Any thread: append the session's full state — identity,
+     * lifecycle, decoder progress, live accumulators (pre-finish) or
+     * the rendered final report (post-finish) — for a crash-safe
+     * checkpoint.
+     */
+    void saveState(BinEnc &enc) const;
+
+    /**
+     * Reconstruct a session from saveState() bytes.  A restored
+     * streaming session resumes exactly where the checkpoint cut it:
+     * feeding it the remaining payload bytes yields a final report
+     * byte-identical to an uninterrupted run.  A restored done
+     * session serves its stored report without refolding.
+     *
+     * @return nullptr when the blob is truncated or garbled.
+     */
+    static std::shared_ptr<Session> restore(BinDec &dec);
+
   private:
     /** Drain decoder batches into the characterization. */
     Status foldPending();
@@ -133,6 +155,14 @@ class Session
     SessionState state_ = SessionState::kStreaming;
     std::string error_;
     bool settled_ = false;
+    std::uint64_t payload_bytes_ = 0;
+
+    // Cached at the final fold so a checkpointed done session can be
+    // served after restart without refolding (the accumulators are
+    // consumed by finish()).
+    std::string final_text_;
+    std::string final_char_json_;
+    std::uint64_t final_records_ = 0;
 };
 
 } // namespace daemon

@@ -7,6 +7,7 @@
 
 #include "common/fault.hh"
 #include "common/logging.hh"
+#include "common/retry.hh"
 #include "common/rng.hh"
 #include "common/strutil.hh"
 #include "core/family.hh"
@@ -297,16 +298,10 @@ backoff(const FleetConfig &config, std::size_t index,
         std::size_t attempt)
 {
     // Capped exponential base with seeded jitter: the schedule is a
-    // pure function of (seed, index, attempt), like the shard itself.
-    constexpr double kBaseMs = 1.0;
-    constexpr double kCapMs = 16.0;
-    double ms = kBaseMs;
-    for (std::size_t a = 1; a < attempt && ms < kCapMs; ++a)
-        ms *= 2.0;
-    ms = std::min(ms, kCapMs);
-    Rng jitter = Rng(config.seed ^ 0x9e3779b97f4a7c15ULL)
-                     .fork(index * 16 + attempt);
-    ms *= jitter.uniform(0.5, 1.5);
+    // pure function of (seed, index, attempt), like the shard itself
+    // (common/retry.hh — the same policy the stream client reuses).
+    const double ms =
+        retryBackoffMs(config.seed, index, attempt, 1.0, 16.0);
     fleetMetrics().backoffs.add(1);
     obs::emitInstant("fleet.backoff");
     std::this_thread::sleep_for(

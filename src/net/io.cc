@@ -1,0 +1,102 @@
+#include "net/io.hh"
+
+#include <cerrno>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/fault.hh"
+#include "obs/metrics.hh"
+
+namespace dlw
+{
+namespace net
+{
+
+namespace
+{
+
+/** net.fault.* counters: injections actually delivered to callers. */
+struct FaultMetrics
+{
+    obs::Counter &read = obs::counter("net.fault.read", "faults", "net",
+        "read-side faults injected (short, EINTR, EAGAIN, reset, timeout)");
+    obs::Counter &write = obs::counter("net.fault.write", "faults", "net",
+        "write-side faults injected (short, EAGAIN, EPIPE)");
+    obs::Counter &accept = obs::counter("net.fault.accept", "faults", "net",
+        "accepts failed by injection (ECONNABORTED)");
+};
+
+FaultMetrics &
+faultMetrics()
+{
+    static FaultMetrics m;
+    return m;
+}
+
+/** Fail the call with an injected errno; counts the injection. */
+ssize_t
+injectErrno(obs::Counter &counter, int err)
+{
+    if (obs::enabled())
+        counter.add(1);
+    errno = err;
+    return -1;
+}
+
+} // anonymous namespace
+
+ssize_t
+readFd(int fd, void *buf, std::size_t len)
+{
+    if (FAULT_POINT("net.io.read.eintr"))
+        return injectErrno(faultMetrics().read, EINTR);
+    if (FAULT_POINT("net.io.read.eagain"))
+        return injectErrno(faultMetrics().read, EAGAIN);
+    if (FAULT_POINT("net.io.read.reset"))
+        return injectErrno(faultMetrics().read, ECONNRESET);
+    if (FAULT_POINT("net.io.read.timedout"))
+        return injectErrno(faultMetrics().read, ETIMEDOUT);
+    if (len > 1 && FAULT_POINT("net.io.read.short")) {
+        if (obs::enabled())
+            faultMetrics().read.add(1);
+        len = 1;
+    }
+    return ::read(fd, buf, len);
+}
+
+ssize_t
+writeFd(int fd, const void *buf, std::size_t len)
+{
+    if (FAULT_POINT("net.io.write.eagain"))
+        return injectErrno(faultMetrics().write, EAGAIN);
+    if (FAULT_POINT("net.io.write.reset"))
+        return injectErrno(faultMetrics().write, EPIPE);
+    if (len > 1 && FAULT_POINT("net.io.write.short")) {
+        if (obs::enabled())
+            faultMetrics().write.add(1);
+        len = 1;
+    }
+    return ::send(fd, buf, len, MSG_NOSIGNAL);
+}
+
+int
+acceptFd(int listen_fd)
+{
+    if (FAULT_POINT("net.io.accept.fail")) {
+        if (obs::enabled())
+            faultMetrics().accept.add(1);
+        errno = ECONNABORTED;
+        return -1;
+    }
+    return ::accept4(listen_fd, nullptr, nullptr,
+                     SOCK_NONBLOCK | SOCK_CLOEXEC);
+}
+
+void
+registerNetIoMetrics()
+{
+    faultMetrics();
+}
+
+} // namespace net
+} // namespace dlw

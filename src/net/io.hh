@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Socket syscall wrappers with armable fault injection.
+ *
+ * Every daemon-side read, write and accept goes through these thin
+ * shims instead of calling the syscalls directly.  Disarmed, each
+ * wrapper costs one relaxed atomic load on top of the syscall (the
+ * standard fault-point fast path), so the hot event loop pays
+ * nothing measurable.  Armed via `src/common/fault` — from a test's
+ * ScopedFault or `dlwtool --fault` — they reproduce the network's
+ * unpleasant moods deterministically:
+ *
+ *   net.io.read.short    deliver at most 1 byte per read
+ *   net.io.read.eintr    fail with EINTR before the syscall
+ *   net.io.read.eagain   fail with EAGAIN (spurious wakeup)
+ *   net.io.read.reset    fail with ECONNRESET
+ *   net.io.read.timedout fail with ETIMEDOUT
+ *   net.io.write.short   accept at most 1 byte per write
+ *   net.io.write.eagain  fail with EAGAIN (delayed flush)
+ *   net.io.write.reset   fail with EPIPE
+ *   net.io.accept.fail   fail with ECONNABORTED before the syscall
+ *
+ * Injected errors set errno and return -1 exactly like the real
+ * syscall, so callers cannot tell (and must not care) whether a
+ * failure was real.  Writes use send(MSG_NOSIGNAL) so a dead peer
+ * yields EPIPE instead of SIGPIPE — the daemon no longer relies on
+ * the CLI's process-wide SIG_IGN.
+ */
+
+#ifndef DLW_NET_IO_HH
+#define DLW_NET_IO_HH
+
+#include <cstddef>
+#include <sys/types.h>
+
+namespace dlw
+{
+namespace net
+{
+
+/**
+ * read(2) through the fault harness.  Returns bytes read, 0 at EOF,
+ * or -1 with errno set (possibly injected).
+ */
+ssize_t readFd(int fd, void *buf, std::size_t len);
+
+/**
+ * send(2) with MSG_NOSIGNAL through the fault harness.  Returns
+ * bytes written or -1 with errno set (possibly injected).
+ */
+ssize_t writeFd(int fd, const void *buf, std::size_t len);
+
+/**
+ * accept4(2) with SOCK_NONBLOCK|SOCK_CLOEXEC through the fault
+ * harness.  Returns the new fd or -1 with errno set.  An injected
+ * failure reports ECONNABORTED without consuming the pending
+ * connection, so a level-triggered loop retries it on the next wake.
+ */
+int acceptFd(int listen_fd);
+
+/**
+ * Force-register the net.fault.* counters so snapshots carry the
+ * schema even when no fault ever fires.
+ */
+void registerNetIoMetrics();
+
+} // namespace net
+} // namespace dlw
+
+#endif // DLW_NET_IO_HH

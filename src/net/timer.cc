@@ -1,0 +1,85 @@
+#include "net/timer.hh"
+
+#include "common/logging.hh"
+
+namespace dlw
+{
+namespace net
+{
+
+TimerWheel::TimerWheel(std::uint64_t granularity_ns, std::size_t slots)
+    : slots_(slots), gran_(granularity_ns)
+{
+    dlw_assert(granularity_ns > 0, "timer granularity must be > 0");
+    dlw_assert(slots > 0, "timer wheel needs at least one slot");
+}
+
+void
+TimerWheel::schedule(std::uint64_t token, std::uint64_t deadline_ns)
+{
+    slots_[(deadline_ns / gran_) % slots_.size()].push_back(
+        {token, deadline_ns});
+    ++n_;
+}
+
+void
+TimerWheel::expire(std::uint64_t now_ns, std::vector<std::uint64_t> &due)
+{
+    const std::uint64_t now_tick = now_ns / gran_;
+    if (!primed_) {
+        primed_ = true;
+        last_tick_ = now_tick;
+    }
+    if (n_ == 0) {
+        last_tick_ = now_tick;
+        return;
+    }
+
+    auto drain = [&](std::size_t slot) {
+        std::vector<Entry> &entries = slots_[slot];
+        std::size_t kept = 0;
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+            if (entries[i].deadline <= now_ns) {
+                due.push_back(entries[i].token);
+                --n_;
+            } else {
+                entries[kept++] = entries[i];
+            }
+        }
+        entries.resize(kept);
+    };
+
+    const std::size_t nslots = slots_.size();
+    const std::uint64_t span =
+        now_tick >= last_tick_ ? now_tick - last_tick_ : 0;
+    if (span >= nslots) {
+        for (std::size_t s = 0; s < nslots; ++s)
+            drain(s);
+    } else {
+        for (std::uint64_t t = last_tick_ + 1; t <= now_tick; ++t)
+            drain(static_cast<std::size_t>(t % nslots));
+        // Re-sweep the current tick so sub-granularity deadlines
+        // (scheduled into an already-passed tick) expire on the next
+        // wake instead of a full lap later.
+        drain(static_cast<std::size_t>(now_tick % nslots));
+    }
+    last_tick_ = now_tick;
+}
+
+std::uint64_t
+TimerWheel::nextDeadline() const
+{
+    std::uint64_t best = UINT64_MAX;
+    if (n_ == 0)
+        return best;
+    for (const std::vector<Entry> &entries : slots_) {
+        for (const Entry &e : entries) {
+            if (e.deadline < best)
+                best = e.deadline;
+        }
+    }
+    return best;
+}
+
+} // namespace net
+} // namespace dlw

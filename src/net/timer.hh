@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Hashed timer wheel for connection deadlines.
+ *
+ * The epoll loop needs "when does the nearest deadline expire" and
+ * "which connections are overdue" without sorting anything per
+ * event: deadlines are hashed into fixed-width time slots and each
+ * epoll wake drains only the slots the clock has passed, so
+ * schedule and expiry are O(1) amortized for any number of armed
+ * connections.
+ *
+ * Cancellation is lazy, which keeps the data structure trivial: a
+ * connection reschedules by inserting a new entry and never removes
+ * the old one.  Expired entries therefore carry the deadline they
+ * were scheduled with, and the caller re-validates each candidate
+ * token against the connection's *current* deadline — a stale entry
+ * (connection closed, deadline pushed out by progress) is simply
+ * dropped or the token rescheduled.  The wheel may briefly hold
+ * more entries than there are connections; each is a 16-byte pair
+ * and dies at its original expiry, so the overhead is bounded by
+ * the reschedule rate times the timeout width.
+ */
+
+#ifndef DLW_NET_TIMER_HH
+#define DLW_NET_TIMER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dlw
+{
+namespace net
+{
+
+/**
+ * Fixed-slot hashed timer wheel over a monotonic nanosecond clock.
+ */
+class TimerWheel
+{
+  public:
+    /**
+     * @param granularity_ns Slot width; deadlines within one slot
+     *                       expire together (default 10 ms).
+     * @param slots          Number of wheel slots (default 256, so
+     *                       one lap covers ~2.5 s at the default
+     *                       granularity; longer deadlines survive
+     *                       laps via their stored expiry).
+     */
+    explicit TimerWheel(std::uint64_t granularity_ns = 10'000'000,
+                        std::size_t slots = 256);
+
+    /** Arm (or re-arm) a token to expire at the given deadline. */
+    void schedule(std::uint64_t token, std::uint64_t deadline_ns);
+
+    /**
+     * Append every token whose scheduled deadline is <= now.  A
+     * token appears once per due entry; the caller re-validates
+     * against live state (lazy cancellation).
+     */
+    void expire(std::uint64_t now_ns, std::vector<std::uint64_t> &due);
+
+    /**
+     * Earliest scheduled deadline, or UINT64_MAX when the wheel is
+     * empty.  Includes stale entries — as a wakeup hint that only
+     * ever fires early, never late.
+     */
+    std::uint64_t nextDeadline() const;
+
+    /** Entries currently stored (including stale ones). */
+    std::size_t size() const { return n_; }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t token;
+        std::uint64_t deadline;
+    };
+
+    std::vector<std::vector<Entry>> slots_;
+    std::uint64_t gran_;
+    std::uint64_t last_tick_ = 0;
+    bool primed_ = false;
+    std::size_t n_ = 0;
+};
+
+} // namespace net
+} // namespace dlw
+
+#endif // DLW_NET_TIMER_HH

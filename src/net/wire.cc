@@ -343,5 +343,76 @@ StreamDecoder::take(trace::RequestBatch &batch)
     return true;
 }
 
+void
+StreamDecoder::saveState(BinEnc &enc) const
+{
+    enc.u8(format_ == StreamFormat::kBin ? 1 : 0);
+    enc.u64(max_line_bytes_);
+    enc.u8(saw_header_line_ ? 1 : 0);
+    enc.u8(saw_column_line_ ? 1 : 0);
+    enc.bytes(payload_.data(), payload_.size());
+    enc.u8(have_frame_len_ ? 1 : 0);
+    enc.u32(frame_len_);
+    enc.u8(saw_end_frame_ ? 1 : 0);
+    enc.u64(expected_records_);
+    enc.str(header_.drive_id);
+    enc.i64(header_.start);
+    enc.i64(header_.duration);
+    enc.u8(header_ready_ ? 1 : 0);
+    enc.u8(done_ ? 1 : 0);
+    enc.u64(records_);
+    // Undelivered requests only; the consumed prefix is dropped.
+    enc.u64(pending_.size() - pending_head_);
+    for (std::size_t i = pending_head_; i < pending_.size(); ++i) {
+        const trace::Request &r = pending_[i];
+        enc.i64(r.arrival);
+        enc.u64(r.lba);
+        enc.u32(r.blocks);
+        enc.u8(static_cast<std::uint8_t>(r.op));
+    }
+}
+
+bool
+StreamDecoder::loadState(BinDec &dec)
+{
+    const std::uint8_t format = dec.u8();
+    const std::uint64_t max_line = dec.u64();
+    if (!dec.ok() || format > 1 || max_line == 0)
+        return false;
+    format_ = format ? StreamFormat::kBin : StreamFormat::kCsv;
+    max_line_bytes_ = static_cast<std::size_t>(max_line);
+    saw_header_line_ = dec.u8() != 0;
+    saw_column_line_ = dec.u8() != 0;
+    const std::string payload = dec.str();
+    payload_.clear();
+    payload_.append(payload);
+    have_frame_len_ = dec.u8() != 0;
+    frame_len_ = dec.u32();
+    saw_end_frame_ = dec.u8() != 0;
+    expected_records_ = dec.u64();
+    header_.drive_id = dec.str();
+    header_.start = dec.i64();
+    header_.duration = dec.i64();
+    header_ready_ = dec.u8() != 0;
+    done_ = dec.u8() != 0;
+    records_ = dec.u64();
+    const std::uint64_t n_pending = dec.u64();
+    // 21 bytes per serialized request: bound before allocating.
+    if (!dec.ok() || n_pending * 21 > dec.remaining())
+        return false;
+    pending_.clear();
+    pending_head_ = 0;
+    pending_.reserve(static_cast<std::size_t>(n_pending));
+    for (std::uint64_t i = 0; i < n_pending; ++i) {
+        trace::Request r;
+        r.arrival = dec.i64();
+        r.lba = dec.u64();
+        r.blocks = dec.u32();
+        r.op = static_cast<trace::Op>(dec.u8());
+        pending_.push_back(r);
+    }
+    return dec.ok();
+}
+
 } // namespace net
 } // namespace dlw

@@ -41,6 +41,7 @@
 #include <string>
 #include <vector>
 
+#include "common/binenc.hh"
 #include "common/status.hh"
 #include "net/buffer.hh"
 #include "trace/batch.hh"
@@ -157,6 +158,22 @@ class StreamDecoder
      *         final partial batch drains too.
      */
     bool take(trace::RequestBatch &batch);
+
+    /**
+     * Append the full decoder state — format, parse progress,
+     * buffered payload bytes and undelivered requests — for a
+     * crash-safe checkpoint.
+     */
+    void saveState(BinEnc &enc) const;
+
+    /**
+     * Restore state written by saveState(), replacing this decoder's
+     * state wholesale (including format).  Resuming the byte stream
+     * where the checkpoint cut it yields identical batches.
+     *
+     * @return false when the blob is truncated or garbled.
+     */
+    bool loadState(BinDec &dec);
 
   private:
     Status drainCsv(ByteQueue &in);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/binenc.hh"
+
 namespace dlw
 {
 namespace stats
@@ -118,6 +120,31 @@ Summary::excessKurtosis() const
         return 0.0;
     const double n = static_cast<double>(n_);
     return n * m4_ / (m2_ * m2_) - 3.0;
+}
+
+void
+Summary::saveState(BinEnc &enc) const
+{
+    enc.u64(n_);
+    enc.f64(mean_);
+    enc.f64(m2_);
+    enc.f64(m3_);
+    enc.f64(m4_);
+    enc.f64(min_);
+    enc.f64(max_);
+}
+
+bool
+Summary::loadState(BinDec &dec)
+{
+    n_ = dec.u64();
+    mean_ = dec.f64();
+    m2_ = dec.f64();
+    m3_ = dec.f64();
+    m4_ = dec.f64();
+    min_ = dec.f64();
+    max_ = dec.f64();
+    return dec.ok();
 }
 
 } // namespace stats

@@ -17,6 +17,10 @@
 
 namespace dlw
 {
+
+class BinEnc;
+class BinDec;
+
 namespace stats
 {
 
@@ -75,6 +79,12 @@ class Summary
 
     /** Excess kurtosis (fourth standardized moment minus 3). */
     double excessKurtosis() const;
+
+    /** Append the full accumulator state (bit-exact doubles). */
+    void saveState(BinEnc &enc) const;
+
+    /** Restore state written by saveState(); false on truncation. */
+    bool loadState(BinDec &dec);
 
   private:
     std::uint64_t n_ = 0;

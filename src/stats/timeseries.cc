@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/binenc.hh"
 #include "common/logging.hh"
 
 namespace dlw
@@ -146,6 +147,28 @@ BinnedSeries::fractionAbove(double threshold) const
             ++n;
     }
     return static_cast<double>(n) / static_cast<double>(values_.size());
+}
+
+void
+BinnedSeries::saveState(BinEnc &enc) const
+{
+    enc.i64(start_);
+    enc.i64(bin_width_);
+    enc.f64vec(values_);
+}
+
+bool
+BinnedSeries::loadState(BinDec &dec)
+{
+    const Tick start = dec.i64();
+    const Tick bin_width = dec.i64();
+    std::vector<double> values = dec.f64vec();
+    if (!dec.ok() || bin_width <= 0)
+        return false;
+    start_ = start;
+    bin_width_ = bin_width;
+    values_ = std::move(values);
+    return true;
 }
 
 } // namespace stats

@@ -21,6 +21,10 @@
 
 namespace dlw
 {
+
+class BinEnc;
+class BinDec;
+
 namespace stats
 {
 
@@ -109,6 +113,15 @@ class BinnedSeries
 
     /** Fraction of bins with value strictly above the threshold. */
     double fractionAbove(double threshold) const;
+
+    /** Append anchor, bin width and raw values (bit-exact). */
+    void saveState(BinEnc &enc) const;
+
+    /**
+     * Restore state written by saveState(); false on truncation or
+     * a non-positive bin width.
+     */
+    bool loadState(BinDec &dec);
 
   private:
     Tick start_;

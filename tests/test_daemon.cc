@@ -10,6 +10,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <chrono>
@@ -21,11 +22,15 @@
 
 #include <gtest/gtest.h>
 
+#include "common/binenc.hh"
+#include "common/fault.hh"
 #include "core/live.hh"
+#include "daemon/checkpoint.hh"
 #include "daemon/server.hh"
 #include "daemon/session.hh"
 #include "net/buffer.hh"
 #include "net/http.hh"
+#include "net/timer.hh"
 #include "net/wire.hh"
 #include "obs/metrics.hh"
 #include "trace/stream.hh"
@@ -147,6 +152,56 @@ TEST(HttpParser, MalformedRequestLine)
     net::HttpRequest req;
     std::string why;
     EXPECT_EQ(p.next(in, req, why), net::HttpParser::Result::kError);
+}
+
+TEST(HttpParser, GarbageHeadAnySplit)
+{
+    // A malformed head must be rejected no matter how the bytes are
+    // fragmented — the same split matrix the decoder runs under.
+    const std::string raw = "\x01\x02 NONSENSE\r\nbroken\r\n\r\n";
+    for (std::size_t step : {1ul, 3ul, 7ul, 64ul}) {
+        net::ByteQueue in;
+        net::HttpParser p;
+        net::HttpRequest req;
+        std::string why;
+        net::HttpParser::Result last =
+            net::HttpParser::Result::kNeedMore;
+        for (std::size_t off = 0;
+             off < raw.size() &&
+             last == net::HttpParser::Result::kNeedMore;
+             off += step) {
+            in.append(raw.data() + off,
+                      std::min(step, raw.size() - off));
+            last = p.next(in, req, why);
+        }
+        EXPECT_EQ(last, net::HttpParser::Result::kError)
+            << "step " << step;
+    }
+}
+
+TEST(HttpParser, OversizedHeadAnySplit)
+{
+    std::string raw = "GET / HTTP/1.1\r\n";
+    while (raw.size() <= net::kMaxHttpHeadBytes)
+        raw += "X-Pad: " + std::string(997, 'p') + "\r\n";
+    for (std::size_t step : {3ul, 64ul, 1024ul}) {
+        net::ByteQueue in;
+        net::HttpParser p;
+        net::HttpRequest req;
+        std::string why;
+        net::HttpParser::Result last =
+            net::HttpParser::Result::kNeedMore;
+        for (std::size_t off = 0;
+             off < raw.size() &&
+             last == net::HttpParser::Result::kNeedMore;
+             off += step) {
+            in.append(raw.data() + off,
+                      std::min(step, raw.size() - off));
+            last = p.next(in, req, why);
+        }
+        EXPECT_EQ(last, net::HttpParser::Result::kError)
+            << "step " << step;
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -374,6 +429,297 @@ TEST(StreamDecoderBin, BadMagicFails)
 }
 
 // ---------------------------------------------------------------------------
+// Stream decoder: adversarial inputs across the split matrix.  A
+// malformed stream must fail identically whether it arrives whole or
+// one byte at a time (short reads reorder nothing, only fragment).
+
+/** Feed until the decoder errors; returns the first bad Status. */
+Status
+feedExpectError(net::StreamFormat format, const std::string &payload)
+{
+    for (std::size_t step : {1ul, 3ul, 7ul, 64ul}) {
+        net::StreamDecoder dec(format, 1 << 20);
+        const Status s = feed(dec, payload, step);
+        EXPECT_FALSE(s.ok()) << "step " << step << " accepted garbage";
+        if (s.ok())
+            return s;
+    }
+    net::StreamDecoder dec(format, 1 << 20);
+    return feed(dec, payload, payload.size());
+}
+
+TEST(StreamDecoderCsv, GarbageRecordAnySplit)
+{
+    const std::string payload =
+        "# dlw-ms-v1,d,0,1000000000\n"
+        "arrival_ns,lba,blocks,op\n"
+        "100,64,8,R\n"
+        "not,a,record,at all\n";
+    EXPECT_FALSE(feedExpectError(net::StreamFormat::kCsv,
+                                 payload).ok());
+}
+
+TEST(StreamDecoderCsv, TruncatedStreamAnySplit)
+{
+    // Header only, cut before any record line completes: every split
+    // must agree the stream is truncated at end-of-input.
+    const std::string payload = "# dlw-ms-v1,d,0,1000000000\n"
+                                "arrival_ns,lba,blocks,op\n"
+                                "100,64,8"; // no newline, no op
+    for (std::size_t step : {1ul, 3ul, 7ul, 64ul}) {
+        net::StreamDecoder dec(net::StreamFormat::kCsv, 1 << 20);
+        net::ByteQueue q;
+        for (std::size_t off = 0; off < payload.size(); off += step) {
+            q.append(payload.data() + off,
+                     std::min(step, payload.size() - off));
+            ASSERT_TRUE(dec.drain(q).ok()) << "step " << step;
+        }
+        EXPECT_FALSE(dec.done()) << "step " << step;
+    }
+}
+
+TEST(StreamDecoderBin, GarbageRecordAnySplit)
+{
+    // Flip bytes inside the record region (op field becomes junk).
+    std::string raw = binTrace(10);
+    for (std::size_t i = raw.size() - sizeof(trace::MsRawRecord);
+         i < raw.size(); ++i)
+        raw[i] = '\xff';
+    EXPECT_FALSE(feedExpectError(net::StreamFormat::kBin,
+                                 frame(raw, 37)).ok());
+}
+
+TEST(StreamDecoderBin, OversizedFrameAnySplit)
+{
+    // The poisoned length prefix must be caught even when it arrives
+    // one byte at a time (partial-prefix accumulation).
+    std::string payload;
+    const std::uint32_t huge = net::kMaxFrameBytes + 1;
+    payload.append(reinterpret_cast<const char *>(&huge), 4);
+    payload.append(16, 'z');
+    for (std::size_t step : {1ul, 2ul, 3ul, 5ul}) {
+        net::StreamDecoder dec(net::StreamFormat::kBin, 1 << 20);
+        net::ByteQueue q;
+        bool failed = false;
+        for (std::size_t off = 0; off < payload.size() && !failed;
+             off += step) {
+            q.append(payload.data() + off,
+                     std::min(step, payload.size() - off));
+            failed = !dec.drain(q).ok();
+        }
+        EXPECT_TRUE(failed) << "step " << step;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Timer wheel
+
+TEST(TimerWheel, ExpiresInDeadlineOrderAcrossTicks)
+{
+    net::TimerWheel w(1'000'000, 8); // 1 ms slots, 8 of them
+    std::vector<std::uint64_t> due;
+    w.expire(0, due); // prime the tick cursor
+    ASSERT_TRUE(due.empty());
+
+    w.schedule(1, 5'000'000);
+    w.schedule(2, 3'000'000);
+    w.schedule(3, 50'000'000); // several laps out
+    EXPECT_EQ(w.size(), 3u);
+    EXPECT_EQ(w.nextDeadline(), 3'000'000u);
+
+    w.expire(2'000'000, due);
+    EXPECT_TRUE(due.empty());
+
+    w.expire(3'500'000, due);
+    ASSERT_EQ(due.size(), 1u);
+    EXPECT_EQ(due[0], 2u);
+    due.clear();
+
+    // A long sleep spanning more than one lap drains everything due.
+    w.expire(60'000'000, due);
+    std::sort(due.begin(), due.end());
+    ASSERT_EQ(due.size(), 2u);
+    EXPECT_EQ(due[0], 1u);
+    EXPECT_EQ(due[1], 3u);
+    EXPECT_EQ(w.size(), 0u);
+    EXPECT_EQ(w.nextDeadline(), UINT64_MAX);
+}
+
+TEST(TimerWheel, SameTickScheduleFiresNextExpire)
+{
+    // A deadline scheduled into the current (already-swept) tick must
+    // fire on the next expire(), not a full lap later.
+    net::TimerWheel w(10'000'000, 256);
+    std::vector<std::uint64_t> due;
+    w.expire(100'000'000, due);
+    w.schedule(7, 100'000'001); // same 10 ms tick, already past
+    w.expire(100'000'002, due);
+    ASSERT_EQ(due.size(), 1u);
+    EXPECT_EQ(due[0], 7u);
+}
+
+TEST(TimerWheel, RearmKeepsLazyEntries)
+{
+    // Re-arming adds an entry; the stale one still surfaces and the
+    // caller is expected to revalidate (lazy cancellation).
+    net::TimerWheel w(1'000'000, 16);
+    std::vector<std::uint64_t> due;
+    w.expire(0, due);
+    w.schedule(9, 2'000'000);
+    w.schedule(9, 8'000'000);
+    EXPECT_EQ(w.size(), 2u);
+    w.expire(3'000'000, due);
+    ASSERT_EQ(due.size(), 1u); // the stale entry
+    EXPECT_EQ(due[0], 9u);
+    due.clear();
+    w.expire(9'000'000, due);
+    ASSERT_EQ(due.size(), 1u); // the live one
+    EXPECT_EQ(due[0], 9u);
+}
+
+// ---------------------------------------------------------------------------
+// BinEnc / BinDec
+
+TEST(BinEnc, RoundTripsEveryField)
+{
+    std::string blob;
+    BinEnc enc(blob);
+    enc.u8(0xab);
+    enc.u32(0xdeadbeefu);
+    enc.u64(0x0123456789abcdefull);
+    enc.i64(-42);
+    enc.f64(0.1); // not exactly representable: bit-exactness matters
+    enc.str("hello");
+    enc.f64vec({1.5, -2.25, 1e-300});
+
+    BinDec dec(blob);
+    EXPECT_EQ(dec.u8(), 0xab);
+    EXPECT_EQ(dec.u32(), 0xdeadbeefu);
+    EXPECT_EQ(dec.u64(), 0x0123456789abcdefull);
+    EXPECT_EQ(dec.i64(), -42);
+    EXPECT_EQ(dec.f64(), 0.1);
+    EXPECT_EQ(dec.str(), "hello");
+    const std::vector<double> v = dec.f64vec();
+    ASSERT_EQ(v.size(), 3u);
+    EXPECT_EQ(v[1], -2.25);
+    EXPECT_TRUE(dec.ok());
+    EXPECT_EQ(dec.remaining(), 0u);
+}
+
+TEST(BinDec, TruncationLatchesFailure)
+{
+    std::string blob;
+    BinEnc enc(blob);
+    enc.u64(7);
+    enc.str("payload");
+    for (std::size_t cut = 0; cut < blob.size(); ++cut) {
+        BinDec dec(blob.data(), cut);
+        dec.u64();
+        dec.str();
+        EXPECT_FALSE(dec.ok()) << "cut " << cut;
+        // Latched: everything after the failure reads as zero.
+        EXPECT_EQ(dec.u64(), 0u);
+        EXPECT_EQ(dec.str(), "");
+    }
+}
+
+TEST(BinDec, PoisonedLengthRejectedBeforeAllocation)
+{
+    std::string blob;
+    BinEnc enc(blob);
+    enc.u64(UINT64_MAX); // claims ~16 EiB of string
+    blob += "xx";
+    BinDec dec(blob);
+    EXPECT_EQ(dec.str(), "");
+    EXPECT_FALSE(dec.ok());
+
+    std::string blob2;
+    BinEnc enc2(blob2);
+    enc2.u64(UINT64_MAX / 4); // n * 8 would overflow naive math
+    BinDec dec2(blob2);
+    EXPECT_TRUE(dec2.f64vec().empty());
+    EXPECT_FALSE(dec2.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Decoder checkpoint: save mid-stream, restore, finish elsewhere.
+
+TEST(StreamDecoderCsv, SaveRestoreMidStreamAnySplit)
+{
+    const std::string payload = csvTrace(90);
+    for (std::size_t step : {1ul, 3ul, 7ul, 64ul}) {
+        const std::size_t half = payload.size() / 2;
+        net::StreamDecoder dec(net::StreamFormat::kCsv, 1 << 20);
+        net::ByteQueue q;
+        for (std::size_t off = 0; off < half; off += step) {
+            q.append(payload.data() + off,
+                     std::min(step, half - off));
+            ASSERT_TRUE(dec.drain(q).ok());
+        }
+
+        std::string blob;
+        BinEnc enc(blob);
+        dec.saveState(enc);
+
+        net::StreamDecoder back(net::StreamFormat::kCsv, 1 << 20);
+        BinDec bd(blob);
+        ASSERT_TRUE(back.loadState(bd)) << "step " << step;
+
+        // The un-consumed queue remainder plus the rest of the
+        // payload finish the restored decoder exactly.
+        std::string rest(q.data(), q.size());
+        q.consume(q.size());
+        rest.append(payload.data() + half, payload.size() - half);
+        ASSERT_TRUE(feed(back, rest, step).ok()) << "step " << step;
+        EXPECT_TRUE(back.done());
+        EXPECT_EQ(back.records(), 90u);
+    }
+}
+
+TEST(StreamDecoderBin, SaveRestoreMidFrame)
+{
+    const std::string payload = frame(binTrace(60), 41);
+    const std::size_t cut = payload.size() / 3 + 1; // mid-frame
+    net::StreamDecoder dec(net::StreamFormat::kBin, 1 << 20);
+    net::ByteQueue q;
+    q.append(payload.data(), cut);
+    ASSERT_TRUE(dec.drain(q).ok());
+
+    std::string blob;
+    BinEnc enc(blob);
+    dec.saveState(enc);
+
+    net::StreamDecoder back(net::StreamFormat::kBin, 1 << 20);
+    BinDec bd(blob);
+    ASSERT_TRUE(back.loadState(bd));
+    std::string rest(q.data(), q.size());
+    q.consume(q.size());
+    rest.append(payload.data() + cut, payload.size() - cut);
+    ASSERT_TRUE(feed(back, rest, 13).ok());
+    EXPECT_TRUE(back.done());
+    EXPECT_EQ(back.records(), 60u);
+}
+
+TEST(StreamDecoder, GarbledStateRejected)
+{
+    net::StreamDecoder dec(net::StreamFormat::kCsv, 1 << 20);
+    net::ByteQueue q;
+    q.append(csvTrace(20));
+    ASSERT_TRUE(dec.drain(q).ok());
+    std::string blob;
+    BinEnc enc(blob);
+    dec.saveState(enc);
+
+    // Every strict prefix must be rejected, never half-loaded.
+    for (std::size_t cut = 0; cut < blob.size();
+         cut += std::max<std::size_t>(1, blob.size() / 37)) {
+        net::StreamDecoder back(net::StreamFormat::kCsv, 1 << 20);
+        BinDec bd(blob.data(), cut);
+        EXPECT_FALSE(back.loadState(bd)) << "cut " << cut;
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Wire/file equivalence: a streamed trace characterizes exactly like
 // the same bytes read from disk.
 
@@ -504,8 +850,8 @@ class TestClient
     {
         std::size_t off = 0;
         while (off < bytes.size()) {
-            const ssize_t w = ::write(fd_, bytes.data() + off,
-                                      bytes.size() - off);
+            const ssize_t w = ::send(fd_, bytes.data() + off,
+                                     bytes.size() - off, MSG_NOSIGNAL);
             ASSERT_GT(w, 0);
             off += static_cast<std::size_t>(w);
         }
@@ -744,6 +1090,352 @@ TEST(ServerIntegration, ShedsPastConnectionBudget)
     const std::string resp = c.recvLine();
     EXPECT_NE(resp.find("DLWR1 error overloaded"), std::string::npos)
         << resp;
+}
+
+// ---------------------------------------------------------------------------
+// Session checkpoints
+
+/** Serialize a session to a blob via BinEnc. */
+std::string
+sessionBlob(const daemon::Session &s)
+{
+    std::string blob;
+    BinEnc enc(blob);
+    s.saveState(enc);
+    return blob;
+}
+
+TEST(SessionCheckpoint, MidStreamRestoreKeepsByteIdentity)
+{
+    struct Case
+    {
+        net::StreamFormat format;
+        std::string payload;
+    };
+    const Case cases[] = {
+        {net::StreamFormat::kCsv, csvTrace(130)},
+        {net::StreamFormat::kBin, frame(binTrace(130), 53)},
+    };
+    for (const Case &tc : cases) {
+        // Control: one uninterrupted session.
+        daemon::Session a("t-1", "t", tc.format);
+        net::ByteQueue aq;
+        aq.append(tc.payload);
+        ASSERT_TRUE(a.consume(aq).ok());
+        ASSERT_TRUE(a.finishInput(aq).ok());
+        const std::string expected = a.finalReportText();
+
+        // Interrupted: feed half, checkpoint, restore, feed the rest.
+        daemon::Session b("t-1", "t", tc.format);
+        net::ByteQueue bq;
+        const std::size_t half = tc.payload.size() / 2;
+        for (std::size_t off = 0; off < half; off += 7) {
+            bq.append(tc.payload.data() + off,
+                      std::min<std::size_t>(7, half - off));
+            ASSERT_TRUE(b.consume(bq).ok());
+        }
+        const std::string blob = sessionBlob(b);
+        BinDec dec(blob);
+        std::shared_ptr<daemon::Session> r =
+            daemon::Session::restore(dec);
+        ASSERT_NE(r, nullptr);
+        EXPECT_EQ(r->id(), "t-1");
+        EXPECT_EQ(r->state(), daemon::SessionState::kStreaming);
+
+        // Undelivered queue bytes belong to the connection, not the
+        // checkpoint: replay them into the restored session first.
+        net::ByteQueue rq;
+        rq.append(bq.data(), bq.size());
+        rq.append(tc.payload.data() + half, tc.payload.size() - half);
+        ASSERT_TRUE(r->consume(rq).ok());
+        ASSERT_TRUE(r->finishInput(rq).ok());
+        EXPECT_EQ(r->finalReportText(), expected);
+    }
+}
+
+TEST(SessionCheckpoint, DoneSessionServesSameReportAfterRestore)
+{
+    daemon::Session s("acme-3", "acme", net::StreamFormat::kCsv);
+    net::ByteQueue q;
+    q.append(csvTrace(80));
+    ASSERT_TRUE(s.consume(q).ok());
+    ASSERT_TRUE(s.finishInput(q).ok());
+    const std::string text = s.finalReportText();
+    const std::uint64_t payload_bytes = s.payloadBytes();
+
+    const std::string blob = sessionBlob(s);
+    BinDec dec(blob);
+    std::shared_ptr<daemon::Session> r = daemon::Session::restore(dec);
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->state(), daemon::SessionState::kDone);
+    EXPECT_EQ(r->payloadBytes(), payload_bytes);
+    EXPECT_EQ(r->finalReportText(), text);
+    const std::string json = r->reportJson();
+    EXPECT_NE(json.find("\"state\":\"done\""), std::string::npos);
+    EXPECT_NE(json.find("\"characterization\":{"), std::string::npos);
+    EXPECT_NE(json.find("\"records\":80"), std::string::npos) << json;
+}
+
+TEST(SessionCheckpoint, TruncatedSessionBlobRejected)
+{
+    daemon::Session s("t-9", "t", net::StreamFormat::kCsv);
+    net::ByteQueue q;
+    q.append(csvTrace(40));
+    ASSERT_TRUE(s.consume(q).ok());
+    const std::string blob = sessionBlob(s);
+    for (std::size_t cut = 0; cut < blob.size();
+         cut += std::max<std::size_t>(1, blob.size() / 53)) {
+        BinDec dec(blob.data(), cut);
+        EXPECT_EQ(daemon::Session::restore(dec), nullptr)
+            << "cut " << cut;
+    }
+}
+
+TEST(SessionCheckpoint, FileRoundTripAndRejection)
+{
+    const std::string dir = ::testing::TempDir() + "dlw_ckpt_" +
+                            std::to_string(::getpid());
+    ::mkdir(dir.c_str(), 0755);
+
+    daemon::Session s("t-1", "t", net::StreamFormat::kCsv);
+    net::ByteQueue q;
+    q.append(csvTrace(25));
+    ASSERT_TRUE(s.consume(q).ok());
+    const Status st = daemon::saveSessionCheckpoint(dir, s);
+    ASSERT_TRUE(st.ok()) << st.toString();
+
+    const std::vector<std::string> files =
+        daemon::listCheckpointFiles(dir);
+    ASSERT_EQ(files.size(), 1u);
+    EXPECT_EQ(files[0], daemon::checkpointPath(dir, "t-1"));
+
+    std::string why;
+    std::shared_ptr<daemon::Session> r =
+        daemon::loadSessionCheckpoint(files[0], why);
+    ASSERT_NE(r, nullptr) << why;
+    EXPECT_EQ(r->id(), "t-1");
+
+    // Wrong magic: rejected, not guessed at.
+    {
+        std::ofstream os(daemon::checkpointPath(dir, "bad"),
+                         std::ios::binary);
+        os << "NOTACKPT garbage";
+    }
+    EXPECT_EQ(daemon::loadSessionCheckpoint(
+                  daemon::checkpointPath(dir, "bad"), why),
+              nullptr);
+    EXPECT_EQ(why, "bad magic");
+
+    // Future version: rejected.
+    {
+        std::string blob = daemon::kCheckpointMagic;
+        BinEnc enc(blob);
+        enc.u32(daemon::kCheckpointVersion + 1);
+        s.saveState(enc);
+        std::ofstream os(daemon::checkpointPath(dir, "vnext"),
+                         std::ios::binary);
+        os << blob;
+    }
+    EXPECT_EQ(daemon::loadSessionCheckpoint(
+                  daemon::checkpointPath(dir, "vnext"), why),
+              nullptr);
+    EXPECT_EQ(why, "unsupported checkpoint version");
+
+    daemon::removeSessionCheckpoint(dir, "t-1");
+    EXPECT_EQ(daemon::listCheckpointFiles(dir).size(), 2u);
+    EXPECT_TRUE(daemon::listCheckpointFiles("/no/such/dir").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Deadline evictions against a live server
+
+TEST(ServerIntegration, EvictsSilentConnectionAtFirstByteDeadline)
+{
+    obs::ScopedEnable metrics;
+    daemon::ServerConfig cfg;
+    cfg.first_byte_timeout_ms = 50;
+    ServerFixture f(cfg);
+    TestClient c(f.port());
+    ASSERT_TRUE(c.connected());
+    // Say nothing: the server must hang up on its own.
+    EXPECT_EQ(c.recvAll(), "");
+    const std::string prom = httpGet(f.port(), "/metrics");
+    EXPECT_NE(prom.find("dlw_daemon_evict_first_byte_total"),
+              std::string::npos);
+}
+
+TEST(ServerIntegration, SlowLorisHelloIsEvictedOnAbsoluteDeadline)
+{
+    obs::ScopedEnable metrics;
+    daemon::ServerConfig cfg;
+    cfg.header_timeout_ms = 80;
+    ServerFixture f(cfg);
+    TestClient c(f.port());
+    ASSERT_TRUE(c.connected());
+    // Trickle bytes inside the deadline window: progress on the
+    // connection restarts nothing — the header deadline is absolute
+    // from the first byte, so the eviction still lands at ~80 ms.
+    c.send("D");
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    c.send("L");
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    c.send("W");
+    const std::string resp = c.recvLine();
+    EXPECT_NE(resp.find("DLWR1 error timeout"), std::string::npos)
+        << resp;
+    // The server is still healthy afterwards.
+    EXPECT_NE(httpGet(f.port(), "/healthz").find("200 OK"),
+              std::string::npos);
+}
+
+TEST(ServerIntegration, SlowHttpHeadGets408)
+{
+    obs::ScopedEnable metrics;
+    daemon::ServerConfig cfg;
+    cfg.header_timeout_ms = 50;
+    ServerFixture f(cfg);
+    TestClient c(f.port());
+    ASSERT_TRUE(c.connected());
+    c.send("GET /healthz HTTP/1.1\r\nHost:"); // head never completes
+    const std::string resp = c.recvAll();
+    EXPECT_NE(resp.find("408"), std::string::npos) << resp;
+}
+
+TEST(ServerIntegration, IdleStreamSessionIsFailedNotHung)
+{
+    obs::ScopedEnable metrics;
+    daemon::ServerConfig cfg;
+    cfg.idle_timeout_ms = 60;
+    ServerFixture f(cfg);
+    TestClient c(f.port());
+    ASSERT_TRUE(c.connected());
+    c.send(net::renderStreamHello(net::StreamFormat::kCsv, "idler"));
+    c.recvLine();
+    // Send no payload: the session must fail with a protocol-level
+    // error instead of holding the slot forever.
+    const std::string resp = c.recvLine();
+    EXPECT_NE(resp.find("DLWR1 error timeout"), std::string::npos)
+        << resp;
+    const std::string list = httpGet(f.port(), "/v1/sessions");
+    EXPECT_NE(list.find("\"state\":\"aborted\""), std::string::npos)
+        << list;
+}
+
+// ---------------------------------------------------------------------------
+// Socket-level fault injection
+
+TEST(ServerIntegration, InjectedShortReadsAndEintrKeepByteIdentity)
+{
+    const std::string payload = csvTrace(250);
+    const std::string path = writeTemp(payload, ".csv");
+    const std::string expected = characterizeFile(path);
+    std::remove(path.c_str());
+
+    // Every other daemon read is clamped to one byte, every fifth
+    // returns EINTR, every third write is clamped: the report bytes
+    // must not care.
+    fault::ScopedFault faults(
+        "net.io.read.short:mod=2;net.io.read.eintr:mod=5;"
+        "net.io.write.short:mod=3");
+    ServerFixture f(daemon::ServerConfig{});
+    TestClient c(f.port());
+    ASSERT_TRUE(c.connected());
+    c.send(net::renderStreamHello(net::StreamFormat::kCsv, "fault"));
+    const std::string ack = c.recvLine();
+    ASSERT_NE(ack.find("DLWS1 ok "), std::string::npos) << ack;
+    c.send(payload);
+    c.halfClose();
+    const std::string head = c.recvLine();
+    ASSERT_NE(head.find("DLWR1 ok "), std::string::npos) << head;
+    const std::size_t nbytes = static_cast<std::size_t>(
+        std::stoul(head.substr(std::strlen("DLWR1 ok "))));
+    EXPECT_EQ(c.recvBytes(nbytes), expected);
+}
+
+TEST(ServerIntegration, InjectedResetAbortsSessionNotReport)
+{
+    // A connection reset mid-payload must abort the session — never
+    // complete it as if the half-open stream were a clean EOF.
+    obs::ScopedEnable metrics;
+    ServerFixture f(daemon::ServerConfig{});
+    TestClient c(f.port());
+    ASSERT_TRUE(c.connected());
+    c.send(net::renderStreamHello(net::StreamFormat::kCsv, "reset"));
+    c.recvLine();
+    c.send("# dlw-ms-v1,d,0,1000000000\n"
+           "arrival_ns,lba,blocks,op\n");
+    // Let the server drain those bytes before arming the fault, so
+    // the injected reset hits this connection's next read.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    {
+        fault::ScopedFault faults("net.io.read.reset:once");
+        c.send("0,64,8,R\n");
+        std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    }
+    for (int tries = 0; tries < 100; ++tries) {
+        const std::string list = httpGet(f.port(), "/v1/sessions");
+        if (list.find("\"state\":\"aborted\"") != std::string::npos)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    const std::string list = httpGet(f.port(), "/v1/sessions");
+    EXPECT_NE(list.find("\"state\":\"aborted\""), std::string::npos)
+        << list;
+}
+
+// ---------------------------------------------------------------------------
+// State directory: sessions survive a server restart
+
+TEST(ServerIntegration, StateDirSurvivesRestart)
+{
+    const std::string dir = ::testing::TempDir() + "dlw_state_" +
+                            std::to_string(::getpid());
+    daemon::ServerConfig cfg;
+    cfg.state_dir = dir;
+    cfg.checkpoint_interval_ms = 10;
+
+    const std::string payload = csvTrace(160);
+    std::string session_id;
+    std::string report;
+    {
+        ServerFixture f(cfg);
+        TestClient c(f.port());
+        ASSERT_TRUE(c.connected());
+        c.send(net::renderStreamHello(net::StreamFormat::kCsv,
+                                      "boot"));
+        const std::string ack = c.recvLine();
+        ASSERT_NE(ack.find("DLWS1 ok "), std::string::npos) << ack;
+        session_id = ack.substr(std::strlen("DLWS1 ok "));
+        c.send(payload);
+        c.halfClose();
+        const std::string head = c.recvLine();
+        ASSERT_NE(head.find("DLWR1 ok "), std::string::npos) << head;
+        const std::size_t nbytes = static_cast<std::size_t>(
+            std::stoul(head.substr(std::strlen("DLWR1 ok "))));
+        report = c.recvBytes(nbytes);
+        // Graceful stop writes the final checkpoints.
+    }
+    {
+        ServerFixture f(cfg);
+        const std::string json = httpGet(
+            f.port(), "/v1/sessions/" + session_id + "/report");
+        EXPECT_NE(json.find("\"state\":\"done\""), std::string::npos)
+            << json;
+        EXPECT_NE(json.find("\"records\":160"), std::string::npos)
+            << json;
+        EXPECT_NE(json.find("\"characterization\":{"),
+                  std::string::npos)
+            << json;
+
+        // New sessions must not collide with restored ids.
+        TestClient c(f.port());
+        ASSERT_TRUE(c.connected());
+        c.send(net::renderStreamHello(net::StreamFormat::kCsv,
+                                      "boot"));
+        const std::string ack = c.recvLine();
+        ASSERT_NE(ack.find("DLWS1 ok "), std::string::npos) << ack;
+        EXPECT_NE(ack.substr(std::strlen("DLWS1 ok ")), session_id);
+    }
 }
 
 TEST(ServerIntegration, DrainCompletesInFlightSession)

@@ -57,10 +57,13 @@
 #include <map>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/resource.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -68,6 +71,7 @@
 #include "common/fault.hh"
 #include "common/logging.hh"
 #include "common/options.hh"
+#include "common/retry.hh"
 #include "common/rng.hh"
 #include "common/status.hh"
 #include "common/strutil.hh"
@@ -76,6 +80,7 @@
 #include "daemon/server.hh"
 #include "disk/drive.hh"
 #include "net/buffer.hh"
+#include "net/io.hh"
 #include "net/wire.hh"
 #include "fleet/pipeline.hh"
 #include "fleet/pool.hh"
@@ -448,6 +453,24 @@ cmdServe(const dlw::Options &opts)
         static_cast<std::size_t>(opts.getInt("threads", 0));
     cfg.drain_grace_ms = static_cast<std::uint64_t>(
         opts.getInt("drain-grace-ms", 5000));
+    cfg.first_byte_timeout_ms = static_cast<std::uint64_t>(
+        opts.getInt("first-byte-timeout-ms",
+                    static_cast<std::int64_t>(
+                        cfg.first_byte_timeout_ms)));
+    cfg.header_timeout_ms = static_cast<std::uint64_t>(
+        opts.getInt("header-timeout-ms",
+                    static_cast<std::int64_t>(cfg.header_timeout_ms)));
+    cfg.idle_timeout_ms = static_cast<std::uint64_t>(
+        opts.getInt("idle-timeout-ms",
+                    static_cast<std::int64_t>(cfg.idle_timeout_ms)));
+    cfg.write_stall_timeout_ms = static_cast<std::uint64_t>(
+        opts.getInt("write-stall-timeout-ms",
+                    static_cast<std::int64_t>(
+                        cfg.write_stall_timeout_ms)));
+    cfg.state_dir = opts.get("state-dir", "");
+    cfg.checkpoint_interval_ms = static_cast<std::uint64_t>(
+        opts.getInt("ckpt-ms", static_cast<std::int64_t>(
+                                   cfg.checkpoint_interval_ms)));
 
     daemon::Server server(cfg);
     Status s = server.start();
@@ -482,10 +505,16 @@ void
 sendAll(int fd, const char *data, std::size_t n)
 {
     while (n != 0) {
-        const ssize_t w = ::write(fd, data, n);
+        const ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
         if (w < 0) {
             if (errno == EINTR)
                 continue;
+            // The server vanishing mid-payload is the same failure
+            // the read side reports as a truncated response: map it
+            // to the same status so the exit code is consistent.
+            if (errno == EPIPE || errno == ECONNRESET)
+                throw StatusError(Status::truncated(
+                    "server closed the connection mid-stream"));
             throw StatusError(Status::ioError(
                 std::string("write: ") + std::strerror(errno)));
         }
@@ -517,30 +546,19 @@ recvLine(int fd)
 }
 
 /**
- * stream: the reference dlwd client.  Streams a trace file to a
- * running daemon (csv raw, bin framed) and prints the final report —
- * the same bytes `dlwtool characterize` prints for that file.
+ * Connect with a deadline: non-blocking connect + poll, then back to
+ * blocking for the rest of the session.  timeout_ms == 0 blocks
+ * indefinitely (plain connect semantics).
+ *
+ * @return The connected fd, or -1 with `why` describing the failure
+ *         (always a retryable, connection-level condition).
  */
 int
-cmdStream(const dlw::Options &opts)
+connectStream(const std::string &host, int port,
+              std::uint64_t timeout_ms, std::string &why)
 {
-    const std::string in = opts.get("in", "");
-    if (in.empty())
-        dlw_fatal("stream needs --in");
-    const bool bin = endsWith(in, ".bin");
-    if (!bin && !endsWith(in, ".csv"))
-        dlw_fatal("stream wants a .csv or .bin trace, got '", in, "'");
-    const std::string host = opts.get("host", "127.0.0.1");
-    const int port = static_cast<int>(opts.getInt("port", 7433));
-    const std::string tenant = opts.get("tenant", "anon");
-
-    std::ifstream is(in, std::ios::binary);
-    if (!is)
-        throw StatusError(
-            Status::ioError("cannot open trace '" + in + "'"));
-
-    std::signal(SIGPIPE, SIG_IGN);
-    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    const int fd = ::socket(
+        AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
     if (fd < 0)
         throw StatusError(Status::ioError(
             std::string("socket: ") + std::strerror(errno)));
@@ -552,15 +570,76 @@ cmdStream(const dlw::Options &opts)
         throw StatusError(Status::invalidArgument(
             "bad --host '" + host + "' (want a dotted IPv4 address)"));
     }
-    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
-                  sizeof(addr)) < 0) {
+    const std::string where = host + ":" + std::to_string(port);
+    int rc = ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                       sizeof(addr));
+    if (rc < 0 && errno == EINPROGRESS) {
+        pollfd pfd{};
+        pfd.fd = fd;
+        pfd.events = POLLOUT;
+        const int timeout =
+            timeout_ms == 0 ? -1 : static_cast<int>(timeout_ms);
+        do {
+            rc = ::poll(&pfd, 1, timeout);
+        } while (rc < 0 && errno == EINTR);
+        if (rc == 0) {
+            ::close(fd);
+            why = "connect " + where + ": timed out after " +
+                  std::to_string(timeout_ms) + "ms";
+            return -1;
+        }
+        int err = 0;
+        socklen_t len = sizeof(err);
+        if (rc < 0 ||
+            ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 ||
+            err != 0) {
+            ::close(fd);
+            why = "connect " + where + ": " +
+                  std::strerror(err != 0 ? err : errno);
+            return -1;
+        }
+    } else if (rc < 0) {
         ::close(fd);
-        throw StatusError(Status::unavailable(
-            "connect " + host + ":" + std::to_string(port) + ": " +
-            std::strerror(errno)));
+        why = "connect " + where + ": " + std::strerror(errno);
+        return -1;
+    }
+    const int flags = ::fcntl(fd, F_GETFL);
+    if (flags >= 0)
+        ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+    return fd;
+}
+
+/** stream exits with this when the server dies mid-session. */
+constexpr int kStreamServerClosedExit = 3;
+
+/** One stream attempt's verdict. */
+struct StreamAttempt
+{
+    int rc = 1;             ///< exit code if this attempt is final
+    bool retryable = false; ///< connection-level / overload failure
+    std::string note;       ///< what went wrong (retryable case)
+};
+
+/** One connect-hello-payload-report round trip against dlwd. */
+StreamAttempt
+streamOnce(const std::string &in, bool bin, const std::string &host,
+           int port, const std::string &tenant,
+           std::uint64_t connect_timeout_ms)
+{
+    StreamAttempt out;
+
+    std::ifstream is(in, std::ios::binary);
+    if (!is)
+        throw StatusError(
+            Status::ioError("cannot open trace '" + in + "'"));
+
+    const int fd =
+        connectStream(host, port, connect_timeout_ms, out.note);
+    if (fd < 0) {
+        out.retryable = true;
+        return out;
     }
 
-    int rc = 1;
     try {
         const std::string hello = net::renderStreamHello(
             bin ? net::StreamFormat::kBin : net::StreamFormat::kCsv,
@@ -569,6 +648,24 @@ cmdStream(const dlw::Options &opts)
 
         const std::string ack = recvLine(fd);
         const auto ack_fields = split(ack, ' ');
+        if (ack_fields.size() >= 2 &&
+            ack_fields[0] == net::kReportMagic &&
+            ack_fields[1] == "error") {
+            // Shed before admission ("DLWR1 error overloaded"):
+            // worth retrying, unlike a session-level error.
+            const std::string msg =
+                ack.substr(std::strlen(net::kReportMagic) +
+                           std::strlen(" error "));
+            if (msg == "overloaded") {
+                out.note = "server overloaded";
+                out.retryable = true;
+                ::close(fd);
+                return out;
+            }
+            std::cerr << "stream: server error: " << msg << '\n';
+            ::close(fd);
+            return out;
+        }
         if (ack_fields.size() != 3 ||
             ack_fields[0] != net::kHelloMagic ||
             ack_fields[1] != "ok") {
@@ -619,7 +716,7 @@ cmdStream(const dlw::Options &opts)
                 off += static_cast<std::size_t>(r);
             }
             std::cout << report;
-            rc = 0;
+            out.rc = 0;
         } else if (fields.size() >= 2 &&
                    fields[0] == net::kReportMagic &&
                    fields[1] == "error") {
@@ -627,17 +724,77 @@ cmdStream(const dlw::Options &opts)
                       << resp.substr(std::strlen(net::kReportMagic) +
                                      std::strlen(" error "))
                       << '\n';
-            rc = 1;
+            out.rc = 1;
         } else {
             throw StatusError(
                 Status::corruptData("bad response '" + resp + "'"));
         }
+    } catch (const StatusError &e) {
+        ::close(fd);
+        if (e.status().code() == StatusCode::kTruncated) {
+            // The connection died under us after admission: exit
+            // with a distinct code so harnesses can tell "server
+            // rejected the trace" (1) from "server went away" (3).
+            std::cerr << "stream: " << e.status().message() << '\n';
+            out.rc = kStreamServerClosedExit;
+            return out;
+        }
+        throw;
     } catch (...) {
         ::close(fd);
         throw;
     }
     ::close(fd);
-    return rc;
+    return out;
+}
+
+/**
+ * stream: the reference dlwd client.  Streams a trace file to a
+ * running daemon (csv raw, bin framed) and prints the final report —
+ * the same bytes `dlwtool characterize` prints for that file.
+ * Connection-level failures (connect errors/timeouts, overload
+ * shedding) retry with seeded capped-exponential backoff; a server
+ * that dies mid-session exits 3.
+ */
+int
+cmdStream(const dlw::Options &opts)
+{
+    const std::string in = opts.get("in", "");
+    if (in.empty())
+        dlw_fatal("stream needs --in");
+    const bool bin = endsWith(in, ".bin");
+    if (!bin && !endsWith(in, ".csv"))
+        dlw_fatal("stream wants a .csv or .bin trace, got '", in, "'");
+    const std::string host = opts.get("host", "127.0.0.1");
+    const int port = static_cast<int>(opts.getInt("port", 7433));
+    const std::string tenant = opts.get("tenant", "anon");
+    const auto connect_timeout_ms = static_cast<std::uint64_t>(
+        opts.getInt("connect-timeout-ms", 5000));
+    const auto retries =
+        static_cast<std::size_t>(opts.getInt("retries", 0));
+    const auto seed =
+        static_cast<std::uint64_t>(opts.getInt("retry-seed", 0));
+
+    std::signal(SIGPIPE, SIG_IGN);
+
+    for (std::size_t attempt = 0;; ++attempt) {
+        StreamAttempt out = streamOnce(in, bin, host, port, tenant,
+                                       connect_timeout_ms);
+        if (!out.retryable)
+            return out.rc;
+        if (attempt >= retries) {
+            std::cerr << "stream: " << out.note
+                      << " (retries exhausted)\n";
+            return out.rc;
+        }
+        const double back_ms =
+            retryBackoffMs(seed, 0, attempt + 1, 100.0, 2000.0);
+        std::cerr << "stream: " << out.note << "; retry "
+                  << attempt + 1 << "/" << retries << " in "
+                  << static_cast<std::uint64_t>(back_ms) << "ms\n";
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            static_cast<std::uint64_t>(back_ms * 1000.0)));
+    }
 }
 
 /** Register every subsystem's metric schema with the obs registry. */
@@ -651,6 +808,7 @@ registerAllMetrics()
     core::registerPassMetrics();
     daemon::registerNetMetrics();
     daemon::registerDaemonMetrics();
+    net::registerNetIoMetrics();
 }
 
 /**
@@ -743,11 +901,21 @@ commandUsage()
          "              live, query reports over HTTP\n"
          "              [--port P] [--port-file F] [--max-conns N]\n"
          "              [--max-buffer-kb K] [--threads T]\n"
-         "              [--drain-grace-ms MS]\n"},
+         "              [--drain-grace-ms MS]\n"
+         "              [--first-byte-timeout-ms MS]\n"
+         "              [--header-timeout-ms MS]\n"
+         "              [--idle-timeout-ms MS]\n"
+         "              [--write-stall-timeout-ms MS]\n"
+         "              (0 disables a deadline)\n"
+         "              [--state-dir DIR] [--ckpt-ms MS]\n"
+         "              crash-safe session checkpoints\n"},
         {"stream",
          "  stream      --in FILE    stream a .csv/.bin trace to a\n"
          "              running dlwd and print the final report\n"
-         "              [--host H] [--port P] [--tenant NAME]\n"},
+         "              [--host H] [--port P] [--tenant NAME]\n"
+         "              [--connect-timeout-ms MS] [--retries K]\n"
+         "              [--retry-seed S]    exit 3 when the server\n"
+         "              closes the connection mid-session\n"},
     };
     return usages;
 }
@@ -776,8 +944,12 @@ commandFlags()
         {"characterize", {"in", "on-corrupt", "batch"}},
         {"serve",
          {"port", "port-file", "max-conns", "max-buffer-kb",
-          "threads", "drain-grace-ms"}},
-        {"stream", {"in", "host", "port", "tenant"}},
+          "threads", "drain-grace-ms", "first-byte-timeout-ms",
+          "header-timeout-ms", "idle-timeout-ms",
+          "write-stall-timeout-ms", "state-dir", "ckpt-ms"}},
+        {"stream",
+         {"in", "host", "port", "tenant", "connect-timeout-ms",
+          "retries", "retry-seed"}},
     };
     return flags;
 }
