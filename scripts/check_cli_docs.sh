@@ -1,0 +1,86 @@
+#!/bin/sh
+# Lint: every dlwtool subcommand and every --flag that `dlwtool
+# --help` advertises must be documented in docs/CLI.md, and every
+# --flag the doc mentions must still exist in the help text.  The
+# help output is the ground truth, so the check needs a built
+# binary — CI runs it right after the build step.
+#
+# Usage: scripts/check_cli_docs.sh [repo-root] [dlwtool-binary]
+
+set -u
+root="${1:-$(dirname "$0")/..}"
+cd "$root" || exit 2
+bin="${2:-build/tools/dlwtool}"
+
+doc="docs/CLI.md"
+if [ ! -f "$doc" ]; then
+    echo "error: $doc does not exist" >&2
+    echo "check_cli_docs: FAILED" >&2
+    exit 1
+fi
+if [ ! -x "$bin" ]; then
+    echo "error: dlwtool binary '$bin' not found; build first or" \
+         "pass its path as the second argument" >&2
+    echo "check_cli_docs: FAILED" >&2
+    exit 2
+fi
+
+help_text=$("$bin" --help 2>&1)
+
+cmds=$(printf '%s\n' "$help_text" \
+       | sed -n '/^commands:/,/^global options/p' \
+       | grep -oE '^  [a-z][a-z-]+' | tr -d ' ' | sort -u)
+flags=$(printf '%s\n' "$help_text" \
+        | grep -ohE -- '--[a-z][a-z0-9-]*' | sort -u)
+
+if [ -z "$cmds" ] || [ -z "$flags" ]; then
+    echo "error: could not parse commands/flags out of" \
+         "'$bin --help'" >&2
+    echo "check_cli_docs: FAILED" >&2
+    exit 1
+fi
+
+bad=0
+for cmd in $cmds; do
+    if ! grep -q "\`$cmd\`" "$doc"; then
+        echo "error: subcommand '$cmd' is in dlwtool --help but" \
+             "not documented in $doc" >&2
+        bad=1
+    fi
+done
+
+for flag in $flags; do
+    # "[--option value ...]" in the usage banner is a placeholder,
+    # not a real flag.
+    [ "$flag" = "--option" ] && continue
+    if ! grep -q -- "\`$flag" "$doc"; then
+        echo "error: flag '$flag' is in dlwtool --help but not" \
+             "documented in $doc" >&2
+        bad=1
+    fi
+done
+
+# Reverse direction: a backticked --flag in the doc that the help
+# text no longer mentions means the doc describes a flag that was
+# renamed or removed.
+documented=$(grep -ohE '`--[a-z][a-z0-9-]*' "$doc" \
+             | tr -d '\`' | sort -u)
+for flag in $documented; do
+    # --help prints the usage text but is not listed inside it.
+    [ "$flag" = "--help" ] && continue
+    case "$help_text" in
+        *"$flag"*) ;;
+        *)
+            echo "error: '$flag' is documented in $doc but absent" \
+                 "from dlwtool --help" >&2
+            bad=1
+            ;;
+    esac
+done
+
+if [ "$bad" != 0 ]; then
+    echo "check_cli_docs: FAILED" >&2
+    exit 1
+fi
+echo "check_cli_docs: OK ($(echo "$cmds" | wc -l) commands," \
+     "$(echo "$flags" | wc -l) flags)"

@@ -84,21 +84,40 @@ BurstinessAccumulator::begin(const trace::RequestSource &src)
 void
 BurstinessAccumulator::observe(const trace::RequestBatch &batch)
 {
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-        const Tick arrival = batch.arrival(i);
-        counts_.accumulateAt(arrival, 1.0);
-        if (have_prev_)
-            gaps_.add(static_cast<double>(arrival - prev_arrival_));
-        prev_arrival_ = arrival;
-        have_prev_ = true;
+    const std::size_t n = batch.size();
+    if (n == 0)
+        return;
+    const Tick *t = batch.arrivalsData();
+
+    noteKernelSlowPath(counts_.countSorted(t, n));
+
+    // Gap fold: the first-ever arrival has no predecessor, so a
+    // stream that starts mid-batch folds n - 1 gaps anchored at t[0].
+    // Lane membership inside gaps_ tracks the global gap index, so
+    // the result is identical no matter how arrivals were batched.
+    if (gap_scratch_.size() < n)
+        gap_scratch_.resize(n);
+    const stats::simd::KernelOps &k = stats::simd::ops();
+    std::size_t g = 0;
+    if (have_prev_) {
+        k.gaps_i64(t, n, prev_arrival_, gap_scratch_.data());
+        g = n;
+    } else if (n > 1) {
+        k.gaps_i64(t + 1, n - 1, t[0], gap_scratch_.data());
+        g = n - 1;
     }
+    if (g > 0)
+        gaps_.addBatch(gap_scratch_.data(), g);
+
+    prev_arrival_ = t[n - 1];
+    have_prev_ = true;
 }
 
 void
 BurstinessAccumulator::finish()
 {
     rep_ = analyzeCounts(counts_, std::move(scales_));
-    rep_.interarrival_cv = gaps_.cv();
+    rep_.interarrival_cv = gaps_.combined().cv();
 }
 
 void

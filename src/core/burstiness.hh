@@ -18,6 +18,7 @@
 #include "core/pass.hh"
 #include "stats/dispersion.hh"
 #include "stats/hurst.hh"
+#include "stats/simd/simd.hh"
 #include "stats/summary.hh"
 #include "trace/mstrace.hh"
 
@@ -59,8 +60,9 @@ struct BurstinessReport
 /**
  * Streaming burstiness analysis: accumulates the base-bin counts and
  * the interarrival-gap summary incrementally (the gap stream is
- * folded into a running Summary, never materialized), then derives
- * the report in finish().  analyzeBurstiness() is a one-accumulator
+ * folded into a running 4-lane SummaryLanes through the dispatched
+ * SIMD kernels, never materialized), then derives the report in
+ * finish().  analyzeBurstiness() is a one-accumulator
  * pass over an in-memory source, so both paths share one
  * implementation.
  */
@@ -94,7 +96,8 @@ class BurstinessAccumulator : public TraceAccumulator
     Tick base_bin_;
     std::vector<std::size_t> scales_;
     stats::BinnedSeries counts_;
-    stats::Summary gaps_;
+    stats::simd::SummaryLanes gaps_;
+    std::vector<double> gap_scratch_;
     Tick prev_arrival_ = 0;
     bool have_prev_ = false;
     BurstinessReport rep_;

@@ -3,6 +3,7 @@
 #include "common/binenc.hh"
 #include "obs/metrics.hh"
 #include "obs/span.hh"
+#include "stats/simd/simd.hh"
 
 namespace dlw
 {
@@ -25,6 +26,14 @@ struct PassMetrics
         "accumulators", "core",
         "accumulators fed by passes (divide by core.pass.runs "
         "for the mean fusion width)");
+    obs::Gauge &kernel_isa = obs::gauge("core.kernel.isa",
+        "isa", "core",
+        "active SIMD kernel table (0 scalar, 1 sse2, 2 avx2); "
+        "set at the start of every pass");
+    obs::Counter &kernel_slow = obs::counter("core.kernel.slow",
+        "elements", "core",
+        "batch-kernel elements that fell back to the per-element "
+        "reference path (series growth, early-stop)");
 };
 
 PassMetrics &
@@ -43,6 +52,15 @@ registerPassMetrics()
 }
 
 void
+noteKernelSlowPath(std::size_t elems)
+{
+    if (elems == 0 || !obs::enabled())
+        return;
+    passMetrics().kernel_slow.add(
+        static_cast<std::uint64_t>(elems));
+}
+
+void
 TraceTotalsAccumulator::begin(const trace::RequestSource &src)
 {
     duration_ = src.duration();
@@ -51,13 +69,19 @@ TraceTotalsAccumulator::begin(const trace::RequestSource &src)
 void
 TraceTotalsAccumulator::observe(const trace::RequestBatch &batch)
 {
-    n_ += batch.size();
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-        if (batch.isRead(i))
-            ++reads_;
-        bytes_ += batch.bytes(i);
-        blocks_ += batch.blocks(i);
-    }
+    const std::size_t sz = batch.size();
+    if (sz == 0)
+        return;
+    const stats::simd::KernelOps &k = stats::simd::ops();
+    n_ += sz;
+    reads_ += static_cast<std::size_t>(k.count_eq_u8(
+        reinterpret_cast<const std::uint8_t *>(batch.opsData()), sz,
+        static_cast<std::uint8_t>(trace::Op::Read)));
+    // Integer sums are associative mod 2^64, so the vector
+    // reassociation is exact.
+    const std::uint64_t blocks = k.sum_u32(batch.blocksData(), sz);
+    blocks_ += blocks;
+    bytes_ += blocks * kBlockBytes;
 }
 
 double
@@ -114,6 +138,8 @@ CharacterizationPass::run(trace::RequestSource &src,
         PassMetrics &m = passMetrics();
         m.runs.add(1);
         m.fused.add(accs_.size());
+        m.kernel_isa.set(
+            static_cast<std::int64_t>(stats::simd::activeIsa()));
     }
 
     for (TraceAccumulator *acc : accs_)

@@ -149,10 +149,18 @@ class CharacterizationPass
 };
 
 /**
- * Force-register the core.pass.* metrics so snapshots carry the
- * schema before any pass runs.
+ * Force-register the core.pass.* and core.kernel.* metrics so
+ * snapshots carry the schema before any pass runs.
  */
 void registerPassMetrics();
+
+/**
+ * Record elems slow-path elements against core.kernel.slow: requests
+ * a batch kernel could not fold (series growth, early-stop) and that
+ * fell back to the per-element reference path.  No-op when metrics
+ * are disabled or elems is zero.
+ */
+void noteKernelSlowPath(std::size_t elems);
 
 } // namespace core
 } // namespace dlw

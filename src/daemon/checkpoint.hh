@@ -38,8 +38,11 @@ namespace daemon
 /** Magic prefix of a checkpoint file. */
 inline constexpr const char *kCheckpointMagic = "DLWCKPT1";
 
-/** Current checkpoint format version. */
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+/**
+ * Current checkpoint format version.  v2: the burstiness gap summary
+ * became a 4-lane SummaryLanes fold, changing its state layout.
+ */
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 /** `<dir>/<id>.ckpt`. */
 std::string checkpointPath(const std::string &dir,

@@ -2,13 +2,31 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <limits>
 
 #include "common/logging.hh"
+#include "stats/simd/simd.hh"
 
 namespace dlw
 {
 namespace stats
 {
+
+namespace
+{
+
+/** Per-thread bin-index scratch shared by the addBatch paths. */
+std::vector<std::int32_t> &
+binScratch(std::size_t n)
+{
+    thread_local std::vector<std::int32_t> idx;
+    if (idx.size() < n)
+        idx.resize(n);
+    return idx;
+}
+
+} // namespace
 
 LinearHistogram::LinearHistogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), counts_(bins, 0.0)
@@ -16,6 +34,12 @@ LinearHistogram::LinearHistogram(double lo, double hi, std::size_t bins)
     dlw_assert(hi > lo, "histogram range inverted");
     dlw_assert(bins >= 1, "histogram needs at least one bin");
     width_ = (hi - lo) / static_cast<double>(bins);
+    // The bin map multiplies by this precomputed reciprocal (one
+    // rounded constant shared by add(), addBatch() and the SIMD
+    // kernels) instead of dividing by width_: division is an order
+    // of magnitude more expensive and, being divider-bound on both
+    // the scalar and vector side, would cap the vector speedup.
+    inv_width_ = 1.0 / width_;
 }
 
 void
@@ -36,10 +60,37 @@ LinearHistogram::addWeighted(double x, double weight)
         overflow_ += weight;
         return;
     }
-    auto idx = static_cast<std::size_t>((x - lo_) / width_);
+    auto idx = static_cast<std::size_t>((x - lo_) * inv_width_);
     if (idx >= counts_.size())
         idx = counts_.size() - 1; // guard FP edge effects
     counts_[idx] += weight;
+}
+
+void
+LinearHistogram::addBatch(const double *x, std::size_t n)
+{
+    if (n == 0)
+        return;
+    dlw_assert(counts_.size() <
+               static_cast<std::size_t>(
+                   std::numeric_limits<std::int32_t>::max()),
+               "histogram too large for batch binning");
+    std::vector<std::int32_t> &idx = binScratch(n);
+    simd::ops().bin_linear(x, n, lo_, hi_, inv_width_,
+                           static_cast<std::int32_t>(counts_.size()),
+                           idx.data());
+    // Scatter in element order so the accumulation order (and thus
+    // every rounding step) matches repeated add() calls exactly.
+    for (std::size_t i = 0; i < n; ++i) {
+        total_ += 1.0;
+        const std::int32_t b = idx[i];
+        if (b == simd::kBinUnderflow)
+            underflow_ += 1.0;
+        else if (b == simd::kBinOverflow)
+            overflow_ += 1.0;
+        else
+            counts_[static_cast<std::size_t>(b)] += 1.0;
+    }
 }
 
 void
@@ -122,6 +173,9 @@ LogHistogram::LogHistogram(double lo, double hi,
     dlw_assert(bins_per_decade >= 1, "log histogram resolution invalid");
     log_lo_ = std::log10(lo);
     log_width_ = 1.0 / static_cast<double>(bins_per_decade);
+    // Exact (bins_per_decade is a small integer), and the bin map
+    // multiplies by it for the same reason LinearHistogram does.
+    inv_log_width_ = static_cast<double>(bins_per_decade);
     double decades = std::log10(hi) - log_lo_;
     auto bins = static_cast<std::size_t>(
         std::ceil(decades / log_width_ - 1e-9));
@@ -147,10 +201,35 @@ LogHistogram::addWeighted(double x, double weight)
         return;
     }
     auto idx = static_cast<std::size_t>(
-        (std::log10(x) - log_lo_) / log_width_);
+        (std::log10(x) - log_lo_) * inv_log_width_);
     if (idx >= counts_.size())
         idx = counts_.size() - 1;
     counts_[idx] += weight;
+}
+
+void
+LogHistogram::addBatch(const double *x, std::size_t n)
+{
+    if (n == 0)
+        return;
+    dlw_assert(counts_.size() <
+               static_cast<std::size_t>(
+                   std::numeric_limits<std::int32_t>::max()),
+               "histogram too large for batch binning");
+    std::vector<std::int32_t> &idx = binScratch(n);
+    simd::ops().bin_log(x, n, lo_, hi_, log_lo_, inv_log_width_,
+                        static_cast<std::int32_t>(counts_.size()),
+                        idx.data());
+    for (std::size_t i = 0; i < n; ++i) {
+        total_ += 1.0;
+        const std::int32_t b = idx[i];
+        if (b == simd::kBinUnderflow)
+            underflow_ += 1.0;
+        else if (b == simd::kBinOverflow)
+            overflow_ += 1.0;
+        else
+            counts_[static_cast<std::size_t>(b)] += 1.0;
+    }
 }
 
 void

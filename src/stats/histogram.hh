@@ -41,6 +41,13 @@ class LinearHistogram
     /** Record one observation. */
     void add(double x);
 
+    /**
+     * Record a batch of unit-weight observations through the
+     * dispatched SIMD binning kernel.  Bit-identical to calling
+     * add() per element, in order.
+     */
+    void addBatch(const double *x, std::size_t n);
+
     /** Record an observation with a fractional weight. */
     void addWeighted(double x, double weight);
 
@@ -87,6 +94,7 @@ class LinearHistogram
     double lo_;
     double hi_;
     double width_;
+    double inv_width_; // reciprocal used by the bin map; see .cc
     double total_ = 0.0;
     double underflow_ = 0.0;
     double overflow_ = 0.0;
@@ -109,6 +117,13 @@ class LogHistogram
 
     /** Record one observation (values <= 0 count as underflow). */
     void add(double x);
+
+    /**
+     * Record a batch of unit-weight observations through the
+     * dispatched SIMD binning kernel.  Bit-identical to calling
+     * add() per element, in order.
+     */
+    void addBatch(const double *x, std::size_t n);
 
     /** Record an observation with fractional weight. */
     void addWeighted(double x, double weight);
@@ -154,6 +169,7 @@ class LogHistogram
   private:
     double log_lo_;
     double log_width_;
+    double inv_log_width_; // == bins_per_decade, used by the bin map
     double lo_;
     double hi_;
     double total_ = 0.0;

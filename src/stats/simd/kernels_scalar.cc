@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Scalar reference kernels: the ground truth every vector table must
+ * reproduce bit for bit.  These loops are intentionally written as
+ * the obvious per-element code — they define the semantics, and they
+ * are what runs under DLW_SIMD=scalar and on non-x86 targets.
+ */
+
+#include "stats/simd/kernels.hh"
+
+namespace dlw
+{
+namespace stats
+{
+namespace simd
+{
+namespace detail
+{
+namespace
+{
+
+void
+binLinearScalar(const double *x, std::size_t n, double lo, double hi,
+                double inv_width, std::int32_t bins,
+                std::int32_t *idx)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        idx[i] = binLinearOne(x[i], lo, hi, inv_width, bins);
+}
+
+void
+binLogScalar(const double *x, std::size_t n, double lo, double hi,
+             double log_lo, double inv_log_width, std::int32_t bins,
+             std::int32_t *idx)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        idx[i] = binLogOne(x[i], lo, hi, log_lo, inv_log_width, bins);
+}
+
+std::size_t
+countSortedScalar(const Tick *t, std::size_t n, Tick start,
+                  Tick width, double *bins, std::size_t nbins)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        if (t[i] < start)
+            return i;
+        const auto idx =
+            static_cast<std::size_t>((t[i] - start) / width);
+        if (idx >= nbins)
+            return i;
+        bins[idx] += 1.0;
+    }
+    return n;
+}
+
+std::size_t
+countSortedIfScalar(const Tick *t, const std::uint8_t *flags,
+                    std::uint8_t want, std::size_t n, Tick start,
+                    Tick width, double *bins, std::size_t nbins)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        if (t[i] < start)
+            return i;
+        const auto idx =
+            static_cast<std::size_t>((t[i] - start) / width);
+        if (idx >= nbins)
+            return i;
+        if (flags[i] == want)
+            bins[idx] += 1.0;
+    }
+    return n;
+}
+
+void
+gapsI64Scalar(const Tick *t, std::size_t n, Tick prev, double *out)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        out[i] = static_cast<double>(t[i] - prev);
+        prev = t[i];
+    }
+}
+
+void
+welfordAddScalar(SummaryLanes &lanes, const double *x, std::size_t n)
+{
+    std::uint32_t lane = lanes.next;
+    for (std::size_t i = 0; i < n; ++i) {
+        welfordOne(lanes, lane, x[i]);
+        lane = (lane + 1) % kSummaryLanes;
+    }
+    lanes.next = lane;
+}
+
+std::uint64_t
+countEqU8Scalar(const std::uint8_t *v, std::size_t n,
+                std::uint8_t want)
+{
+    std::uint64_t c = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        c += v[i] == want ? 1 : 0;
+    return c;
+}
+
+std::uint64_t
+sumU32Scalar(const std::uint32_t *v, std::size_t n)
+{
+    std::uint64_t s = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        s += v[i];
+    return s;
+}
+
+} // anonymous namespace
+
+const KernelOps kScalarOps = {
+    binLinearScalar,    binLogScalar,  countSortedScalar,
+    countSortedIfScalar, gapsI64Scalar, welfordAddScalar,
+    countEqU8Scalar,    sumU32Scalar,
+};
+
+} // namespace detail
+} // namespace simd
+} // namespace stats
+} // namespace dlw

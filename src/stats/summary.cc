@@ -10,6 +10,21 @@ namespace dlw
 namespace stats
 {
 
+Summary
+Summary::fromRaw(std::uint64_t n, double mean, double m2, double m3,
+                 double m4, double min, double max)
+{
+    Summary s;
+    s.n_ = n;
+    s.mean_ = mean;
+    s.m2_ = m2;
+    s.m3_ = m3;
+    s.m4_ = m4;
+    s.min_ = min;
+    s.max_ = max;
+    return s;
+}
+
 void
 Summary::add(double x)
 {

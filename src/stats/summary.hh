@@ -32,6 +32,17 @@ class Summary
   public:
     Summary() = default;
 
+    /**
+     * Rebuild a summary from raw accumulator state (count, mean,
+     * central moment sums, extrema).  Used by the SIMD layer's
+     * SummaryLanes to merge per-lane Welford state through the
+     * standard merge(); the caller owns the invariants (m2/m3/m4
+     * consistent with n and mean).
+     */
+    static Summary fromRaw(std::uint64_t n, double mean, double m2,
+                           double m3, double m4, double min,
+                           double max);
+
     /** Add one observation. */
     void add(double x);
 
