@@ -66,7 +66,7 @@ done
 # daemon.* name the doc claims must still be registered or emitted
 # in src/, so renaming a daemon metric cannot leave the doc
 # describing counters that no longer exist.
-documented=$(grep -hoE '`(net|daemon)\.[a-z0-9._]+`' "$doc" \
+documented=$(grep -hoE '`(net|daemon|qos)\.[a-z0-9._]+`' "$doc" \
              | tr -d '\`' | sort -u)
 known=" $(printf '%s\n%s' "$names" "$events" | tr '\n' ' ') "
 for name in $documented; do

@@ -5,9 +5,12 @@
 # clients at it (half csv, half binary, all carrying the same trace),
 # and requires every per-client report to be byte-identical to the
 # batch `dlwtool characterize` output for the same file.  Then probes
-# the HTTP side (/healthz, /metrics, session listing), verifies that
-# a zero-budget server sheds with 503 and a stream refusal, and
-# finally asserts the storm server drains cleanly on SIGTERM.
+# the HTTP side (/healthz, /metrics, session listing), runs a
+# mixed-tag storm against a `--qos on` server with a tight bulk
+# budget (interactive completes, bulk is throttled but correct, the
+# ratekeeper counters show up in /metrics), verifies that a
+# zero-budget server sheds with 503 and a stream refusal, and
+# finally asserts both servers drain cleanly on SIGTERM.
 #
 # Usage: scripts/storm_smoke.sh <path-to-dlwtool> [n-clients]
 #
@@ -31,10 +34,12 @@ esac
 work="$(mktemp -d "${TMPDIR:-/tmp}/dlw_storm.XXXXXX")"
 server_pid=""
 shed_pid=""
+qos_pid=""
 
 cleanup() {
     [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null
     [ -n "$shed_pid" ] && kill "$shed_pid" 2>/dev/null
+    [ -n "$qos_pid" ] && kill "$qos_pid" 2>/dev/null
     wait 2>/dev/null
     rm -rf "$work"
 }
@@ -121,6 +126,87 @@ if command -v curl >/dev/null 2>&1; then
 else
     echo "storm_smoke: curl not found, skipping HTTP probes" >&2
 fi
+
+# --- mixed-tag storm against a QoS-armed server -------------------
+# A separate `--qos on` server with a deliberately tight bulk budget:
+# interactive clients must complete promptly and every report (bulk
+# included — throttled, never corrupted) must stay byte-identical to
+# the batch output, with the ratekeeper's work visible in /metrics.
+
+"$tool" serve --port 0 --port-file "$work/qos_port" \
+    --max-conns $((nclients + 8)) \
+    --qos on --qos-max-rate 4000 --qos-min-rate 1000 \
+    2> "$work/qos_server.log" &
+qos_pid=$!
+i=0
+while [ ! -s "$work/qos_port" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "qos server did not write its port file"
+    kill -0 "$qos_pid" 2>/dev/null || fail "qos server died at startup"
+    sleep 0.1
+done
+qport="$(cat "$work/qos_port")"
+
+nqos=4
+c=0
+bulk_pids=""
+while [ "$c" -lt "$nqos" ]; do
+    "$tool" stream --in "$work/trace.csv" --port "$qport" \
+        --tenant bulkstorm --class bulk \
+        > "$work/qbulk.$c" 2> "$work/qbulk_err.$c" &
+    bulk_pids="$bulk_pids $!"
+    c=$((c + 1))
+done
+c=0
+int_pids=""
+while [ "$c" -lt "$nqos" ]; do
+    "$tool" stream --in "$work/trace.csv" --port "$qport" \
+        --tenant "fg$c" --class interactive \
+        > "$work/qint.$c" 2> "$work/qint_err.$c" &
+    int_pids="$int_pids $!"
+    c=$((c + 1))
+done
+
+rc=0
+for pid in $int_pids; do
+    wait "$pid" || rc=1
+done
+[ "$rc" -eq 0 ] || fail "an interactive client failed under the storm"
+rc=0
+for pid in $bulk_pids; do
+    wait "$pid" || rc=1
+done
+[ "$rc" -eq 0 ] || fail "a throttled bulk client exited nonzero"
+
+c=0
+while [ "$c" -lt "$nqos" ]; do
+    cmp -s "$work/ref.txt" "$work/qint.$c" \
+        || fail "interactive report $c differs under the qos storm"
+    cmp -s "$work/ref.txt" "$work/qbulk.$c" \
+        || fail "throttled bulk report $c differs from batch output"
+    c=$((c + 1))
+done
+
+if command -v curl >/dev/null 2>&1; then
+    curl -fsS "http://127.0.0.1:$qport/metrics" > "$work/qos_metrics" \
+        || fail "qos /metrics"
+    ticks=$(sed -n \
+        's/^dlw_qos_ratekeeper_ticks_total \([0-9.]*\)$/\1/p' \
+        "$work/qos_metrics")
+    [ -n "$ticks" ] && [ "${ticks%%.*}" -gt 0 ] \
+        || fail "ratekeeper never ticked (got '$ticks')"
+    delayed=$(sed -n \
+        's/^dlw_qos_tag_delayed_total \([0-9.]*\)$/\1/p' \
+        "$work/qos_metrics")
+    [ -n "$delayed" ] && [ "${delayed%%.*}" -gt 0 ] \
+        || fail "bulk storm was never throttled (got '$delayed')"
+fi
+
+kill -TERM "$qos_pid"
+wait "$qos_pid"
+st=$?
+qos_pid=""
+[ "$st" -eq 0 ] || fail "qos server exited $st after SIGTERM"
 
 # --- shedding: a zero-budget server must refuse politely ----------
 

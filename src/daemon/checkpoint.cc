@@ -66,15 +66,15 @@ saveSessionCheckpoint(const std::string &dir, const Session &s)
     return Status();
 }
 
-std::shared_ptr<Session>
-loadSessionCheckpoint(const std::string &path, std::string &why)
+StatusOr<std::shared_ptr<Session>>
+loadSessionCheckpoint(const std::string &path)
 {
     std::string bytes;
     {
         std::FILE *f = std::fopen(path.c_str(), "rb");
         if (f == nullptr) {
-            why = "open: " + std::string(std::strerror(errno));
-            return nullptr;
+            return Status::ioError(
+                "open: " + std::string(std::strerror(errno)));
         }
         char buf[64 * 1024];
         std::size_t n;
@@ -84,19 +84,30 @@ loadSessionCheckpoint(const std::string &path, std::string &why)
     }
     const std::size_t magic_len = std::strlen(kCheckpointMagic);
     if (bytes.size() < magic_len ||
-        std::memcmp(bytes.data(), kCheckpointMagic, magic_len) != 0) {
-        why = "bad magic";
-        return nullptr;
-    }
+        std::memcmp(bytes.data(), kCheckpointMagic, magic_len) != 0)
+        return Status::corruptData("bad magic");
     BinDec dec(bytes.data() + magic_len, bytes.size() - magic_len);
     const std::uint32_t version = dec.u32();
-    if (!dec.ok() || version != kCheckpointVersion) {
-        why = "unsupported checkpoint version";
-        return nullptr;
+    if (!dec.ok())
+        return Status::truncated("truncated checkpoint header");
+    if (version < kCheckpointVersion) {
+        // A silent default-tag here would resurrect the session in
+        // the wrong QoS lane; the operator must re-stream instead.
+        return Status::failedPrecondition(
+            "checkpoint version " + std::to_string(version) +
+            " predates the tenant/class tag (want " +
+            std::to_string(kCheckpointVersion) +
+            "); refusing to default-tag the session");
+    }
+    if (version > kCheckpointVersion) {
+        return Status::failedPrecondition(
+            "checkpoint version " + std::to_string(version) +
+            " is newer than this daemon supports (" +
+            std::to_string(kCheckpointVersion) + ")");
     }
     std::shared_ptr<Session> s = Session::restore(dec);
     if (s == nullptr)
-        why = "truncated or garbled checkpoint";
+        return Status::corruptData("truncated or garbled checkpoint");
     return s;
 }
 

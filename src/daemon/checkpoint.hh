@@ -41,8 +41,10 @@ inline constexpr const char *kCheckpointMagic = "DLWCKPT1";
 /**
  * Current checkpoint format version.  v2: the burstiness gap summary
  * became a 4-lane SummaryLanes fold, changing its state layout.
+ * v3: the session blob gained the workload-class byte of the
+ * tenant/class tag (right after the tenant string).
  */
-inline constexpr std::uint32_t kCheckpointVersion = 2;
+inline constexpr std::uint32_t kCheckpointVersion = 3;
 
 /** `<dir>/<id>.ckpt`. */
 std::string checkpointPath(const std::string &dir,
@@ -56,12 +58,16 @@ Status saveSessionCheckpoint(const std::string &dir, const Session &s);
 /**
  * Load one checkpoint file.
  *
- * @return The restored session, or nullptr with `why` set when the
- *         file is unreadable, has the wrong magic/version, or the
- *         blob is truncated/garbled.
+ * @return The restored session, or a non-OK Status when the file is
+ *         unreadable, has the wrong magic, or the blob is
+ *         truncated/garbled.  A version that predates the
+ *         tenant/class tag (< 3) is rejected with an explicit
+ *         FailedPrecondition — restoring it would silently
+ *         default-tag a session whose class the client never
+ *         negotiated.
  */
-std::shared_ptr<Session> loadSessionCheckpoint(const std::string &path,
-                                               std::string &why);
+StatusOr<std::shared_ptr<Session>>
+loadSessionCheckpoint(const std::string &path);
 
 /** All `*.ckpt` paths in dir, sorted (empty on a missing dir). */
 std::vector<std::string> listCheckpointFiles(const std::string &dir);

@@ -155,6 +155,12 @@ Server::start()
     registerNetMetrics();
     registerDaemonMetrics();
     net::registerNetIoMetrics();
+    qos::registerQosMetrics();
+
+    if (config_.qos) {
+        rk_ = std::make_unique<qos::Ratekeeper>(config_.qos_config);
+        next_qos_tick_ns_ = nowNs() + config_.qos_config.tick_ns;
+    }
 
     if (!config_.state_dir.empty()) {
         Status s = restoreState();
@@ -295,6 +301,10 @@ Server::run()
 
         const std::uint64_t now = nowNs();
         expireDeadlines(now);
+        if (rk_ != nullptr && now >= next_qos_tick_ns_) {
+            qosTick(now);
+            next_qos_tick_ns_ = now + config_.qos_config.tick_ns;
+        }
         if (next_ckpt_ns_ != 0 && now >= next_ckpt_ns_) {
             checkpointSessions(/*force=*/false);
             next_ckpt_ns_ =
@@ -317,6 +327,8 @@ Server::loopTimeoutMs(std::uint64_t now_ns) const
     std::uint64_t next = wheel_.nextDeadline();
     if (next_ckpt_ns_ != 0 && next_ckpt_ns_ < next)
         next = next_ckpt_ns_;
+    if (rk_ != nullptr && next_qos_tick_ns_ < next)
+        next = next_qos_tick_ns_;
     if (next != UINT64_MAX) {
         const std::uint64_t delta_ms =
             next <= now_ns ? 0 : (next - now_ns + 999999) / 1000000;
@@ -336,6 +348,18 @@ Server::expireDeadlines(std::uint64_t now_ns)
         if (it == conns_.end())
             continue; // stale entry: connection already gone
         Conn &c = *it->second;
+        if (c.throttled && c.throttle_deadline_ns != 0 &&
+            now_ns >= c.throttle_deadline_ns) {
+            // Tokens have refilled: resume the stream — re-arm
+            // EPOLLIN, restart the idle clock, and fold whatever
+            // already sits buffered.
+            c.throttled = false;
+            c.throttle_deadline_ns = 0;
+            armRead(c, ReadDeadline::kIdle);
+            updateEpoll(c);
+            pumpConn(c);
+            continue;
+        }
         if (c.read_deadline_ns != 0 && now_ns >= c.read_deadline_ns) {
             evictRead(c);
             continue;
@@ -354,9 +378,45 @@ Server::expireDeadlines(std::uint64_t now_ns)
             next = c.read_deadline_ns;
         if (c.write_deadline_ns != 0 && c.write_deadline_ns < next)
             next = c.write_deadline_ns;
+        if (c.throttle_deadline_ns != 0 &&
+            c.throttle_deadline_ns < next)
+            next = c.throttle_deadline_ns;
         if (next != UINT64_MAX)
             wheel_.schedule(token, next);
     }
+}
+
+void
+Server::qosTick(std::uint64_t now_ns)
+{
+    // The controller feeds on signals the system already exports:
+    // pool backlog, fold latency p95, live session count.
+    qos::QosSignals sig;
+    sig.queue_depth = obs::gauge("fleet.pool.queue_depth", "tasks",
+        "fleet", "submitted-but-unfinished tasks right now").value();
+    const stats::LogHistogram folds =
+        daemonMetrics().fold_seconds.merged();
+    if (folds.total() > 0) {
+        sig.fold_p95_us =
+            static_cast<std::int64_t>(folds.quantile(0.95) * 1e6);
+    }
+    sig.active_sessions = daemonMetrics().active.value();
+    rk_->tick(now_ns, sig);
+}
+
+void
+Server::throttleConn(Conn &c, std::uint64_t now_ns)
+{
+    const std::uint64_t delay =
+        rk_->resumeDelayNs(c.session->tag(), now_ns);
+    c.throttled = true;
+    c.throttle_deadline_ns = now_ns + std::max<std::uint64_t>(
+        delay, 1'000'000);
+    // The idle deadline pauses with the stream: being throttled is
+    // the daemon's doing, not the client's.
+    armRead(c, ReadDeadline::kNone);
+    wheel_.schedule(c.token, c.throttle_deadline_ns);
+    updateEpoll(c);
 }
 
 void
@@ -462,14 +522,19 @@ Server::restoreState()
     ::mkdir(config_.state_dir.c_str(), 0755);
     for (const std::string &path :
          listCheckpointFiles(config_.state_dir)) {
-        std::string why;
-        std::shared_ptr<Session> s = loadSessionCheckpoint(path, why);
-        if (s == nullptr) {
-            // One bad checkpoint must not block startup; drop it so
-            // the next sweep does not trip over it again.
-            ::unlink(path.c_str());
+        StatusOr<std::shared_ptr<Session>> loaded =
+            loadSessionCheckpoint(path);
+        if (!loaded.ok()) {
+            // A pre-tag checkpoint is not corrupt — it is merely
+            // unusable here; leave it on disk for the operator.
+            // Anything else (garbled, truncated, unreadable) is
+            // dropped so the next sweep does not trip over it again.
+            if (loaded.status().code() !=
+                StatusCode::kFailedPrecondition)
+                ::unlink(path.c_str());
             continue;
         }
+        std::shared_ptr<Session> s = loaded.value();
         if (s->state() == SessionState::kStreaming) {
             // The connection died with the old process; account the
             // session as aborted, but keep its partial story
@@ -695,6 +760,21 @@ Server::sniff(Conn &c)
         armRead(c, ReadDeadline::kNone);
         return;
     }
+    // Tag-aware shedding fires before the blunt overload check so a
+    // bulk client learns it was throttled (retry later), not that
+    // the daemon is down.
+    if (rk_ != nullptr) {
+        const qos::TagId tag{qos::internTenant(hello.tenant),
+                             hello.klass};
+        if (rk_->admitSession(tag, nowNs()) ==
+            qos::Admission::kShed) {
+            queueWrite(c, net::renderReportError("throttled"));
+            c.close_after_flush = true;
+            c.state = ConnState::kFold;
+            armRead(c, ReadDeadline::kNone);
+            return;
+        }
+    }
     if (c.shed || draining_) {
         queueWrite(c, net::renderReportError("overloaded"));
         c.close_after_flush = true;
@@ -706,7 +786,7 @@ Server::sniff(Conn &c)
     std::ostringstream id;
     id << hello.tenant << '-' << next_session_++;
     c.session = std::make_shared<Session>(id.str(), hello.tenant,
-                                          hello.format);
+                                          hello.format, hello.klass);
     // The registry keeps finished sessions queryable over HTTP, but
     // bounded: evict settled sessions once it outgrows the
     // connection budget by 4x.
@@ -760,6 +840,29 @@ Server::serveHttp(Conn &c)
             c.close_after_flush = true;
             return;
         }
+        // An HTTP client may volunteer its tag; a sheddable class
+        // under pressure gets 429 (retry later), never 503.
+        if (rk_ != nullptr) {
+            const std::string klass_hdr =
+                req.headerValue("x-dlw-class");
+            qos::WorkClass klass;
+            if (!klass_hdr.empty() &&
+                qos::parseWorkClass(klass_hdr, klass)) {
+                const qos::TagId tag{
+                    qos::internTenant(
+                        req.headerValue("x-dlw-tenant")),
+                    klass};
+                if (rk_->admitSession(tag, nowNs()) ==
+                    qos::Admission::kShed) {
+                    queueWrite(c, net::renderHttpResponse(
+                                      429, "Too Many Requests",
+                                      "text/plain", "throttled\n",
+                                      false));
+                    c.close_after_flush = true;
+                    return;
+                }
+            }
+        }
         bool keep_alive = req.keepAlive();
         queueWrite(c, routeHttp(req, keep_alive));
         if (!keep_alive) {
@@ -803,7 +906,10 @@ Server::routeHttp(const net::HttpRequest &req, bool &keep_alive)
             if (!first)
                 os << ",";
             first = false;
-            os << "{\"session\":\"" << kv.first << "\",\"state\":\""
+            os << "{\"session\":\"" << kv.first << "\",\"tenant\":\""
+               << kv.second->tenant() << "\",\"class\":\""
+               << qos::workClassName(kv.second->klass())
+               << "\",\"state\":\""
                << sessionStateName(kv.second->state()) << "\"}";
         }
         os << "]\n";
@@ -835,11 +941,23 @@ Server::routeHttp(const net::HttpRequest &req, bool &keep_alive)
 void
 Server::streamBytes(Conn &c)
 {
+    if (c.throttled)
+        return; // buffered bytes wait for the resume timer
     const std::uint64_t before = c.session->records();
     if (!c.in.empty()) {
+        if (rk_ != nullptr &&
+            rk_->admit(c.session->tag(), nowNs()) ==
+                qos::Admission::kDelay) {
+            throttleConn(c, nowNs());
+            return;
+        }
         Status s = c.session->consume(c.in);
         daemonMetrics().requests_streamed.add(c.session->records() -
                                               before);
+        if (rk_ != nullptr) {
+            rk_->charge(c.session->tag(),
+                        c.session->records() - before);
+        }
         if (!s.ok()) {
             failSession(c, s.message(), /*protocol=*/true);
             return;
@@ -848,7 +966,17 @@ Server::streamBytes(Conn &c)
     // The payload is over when the binary end frame lands or (CSV)
     // when the peer half-closes; either way validate + final fold.
     if (c.session->inputComplete() || c.saw_eof) {
+        const std::uint64_t tail = c.session->records();
         Status s = c.session->finishInput(c.in);
+        // The sub-batch tail folds inside finishInput; meter it like
+        // any other batch so a short session still pays for what it
+        // streamed (the debt is what throttles this tag's next one).
+        daemonMetrics().requests_streamed.add(c.session->records() -
+                                              tail);
+        if (rk_ != nullptr) {
+            rk_->charge(c.session->tag(),
+                        c.session->records() - tail);
+        }
         if (!s.ok()) {
             failSession(c, s.message(), /*protocol=*/false);
             return;
@@ -885,6 +1013,11 @@ Server::startFold(Conn &c)
     std::shared_ptr<Session> session = c.session;
     const std::uint64_t token = c.token;
     Server *self = this;
+    // With QoS on, folds queue in the session's class lane so an
+    // interactive report never waits behind a pile of bulk folds;
+    // off, every fold takes the pre-QoS (interactive) path.
+    const qos::WorkClass lane = rk_ != nullptr
+        ? c.session->klass() : qos::WorkClass::kInteractive;
     pool_->submit([self, session, token]() {
         FoldDone done;
         done.token = token;
@@ -905,7 +1038,7 @@ Server::startFold(Conn &c)
         const std::uint64_t one = 1;
         [[maybe_unused]] ssize_t rc =
             ::write(self->wake_fd_, &one, sizeof(one));
-    });
+    }, lane);
 }
 
 void
@@ -989,12 +1122,18 @@ Server::connWritable(Conn &c)
 void
 Server::updateEpoll(Conn &c)
 {
+    // EPOLLIN stays disarmed while a stream is throttled: with
+    // level-triggered epoll an armed-but-unread socket would spin
+    // the loop, and leaving the bytes in the kernel buffer lets TCP
+    // backpressure slow the sender for free.
     const bool want = !c.out.empty();
-    if (want == c.want_write)
+    const bool read_on = !c.throttled;
+    if (want == c.want_write && read_on == c.read_armed)
         return;
     c.want_write = want;
+    c.read_armed = read_on;
     epoll_event ev{};
-    ev.events = EPOLLIN | (want ? EPOLLOUT : 0u);
+    ev.events = (read_on ? EPOLLIN : 0u) | (want ? EPOLLOUT : 0u);
     ev.data.fd = c.fd;
     ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c.fd, &ev);
 }

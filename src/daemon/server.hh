@@ -38,6 +38,7 @@
 #include "fleet/pool.hh"
 #include "net/http.hh"
 #include "net/timer.hh"
+#include "qos/ratekeeper.hh"
 
 namespace dlw
 {
@@ -91,6 +92,17 @@ struct ServerConfig
 
     /** Checkpoint sweep interval (with a non-empty state_dir). */
     std::uint64_t checkpoint_interval_ms = 1000;
+
+    /**
+     * Enable the QoS ratekeeper.  Off by default: with QoS off no
+     * ratekeeper exists and every code path is byte-identical to the
+     * pre-QoS daemon.  On, sessions are admitted/throttled per
+     * tenant/class tag and folds run in per-class priority lanes.
+     */
+    bool qos = false;
+
+    /** Ratekeeper tuning (used only when qos is true). */
+    qos::RatekeeperConfig qos_config;
 };
 
 /**
@@ -161,6 +173,15 @@ class Server
         bool close_after_flush = false;
         bool saw_eof = false;
         bool want_write = false; ///< EPOLLOUT currently armed
+        bool read_armed = true;  ///< EPOLLIN currently armed
+
+        /**
+         * Out of tokens: EPOLLIN is disarmed (TCP backpressure does
+         * the throttling) until throttle_deadline_ns, when the timer
+         * wheel resumes the stream.
+         */
+        bool throttled = false;
+        std::uint64_t throttle_deadline_ns = 0; ///< 0 = unarmed
 
         ReadDeadline read_kind = ReadDeadline::kNone;
         std::uint64_t read_deadline_ns = 0;  ///< 0 = unarmed
@@ -204,6 +225,10 @@ class Server
     Status restoreState();
     void checkpointSessions(bool force);
 
+    // QoS machinery (all no-ops while rk_ == nullptr).
+    void qosTick(std::uint64_t now_ns);
+    void throttleConn(Conn &c, std::uint64_t now_ns);
+
     ServerConfig config_;
     std::uint16_t bound_port_ = 0;
     int listen_fd_ = -1;
@@ -228,6 +253,10 @@ class Server
 
     net::TimerWheel wheel_;
     std::vector<std::uint64_t> due_; ///< scratch for expiry sweeps
+
+    /** Non-null only with config.qos: the admission controller. */
+    std::unique_ptr<qos::Ratekeeper> rk_;
+    std::uint64_t next_qos_tick_ns_ = 0; ///< 0 = qos off
 
     std::uint64_t next_ckpt_ns_ = 0; ///< 0 = checkpointing off
     /** Last checkpointed (records, state) per session id. */

@@ -66,10 +66,12 @@ sessionStateName(SessionState s)
 }
 
 Session::Session(std::string id, std::string tenant,
-                 net::StreamFormat format)
+                 net::StreamFormat format, qos::WorkClass klass)
     : id_(std::move(id)), tenant_(std::move(tenant)),
-      format_(format), decoder_(format, net::kMaxFrameBytes)
+      tag_{qos::internTenant(tenant_), klass}, format_(format),
+      decoder_(format, net::kMaxFrameBytes)
 {
+    batch_.setTag(tag_);
 }
 
 Status
@@ -158,7 +160,8 @@ Session::reportJson() const
     std::lock_guard<std::mutex> lock(mu_);
     std::ostringstream os;
     os << "{\"session\":\"" << jsonEscape(id_) << "\",\"tenant\":\""
-       << jsonEscape(tenant_) << "\",\"state\":\""
+       << jsonEscape(tenant_) << "\",\"class\":\""
+       << qos::workClassName(tag_.klass) << "\",\"state\":\""
        << sessionStateName(state_) << "\"";
     if (!error_.empty())
         os << ",\"error\":\"" << jsonEscape(error_) << "\"";
@@ -215,6 +218,7 @@ Session::saveState(BinEnc &enc) const
     std::lock_guard<std::mutex> lock(mu_);
     enc.str(id_);
     enc.str(tenant_);
+    enc.u8(static_cast<std::uint8_t>(tag_.klass));
     enc.u8(format_ == net::StreamFormat::kBin ? 1 : 0);
     enc.u8(static_cast<std::uint8_t>(state_));
     enc.str(error_);
@@ -241,14 +245,16 @@ Session::restore(BinDec &dec)
 {
     const std::string id = dec.str();
     const std::string tenant = dec.str();
+    const std::uint8_t klass = dec.u8();
     const std::uint8_t format = dec.u8();
     const std::uint8_t state = dec.u8();
-    if (!dec.ok() || format > 1 ||
+    if (!dec.ok() || klass >= qos::kWorkClassCount || format > 1 ||
         state > static_cast<std::uint8_t>(SessionState::kAborted))
         return nullptr;
     auto s = std::make_shared<Session>(
         id, tenant,
-        format ? net::StreamFormat::kBin : net::StreamFormat::kCsv);
+        format ? net::StreamFormat::kBin : net::StreamFormat::kCsv,
+        static_cast<qos::WorkClass>(klass));
     s->state_ = static_cast<SessionState>(state);
     s->error_ = dec.str();
     s->settled_ = dec.u8() != 0;

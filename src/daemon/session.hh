@@ -28,6 +28,7 @@
 #include "core/live.hh"
 #include "net/buffer.hh"
 #include "net/wire.hh"
+#include "qos/tag.hh"
 #include "trace/batch.hh"
 
 namespace dlw
@@ -60,12 +61,21 @@ class Session
      * @param id      Registry key, e.g. "acme-3".
      * @param tenant  Tenant label from the hello line.
      * @param format  Payload encoding.
+     * @param klass   Workload class negotiated in the hello (or the
+     *                X-DLW-Class HTTP header); defaults interactive.
      */
     Session(std::string id, std::string tenant,
-            net::StreamFormat format);
+            net::StreamFormat format,
+            qos::WorkClass klass = qos::WorkClass::kInteractive);
 
     const std::string &id() const { return id_; }
     const std::string &tenant() const { return tenant_; }
+
+    /** Workload class the session negotiated. */
+    qos::WorkClass klass() const { return tag_.klass; }
+
+    /** Full tenant/class tag (tenant interned at construction). */
+    const qos::TagId &tag() const { return tag_; }
 
     /** Loop thread: decode and fold every parseable byte of `in`. */
     Status consume(net::ByteQueue &in);
@@ -146,6 +156,7 @@ class Session
 
     const std::string id_;
     const std::string tenant_;
+    const qos::TagId tag_;
     const net::StreamFormat format_;
     net::StreamDecoder decoder_;
     trace::RequestBatch batch_;

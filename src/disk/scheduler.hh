@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "disk/geometry.hh"
+#include "qos/tag.hh"
 #include "trace/record.hh"
 
 namespace dlw
@@ -37,6 +38,8 @@ struct QueuedRequest
 {
     trace::Request req;
     std::size_t index = 0;
+    /** Tenant/class tag of the batch the request arrived in. */
+    qos::TagId tag;
 };
 
 /**

@@ -228,6 +228,7 @@ characterizeDrive(const FleetConfig &config, std::size_t index)
             return workload.openSource(rng, shard.drive_id, 0,
                                        config.window);
         }();
+        wsrc.setTag(config.tag);
         requests = wsrc.size();
         obs::ScopedSpan stage("service");
         log = drive.service(
@@ -323,24 +324,27 @@ runFleet(const FleetConfig &config)
     // other N - 1.
     std::vector<SlotOutcome> slots(config.drives);
     ThreadPool pool(config.threads);
-    parallelFor(pool, config.drives, [&](std::size_t i) {
-        SlotOutcome &slot = slots[i];
-        for (slot.attempts = 1;; ++slot.attempts) {
-            try {
-                slot.shard = characterizeDrive(config, i);
-                slot.ok = true;
-                return;
-            } catch (const StatusError &e) {
-                slot.error = e.status();
-            } catch (const std::exception &e) {
-                slot.error = Status::internal(e.what());
+    parallelFor(
+        pool, config.drives,
+        [&](std::size_t i) {
+            SlotOutcome &slot = slots[i];
+            for (slot.attempts = 1;; ++slot.attempts) {
+                try {
+                    slot.shard = characterizeDrive(config, i);
+                    slot.ok = true;
+                    return;
+                } catch (const StatusError &e) {
+                    slot.error = e.status();
+                } catch (const std::exception &e) {
+                    slot.error = Status::internal(e.what());
+                }
+                if (slot.attempts >= max_attempts)
+                    return;
+                obs::emitInstant("fleet.retry");
+                backoff(config, i, slot.attempts);
             }
-            if (slot.attempts >= max_attempts)
-                return;
-            obs::emitInstant("fleet.retry");
-            backoff(config, i, slot.attempts);
-        }
-    });
+        },
+        config.tag.klass);
 
     // Serial phase: split survivors from failures in index order,
     // then the ordered reduction (see merge.hh).

@@ -83,6 +83,13 @@ struct FleetConfig
     bool stream = true;
     /** Batch capacity (requests) used by the streaming path. */
     std::size_t batch_requests = trace::kDefaultBatchRequests;
+    /**
+     * Tenant/class tag the whole run executes under: every shard
+     * task lands in this tag's priority lane and every generated
+     * batch carries it.  Defaults to the single-tenant identity, so
+     * untagged runs are byte-identical to the pre-QoS pipeline.
+     */
+    qos::TagId tag;
 };
 
 /**

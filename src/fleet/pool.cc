@@ -63,11 +63,18 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::submit(std::function<void()> task)
 {
+    submit(std::move(task), qos::WorkClass::kInteractive);
+}
+
+void
+ThreadPool::submit(std::function<void()> task, qos::WorkClass lane)
+{
     dlw_assert(task, "cannot submit an empty task");
     {
         std::lock_guard<std::mutex> lk(mu_);
         dlw_assert(!stopping_, "submit on a stopping pool");
-        queues_[next_queue_].push_back(std::move(task));
+        queues_[next_queue_][qos::laneOf(lane)].push_back(
+            std::move(task));
         next_queue_ = (next_queue_ + 1) % queues_.size();
         ++pending_;
         poolMetrics().tasks.add(1);
@@ -81,23 +88,28 @@ ThreadPool::submit(std::function<void()> task)
 bool
 ThreadPool::take(std::size_t self, std::function<void()> &out)
 {
-    // Own deque, newest first: the task most likely still hot in
-    // this worker's cache.
-    if (!queues_[self].empty()) {
-        out = std::move(queues_[self].back());
-        queues_[self].pop_back();
-        return true;
-    }
-    // Steal oldest from the nearest busy victim.
     const std::size_t n = queues_.size();
-    for (std::size_t d = 1; d < n; ++d) {
-        std::size_t victim = (self + d) % n;
-        if (!queues_[victim].empty()) {
-            out = std::move(queues_[victim].front());
-            queues_[victim].pop_front();
-            poolMetrics().steals.add(1);
-            obs::emitInstant("fleet.pool.steal");
+    // Strict lane priority: exhaust every worker's interactive lane
+    // (own first, then steal) before touching any bulk lane, and
+    // bulk before background.
+    for (std::size_t lane = 0; lane < qos::kWorkClassCount; ++lane) {
+        // Own deque, newest first: the task most likely still hot in
+        // this worker's cache.
+        if (!queues_[self][lane].empty()) {
+            out = std::move(queues_[self][lane].back());
+            queues_[self][lane].pop_back();
             return true;
+        }
+        // Steal oldest from the nearest busy victim.
+        for (std::size_t d = 1; d < n; ++d) {
+            std::size_t victim = (self + d) % n;
+            if (!queues_[victim][lane].empty()) {
+                out = std::move(queues_[victim][lane].front());
+                queues_[victim][lane].pop_front();
+                poolMetrics().steals.add(1);
+                obs::emitInstant("fleet.pool.steal");
+                return true;
+            }
         }
     }
     return false;
@@ -171,10 +183,11 @@ ThreadPool::hardwareThreads()
 
 void
 parallelFor(ThreadPool &pool, std::size_t n,
-            const std::function<void(std::size_t)> &fn)
+            const std::function<void(std::size_t)> &fn,
+            qos::WorkClass lane)
 {
     for (std::size_t i = 0; i < n; ++i)
-        pool.submit([&fn, i] { fn(i); });
+        pool.submit([&fn, i] { fn(i); }, lane);
     pool.wait();
 }
 

@@ -16,11 +16,20 @@
  * results are deterministic anyway because every task writes only its
  * own pre-allocated slot and the reduction over slots happens
  * serially, in index order, after wait() returns.
+ *
+ * Priority lanes: each worker owns one deque per workload class
+ * (interactive / bulk / background).  A worker looking for work scans
+ * the lanes in priority order across ALL deques — it will steal a
+ * remote interactive task before touching its own bulk backlog — so
+ * interactive work preempts bulk at dispatch time without any task
+ * ever being interrupted.  submit() without a lane lands in the
+ * interactive lane, which is exactly the pre-QoS behaviour.
  */
 
 #ifndef DLW_FLEET_POOL_HH
 #define DLW_FLEET_POOL_HH
 
+#include <array>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -29,6 +38,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "qos/tag.hh"
 
 namespace dlw
 {
@@ -55,7 +66,7 @@ class ThreadPool
     ThreadPool &operator=(const ThreadPool &) = delete;
 
     /**
-     * Enqueue one task.
+     * Enqueue one task in the interactive (highest-priority) lane.
      *
      * Tasks are distributed round-robin across the worker deques.
      * A task that throws does not poison the pool: the remaining
@@ -63,6 +74,15 @@ class ThreadPool
      * next wait().
      */
     void submit(std::function<void()> task);
+
+    /**
+     * Enqueue one task in the lane of workload class `lane`.
+     *
+     * Dispatch priority is strict: no worker starts a bulk task
+     * while any interactive task is queued anywhere, and no
+     * background task while any bulk task is queued.
+     */
+    void submit(std::function<void()> task, qos::WorkClass lane);
 
     /**
      * Block until every submitted task has finished.
@@ -81,12 +101,20 @@ class ThreadPool
     static std::size_t hardwareThreads();
 
   private:
-    /** Take a task for worker `self`: own back first, then steal. */
+    /** One worker's deques, one per priority lane. */
+    using LaneDeques =
+        std::array<std::deque<std::function<void()>>,
+                   qos::kWorkClassCount>;
+
+    /**
+     * Take a task for worker `self`: scan lanes in priority order;
+     * within a lane, own back (LIFO) first, then steal fronts.
+     */
     bool take(std::size_t self, std::function<void()> &out);
 
     void workerLoop(std::size_t self);
 
-    std::vector<std::deque<std::function<void()>>> queues_;
+    std::vector<LaneDeques> queues_;
     std::vector<std::thread> workers_;
 
     mutable std::mutex mu_; ///< guards queues_ and all state below
@@ -102,10 +130,11 @@ class ThreadPool
  * Run fn(i) for every i in [0, n) on the pool and wait.
  *
  * Convenience wrapper over submit()/wait(); rethrows the first task
- * exception.
+ * exception.  All n tasks land in `lane` (interactive by default).
  */
 void parallelFor(ThreadPool &pool, std::size_t n,
-                 const std::function<void(std::size_t)> &fn);
+                 const std::function<void(std::size_t)> &fn,
+                 qos::WorkClass lane = qos::WorkClass::kInteractive);
 
 /**
  * Force-register the fleet.pool.* metrics (tasks, steals, queue

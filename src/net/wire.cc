@@ -22,9 +22,10 @@ parseStreamHello(const std::string &line, StreamHello &out)
     auto f = split(trim(line), ' ');
     if (f.empty() || f[0] != kHelloMagic)
         return Status::invalidArgument("not a dlw stream hello");
-    if (f.size() < 2 || f.size() > 3) {
+    if (f.size() < 2 || f.size() > 4) {
         return Status::invalidArgument(
-            "malformed hello (want 'DLWS1 <csv|bin> [tenant]')");
+            "malformed hello (want 'DLWS1 <csv|bin> "
+            "[tenant [class]]')");
     }
     if (f[1] == "csv") {
         out.format = StreamFormat::kCsv;
@@ -35,7 +36,8 @@ parseStreamHello(const std::string &line, StreamHello &out)
                                        f[1] + "' (csv|bin)");
     }
     out.tenant = "anon";
-    if (f.size() == 3) {
+    out.klass = qos::WorkClass::kInteractive;
+    if (f.size() >= 3) {
         if (f[2].empty() || f[2].size() > 64)
             return Status::invalidArgument("bad tenant id length");
         for (char c : f[2]) {
@@ -50,18 +52,31 @@ parseStreamHello(const std::string &line, StreamHello &out)
         }
         out.tenant = f[2];
     }
+    if (f.size() == 4 && !qos::parseWorkClass(f[3], out.klass)) {
+        return Status::invalidArgument(
+            "unknown workload class '" + f[3] +
+            "' (interactive|bulk|background)");
+    }
     return Status();
 }
 
 std::string
-renderStreamHello(StreamFormat format, const std::string &tenant)
+renderStreamHello(StreamFormat format, const std::string &tenant,
+                  qos::WorkClass klass)
 {
     std::string s = kHelloMagic;
     s += ' ';
     s += streamFormatName(format);
-    if (!tenant.empty()) {
+    const bool tagged = klass != qos::WorkClass::kInteractive;
+    if (!tenant.empty() || tagged) {
         s += ' ';
-        s += tenant;
+        // The class field is positional, so an empty tenant must
+        // still occupy its slot when a class follows.
+        s += tenant.empty() ? "anon" : tenant;
+    }
+    if (tagged) {
+        s += ' ';
+        s += qos::workClassName(klass);
     }
     s += '\n';
     return s;

@@ -44,6 +44,7 @@
 #include "common/binenc.hh"
 #include "common/status.hh"
 #include "net/buffer.hh"
+#include "qos/tag.hh"
 #include "trace/batch.hh"
 #include "trace/stream.hh"
 
@@ -79,14 +80,25 @@ struct StreamHello
 {
     StreamFormat format = StreamFormat::kCsv;
     std::string tenant = "anon";
+    /** Workload class (optional 4th hello field). */
+    qos::WorkClass klass = qos::WorkClass::kInteractive;
 };
 
-/** Parse "DLWS1 <csv|bin> [tenant]" (no trailing newline). */
+/**
+ * Parse "DLWS1 <csv|bin> [tenant [class]]" (no trailing newline).
+ * `class` is interactive|bulk|background; absent means interactive.
+ */
 Status parseStreamHello(const std::string &line, StreamHello &out);
 
-/** Render the hello line, newline included. */
-std::string renderStreamHello(StreamFormat format,
-                              const std::string &tenant);
+/**
+ * Render the hello line, newline included.  The class field is only
+ * emitted when non-default, so single-tenant hellos keep their
+ * pre-QoS wire bytes ("anon" is emitted in its place when a
+ * non-default class rides with an empty tenant).
+ */
+std::string renderStreamHello(
+    StreamFormat format, const std::string &tenant,
+    qos::WorkClass klass = qos::WorkClass::kInteractive);
 
 /** Render the server's hello ack, newline included. */
 std::string renderStreamAck(const std::string &session_id);

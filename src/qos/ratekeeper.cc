@@ -1,0 +1,344 @@
+#include "qos/ratekeeper.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "obs/metrics.hh"
+#include "obs/timeline.hh"
+
+namespace dlw
+{
+namespace qos
+{
+
+namespace
+{
+
+constexpr std::int64_t kMicroPerToken = 1'000'000;
+/** Tags idle this long fall out of the fair-share split. */
+constexpr std::uint64_t kTagIdleNs = 10'000'000'000ULL;
+
+/** QoS health: pressure, per-class limits, per-tag verdicts. */
+struct QosMetrics
+{
+    obs::Counter &ticks = obs::counter("qos.ratekeeper.ticks",
+        "ticks", "qos", "controller steps taken");
+    obs::Gauge &pressure = obs::gauge("qos.pressure", "milli", "qos",
+        "smoothed load pressure (1000 == at target)");
+    obs::Gauge &limit_interactive = obs::gauge("qos.limit.interactive",
+        "records/s", "qos",
+        "rate limit for the interactive class (never decreased)");
+    obs::Gauge &limit_bulk = obs::gauge("qos.limit.bulk",
+        "records/s", "qos", "rate limit for the bulk class");
+    obs::Gauge &limit_background = obs::gauge("qos.limit.background",
+        "records/s", "qos", "rate limit for the background class");
+    obs::Gauge &active = obs::gauge("qos.tag.active", "tags", "qos",
+        "tags tracked by the ratekeeper right now");
+    obs::Counter &admitted = obs::counter("qos.tag.admitted",
+        "batches", "qos", "admission checks that passed");
+    obs::Counter &delayed = obs::counter("qos.tag.delayed",
+        "batches", "qos",
+        "admission checks deferred until tokens refill");
+    obs::Counter &shed = obs::counter("qos.tag.shed", "sessions",
+        "qos", "sessions refused with throttled/429");
+};
+
+QosMetrics &
+qosMetrics()
+{
+    static QosMetrics *m = new QosMetrics();
+    return *m;
+}
+
+/** xorshift64: the seeded remainder-rotation stream. */
+std::uint64_t
+nextCursor(std::uint64_t x)
+{
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x ? x : 0x9e3779b97f4a7c15ULL;
+}
+
+} // anonymous namespace
+
+void
+registerQosMetrics()
+{
+    qosMetrics();
+}
+
+void
+TokenBucket::setRate(std::uint64_t per_sec)
+{
+    rate_per_sec_ = per_sec;
+    burst_micro_ = static_cast<std::int64_t>(
+        std::min<std::uint64_t>(per_sec, 1ULL << 40)) *
+        kMicroPerToken;
+    if (balance_micro_ > burst_micro_)
+        balance_micro_ = burst_micro_;
+}
+
+void
+TokenBucket::refill(std::uint64_t now_ns)
+{
+    if (!primed_) {
+        // First sighting: start with a full burst so a fresh tag is
+        // never delayed before it has consumed anything.
+        primed_ = true;
+        last_refill_ns_ = now_ns;
+        balance_micro_ = burst_micro_;
+        return;
+    }
+    if (now_ns <= last_refill_ns_)
+        return;
+    const std::uint64_t dt = now_ns - last_refill_ns_;
+    last_refill_ns_ = now_ns;
+    // micro-tokens = records/s * ns / 1000, exact in 128-bit.
+    const auto add = static_cast<unsigned __int128>(rate_per_sec_) *
+                     dt / 1000u;
+    const auto add64 = static_cast<std::int64_t>(
+        std::min<unsigned __int128>(add, 1ULL << 62));
+    balance_micro_ = std::min<std::int64_t>(balance_micro_ + add64,
+                                            burst_micro_);
+}
+
+bool
+TokenBucket::admit(std::uint64_t now_ns)
+{
+    if (rate_per_sec_ == 0)
+        return true; // unlimited
+    refill(now_ns);
+    return balance_micro_ >= 0;
+}
+
+void
+TokenBucket::charge(std::uint64_t records)
+{
+    if (rate_per_sec_ == 0)
+        return;
+    const auto cost = static_cast<std::int64_t>(
+        std::min<std::uint64_t>(records, 1ULL << 40)) *
+        kMicroPerToken;
+    balance_micro_ -= cost;
+    // Debt is bounded: one burst below zero at most, so a single
+    // oversized batch cannot mute a tag for longer than ~2 bursts.
+    balance_micro_ = std::max(balance_micro_, -burst_micro_ * 2);
+}
+
+std::uint64_t
+TokenBucket::resumeDelayNs(std::uint64_t now_ns)
+{
+    if (rate_per_sec_ == 0)
+        return 0;
+    refill(now_ns);
+    if (balance_micro_ >= 0)
+        return 0;
+    const auto debt =
+        static_cast<unsigned __int128>(-balance_micro_);
+    // ns = micro-tokens * 1000 / (records/s), rounded up.
+    const auto ns =
+        (debt * 1000u + rate_per_sec_ - 1) / rate_per_sec_;
+    const auto ns64 = static_cast<std::uint64_t>(
+        std::min<unsigned __int128>(ns, 1ULL << 62));
+    // Floor of 1 ms keeps timer churn bounded; still deterministic.
+    return std::max<std::uint64_t>(ns64, 1'000'000);
+}
+
+Ratekeeper::Ratekeeper(const RatekeeperConfig &config)
+    : config_(config), share_cursor_(nextCursor(config.seed))
+{
+    for (std::size_t k = 0; k < kWorkClassCount; ++k)
+        class_limit_[k] = config_.max_rate_per_sec;
+    registerQosMetrics();
+}
+
+Ratekeeper::TagState &
+Ratekeeper::touchTag(const TagId &tag, std::uint64_t now_ns)
+{
+    auto it = tags_.find(tag.packed());
+    if (it == tags_.end()) {
+        TagState st;
+        st.klass = tag.klass;
+        // Until the next tick re-splits the class limit, a fresh tag
+        // may use the whole class budget (interactive stays
+        // unlimited: rate 0 == no bucket constraint).
+        if (tag.klass != WorkClass::kInteractive)
+            st.bucket.setRate(class_limit_[laneOf(tag.klass)]);
+        it = tags_.emplace(tag.packed(), std::move(st)).first;
+        qosMetrics().active.set(
+            static_cast<std::int64_t>(tags_.size()));
+    }
+    it->second.last_seen_ns = now_ns;
+    return it->second;
+}
+
+void
+Ratekeeper::resplitLocked(std::uint64_t now_ns)
+{
+    // Prune tags idle past the horizon, then split each class limit
+    // across its surviving tags.  Iteration must not depend on hash
+    // order: collect keys and sort.
+    std::vector<std::uint64_t> keys;
+    keys.reserve(tags_.size());
+    for (auto it = tags_.begin(); it != tags_.end();) {
+        if (now_ns > it->second.last_seen_ns &&
+            now_ns - it->second.last_seen_ns > kTagIdleNs) {
+            it = tags_.erase(it);
+            continue;
+        }
+        keys.push_back(it->first);
+        ++it;
+    }
+    std::sort(keys.begin(), keys.end());
+    qosMetrics().active.set(static_cast<std::int64_t>(tags_.size()));
+
+    for (std::size_t k = 0; k < kWorkClassCount; ++k) {
+        const auto klass = static_cast<WorkClass>(k);
+        if (klass == WorkClass::kInteractive)
+            continue; // never constrained
+        std::vector<std::uint64_t> members;
+        for (std::uint64_t key : keys)
+            if (tags_[key].klass == klass)
+                members.push_back(key);
+        if (members.empty())
+            continue;
+        const std::uint64_t n = members.size();
+        const std::uint64_t share = class_limit_[k] / n;
+        const std::uint64_t rem = class_limit_[k] % n;
+        // The remainder goes to `rem` tags starting at a seeded,
+        // per-tick rotating cursor — fair over time, deterministic
+        // within a tick.
+        const std::uint64_t start = share_cursor_ % n;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            const std::uint64_t pos = (start + i) % n;
+            const std::uint64_t extra = i < rem ? 1 : 0;
+            tags_[members[pos]].bucket.setRate(share + extra);
+        }
+    }
+}
+
+void
+Ratekeeper::tick(std::uint64_t now_ns, const QosSignals &signals)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    ++ticks_;
+    qosMetrics().ticks.add(1);
+
+    const std::int64_t qd_milli =
+        config_.target_queue_depth > 0
+            ? signals.queue_depth * 1000 / config_.target_queue_depth
+            : 0;
+    const std::int64_t p95_milli =
+        config_.target_fold_p95_us > 0
+            ? signals.fold_p95_us * 1000 / config_.target_fold_p95_us
+            : 0;
+    const std::int64_t pressure = std::max(qd_milli, p95_milli);
+    smooth_pressure_milli_ =
+        (smooth_pressure_milli_ * 7 + pressure) / 8;
+    qosMetrics().pressure.set(smooth_pressure_milli_);
+
+    const std::size_t bulk = laneOf(WorkClass::kBulk);
+    const std::size_t bg = laneOf(WorkClass::kBackground);
+    if (smooth_pressure_milli_ > 1000) {
+        // Multiplicative decrease: bulk yields gently (7/8),
+        // background hard (3/4).
+        class_limit_[bulk] = std::max(config_.min_rate_per_sec,
+                                      class_limit_[bulk] / 8 * 7);
+        class_limit_[bg] = std::max(config_.min_rate_per_sec,
+                                    class_limit_[bg] / 4 * 3);
+    } else {
+        class_limit_[bulk] =
+            std::min(config_.max_rate_per_sec,
+                     class_limit_[bulk] +
+                         config_.additive_step_per_sec);
+        class_limit_[bg] =
+            std::min(config_.max_rate_per_sec,
+                     class_limit_[bg] +
+                         config_.additive_step_per_sec);
+    }
+    qosMetrics().limit_interactive.set(static_cast<std::int64_t>(
+        class_limit_[laneOf(WorkClass::kInteractive)]));
+    qosMetrics().limit_bulk.set(
+        static_cast<std::int64_t>(class_limit_[bulk]));
+    qosMetrics().limit_background.set(
+        static_cast<std::int64_t>(class_limit_[bg]));
+
+    share_cursor_ = nextCursor(share_cursor_);
+    resplitLocked(now_ns);
+}
+
+Admission
+Ratekeeper::admit(const TagId &tag, std::uint64_t now_ns)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    TagState &st = touchTag(tag, now_ns);
+    if (tag.klass == WorkClass::kInteractive) {
+        qosMetrics().admitted.add(1);
+        return Admission::kAdmit;
+    }
+    if (st.bucket.admit(now_ns)) {
+        qosMetrics().admitted.add(1);
+        return Admission::kAdmit;
+    }
+    qosMetrics().delayed.add(1);
+    obs::emitInstant("qos.throttle");
+    return Admission::kDelay;
+}
+
+void
+Ratekeeper::charge(const TagId &tag, std::uint64_t records)
+{
+    if (tag.klass == WorkClass::kInteractive)
+        return;
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = tags_.find(tag.packed());
+    if (it != tags_.end())
+        it->second.bucket.charge(records);
+}
+
+Admission
+Ratekeeper::admitSession(const TagId &tag, std::uint64_t now_ns)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    touchTag(tag, now_ns);
+    if (tag.klass == WorkClass::kInteractive)
+        return Admission::kAdmit;
+    // Shed only as a last resort: sustained pressure with the class
+    // limit already on the floor means throttling alone cannot
+    // protect interactive work any more.
+    if (smooth_pressure_milli_ > config_.shed_pressure_milli &&
+        class_limit_[laneOf(tag.klass)] <= config_.min_rate_per_sec) {
+        qosMetrics().shed.add(1);
+        obs::emitInstant("qos.shed");
+        return Admission::kShed;
+    }
+    return Admission::kAdmit;
+}
+
+std::uint64_t
+Ratekeeper::resumeDelayNs(const TagId &tag, std::uint64_t now_ns)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = tags_.find(tag.packed());
+    if (it == tags_.end())
+        return 0;
+    return it->second.bucket.resumeDelayNs(now_ns);
+}
+
+std::uint64_t
+Ratekeeper::limitPerSec(WorkClass k) const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return class_limit_[laneOf(k)];
+}
+
+std::int64_t
+Ratekeeper::pressureMilli() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return smooth_pressure_milli_;
+}
+
+} // namespace qos
+} // namespace dlw

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Fleet ratekeeper: AIMD per-tag rate limits + token-bucket admission.
+ *
+ * The ratekeeper closes the loop between the signals the system
+ * already exports (fleet pool queue depth, daemon fold latency p95,
+ * active session count) and per-tenant admission: every tick (the
+ * 10 ms sampler cadence) it converts the signals into a single
+ * pressure figure, runs a smoothed AIMD controller over the per-class
+ * rate limits, and splits each class limit fairly across that class's
+ * active tags as token-bucket refill rates.  Interactive work is
+ * never limited — bulk yields first, background yields hardest —
+ * which is what lets interactive sessions preempt a bulk storm.
+ *
+ * Everything is deterministic by construction: rates and balances are
+ * fixed-point integers (micro-tokens, one token = one trace record),
+ * the controller is integer arithmetic on integer signals, and the
+ * one place a remainder must be split unevenly (a class limit that
+ * does not divide by its tag count) rotates by a seeded cursor rather
+ * than by arrival timing.  Given the same sequence of tick/admit/
+ * charge calls with the same timestamps, two runs — at any thread
+ * count — make identical decisions.
+ *
+ * Threading: all methods take one internal mutex; callers may hammer
+ * it from many threads (the determinism contract then only covers
+ * whatever call order the caller serializes).  The daemon calls it
+ * exclusively from the epoll loop thread.
+ */
+
+#ifndef DLW_QOS_RATEKEEPER_HH
+#define DLW_QOS_RATEKEEPER_HH
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "qos/tag.hh"
+
+namespace dlw
+{
+namespace qos
+{
+
+/**
+ * Deterministic fixed-point token bucket.
+ *
+ * Balances are micro-tokens (1 token == 1 record == 1e6
+ * micro-tokens).  Admission is optimistic: a batch is admitted
+ * whenever the balance is non-negative and then charged its actual
+ * record count, so the balance may go into debt up to one burst —
+ * that debt is exactly what delays the next batch, which is how
+ * batch-grained admission stays exact without estimating batch sizes
+ * up front.
+ */
+class TokenBucket
+{
+  public:
+    TokenBucket() = default;
+
+    /** Set refill rate (records/second); burst is one second. */
+    void setRate(std::uint64_t per_sec);
+
+    /** Refill rate in records/second. */
+    std::uint64_t ratePerSec() const { return rate_per_sec_; }
+
+    /** Refill for elapsed time, then report admission. */
+    bool admit(std::uint64_t now_ns);
+
+    /** Charge the actual cost of an admitted batch. */
+    void charge(std::uint64_t records);
+
+    /**
+     * Nanoseconds until the balance refills to zero (0 when already
+     * admitting).  The deterministic resume delay for a delayed tag.
+     */
+    std::uint64_t resumeDelayNs(std::uint64_t now_ns);
+
+    /** Current balance in micro-tokens (tests / introspection). */
+    std::int64_t balanceMicro() const { return balance_micro_; }
+
+  private:
+    void refill(std::uint64_t now_ns);
+
+    std::uint64_t rate_per_sec_ = 0;
+    std::int64_t balance_micro_ = 0;
+    std::int64_t burst_micro_ = 0;
+    std::uint64_t last_refill_ns_ = 0;
+    bool primed_ = false;
+};
+
+/** Controller inputs, sampled from already-exported metrics. */
+struct QosSignals
+{
+    /** fleet.pool.queue_depth at sample time. */
+    std::int64_t queue_depth = 0;
+    /** daemon fold latency p95, microseconds (0 = no data yet). */
+    std::int64_t fold_p95_us = 0;
+    /** Live daemon sessions. */
+    std::int64_t active_sessions = 0;
+};
+
+/** Admission verdict for a batch or a new session. */
+enum class Admission : std::uint8_t
+{
+    kAdmit = 0, ///< proceed now
+    kDelay = 1, ///< out of tokens; resume after resumeDelayNs()
+    kShed = 2,  ///< refuse outright (DLWR1 error throttled / 429)
+};
+
+/** Controller tuning; defaults match the daemon's 10 ms sampler. */
+struct RatekeeperConfig
+{
+    /** Controller cadence (informational; caller drives tick()). */
+    std::uint64_t tick_ns = 10'000'000;
+    /** Queue depth that counts as pressure 1.0. */
+    std::int64_t target_queue_depth = 16;
+    /** Fold p95 (us) that counts as pressure 1.0. */
+    std::int64_t target_fold_p95_us = 50'000;
+    /** Per-class ceiling, records/second. */
+    std::uint64_t max_rate_per_sec = 50'000'000;
+    /** Floor a throttled class can be squeezed to. */
+    std::uint64_t min_rate_per_sec = 10'000;
+    /** Additive recovery per tick, records/second. */
+    std::uint64_t additive_step_per_sec = 500'000;
+    /** Smoothed pressure (milli) above which sessions shed. */
+    std::int64_t shed_pressure_milli = 1500;
+    /** Seed for the fair-share remainder rotation. */
+    std::uint64_t seed = 20090614;
+};
+
+/**
+ * The ratekeeper proper: per-class AIMD limits, per-tag buckets.
+ */
+class Ratekeeper
+{
+  public:
+    explicit Ratekeeper(const RatekeeperConfig &config = {});
+
+    /**
+     * One controller step: fold `signals` into the smoothed pressure,
+     * adjust per-class limits (multiplicative decrease under
+     * pressure, additive increase otherwise), re-split each class
+     * limit across its active tags, and prune tags idle > 10 s.
+     */
+    void tick(std::uint64_t now_ns, const QosSignals &signals);
+
+    /**
+     * Admission check at batch-dequeue time.  Interactive tags are
+     * always admitted; bulk/background consult their token bucket.
+     * Also marks the tag active (creating its bucket on first use).
+     */
+    Admission admit(const TagId &tag, std::uint64_t now_ns);
+
+    /** Charge an admitted batch's actual record count to its tag. */
+    void charge(const TagId &tag, std::uint64_t records);
+
+    /**
+     * Session-admission check (connection time).  Sheds bulk or
+     * background sessions only when the smoothed pressure exceeds
+     * the shed threshold and the class limit is already pinned at
+     * the floor — i.e. throttling alone can no longer protect
+     * interactive work.  Interactive sessions are never shed here.
+     */
+    Admission admitSession(const TagId &tag, std::uint64_t now_ns);
+
+    /** Deterministic resume delay for a kDelay verdict. */
+    std::uint64_t resumeDelayNs(const TagId &tag,
+                                std::uint64_t now_ns);
+
+    /** Current limit for a class, records/second. */
+    std::uint64_t limitPerSec(WorkClass k) const;
+
+    /** Smoothed pressure, milli (1000 == at target). */
+    std::int64_t pressureMilli() const;
+
+    const RatekeeperConfig &config() const { return config_; }
+
+  private:
+    struct TagState
+    {
+        TokenBucket bucket;
+        std::uint64_t last_seen_ns = 0;
+        WorkClass klass = WorkClass::kInteractive;
+    };
+
+    TagState &touchTag(const TagId &tag, std::uint64_t now_ns);
+    void resplitLocked(std::uint64_t now_ns);
+
+    RatekeeperConfig config_;
+    mutable std::mutex mu_;
+    std::unordered_map<std::uint64_t, TagState> tags_;
+    std::uint64_t class_limit_[kWorkClassCount];
+    std::int64_t smooth_pressure_milli_ = 0;
+    std::uint64_t share_cursor_; ///< seeded remainder rotation
+    std::uint64_t ticks_ = 0;
+};
+
+/**
+ * Force-register the qos.* metrics so snapshots cover the QoS schema
+ * even before any ratekeeper decision fires.
+ */
+void registerQosMetrics();
+
+} // namespace qos
+} // namespace dlw
+
+#endif // DLW_QOS_RATEKEEPER_HH

@@ -1,0 +1,91 @@
+#include "qos/tag.hh"
+
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace dlw
+{
+namespace qos
+{
+
+const char *
+workClassName(WorkClass k)
+{
+    switch (k) {
+    case WorkClass::kInteractive:
+        return "interactive";
+    case WorkClass::kBulk:
+        return "bulk";
+    case WorkClass::kBackground:
+        return "background";
+    }
+    return "interactive";
+}
+
+bool
+parseWorkClass(const std::string &text, WorkClass &out)
+{
+    if (text == "interactive") {
+        out = WorkClass::kInteractive;
+        return true;
+    }
+    if (text == "bulk") {
+        out = WorkClass::kBulk;
+        return true;
+    }
+    if (text == "background") {
+        out = WorkClass::kBackground;
+        return true;
+    }
+    return false;
+}
+
+namespace
+{
+
+/** Process-wide tenant intern table; index 0 is always "anon". */
+struct TenantTable
+{
+    std::mutex mu;
+    std::vector<std::string> names{"anon"};
+    std::unordered_map<std::string, std::uint32_t> index{{"anon", 0}};
+};
+
+TenantTable &
+tenantTable()
+{
+    static TenantTable *t = new TenantTable();
+    return *t;
+}
+
+} // anonymous namespace
+
+std::uint32_t
+internTenant(const std::string &name)
+{
+    if (name.empty() || name == "anon")
+        return 0;
+    TenantTable &t = tenantTable();
+    std::lock_guard<std::mutex> lk(t.mu);
+    auto it = t.index.find(name);
+    if (it != t.index.end())
+        return it->second;
+    const auto idx = static_cast<std::uint32_t>(t.names.size());
+    t.names.push_back(name);
+    t.index.emplace(name, idx);
+    return idx;
+}
+
+std::string
+tenantName(std::uint32_t tenant)
+{
+    TenantTable &t = tenantTable();
+    std::lock_guard<std::mutex> lk(t.mu);
+    if (tenant >= t.names.size())
+        return "anon";
+    return t.names[tenant];
+}
+
+} // namespace qos
+} // namespace dlw

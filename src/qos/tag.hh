@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tenant / workload-class tags: the identity the QoS layer keys on.
+ *
+ * A TagId is deliberately tiny (8 bytes) so it can ride on every
+ * RequestBatch, fleet task and daemon session without changing any
+ * hot-path layout decisions.  Tenant names are interned once into a
+ * process-wide table and referenced by index; workload class is a
+ * closed three-member enum ordered by priority (interactive preempts
+ * bulk preempts background).
+ *
+ * The default-constructed TagId — tenant 0 ("anon"), class
+ * interactive — is the single-tenant identity: code that never heard
+ * of tenancy keeps producing byte-identical output because every tag
+ * it implicitly carries is the default one.
+ */
+
+#ifndef DLW_QOS_TAG_HH
+#define DLW_QOS_TAG_HH
+
+#include <cstdint>
+#include <string>
+
+namespace dlw
+{
+namespace qos
+{
+
+/**
+ * Workload class, ordered by scheduling priority (lower value wins).
+ */
+enum class WorkClass : std::uint8_t
+{
+    kInteractive = 0, ///< latency-sensitive; never throttled
+    kBulk = 1,        ///< throughput replays; first to be limited
+    kBackground = 2,  ///< scrubs/rebuilds; limited hardest
+};
+
+/** Number of workload classes (lanes, rate limits, metric rows). */
+constexpr std::size_t kWorkClassCount = 3;
+
+/** Lane index of a class (enum value, by construction). */
+inline std::size_t
+laneOf(WorkClass k)
+{
+    return static_cast<std::size_t>(k);
+}
+
+/** Stable lowercase name of a workload class. */
+const char *workClassName(WorkClass k);
+
+/**
+ * Parse a workload-class name ("interactive"/"bulk"/"background").
+ *
+ * @return false (leaving `out` untouched) on any other string.
+ */
+bool parseWorkClass(const std::string &text, WorkClass &out);
+
+/**
+ * Compact tenant + workload-class tag.
+ *
+ * Default-constructed == the single-tenant identity tag.
+ */
+struct TagId
+{
+    /** Interned tenant index (0 == "anon"). */
+    std::uint32_t tenant = 0;
+    /** Workload class. */
+    WorkClass klass = WorkClass::kInteractive;
+
+    /** Single value usable as a flat map key. */
+    std::uint64_t
+    packed() const
+    {
+        return (static_cast<std::uint64_t>(tenant) << 8) |
+               static_cast<std::uint64_t>(klass);
+    }
+
+    /** True when this is the default single-tenant identity tag. */
+    bool
+    isDefault() const
+    {
+        return tenant == 0 && klass == WorkClass::kInteractive;
+    }
+};
+
+inline bool
+operator==(const TagId &a, const TagId &b)
+{
+    return a.tenant == b.tenant && a.klass == b.klass;
+}
+
+inline bool
+operator!=(const TagId &a, const TagId &b)
+{
+    return !(a == b);
+}
+
+/**
+ * Intern a tenant name, returning its stable index.
+ *
+ * The empty string and "anon" both map to index 0.  Interning the
+ * same name always returns the same index for the life of the
+ * process.  Thread-safe.
+ */
+std::uint32_t internTenant(const std::string &name);
+
+/**
+ * Name of an interned tenant index ("anon" for 0 or any index never
+ * handed out).  Thread-safe.
+ */
+std::string tenantName(std::uint32_t tenant);
+
+} // namespace qos
+} // namespace dlw
+
+#endif // DLW_QOS_TAG_HH

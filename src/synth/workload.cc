@@ -108,6 +108,7 @@ bool
 WorkloadSource::next(trace::RequestBatch &batch)
 {
     batch.clear();
+    batch.setTag(tag_);
     while (!batch.full() && pos_ < arrivals_.size()) {
         const Tick at = arrivals_[pos_++];
         dlw_assert(at >= start_ && at < start_ + duration_,

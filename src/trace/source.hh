@@ -66,6 +66,20 @@ class RequestSource
      * end-of-stream; the first unrecovered decode error otherwise.
      */
     virtual Status status() const { return Status(); }
+
+    /**
+     * Tenant/class tag stamped onto every delivered batch.
+     *
+     * Defaults to the single-tenant identity tag, which is how the
+     * pre-tenancy call sites stay byte-identical without changes.
+     */
+    const qos::TagId &tag() const { return tag_; }
+
+    /** Set the tag future batches will carry. */
+    void setTag(const qos::TagId &tag) { tag_ = tag; }
+
+  protected:
+    qos::TagId tag_;
 };
 
 /**

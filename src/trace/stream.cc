@@ -65,6 +65,7 @@ class MsCsvSource final : public FileSource
     next(RequestBatch &batch) override
     {
         batch.clear();
+        batch.setTag(tag_);
         if (done_)
             return false;
 
@@ -150,6 +151,7 @@ class MsBinarySource final : public FileSource
     next(RequestBatch &batch) override
     {
         batch.clear();
+        batch.setTag(tag_);
         if (done_)
             return false;
 

@@ -33,6 +33,7 @@
 #include "net/timer.hh"
 #include "net/wire.hh"
 #include "obs/metrics.hh"
+#include "qos/tag.hh"
 #include "trace/stream.hh"
 
 namespace
@@ -220,6 +221,52 @@ TEST(StreamHello, RoundTrip)
     EXPECT_FALSE(net::parseStreamHello("DLWS1 xml", h).ok());
     EXPECT_FALSE(net::parseStreamHello("GET / HTTP/1.1", h).ok());
     EXPECT_FALSE(net::parseStreamHello("DLWS1 csv bad*tenant", h).ok());
+}
+
+TEST(StreamHello, WorkloadClassField)
+{
+    net::StreamHello h;
+    // No class field: defaults to interactive (the pre-QoS wire).
+    ASSERT_TRUE(net::parseStreamHello("DLWS1 csv t", h).ok());
+    EXPECT_EQ(h.klass, qos::WorkClass::kInteractive);
+
+    ASSERT_TRUE(net::parseStreamHello("DLWS1 csv t bulk", h).ok());
+    EXPECT_EQ(h.tenant, "t");
+    EXPECT_EQ(h.klass, qos::WorkClass::kBulk);
+    ASSERT_TRUE(
+        net::parseStreamHello("DLWS1 bin t background", h).ok());
+    EXPECT_EQ(h.klass, qos::WorkClass::kBackground);
+    ASSERT_TRUE(
+        net::parseStreamHello("DLWS1 bin t interactive", h).ok());
+    EXPECT_EQ(h.klass, qos::WorkClass::kInteractive);
+
+    EXPECT_FALSE(net::parseStreamHello("DLWS1 csv t batch", h).ok());
+    EXPECT_FALSE(
+        net::parseStreamHello("DLWS1 csv t bulk extra", h).ok());
+}
+
+TEST(StreamHello, RenderOmitsDefaultClassForWireCompat)
+{
+    // The default (interactive) class renders exactly the pre-QoS
+    // hello: old servers keep accepting new clients.
+    EXPECT_EQ(net::renderStreamHello(net::StreamFormat::kCsv, "t"),
+              "DLWS1 csv t\n");
+    EXPECT_EQ(net::renderStreamHello(net::StreamFormat::kCsv, "t",
+                                     qos::WorkClass::kInteractive),
+              "DLWS1 csv t\n");
+    EXPECT_EQ(net::renderStreamHello(net::StreamFormat::kBin, "t",
+                                     qos::WorkClass::kBulk),
+              "DLWS1 bin t bulk\n");
+    // A classed hello with no tenant still needs the tenant slot.
+    EXPECT_EQ(net::renderStreamHello(net::StreamFormat::kCsv, "",
+                                     qos::WorkClass::kBackground),
+              "DLWS1 csv anon background\n");
+    // Render/parse round trip.
+    net::StreamHello h;
+    ASSERT_TRUE(net::parseStreamHello(
+                    "DLWS1 bin t bulk", h).ok());
+    EXPECT_EQ(net::renderStreamHello(h.format, h.tenant, h.klass),
+              "DLWS1 bin t bulk\n");
 }
 
 // ---------------------------------------------------------------------------
@@ -987,6 +1034,69 @@ TEST(ServerIntegration, CsvSessionEndToEnd)
     EXPECT_EQ(c.recvBytes(nbytes), expected);
 }
 
+TEST(ServerIntegration, QosOnReportsStayByteIdentical)
+{
+    obs::ScopedEnable metrics;
+    const std::string payload = csvTrace(300);
+    const std::string path = writeTemp(payload, ".csv");
+    const std::string expected = characterizeFile(path);
+    std::remove(path.c_str());
+
+    daemon::ServerConfig cfg;
+    cfg.qos = true;
+    ServerFixture f(cfg);
+
+    // A bulk-tagged session on an idle daemon streams through
+    // unthrottled and its report matches batch characterize byte
+    // for byte — QoS touches scheduling, never results.
+    TestClient c(f.port());
+    ASSERT_TRUE(c.connected());
+    c.send(net::renderStreamHello(net::StreamFormat::kCsv, "acme",
+                                  qos::WorkClass::kBulk));
+    const std::string ack = c.recvLine();
+    ASSERT_NE(ack.find("DLWS1 ok acme-"), std::string::npos) << ack;
+    c.send(payload);
+    c.halfClose();
+    const std::string head = c.recvLine();
+    ASSERT_NE(head.find("DLWR1 ok "), std::string::npos) << head;
+    const std::size_t nbytes = static_cast<std::size_t>(
+        std::stoul(head.substr(std::strlen("DLWR1 ok "))));
+    EXPECT_EQ(c.recvBytes(nbytes), expected);
+
+    // The session list reports the negotiated tag.
+    const std::string list = httpGet(f.port(), "/v1/sessions");
+    EXPECT_NE(list.find("\"tenant\":\"acme\""), std::string::npos)
+        << list;
+    EXPECT_NE(list.find("\"class\":\"bulk\""), std::string::npos)
+        << list;
+
+    // The qos.* schema is live on /metrics with the ratekeeper on.
+    const std::string prom = httpGet(f.port(), "/metrics");
+    EXPECT_NE(prom.find("dlw_qos_ratekeeper_ticks_total"),
+              std::string::npos);
+    EXPECT_NE(prom.find("dlw_qos_tag_admitted_total"),
+              std::string::npos);
+}
+
+TEST(ServerIntegration, SessionListReportsDefaultTagWithQosOff)
+{
+    obs::ScopedEnable metrics;
+    ServerFixture f(daemon::ServerConfig{});
+    TestClient c(f.port());
+    ASSERT_TRUE(c.connected());
+    c.send(net::renderStreamHello(net::StreamFormat::kCsv, "solo"));
+    c.recvLine();
+    c.send(csvTrace(20));
+    c.halfClose();
+    c.recvAll();
+    const std::string list = httpGet(f.port(), "/v1/sessions");
+    EXPECT_NE(list.find("\"tenant\":\"solo\""), std::string::npos)
+        << list;
+    EXPECT_NE(list.find("\"class\":\"interactive\""),
+              std::string::npos)
+        << list;
+}
+
 TEST(ServerIntegration, BinSessionAndLiveReport)
 {
     obs::ScopedEnable metrics;
@@ -1209,11 +1319,10 @@ TEST(SessionCheckpoint, FileRoundTripAndRejection)
     ASSERT_EQ(files.size(), 1u);
     EXPECT_EQ(files[0], daemon::checkpointPath(dir, "t-1"));
 
-    std::string why;
-    std::shared_ptr<daemon::Session> r =
-        daemon::loadSessionCheckpoint(files[0], why);
-    ASSERT_NE(r, nullptr) << why;
-    EXPECT_EQ(r->id(), "t-1");
+    StatusOr<std::shared_ptr<daemon::Session>> r =
+        daemon::loadSessionCheckpoint(files[0]);
+    ASSERT_TRUE(r.ok()) << r.status().toString();
+    EXPECT_EQ(r.value()->id(), "t-1");
 
     // Wrong magic: rejected, not guessed at.
     {
@@ -1221,10 +1330,13 @@ TEST(SessionCheckpoint, FileRoundTripAndRejection)
                          std::ios::binary);
         os << "NOTACKPT garbage";
     }
-    EXPECT_EQ(daemon::loadSessionCheckpoint(
-                  daemon::checkpointPath(dir, "bad"), why),
-              nullptr);
-    EXPECT_EQ(why, "bad magic");
+    {
+        const auto bad = daemon::loadSessionCheckpoint(
+            daemon::checkpointPath(dir, "bad"));
+        ASSERT_FALSE(bad.ok());
+        EXPECT_EQ(bad.status().code(), StatusCode::kCorruptData);
+        EXPECT_EQ(bad.status().message(), "bad magic");
+    }
 
     // Future version: rejected.
     {
@@ -1236,14 +1348,53 @@ TEST(SessionCheckpoint, FileRoundTripAndRejection)
                          std::ios::binary);
         os << blob;
     }
-    EXPECT_EQ(daemon::loadSessionCheckpoint(
-                  daemon::checkpointPath(dir, "vnext"), why),
-              nullptr);
-    EXPECT_EQ(why, "unsupported checkpoint version");
+    {
+        const auto vnext = daemon::loadSessionCheckpoint(
+            daemon::checkpointPath(dir, "vnext"));
+        ASSERT_FALSE(vnext.ok());
+        EXPECT_EQ(vnext.status().code(),
+                  StatusCode::kFailedPrecondition);
+        EXPECT_NE(vnext.status().message().find(
+                      "newer than this daemon supports"),
+                  std::string::npos)
+            << vnext.status().toString();
+    }
 
     daemon::removeSessionCheckpoint(dir, "t-1");
     EXPECT_EQ(daemon::listCheckpointFiles(dir).size(), 2u);
     EXPECT_TRUE(daemon::listCheckpointFiles("/no/such/dir").empty());
+}
+
+TEST(SessionCheckpoint, PreTagVersionRejectedNotDefaultTagged)
+{
+    const std::string dir = ::testing::TempDir() + "dlw_ckpt_v2_" +
+                            std::to_string(::getpid());
+    ::mkdir(dir.c_str(), 0755);
+
+    // Forge a v2-era blob: header says version 2 and the session
+    // body predates the class byte.  The loader must refuse with an
+    // explicit status — silently restoring it would default-tag a
+    // session whose class the client never negotiated.
+    std::string blob = daemon::kCheckpointMagic;
+    BinEnc enc(blob);
+    enc.u32(2);
+    enc.str("t-1"); // id
+    enc.str("t");   // tenant (v2 layout: format byte comes next)
+    const std::string path = daemon::checkpointPath(dir, "t-1");
+    {
+        std::ofstream os(path, std::ios::binary);
+        os << blob;
+    }
+
+    const auto old = daemon::loadSessionCheckpoint(path);
+    ASSERT_FALSE(old.ok());
+    EXPECT_EQ(old.status().code(), StatusCode::kFailedPrecondition);
+    EXPECT_NE(old.status().message().find(
+                  "predates the tenant/class tag"),
+              std::string::npos)
+        << old.status().toString();
+
+    daemon::removeSessionCheckpoint(dir, "t-1");
 }
 
 // ---------------------------------------------------------------------------

@@ -90,6 +90,8 @@
 #include "obs/sampler.hh"
 #include "obs/timeline.hh"
 #include "obs/timeline_export.hh"
+#include "qos/ratekeeper.hh"
+#include "qos/tag.hh"
 #include "synth/family.hh"
 #include "synth/workload.hh"
 #include "core/pass.hh"
@@ -471,6 +473,18 @@ cmdServe(const dlw::Options &opts)
     cfg.checkpoint_interval_ms = static_cast<std::uint64_t>(
         opts.getInt("ckpt-ms", static_cast<std::int64_t>(
                                    cfg.checkpoint_interval_ms)));
+    const std::string qos = opts.get("qos", "off");
+    if (qos != "on" && qos != "off")
+        dlw_fatal("--qos wants on|off, got '", qos, "'");
+    cfg.qos = qos == "on";
+    cfg.qos_config.target_queue_depth = opts.getInt(
+        "qos-target-qd", cfg.qos_config.target_queue_depth);
+    cfg.qos_config.target_fold_p95_us = opts.getInt(
+        "qos-target-p95-us", cfg.qos_config.target_fold_p95_us);
+    cfg.qos_config.min_rate_per_sec = opts.getInt(
+        "qos-min-rate", cfg.qos_config.min_rate_per_sec);
+    cfg.qos_config.max_rate_per_sec = opts.getInt(
+        "qos-max-rate", cfg.qos_config.max_rate_per_sec);
 
     daemon::Server server(cfg);
     Status s = server.start();
@@ -623,7 +637,7 @@ struct StreamAttempt
 /** One connect-hello-payload-report round trip against dlwd. */
 StreamAttempt
 streamOnce(const std::string &in, bool bin, const std::string &host,
-           int port, const std::string &tenant,
+           int port, const std::string &tenant, qos::WorkClass klass,
            std::uint64_t connect_timeout_ms)
 {
     StreamAttempt out;
@@ -643,7 +657,7 @@ streamOnce(const std::string &in, bool bin, const std::string &host,
     try {
         const std::string hello = net::renderStreamHello(
             bin ? net::StreamFormat::kBin : net::StreamFormat::kCsv,
-            tenant);
+            tenant, klass);
         sendAll(fd, hello.data(), hello.size());
 
         const std::string ack = recvLine(fd);
@@ -658,6 +672,14 @@ streamOnce(const std::string &in, bool bin, const std::string &host,
                            std::strlen(" error "));
             if (msg == "overloaded") {
                 out.note = "server overloaded";
+                out.retryable = true;
+                ::close(fd);
+                return out;
+            }
+            if (msg == "throttled") {
+                // QoS shed this class; backoff-and-retry is exactly
+                // what a well-behaved bulk client should do.
+                out.note = "server throttled this class";
                 out.retryable = true;
                 ::close(fd);
                 return out;
@@ -768,6 +790,13 @@ cmdStream(const dlw::Options &opts)
     const std::string host = opts.get("host", "127.0.0.1");
     const int port = static_cast<int>(opts.getInt("port", 7433));
     const std::string tenant = opts.get("tenant", "anon");
+    const std::string klass_name =
+        opts.get("class", "interactive");
+    qos::WorkClass klass;
+    if (!qos::parseWorkClass(klass_name, klass)) {
+        dlw_fatal("--class wants interactive|bulk|background, got '",
+                  klass_name, "'");
+    }
     const auto connect_timeout_ms = static_cast<std::uint64_t>(
         opts.getInt("connect-timeout-ms", 5000));
     const auto retries =
@@ -779,7 +808,7 @@ cmdStream(const dlw::Options &opts)
 
     for (std::size_t attempt = 0;; ++attempt) {
         StreamAttempt out = streamOnce(in, bin, host, port, tenant,
-                                       connect_timeout_ms);
+                                       klass, connect_timeout_ms);
         if (!out.retryable)
             return out.rc;
         if (attempt >= retries) {
@@ -809,6 +838,7 @@ registerAllMetrics()
     daemon::registerNetMetrics();
     daemon::registerDaemonMetrics();
     net::registerNetIoMetrics();
+    qos::registerQosMetrics();
 }
 
 /**
@@ -908,11 +938,16 @@ commandUsage()
          "              [--write-stall-timeout-ms MS]\n"
          "              (0 disables a deadline)\n"
          "              [--state-dir DIR] [--ckpt-ms MS]\n"
-         "              crash-safe session checkpoints\n"},
+         "              crash-safe session checkpoints\n"
+         "              [--qos on|off] per-tenant/class ratekeeper\n"
+         "              [--qos-target-qd N] [--qos-target-p95-us US]\n"
+         "              [--qos-min-rate R] [--qos-max-rate R]\n"
+         "              ratekeeper tuning\n"},
         {"stream",
          "  stream      --in FILE    stream a .csv/.bin trace to a\n"
          "              running dlwd and print the final report\n"
          "              [--host H] [--port P] [--tenant NAME]\n"
+         "              [--class interactive|bulk|background]\n"
          "              [--connect-timeout-ms MS] [--retries K]\n"
          "              [--retry-seed S]    exit 3 when the server\n"
          "              closes the connection mid-session\n"},
@@ -946,10 +981,12 @@ commandFlags()
          {"port", "port-file", "max-conns", "max-buffer-kb",
           "threads", "drain-grace-ms", "first-byte-timeout-ms",
           "header-timeout-ms", "idle-timeout-ms",
-          "write-stall-timeout-ms", "state-dir", "ckpt-ms"}},
+          "write-stall-timeout-ms", "state-dir", "ckpt-ms", "qos",
+          "qos-target-qd", "qos-target-p95-us", "qos-min-rate",
+          "qos-max-rate"}},
         {"stream",
-         {"in", "host", "port", "tenant", "connect-timeout-ms",
-          "retries", "retry-seed"}},
+         {"in", "host", "port", "tenant", "class",
+          "connect-timeout-ms", "retries", "retry-seed"}},
     };
     return flags;
 }
