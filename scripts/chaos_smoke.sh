@@ -124,6 +124,20 @@ else
     echo "chaos_smoke: python3 not found, skipping slow loris" >&2
 fi
 
+# --- a traced session the daemon must remember across the kill ----
+# Runs to completion before the SIGKILL, so its checkpoint (which
+# carries the trace id since blob v4) is on disk when the daemon
+# dies; the restarted daemon must list it with the id intact.
+
+"$tool" stream --in "$work/trace.csv" --port "$port" \
+    --tenant tracer --trace-id chaos-e2e \
+    > "$work/traced_out" 2> "$work/traced_err" \
+    || fail "traced pre-kill client"
+cmp -s "$work/ref.txt" "$work/traced_out" \
+    || fail "traced client report differs from batch"
+# Two checkpoint intervals (50 ms each) so the sweep flushes it.
+sleep 0.3
+
 # --- wave 1: storm with client SIGKILLs and a daemon SIGKILL ------
 
 half=$((nclients / 2))
@@ -233,6 +247,8 @@ if command -v curl >/dev/null 2>&1; then
         > "$work/sessions" || fail "/v1/sessions after chaos"
     grep -q '"done"' "$work/sessions" \
         || fail "no completed sessions listed after chaos"
+    grep -q '"trace":"chaos-e2e"' "$work/sessions" \
+        || fail "trace id did not survive the checkpoint restore"
 else
     echo "chaos_smoke: curl not found, skipping HTTP probes" >&2
 fi

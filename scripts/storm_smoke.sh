@@ -90,6 +90,38 @@ while [ "$c" -lt "$nclients" ]; do
     c=$((c + 1))
 done
 
+# --- live introspection MID-storm: the daemon must answer while ---
+# --- the clients are still streaming, no quiesce anywhere ---------
+
+if command -v curl >/dev/null 2>&1; then
+    curl -fsS "http://127.0.0.1:$port/v1/stats" \
+        > "$work/midstorm_stats" \
+        || fail "/v1/stats did not respond mid-storm"
+    grep -q '"uptime_s"' "$work/midstorm_stats" \
+        || fail "mid-storm /v1/stats lacks uptime_s"
+    grep -q '"stages"' "$work/midstorm_stats" \
+        || fail "mid-storm /v1/stats lacks stage latencies"
+
+    curl -fsS "http://127.0.0.1:$port/v1/timeline" \
+        > "$work/midstorm_timeline" \
+        || fail "/v1/timeline did not respond mid-storm"
+    if command -v python3 >/dev/null 2>&1; then
+        python3 - "$work/midstorm_stats" "$work/midstorm_timeline" \
+            <<'PYEOF' || fail "mid-storm introspection JSON invalid"
+import json, sys
+stats = json.load(open(sys.argv[1]))
+assert "tenants" in stats and "pool" in stats, "stats shape"
+tl = json.load(open(sys.argv[2]))
+assert isinstance(tl.get("traceEvents"), list), "timeline shape"
+PYEOF
+    fi
+    if [ -n "${STORM_ARTIFACT_DIR:-}" ]; then
+        mkdir -p "$STORM_ARTIFACT_DIR"
+        cp "$work/midstorm_timeline" \
+            "$STORM_ARTIFACT_DIR/midstorm_timeline.json"
+    fi
+fi
+
 rc=0
 for pid in $client_pids; do
     wait "$pid" || rc=1
@@ -126,6 +158,50 @@ if command -v curl >/dev/null 2>&1; then
 else
     echo "storm_smoke: curl not found, skipping HTTP probes" >&2
 fi
+
+# --- end-to-end tracing: one request, one merged Perfetto file ----
+# A traced stream must produce a single trace file holding client
+# AND server spans under the shared trace id, clock-aligned by the
+# ack timestamp.
+
+"$tool" stream --in "$work/trace.csv" --port "$port" \
+    --trace-id storm-e2e --trace-out "$work/e2e_trace.json" \
+    > "$work/e2e_out" 2> "$work/e2e_err" \
+    || fail "traced stream client"
+cmp -s "$work/ref.txt" "$work/e2e_out" \
+    || fail "traced stream report differs from batch output"
+grep -q "merged server timeline" "$work/e2e_err" \
+    || fail "traced stream did not merge the server timeline"
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$work/e2e_trace.json" <<'PYEOF' \
+        || fail "merged trace is not a two-sided Perfetto trace"
+import json, sys
+doc = json.load(open(sys.argv[1]))
+ev = doc["traceEvents"]
+names = {e.get("name", "") for e in ev}
+for want in ("trace/storm-e2e/client.connect",
+             "trace/storm-e2e/client.stream",
+             "trace/storm-e2e/client.report",
+             "trace/storm-e2e/server.session",
+             "trace/storm-e2e/server.decode",
+             "trace/storm-e2e/server.fold"):
+    assert want in names, "missing span: " + want
+pids = {e.get("pid") for e in ev
+        if e.get("name", "").startswith("trace/storm-e2e/")}
+assert len(pids) == 2, "expected client+server pids, got %r" % pids
+PYEOF
+fi
+if [ -n "${STORM_ARTIFACT_DIR:-}" ]; then
+    mkdir -p "$STORM_ARTIFACT_DIR"
+    cp "$work/e2e_trace.json" "$STORM_ARTIFACT_DIR/e2e_trace.json"
+fi
+
+# --- dlwtool top: one frame against the live daemon ---------------
+
+"$tool" top --port "$port" --iterations 1 > "$work/top_frame" \
+    || fail "dlwtool top"
+grep -q "fold p95" "$work/top_frame" || fail "top frame lacks fold p95"
+grep -q "storm0" "$work/top_frame" || fail "top frame lacks tenants"
 
 # --- mixed-tag storm against a QoS-armed server -------------------
 # A separate `--qos on` server with a deliberately tight bulk budget:

@@ -91,13 +91,14 @@ loadSessionCheckpoint(const std::string &path)
     if (!dec.ok())
         return Status::truncated("truncated checkpoint header");
     if (version < kCheckpointVersion) {
-        // A silent default-tag here would resurrect the session in
-        // the wrong QoS lane; the operator must re-stream instead.
+        // A silent default here would resurrect the session in the
+        // wrong QoS lane (pre-v3) or strip its trace identity and
+        // latency account (pre-v4); the operator must re-stream.
         return Status::failedPrecondition(
             "checkpoint version " + std::to_string(version) +
-            " predates the tenant/class tag (want " +
+            " predates the trace/latency session tail (want " +
             std::to_string(kCheckpointVersion) +
-            "); refusing to default-tag the session");
+            "); refusing to restore a degraded session");
     }
     if (version > kCheckpointVersion) {
         return Status::failedPrecondition(

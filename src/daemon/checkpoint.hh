@@ -43,8 +43,11 @@ inline constexpr const char *kCheckpointMagic = "DLWCKPT1";
  * became a 4-lane SummaryLanes fold, changing its state layout.
  * v3: the session blob gained the workload-class byte of the
  * tenant/class tag (right after the tenant string).
+ * v4: the session blob gained a tail — trace id, wall-clock start,
+ * frozen duration, and per-stage latency stats — so a restored
+ * session keeps its trace identity and latency attribution.
  */
-inline constexpr std::uint32_t kCheckpointVersion = 3;
+inline constexpr std::uint32_t kCheckpointVersion = 4;
 
 /** `<dir>/<id>.ckpt`. */
 std::string checkpointPath(const std::string &dir,
@@ -60,11 +63,11 @@ Status saveSessionCheckpoint(const std::string &dir, const Session &s);
  *
  * @return The restored session, or a non-OK Status when the file is
  *         unreadable, has the wrong magic, or the blob is
- *         truncated/garbled.  A version that predates the
- *         tenant/class tag (< 3) is rejected with an explicit
- *         FailedPrecondition — restoring it would silently
- *         default-tag a session whose class the client never
- *         negotiated.
+ *         truncated/garbled.  A version older than current is
+ *         rejected with an explicit FailedPrecondition — restoring
+ *         it would silently default-tag the session's QoS class
+ *         (pre-v3) or strip its trace identity and latency account
+ *         (pre-v4).
  */
 StatusOr<std::shared_ptr<Session>>
 loadSessionCheckpoint(const std::string &path);

@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <fcntl.h>
 #include <netinet/in.h>
@@ -21,6 +22,7 @@
 #include "obs/export.hh"
 #include "obs/metrics.hh"
 #include "obs/timeline.hh"
+#include "obs/timeline_export.hh"
 
 namespace dlw
 {
@@ -91,6 +93,8 @@ struct DaemonMetrics
         "session checkpoints written to the state dir");
     obs::Counter &ckpt_restored = obs::counter("daemon.ckpt.restored", "sessions", "daemon",
         "sessions restored from the state dir at startup");
+    obs::Gauge &uptime_s = obs::gauge("daemon.uptime_s", "s", "daemon",
+        "seconds since the daemon started");
 };
 
 DaemonMetrics &
@@ -107,6 +111,20 @@ nowNs()
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now().time_since_epoch())
             .count());
+}
+
+/**
+ * Cold-path trace marker for a shed/throttled traced hello: no
+ * Session exists yet, so the name is interned here (once per shed,
+ * never on the data path).
+ */
+void
+tracedShed(const std::string &trace_id)
+{
+    if (trace_id.empty() || !obs::timelineEnabled())
+        return;
+    obs::emitInstant(
+        obs::internTimelineName("trace/" + trace_id + "/server.shed"));
 }
 
 Status
@@ -156,6 +174,19 @@ Server::start()
     registerDaemonMetrics();
     net::registerNetIoMetrics();
     qos::registerQosMetrics();
+    // Force-register the stage histograms so /metrics and /v1/stats
+    // carry the schema before the first streamed batch.
+    sessionStageHistogram(SessionStage::kRead);
+    sessionStageHistogram(SessionStage::kDecode);
+    sessionStageHistogram(SessionStage::kAdmit);
+    sessionStageHistogram(SessionStage::kFold);
+    sessionStageHistogram(SessionStage::kMerge);
+
+    started_ns_ = nowNs();
+    started_wall_ms_ = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
 
     if (config_.qos) {
         rk_ = std::make_unique<qos::Ratekeeper>(config_.qos_config);
@@ -300,6 +331,8 @@ Server::run()
         }
 
         const std::uint64_t now = nowNs();
+        daemonMetrics().uptime_s.set(static_cast<std::int64_t>(
+            (now - started_ns_) / 1000000000ull));
         expireDeadlines(now);
         if (rk_ != nullptr && now >= next_qos_tick_ns_) {
             qosTick(now);
@@ -647,6 +680,7 @@ Server::connReadable(Conn &c)
 {
     char buf[64 * 1024];
     bool progressed = false;
+    const std::uint64_t read_t0 = nowNs();
     for (;;) {
         const ssize_t n = net::readFd(c.fd, buf, sizeof(buf));
         if (n > 0) {
@@ -679,6 +713,9 @@ Server::connReadable(Conn &c)
         return;
     }
     if (progressed) {
+        if (c.session != nullptr)
+            c.session->noteStage(SessionStage::kRead,
+                                 nowNs() - read_t0);
         // First byte promotes to the absolute header deadline; later
         // bytes only refresh an idle deadline (a trickling hello must
         // not keep extending its clock).
@@ -768,6 +805,7 @@ Server::sniff(Conn &c)
                              hello.klass};
         if (rk_->admitSession(tag, nowNs()) ==
             qos::Admission::kShed) {
+            tracedShed(hello.trace_id);
             queueWrite(c, net::renderReportError("throttled"));
             c.close_after_flush = true;
             c.state = ConnState::kFold;
@@ -776,6 +814,7 @@ Server::sniff(Conn &c)
         }
     }
     if (c.shed || draining_) {
+        tracedShed(hello.trace_id);
         queueWrite(c, net::renderReportError("overloaded"));
         c.close_after_flush = true;
         c.state = ConnState::kFold;
@@ -786,7 +825,10 @@ Server::sniff(Conn &c)
     std::ostringstream id;
     id << hello.tenant << '-' << next_session_++;
     c.session = std::make_shared<Session>(id.str(), hello.tenant,
-                                          hello.format, hello.klass);
+                                          hello.format, hello.klass,
+                                          hello.trace_id);
+    if (c.session->tlSpan() != nullptr)
+        obs::emitBegin(c.session->tlSpan());
     // The registry keeps finished sessions queryable over HTTP, but
     // bounded: evict settled sessions once it outgrows the
     // connection budget by 4x.
@@ -806,7 +848,10 @@ Server::sniff(Conn &c)
     sessions_[c.session->id()] = c.session;
     daemonMetrics().opened.add();
     daemonMetrics().active.add(1);
-    queueWrite(c, net::renderStreamAck(c.session->id()));
+    // The ack carries the server's timeline clock so a tracing
+    // client can stitch both sides onto one Perfetto timeline.
+    queueWrite(c, net::renderStreamAck(c.session->id(),
+                                       obs::timelineNowNs()));
     c.state = ConnState::kStream;
     armRead(c, ReadDeadline::kIdle);
 }
@@ -890,13 +935,34 @@ Server::routeHttp(const net::HttpRequest &req, bool &keep_alive)
                                        "only GET is served\n", false);
     }
     if (req.target == "/healthz") {
-        return net::renderHttpResponse(200, "OK", "text/plain",
-                                       "ok\n", keep_alive);
+        // JSON body, same 200 semantics: probes that only grep for
+        // "ok" keep working via the status field.
+        std::ostringstream os;
+        os << "{\"status\":\"ok\",\"version\":\"" << kDaemonVersion
+           << "\",\"uptime_s\":" << (nowNs() - started_ns_) / 1000000000ull
+           << ",\"qos\":" << (rk_ != nullptr ? "true" : "false")
+           << ",\"active_sessions\":"
+           << daemonMetrics().active.value() << "}\n";
+        return net::renderHttpResponse(200, "OK", "application/json",
+                                       os.str(), keep_alive);
     }
     if (req.target == "/metrics") {
         return net::renderHttpResponse(
             200, "OK", "text/plain; version=0.0.4",
             obs::renderProm(obs::takeSnapshot()), keep_alive);
+    }
+    if (req.target == "/v1/timeline") {
+        // A live snapshot of the flight-recorder ring: no quiesce,
+        // no reset — concurrent emitters keep recording and the
+        // worst case is one torn slot (see timeline.hh).
+        return net::renderHttpResponse(
+            200, "OK", "application/json",
+            obs::renderChromeTrace(obs::timelineSnapshot()),
+            keep_alive);
+    }
+    if (req.target == "/v1/stats") {
+        return net::renderHttpResponse(200, "OK", "application/json",
+                                       statsJson(), keep_alive);
     }
     if (req.target == "/v1/sessions") {
         std::ostringstream os;
@@ -910,7 +976,16 @@ Server::routeHttp(const net::HttpRequest &req, bool &keep_alive)
                << kv.second->tenant() << "\",\"class\":\""
                << qos::workClassName(kv.second->klass())
                << "\",\"state\":\""
-               << sessionStateName(kv.second->state()) << "\"}";
+               << sessionStateName(kv.second->state()) << "\"";
+            if (!kv.second->traceId().empty())
+                os << ",\"trace\":\"" << kv.second->traceId()
+                   << "\"";
+            char rate[32];
+            std::snprintf(rate, sizeof(rate), "%.1f",
+                          kv.second->recordsPerS());
+            os << ",\"started_at_ms\":" << kv.second->startedAtMs()
+               << ",\"duration_ms\":" << kv.second->durationMs()
+               << ",\"records_per_s\":" << rate << "}";
         }
         os << "]\n";
         return net::renderHttpResponse(200, "OK", "application/json",
@@ -938,6 +1013,102 @@ Server::routeHttp(const net::HttpRequest &req, bool &keep_alive)
                                    "unknown path\n", keep_alive);
 }
 
+std::string
+Server::statsJson() const
+{
+    // Everything here is either loop-thread state (conns_,
+    // sessions_) or internally synchronized (metrics, ratekeeper,
+    // pool), so the snapshot is one pass, no quiesce.
+    std::ostringstream os;
+    char buf[64];
+    os << "{\"uptime_s\":" << (nowNs() - started_ns_) / 1000000000ull
+       << ",\"started_at_ms\":" << started_wall_ms_
+       << ",\"connections\":" << conns_.size()
+       << ",\"active_sessions\":" << daemonMetrics().active.value()
+       << ",\"draining\":" << (draining_ ? "true" : "false");
+    os << ",\"pool\":{\"threads\":"
+       << (pool_ != nullptr ? pool_->threadCount() : 0)
+       << ",\"queue_depth\":"
+       << (pool_ != nullptr ? pool_->queueDepth() : 0) << "}";
+    const stats::LogHistogram folds =
+        daemonMetrics().fold_seconds.merged();
+    std::snprintf(buf, sizeof(buf), "%.1f",
+                  folds.total() > 0 ? folds.quantile(0.95) * 1e6
+                                    : 0.0);
+    os << ",\"fold_p95_us\":" << buf;
+    os << ",\"stages\":{";
+    static const SessionStage kStages[] = {
+        SessionStage::kRead, SessionStage::kDecode,
+        SessionStage::kAdmit, SessionStage::kFold,
+        SessionStage::kMerge};
+    bool first = true;
+    for (SessionStage st : kStages) {
+        const stats::LogHistogram h =
+            sessionStageHistogram(st).merged();
+        if (!first)
+            os << ',';
+        first = false;
+        os << '"' << sessionStageName(st) << "\":{\"count\":"
+           << h.total();
+        std::snprintf(buf, sizeof(buf),
+                      ",\"p50_us\":%.1f,\"p95_us\":%.1f,"
+                      "\"p99_us\":%.1f}",
+                      h.total() > 0 ? h.quantile(0.50) * 1e6 : 0.0,
+                      h.total() > 0 ? h.quantile(0.95) * 1e6 : 0.0,
+                      h.total() > 0 ? h.quantile(0.99) * 1e6 : 0.0);
+        os << buf;
+    }
+    os << '}';
+    // Per-tenant/class session aggregation over the live registry.
+    std::map<std::string, std::pair<std::uint64_t, std::uint64_t>>
+        tenants; // key "tenant/class" -> {sessions, records}
+    for (const auto &kv : sessions_) {
+        const std::string key = kv.second->tenant() + std::string("/") +
+            qos::workClassName(kv.second->klass());
+        auto &agg = tenants[key];
+        agg.first += 1;
+        agg.second += kv.second->records();
+    }
+    os << ",\"tenants\":[";
+    first = true;
+    for (const auto &kv : tenants) {
+        if (!first)
+            os << ',';
+        first = false;
+        const std::size_t slash = kv.first.find('/');
+        os << "{\"tenant\":\"" << kv.first.substr(0, slash)
+           << "\",\"class\":\"" << kv.first.substr(slash + 1)
+           << "\",\"sessions\":" << kv.second.first
+           << ",\"records\":" << kv.second.second << '}';
+    }
+    os << ']';
+    os << ",\"qos\":{\"enabled\":"
+       << (rk_ != nullptr ? "true" : "false");
+    if (rk_ != nullptr) {
+        os << ",\"pressure_milli\":" << rk_->pressureMilli()
+           << ",\"limits\":{\"interactive\":"
+           << rk_->limitPerSec(qos::WorkClass::kInteractive)
+           << ",\"bulk\":"
+           << rk_->limitPerSec(qos::WorkClass::kBulk)
+           << ",\"background\":"
+           << rk_->limitPerSec(qos::WorkClass::kBackground) << '}';
+        os << ",\"tags\":[";
+        first = true;
+        for (const qos::Ratekeeper::TagStat &t : rk_->tagStats()) {
+            if (!first)
+                os << ',';
+            first = false;
+            os << "{\"tenant\":\"" << qos::tenantName(t.tenant)
+               << "\",\"class\":\"" << qos::workClassName(t.klass)
+               << "\",\"rate_per_s\":" << t.rate_per_sec
+               << ",\"balance_micro\":" << t.balance_micro << '}';
+        }
+        os << ']';
+    }
+    os << "}}\n";
+    return os.str();
+}
+
 void
 Server::streamBytes(Conn &c)
 {
@@ -945,11 +1116,18 @@ Server::streamBytes(Conn &c)
         return; // buffered bytes wait for the resume timer
     const std::uint64_t before = c.session->records();
     if (!c.in.empty()) {
-        if (rk_ != nullptr &&
-            rk_->admit(c.session->tag(), nowNs()) ==
-                qos::Admission::kDelay) {
-            throttleConn(c, nowNs());
-            return;
+        if (rk_ != nullptr) {
+            const std::uint64_t admit_t0 = nowNs();
+            const qos::Admission verdict =
+                rk_->admit(c.session->tag(), admit_t0);
+            c.session->noteStage(SessionStage::kAdmit,
+                                 nowNs() - admit_t0);
+            if (verdict == qos::Admission::kDelay) {
+                if (c.session->tlPark() != nullptr)
+                    obs::emitInstant(c.session->tlPark());
+                throttleConn(c, nowNs());
+                return;
+            }
         }
         Status s = c.session->consume(c.in);
         daemonMetrics().requests_streamed.add(c.session->records() -
@@ -1024,7 +1202,11 @@ Server::startFold(Conn &c)
         done.session = session;
         try {
             obs::ScopedTimer t(daemonMetrics().fold_seconds);
+            if (session->tlFold() != nullptr)
+                obs::emitBegin(session->tlFold());
             done.text = session->finalReportText();
+            if (session->tlFold() != nullptr)
+                obs::emitEnd(session->tlFold());
             done.ok = true;
         } catch (const std::exception &e) {
             session->abort(e.what());
@@ -1050,6 +1232,10 @@ Server::finishFolds()
         done.swap(folds_done_);
     }
     for (FoldDone &d : done) {
+        if (d.session->tlReport() != nullptr)
+            obs::emitInstant(d.session->tlReport());
+        if (d.session->tlSpan() != nullptr)
+            obs::emitEnd(d.session->tlSpan());
         if (d.session->settleOnce()) {
             if (d.ok)
                 daemonMetrics().completed.add();

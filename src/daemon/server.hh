@@ -45,6 +45,9 @@ namespace dlw
 namespace daemon
 {
 
+/** Version string served by /healthz and /v1/stats. */
+inline constexpr const char *kDaemonVersion = "dlwd/1.0";
+
 /** Tunables for one Server. */
 struct ServerConfig
 {
@@ -196,6 +199,9 @@ class Server
         std::string text; ///< report body or error message
     };
 
+    /** Compact live-introspection JSON for `GET /v1/stats`. */
+    std::string statsJson() const;
+
     void acceptReady();
     void connReadable(Conn &c);
     void connWritable(Conn &c);
@@ -257,6 +263,9 @@ class Server
     /** Non-null only with config.qos: the admission controller. */
     std::unique_ptr<qos::Ratekeeper> rk_;
     std::uint64_t next_qos_tick_ns_ = 0; ///< 0 = qos off
+
+    std::uint64_t started_ns_ = 0;      ///< steady clock at start()
+    std::uint64_t started_wall_ms_ = 0; ///< wall clock at start()
 
     std::uint64_t next_ckpt_ns_ = 0; ///< 0 = checkpointing off
     /** Last checkpointed (records, state) per session id. */

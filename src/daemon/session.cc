@@ -1,8 +1,11 @@
 #include "daemon/session.hh"
 
+#include <chrono>
 #include <cstdio>
 #include <sstream>
 #include <utility>
+
+#include "obs/timeline.hh"
 
 namespace dlw
 {
@@ -49,7 +52,107 @@ jsonEscape(const std::string &s)
     return out;
 }
 
+std::uint64_t
+steadyNowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+std::uint64_t
+wallNowMs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+}
+
 } // namespace
+
+const char *
+sessionStageName(SessionStage s)
+{
+    switch (s) {
+    case SessionStage::kRead:
+        return "read";
+    case SessionStage::kDecode:
+        return "decode";
+    case SessionStage::kAdmit:
+        return "admit";
+    case SessionStage::kFold:
+        return "fold";
+    case SessionStage::kMerge:
+        return "merge";
+    }
+    return "?";
+}
+
+obs::Histogram &
+sessionStageHistogram(SessionStage s)
+{
+    static obs::Histogram &read = obs::histogram("daemon.stage.read_seconds", "s", "daemon", "socket-read latency per readable event");
+    static obs::Histogram &decode = obs::histogram("daemon.stage.decode_seconds", "s", "daemon", "wire-decode latency per consumed chunk");
+    static obs::Histogram &admit = obs::histogram("daemon.stage.admit_seconds", "s", "daemon", "QoS admission-decision latency per chunk");
+    static obs::Histogram &fold = obs::histogram("daemon.stage.fold_seconds", "s", "daemon", "incremental accumulator-fold latency per chunk");
+    static obs::Histogram &merge = obs::histogram("daemon.stage.merge_seconds", "s", "daemon", "final finish-and-render latency per session");
+    switch (s) {
+    case SessionStage::kRead:
+        return read;
+    case SessionStage::kDecode:
+        return decode;
+    case SessionStage::kAdmit:
+        return admit;
+    case SessionStage::kFold:
+        return fold;
+    case SessionStage::kMerge:
+        return merge;
+    }
+    return merge;
+}
+
+void
+StageStats::note(std::uint64_t ns)
+{
+    ++count;
+    total_ns += ns;
+    if (ns > max_ns)
+        max_ns = ns;
+    std::size_t b = 0;
+    for (std::uint64_t v = ns; v > 1 && b + 1 < buckets.size(); v >>= 1)
+        ++b;
+    ++buckets[b];
+}
+
+double
+StageStats::quantileNs(double q) const
+{
+    if (count == 0)
+        return 0.0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    std::uint64_t rank =
+        static_cast<std::uint64_t>(q * static_cast<double>(count));
+    if (rank >= count)
+        rank = count - 1;
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+        seen += buckets[b];
+        if (seen > rank) {
+            // Geometric midpoint of [2^b, 2^(b+1)), capped at max.
+            const double mid =
+                static_cast<double>(std::uint64_t(1) << b) * 1.5;
+            return mid < static_cast<double>(max_ns)
+                ? mid
+                : static_cast<double>(max_ns);
+        }
+    }
+    return static_cast<double>(max_ns);
+}
 
 const char *
 sessionStateName(SessionState s)
@@ -66,19 +169,75 @@ sessionStateName(SessionState s)
 }
 
 Session::Session(std::string id, std::string tenant,
-                 net::StreamFormat format, qos::WorkClass klass)
+                 net::StreamFormat format, qos::WorkClass klass,
+                 std::string trace_id)
     : id_(std::move(id)), tenant_(std::move(tenant)),
       tag_{qos::internTenant(tenant_), klass}, format_(format),
+      trace_id_(std::move(trace_id)),
       decoder_(format, net::kMaxFrameBytes)
 {
     batch_.setTag(tag_);
+    started_at_ms_ = wallNowMs();
+    started_ns_ = steadyNowNs();
+    internTraceNames();
+}
+
+void
+Session::internTraceNames()
+{
+    if (trace_id_.empty())
+        return;
+    // One interning per traced session, never on the data path.
+    const std::string p = "trace/" + trace_id_ + "/server.";
+    tl_span_ = obs::internTimelineName(p + "session");
+    tl_decode_ = obs::internTimelineName(p + "decode");
+    tl_fold_ = obs::internTimelineName(p + "fold");
+    tl_park_ = obs::internTimelineName(p + "park");
+    tl_report_ = obs::internTimelineName(p + "report");
+}
+
+void
+Session::noteStage(SessionStage st, std::uint64_t ns)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stages_[static_cast<std::size_t>(st)].note(ns);
+    }
+    sessionStageHistogram(st).record(static_cast<double>(ns) * 1e-9);
+}
+
+std::uint64_t
+Session::durationMs() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (final_duration_ms_ != 0 || state_ != SessionState::kStreaming)
+        return final_duration_ms_;
+    return (steadyNowNs() - started_ns_) / 1000000;
+}
+
+double
+Session::recordsPerS() const
+{
+    const std::uint64_t recs = records();
+    const std::uint64_t ms = durationMs();
+    if (recs == 0 || ms == 0)
+        return 0.0;
+    return static_cast<double>(recs) * 1000.0 /
+           static_cast<double>(ms);
 }
 
 Status
 Session::consume(net::ByteQueue &in)
 {
     const std::size_t before = in.size();
+    if (tl_decode_ != nullptr)
+        obs::emitBegin(tl_decode_);
+    const std::uint64_t t0 = steadyNowNs();
     Status s = decoder_.drain(in);
+    const std::uint64_t t1 = steadyNowNs();
+    if (tl_decode_ != nullptr)
+        obs::emitEnd(tl_decode_);
+    noteStage(SessionStage::kDecode, t1 - t0);
     {
         std::lock_guard<std::mutex> lock(mu_);
         payload_bytes_ += before - in.size();
@@ -88,6 +247,7 @@ Session::consume(net::ByteQueue &in)
         return s;
     }
     s = foldPending();
+    noteStage(SessionStage::kFold, steadyNowNs() - t1);
     if (!s.ok())
         abort(s.message());
     return s;
@@ -139,19 +299,28 @@ Session::abort(const std::string &why)
 std::string
 Session::finalReportText()
 {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!final_text_.empty())
-        return final_text_; // restored (or refolded) done session
-    const core::DriveCharacterization c = live_->finish();
-    if (state_ == SessionState::kStreaming)
-        state_ = SessionState::kDone;
-    // Cache everything a restart needs to keep serving this session:
-    // finish() consumed the accumulators, so this is the last moment
-    // the result can be rendered.
-    final_records_ = live_->requests();
-    final_char_json_ = core::renderCharacterizationJson(c);
-    final_text_ = c.render();
-    return final_text_;
+    const std::uint64_t t0 = steadyNowNs();
+    std::string text;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!final_text_.empty())
+            return final_text_; // restored (or refolded) done session
+        const core::DriveCharacterization c = live_->finish();
+        if (state_ == SessionState::kStreaming)
+            state_ = SessionState::kDone;
+        // Cache everything a restart needs to keep serving this
+        // session: finish() consumed the accumulators, so this is
+        // the last moment the result can be rendered.
+        final_records_ = live_->requests();
+        final_char_json_ = core::renderCharacterizationJson(c);
+        final_text_ = c.render();
+        final_duration_ms_ = (steadyNowNs() - started_ns_) / 1000000;
+        if (final_duration_ms_ == 0)
+            final_duration_ms_ = 1; // sub-ms sessions still rank
+        text = final_text_;
+    }
+    noteStage(SessionStage::kMerge, steadyNowNs() - t0);
+    return text;
 }
 
 std::string
@@ -163,8 +332,55 @@ Session::reportJson() const
        << jsonEscape(tenant_) << "\",\"class\":\""
        << qos::workClassName(tag_.klass) << "\",\"state\":\""
        << sessionStateName(state_) << "\"";
+    if (!trace_id_.empty())
+        os << ",\"trace\":\"" << jsonEscape(trace_id_) << "\"";
     if (!error_.empty())
         os << ",\"error\":\"" << jsonEscape(error_) << "\"";
+    std::uint64_t recs = 0;
+    if (live_ != nullptr)
+        recs = live_->requests();
+    else if (!final_char_json_.empty())
+        recs = final_records_;
+    const std::uint64_t dur_ms =
+        (final_duration_ms_ != 0 ||
+         state_ != SessionState::kStreaming)
+        ? final_duration_ms_
+        : (steadyNowNs() - started_ns_) / 1000000;
+    os << ",\"started_at_ms\":" << started_at_ms_
+       << ",\"duration_ms\":" << dur_ms << ",\"records_per_s\":";
+    char rate[32];
+    std::snprintf(rate, sizeof(rate), "%.1f",
+                  (recs == 0 || dur_ms == 0)
+                      ? 0.0
+                      : static_cast<double>(recs) * 1000.0 /
+                            static_cast<double>(dur_ms));
+    os << rate;
+    os << ",\"stages\":{";
+    bool first_stage = true;
+    for (std::size_t i = 0; i < kSessionStageCount; ++i) {
+        const StageStats &st = stages_[i];
+        if (st.count == 0)
+            continue;
+        if (!first_stage)
+            os << ',';
+        first_stage = false;
+        char buf[160];
+        std::snprintf(
+            buf, sizeof(buf),
+            "\"%s\":{\"count\":%llu,\"mean_us\":%.3f,"
+            "\"max_us\":%.3f,\"p50_us\":%.3f,\"p95_us\":%.3f,"
+            "\"p99_us\":%.3f}",
+            sessionStageName(static_cast<SessionStage>(i)),
+            static_cast<unsigned long long>(st.count),
+            static_cast<double>(st.total_ns) /
+                static_cast<double>(st.count) / 1000.0,
+            static_cast<double>(st.max_ns) / 1000.0,
+            st.quantileNs(0.50) / 1000.0,
+            st.quantileNs(0.95) / 1000.0,
+            st.quantileNs(0.99) / 1000.0);
+        os << buf;
+    }
+    os << '}';
     if (live_ != nullptr) {
         os << ",\"records\":" << live_->requests()
            << ",\"characterization\":"
@@ -238,6 +454,18 @@ Session::saveState(BinEnc &enc) const
     enc.u8(has_live ? 1 : 0);
     if (has_live)
         live_->saveState(enc);
+    // v4: trace identity and latency attribution ride at the tail so
+    // every earlier field keeps its v3 offset.
+    enc.str(trace_id_);
+    enc.u64(started_at_ms_);
+    enc.u64(final_duration_ms_);
+    for (const StageStats &st : stages_) {
+        enc.u64(st.count);
+        enc.u64(st.total_ns);
+        enc.u64(st.max_ns);
+        for (std::uint32_t b : st.buckets)
+            enc.u32(b);
+    }
 }
 
 std::shared_ptr<Session>
@@ -270,6 +498,17 @@ Session::restore(BinDec &dec)
         s->live_ = core::LiveCharacterization::restore(dec);
         if (s->live_ == nullptr)
             return nullptr;
+    }
+    s->trace_id_ = dec.str();
+    s->internTraceNames();
+    s->started_at_ms_ = dec.u64();
+    s->final_duration_ms_ = dec.u64();
+    for (StageStats &st : s->stages_) {
+        st.count = dec.u64();
+        st.total_ns = dec.u64();
+        st.max_ns = dec.u64();
+        for (std::uint32_t &b : st.buckets)
+            b = dec.u32();
     }
     if (!dec.ok())
         return nullptr;

@@ -19,6 +19,7 @@
 #ifndef DLW_DAEMON_SESSION_HH
 #define DLW_DAEMON_SESSION_HH
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -28,6 +29,7 @@
 #include "core/live.hh"
 #include "net/buffer.hh"
 #include "net/wire.hh"
+#include "obs/metrics.hh"
 #include "qos/tag.hh"
 #include "trace/batch.hh"
 
@@ -50,6 +52,52 @@ enum class SessionState
 const char *sessionStateName(SessionState s);
 
 /**
+ * The pipeline stages a streamed batch passes through, in order.
+ * Stage latencies are attributed per session (StageStats) and
+ * globally (the daemon.stage.*_seconds histograms).
+ */
+enum class SessionStage : std::uint8_t
+{
+    kRead,   ///< socket read into the connection buffer
+    kDecode, ///< wire bytes -> parsed requests
+    kAdmit,  ///< QoS admission (token charge / throttle decision)
+    kFold,   ///< batches folded into the live accumulators
+    kMerge,  ///< final finish + report render
+};
+
+/** Number of SessionStage values. */
+constexpr std::size_t kSessionStageCount = 5;
+
+/** "read" / "decode" / "admit" / "fold" / "merge". */
+const char *sessionStageName(SessionStage s);
+
+/**
+ * The global latency histogram for one stage
+ * (daemon.stage.<name>_seconds); powers the /v1/stats p50/p95/p99
+ * columns of `dlwtool top`.
+ */
+obs::Histogram &sessionStageHistogram(SessionStage s);
+
+/**
+ * One session's latency account for one stage: count/total/max plus
+ * a log2-ns histogram compact enough to checkpoint, precise enough
+ * for p50/p95/p99 in the session report.
+ */
+struct StageStats
+{
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t max_ns = 0;
+    /** buckets[i] counts observations with floor(log2(ns)) == i. */
+    std::array<std::uint32_t, 32> buckets{};
+
+    void note(std::uint64_t ns);
+
+    /** Approximate quantile (geometric bucket midpoint), in ns. */
+    double quantileNs(double q) const;
+};
+
+/**
  * One streaming session: decoder + live characterization + final
  * report.  Thread-safe where the daemon needs it to be (see file
  * comment); everything else is loop-thread-only.
@@ -58,18 +106,51 @@ class Session
 {
   public:
     /**
-     * @param id      Registry key, e.g. "acme-3".
-     * @param tenant  Tenant label from the hello line.
-     * @param format  Payload encoding.
-     * @param klass   Workload class negotiated in the hello (or the
-     *                X-DLW-Class HTTP header); defaults interactive.
+     * @param id       Registry key, e.g. "acme-3".
+     * @param tenant   Tenant label from the hello line.
+     * @param format   Payload encoding.
+     * @param klass    Workload class negotiated in the hello (or the
+     *                 X-DLW-Class HTTP header); defaults interactive.
+     * @param trace_id Client-generated trace id from the hello;
+     *                 empty means untraced (no per-trace timeline
+     *                 names are interned).
      */
     Session(std::string id, std::string tenant,
             net::StreamFormat format,
-            qos::WorkClass klass = qos::WorkClass::kInteractive);
+            qos::WorkClass klass = qos::WorkClass::kInteractive,
+            std::string trace_id = std::string());
 
     const std::string &id() const { return id_; }
     const std::string &tenant() const { return tenant_; }
+
+    /** Trace id from the hello ("" when untraced). */
+    const std::string &traceId() const { return trace_id_; }
+
+    /**
+     * Interned timeline event names for this trace, or nullptr when
+     * untraced — the caller guards emits with a null check, so an
+     * untraced session costs one branch beyond the armed gate.
+     */
+    const char *tlSpan() const { return tl_span_; }
+    const char *tlDecode() const { return tl_decode_; }
+    const char *tlFold() const { return tl_fold_; }
+    const char *tlPark() const { return tl_park_; }
+    const char *tlReport() const { return tl_report_; }
+
+    /** Any thread: account `ns` to stage `st` (self + global). */
+    void noteStage(SessionStage st, std::uint64_t ns);
+
+    /** Wall-clock session start, ms since the Unix epoch. */
+    std::uint64_t startedAtMs() const { return started_at_ms_; }
+
+    /**
+     * Any thread: elapsed ms — live (monotonic since construction)
+     * while streaming, frozen at the final fold once done.
+     */
+    std::uint64_t durationMs() const;
+
+    /** Any thread: records/s over durationMs (0 while empty). */
+    double recordsPerS() const;
 
     /** Workload class the session negotiated. */
     qos::WorkClass klass() const { return tag_.klass; }
@@ -154,10 +235,22 @@ class Session
     /** Drain decoder batches into the characterization. */
     Status foldPending();
 
+    /** (Re)intern the per-trace timeline names from trace_id_. */
+    void internTraceNames();
+
     const std::string id_;
     const std::string tenant_;
     const qos::TagId tag_;
     const net::StreamFormat format_;
+    /** Set at construction, or by restore() once the v4 tail lands. */
+    std::string trace_id_;
+    // Interned once at construction (nullptr when untraced) so the
+    // hot path never allocates for a trace event name.
+    const char *tl_span_ = nullptr;
+    const char *tl_decode_ = nullptr;
+    const char *tl_fold_ = nullptr;
+    const char *tl_park_ = nullptr;
+    const char *tl_report_ = nullptr;
     net::StreamDecoder decoder_;
     trace::RequestBatch batch_;
 
@@ -174,6 +267,12 @@ class Session
     std::string final_text_;
     std::string final_char_json_;
     std::uint64_t final_records_ = 0;
+
+    // Latency attribution (guarded by mu_ like the rest).
+    std::array<StageStats, kSessionStageCount> stages_{};
+    std::uint64_t started_at_ms_ = 0;  ///< wall clock at construction
+    std::uint64_t started_ns_ = 0;     ///< steady clock at construction
+    std::uint64_t final_duration_ms_ = 0; ///< frozen at the final fold
 };
 
 } // namespace daemon

@@ -97,6 +97,13 @@ class ThreadPool
     /** Number of worker threads. */
     std::size_t threadCount() const { return workers_.size(); }
 
+    /** Tasks submitted but not yet finished (introspection). */
+    std::size_t queueDepth() const
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        return pending_;
+    }
+
     /** Hardware concurrency with a sane floor of 1. */
     static std::size_t hardwareThreads();
 

@@ -22,10 +22,10 @@ parseStreamHello(const std::string &line, StreamHello &out)
     auto f = split(trim(line), ' ');
     if (f.empty() || f[0] != kHelloMagic)
         return Status::invalidArgument("not a dlw stream hello");
-    if (f.size() < 2 || f.size() > 4) {
+    if (f.size() < 2 || f.size() > 5) {
         return Status::invalidArgument(
             "malformed hello (want 'DLWS1 <csv|bin> "
-            "[tenant [class]]')");
+            "[tenant [class [trace]]]')");
     }
     if (f[1] == "csv") {
         out.format = StreamFormat::kCsv;
@@ -37,6 +37,7 @@ parseStreamHello(const std::string &line, StreamHello &out)
     }
     out.tenant = "anon";
     out.klass = qos::WorkClass::kInteractive;
+    out.trace_id.clear();
     if (f.size() >= 3) {
         if (f[2].empty() || f[2].size() > 64)
             return Status::invalidArgument("bad tenant id length");
@@ -52,31 +53,51 @@ parseStreamHello(const std::string &line, StreamHello &out)
         }
         out.tenant = f[2];
     }
-    if (f.size() == 4 && !qos::parseWorkClass(f[3], out.klass)) {
+    if (f.size() >= 4 && !qos::parseWorkClass(f[3], out.klass)) {
         return Status::invalidArgument(
             "unknown workload class '" + f[3] +
             "' (interactive|bulk|background)");
+    }
+    if (f.size() == 5) {
+        if (f[4].empty() || f[4].size() > 64)
+            return Status::invalidArgument("bad trace id length");
+        for (char c : f[4]) {
+            const bool ok = (c >= 'a' && c <= 'z') ||
+                            (c >= 'A' && c <= 'Z') ||
+                            (c >= '0' && c <= '9') || c == '.' ||
+                            c == '_' || c == '-';
+            if (!ok) {
+                return Status::invalidArgument(
+                    "bad trace id (want [A-Za-z0-9._-])");
+            }
+        }
+        out.trace_id = f[4];
     }
     return Status();
 }
 
 std::string
 renderStreamHello(StreamFormat format, const std::string &tenant,
-                  qos::WorkClass klass)
+                  qos::WorkClass klass, const std::string &trace_id)
 {
     std::string s = kHelloMagic;
     s += ' ';
     s += streamFormatName(format);
     const bool tagged = klass != qos::WorkClass::kInteractive;
-    if (!tenant.empty() || tagged) {
+    const bool traced = !trace_id.empty();
+    if (!tenant.empty() || tagged || traced) {
         s += ' ';
-        // The class field is positional, so an empty tenant must
-        // still occupy its slot when a class follows.
+        // The class and trace fields are positional, so an empty
+        // tenant must still occupy its slot when either follows.
         s += tenant.empty() ? "anon" : tenant;
     }
-    if (tagged) {
+    if (tagged || traced) {
         s += ' ';
         s += qos::workClassName(klass);
+    }
+    if (traced) {
+        s += ' ';
+        s += trace_id;
     }
     s += '\n';
     return s;
@@ -88,6 +109,19 @@ renderStreamAck(const std::string &session_id)
     std::string s = kHelloMagic;
     s += " ok ";
     s += session_id;
+    s += '\n';
+    return s;
+}
+
+std::string
+renderStreamAck(const std::string &session_id,
+                std::uint64_t server_ts_ns)
+{
+    std::string s = kHelloMagic;
+    s += " ok ";
+    s += session_id;
+    s += ' ';
+    s += std::to_string(server_ts_ns);
     s += '\n';
     return s;
 }

@@ -82,11 +82,15 @@ struct StreamHello
     std::string tenant = "anon";
     /** Workload class (optional 4th hello field). */
     qos::WorkClass klass = qos::WorkClass::kInteractive;
+    /** Trace id (optional 5th hello field); empty means untraced. */
+    std::string trace_id;
 };
 
 /**
- * Parse "DLWS1 <csv|bin> [tenant [class]]" (no trailing newline).
- * `class` is interactive|bulk|background; absent means interactive.
+ * Parse "DLWS1 <csv|bin> [tenant [class [trace]]]" (no trailing
+ * newline).  `class` is interactive|bulk|background; absent means
+ * interactive.  `trace` is a client-generated trace id
+ * ([A-Za-z0-9._-], at most 64 bytes); absent means untraced.
  */
 Status parseStreamHello(const std::string &line, StreamHello &out);
 
@@ -94,14 +98,26 @@ Status parseStreamHello(const std::string &line, StreamHello &out);
  * Render the hello line, newline included.  The class field is only
  * emitted when non-default, so single-tenant hellos keep their
  * pre-QoS wire bytes ("anon" is emitted in its place when a
- * non-default class rides with an empty tenant).
+ * non-default class rides with an empty tenant).  The trace field is
+ * only emitted when non-empty; because it is positional, it forces
+ * the tenant and class slots to be filled when it rides along.
  */
 std::string renderStreamHello(
     StreamFormat format, const std::string &tenant,
-    qos::WorkClass klass = qos::WorkClass::kInteractive);
+    qos::WorkClass klass = qos::WorkClass::kInteractive,
+    const std::string &trace_id = std::string());
 
 /** Render the server's hello ack, newline included. */
 std::string renderStreamAck(const std::string &session_id);
+
+/**
+ * Render "DLWS1 ok <session-id> <server-ts-ns>\n": the ack plus the
+ * server's monotonic timeline clock at ack time, letting a tracing
+ * client compute the clock offset that stitches client- and
+ * server-side spans onto one timeline.
+ */
+std::string renderStreamAck(const std::string &session_id,
+                            std::uint64_t server_ts_ns);
 
 /** Render "DLWR1 ok <nbytes>\n" (the report bytes follow). */
 std::string renderReportOk(std::size_t report_bytes);

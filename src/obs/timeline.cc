@@ -182,12 +182,13 @@ TimelineRing::push(const char *name, TimelineEventKind kind,
                    double value, std::uint64_t ts_ns)
 {
     const std::uint64_t h = head_.load(std::memory_order_relaxed);
-    TimelineEvent &e = slots_[h % slots_.size()];
-    e.name = name;
-    e.value = value;
-    e.ts_ns = ts_ns;
-    e.tid = tid_;
-    e.kind = kind;
+    Slot &e = slots_[h % slots_.size()];
+    e.name.store(name, std::memory_order_relaxed);
+    e.value.store(value, std::memory_order_relaxed);
+    e.ts_ns.store(ts_ns, std::memory_order_relaxed);
+    e.tid.store(tid_, std::memory_order_relaxed);
+    e.kind.store(static_cast<std::uint8_t>(kind),
+                 std::memory_order_relaxed);
     // Release so a snapshotting thread that observes the new head
     // also observes the slot contents.
     head_.store(h + 1, std::memory_order_release);
@@ -200,8 +201,23 @@ TimelineRing::snapshotInto(std::vector<TimelineEvent> &out) const
     const std::uint64_t n =
         std::min<std::uint64_t>(h, slots_.size());
     out.reserve(out.size() + static_cast<std::size_t>(n));
+    const std::size_t base = out.size();
     for (std::uint64_t i = h - n; i < h; ++i)
-        out.push_back(slots_[i % slots_.size()]);
+        out.push_back(eventAt(i));
+    // Lap detection: while we copied, the producer may have advanced
+    // into our window.  Slot i is overwritten once the head passes
+    // i + capacity, so everything below h2 - capacity is suspect —
+    // discard it (oldest entries, at the front of what we appended).
+    // The head_ release/acquire pair guarantees the slots we keep
+    // were fully written before we first read the head.
+    const std::uint64_t h2 = head_.load(std::memory_order_acquire);
+    if (h2 > slots_.size() && h2 - slots_.size() > h - n) {
+        const std::uint64_t lapped =
+            std::min<std::uint64_t>((h2 - slots_.size()) - (h - n), n);
+        out.erase(out.begin() + static_cast<std::ptrdiff_t>(base),
+                  out.begin() +
+                      static_cast<std::ptrdiff_t>(base + lapped));
+    }
 }
 
 std::uint64_t
@@ -209,6 +225,12 @@ TimelineRing::dropped() const
 {
     const std::uint64_t h = head_.load(std::memory_order_acquire);
     return h > slots_.size() ? h - slots_.size() : 0;
+}
+
+std::uint64_t
+timelineNowNs()
+{
+    return nowNs();
 }
 
 TimelineSnapshot

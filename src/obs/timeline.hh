@@ -39,10 +39,14 @@
  *
  * Snapshots are precise once writers have quiesced (what dlwtool
  * does: export happens after the command returns).  Snapshotting
- * while other threads still emit is safe but best-effort: a slot
- * being overwritten concurrently may be torn.  The crash-dump path
- * (timeline_export.hh) accepts the same bargain — a mostly-right
- * trace of a crashing process beats no trace.
+ * while other threads still emit is also safe AND coherent: slots
+ * are field-atomic and the reader discards anything the producer
+ * may have lapped mid-copy, so a live snapshot (GET /v1/timeline on
+ * a running daemon) returns only events that were really recorded —
+ * it may just miss the very newest ones.  Only the async-signal
+ * crash-dump path (timeline_export.hh) keeps the weaker bargain of
+ * possibly mixing fields from two events — a mostly-right trace of
+ * a crashing process beats no trace.
  */
 
 #ifndef DLW_OBS_TIMELINE_HH
@@ -164,7 +168,16 @@ const char *internTimelineName(const std::string &name);
 /**
  * The single-producer ring at the recorder's core, exposed for
  * direct use in tests.  Exactly one thread may push; any thread may
- * snapshot (precise once the producer quiesces).
+ * snapshot at any time — including while the producer is mid-storm,
+ * which is what GET /v1/timeline does against a live daemon.
+ *
+ * Concurrency contract: slots are stored as relaxed atomics (so a
+ * racing reader never tears a field) and snapshotInto() re-reads the
+ * head after copying, discarding any slot the producer may have
+ * lapped during the copy.  Every event a snapshot returns is
+ * therefore a coherent event that was really pushed; a snapshot
+ * taken while the producer wraps may just return fewer of them.
+ * Once the producer quiesces, snapshots are exact.
  */
 class TimelineRing
 {
@@ -194,16 +207,40 @@ class TimelineRing
     void clear() { head_.store(0, std::memory_order_release); }
 
     /**
-     * Raw slot access by absolute push index (crash-dump path; a
-     * concurrently-overwritten slot may tear).
+     * Raw slot read by absolute push index (crash-dump path; a slot
+     * the producer is concurrently overwriting may mix fields from
+     * two events, but each field is a value some push really wrote).
      */
-    const TimelineEvent &eventAt(std::uint64_t i) const
+    TimelineEvent eventAt(std::uint64_t i) const
     {
-        return slots_[i % slots_.size()];
+        const Slot &s = slots_[i % slots_.size()];
+        TimelineEvent e;
+        e.name = s.name.load(std::memory_order_relaxed);
+        e.value = s.value.load(std::memory_order_relaxed);
+        e.ts_ns = s.ts_ns.load(std::memory_order_relaxed);
+        e.tid = s.tid.load(std::memory_order_relaxed);
+        e.kind = static_cast<TimelineEventKind>(
+            s.kind.load(std::memory_order_relaxed));
+        return e;
     }
 
   private:
-    std::vector<TimelineEvent> slots_;
+    /**
+     * One event, stored field-atomic so a reader racing the producer
+     * reads whole fields, never torn bytes.  All accesses relaxed;
+     * the head_ release/acquire pair orders slot contents against
+     * the indices a reader trusts.
+     */
+    struct Slot
+    {
+        std::atomic<const char *> name{""};
+        std::atomic<double> value{0.0};
+        std::atomic<std::uint64_t> ts_ns{0};
+        std::atomic<std::uint32_t> tid{0};
+        std::atomic<std::uint8_t> kind{0};
+    };
+
+    std::vector<Slot> slots_;
     std::atomic<std::uint64_t> head_{0}; ///< total events ever pushed
     std::uint32_t tid_;
 };
@@ -221,6 +258,16 @@ struct TimelineSnapshot
 
 /** Snapshot every ring (precise once writers quiesce). */
 TimelineSnapshot timelineSnapshot();
+
+/**
+ * Nanoseconds since the timeline epoch — the same clock every
+ * recorded event's ts_ns uses.  This is what a server echoes in its
+ * stream ack and what a client samples at ack receipt: subtracting
+ * the two gives the offset that reprojects one side's spans onto the
+ * other's timeline.  Before the first enableTimeline() the epoch is
+ * the steady-clock zero, so the value degrades to raw monotonic ns.
+ */
+std::uint64_t timelineNowNs();
 
 /** Discard all recorded events; rings and thread ids survive. */
 void resetTimeline();

@@ -13,6 +13,8 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include "obs/benchdiff.hh"
+
 namespace dlw
 {
 namespace obs
@@ -106,6 +108,13 @@ renderOne(std::ostringstream &os, const OutEvent &e, int pid)
 std::string
 renderChromeTrace(const TimelineSnapshot &snap, int pid)
 {
+    return renderChromeTrace(snap, pid, std::string());
+}
+
+std::string
+renderChromeTrace(const TimelineSnapshot &snap, int pid,
+                  const std::string &extra_events_json)
+{
     // Pair begins with ends per thread.  Per-thread event order is
     // chronological (each ring is), so a simple stack matches the
     // strictly nested spans ScopedSpan produces; anything unmatched
@@ -177,6 +186,12 @@ renderChromeTrace(const TimelineSnapshot &snap, int pid)
         os << "\n";
         renderOne(os, e, pid);
     }
+    if (!extra_events_json.empty()) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << "\n" << extra_events_json;
+    }
     os << "\n]}";
     os << '\n';
     return os.str();
@@ -186,6 +201,109 @@ std::string
 renderChromeTrace(const TimelineSnapshot &snap)
 {
     return renderChromeTrace(snap, static_cast<int>(::getpid()));
+}
+
+namespace
+{
+
+/** Re-render one parsed JSON value compactly (reprojection path). */
+void
+renderJson(std::ostringstream &os, const JsonValue &v)
+{
+    switch (v.type) {
+      case JsonValue::Type::kNull:
+        os << "null";
+        break;
+      case JsonValue::Type::kBool:
+        os << (v.boolean ? "true" : "false");
+        break;
+      case JsonValue::Type::kNumber:
+        os << num(v.number);
+        break;
+      case JsonValue::Type::kString:
+        os << '"' << jsonEscape(v.str) << '"';
+        break;
+      case JsonValue::Type::kObject: {
+        os << '{';
+        bool first = true;
+        for (const auto &m : v.members) {
+            if (!first)
+                os << ',';
+            first = false;
+            os << '"' << jsonEscape(m.first) << "\":";
+            renderJson(os, m.second);
+        }
+        os << '}';
+        break;
+      }
+      case JsonValue::Type::kArray: {
+        os << '[';
+        bool first = true;
+        for (const JsonValue &item : v.items) {
+            if (!first)
+                os << ',';
+            first = false;
+            renderJson(os, item);
+        }
+        os << ']';
+        break;
+      }
+    }
+}
+
+} // anonymous namespace
+
+StatusOr<std::string>
+reprojectChromeTraceEvents(const std::string &chrome_json,
+                           double offset_us)
+{
+    StatusOr<JsonValue> doc = parseJson(chrome_json);
+    if (!doc.ok())
+        return doc.status();
+    const JsonValue *events = doc.value().find("traceEvents");
+    if (events == nullptr ||
+        events->type != JsonValue::Type::kArray) {
+        return Status::invalidArgument(
+            "not a Chrome trace document (no traceEvents array)");
+    }
+    std::ostringstream os;
+    bool first = true;
+    for (const JsonValue &e : events->items) {
+        if (e.type != JsonValue::Type::kObject)
+            continue;
+        if (!first)
+            os << ",\n";
+        first = false;
+        const JsonValue *name = e.find("name");
+        const JsonValue *ph = e.find("ph");
+        const bool is_meta = ph != nullptr &&
+            ph->type == JsonValue::Type::kString && ph->str == "M";
+        os << '{';
+        bool fm = true;
+        for (const auto &m : e.members) {
+            if (!fm)
+                os << ',';
+            fm = false;
+            os << '"' << jsonEscape(m.first) << "\":";
+            if (m.first == "ts" &&
+                m.second.type == JsonValue::Type::kNumber) {
+                // The one field the clock offset applies to; dur is
+                // a duration and survives untouched.
+                char buf[48];
+                std::snprintf(buf, sizeof(buf), "%.3f",
+                              m.second.number + offset_us);
+                os << buf;
+            } else if (is_meta && m.first == "args" &&
+                       name != nullptr &&
+                       name->str == "process_name") {
+                os << "{\"name\":\"dlwd\"}";
+            } else {
+                renderJson(os, m.second);
+            }
+        }
+        os << '}';
+    }
+    return os.str();
 }
 
 Status

@@ -50,6 +50,29 @@ std::string renderChromeTrace(const TimelineSnapshot &snap, int pid);
 /** Render with the real process id. */
 std::string renderChromeTrace(const TimelineSnapshot &snap);
 
+/**
+ * Render a snapshot plus a pre-rendered trace_event fragment —
+ * comma-separated event objects, no enclosing brackets — appended
+ * inside the same traceEvents array.  This is how `dlwtool stream
+ * --trace-out` merges the server-side spans fetched from
+ * /v1/timeline into the client's own timeline file.
+ */
+std::string renderChromeTrace(const TimelineSnapshot &snap, int pid,
+                              const std::string &extra_events_json);
+
+/**
+ * Re-render the traceEvents of a Chrome trace document with every
+ * "ts" shifted by `offset_us` microseconds (durations are left
+ * alone), returning a comma-separated event fragment suitable for
+ * the extra_events_json parameter above.  The source document's pid
+ * and tid survive, so a merged file shows the server as a second
+ * process; its process_name metadata is relabelled "dlwd" to keep
+ * the two sides distinguishable.  Fails when `chrome_json` does not
+ * parse or lacks a traceEvents array.
+ */
+StatusOr<std::string> reprojectChromeTraceEvents(
+    const std::string &chrome_json, double offset_us);
+
 /** Render a snapshot to `path`; IO errors surface as Status. */
 Status writeChromeTrace(const std::string &path,
                         const TimelineSnapshot &snap);

@@ -340,5 +340,22 @@ Ratekeeper::pressureMilli() const
     return smooth_pressure_milli_;
 }
 
+std::vector<Ratekeeper::TagStat>
+Ratekeeper::tagStats() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    std::vector<TagStat> out;
+    out.reserve(tags_.size());
+    for (const auto &kv : tags_) {
+        TagStat st;
+        st.tenant = static_cast<std::uint32_t>(kv.first >> 8);
+        st.klass = kv.second.klass;
+        st.rate_per_sec = kv.second.bucket.ratePerSec();
+        st.balance_micro = kv.second.bucket.balanceMicro();
+        out.push_back(st);
+    }
+    return out;
+}
+
 } // namespace qos
 } // namespace dlw

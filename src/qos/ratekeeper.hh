@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "qos/tag.hh"
 
@@ -172,6 +173,18 @@ class Ratekeeper
 
     /** Smoothed pressure, milli (1000 == at target). */
     std::int64_t pressureMilli() const;
+
+    /** One active tag's throttle state, for /v1/stats. */
+    struct TagStat
+    {
+        std::uint32_t tenant = 0; ///< interned index (tenantName())
+        WorkClass klass = WorkClass::kInteractive;
+        std::uint64_t rate_per_sec = 0; ///< bucket refill rate
+        std::int64_t balance_micro = 0; ///< micro-records of credit
+    };
+
+    /** Snapshot every active tag (introspection; locks briefly). */
+    std::vector<TagStat> tagStats() const;
 
     const RatekeeperConfig &config() const { return config_; }
 

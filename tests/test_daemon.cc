@@ -13,12 +13,14 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -32,7 +34,9 @@
 #include "net/http.hh"
 #include "net/timer.hh"
 #include "net/wire.hh"
+#include "obs/benchdiff.hh"
 #include "obs/metrics.hh"
+#include "obs/timeline.hh"
 #include "qos/tag.hh"
 #include "trace/stream.hh"
 
@@ -241,8 +245,10 @@ TEST(StreamHello, WorkloadClassField)
     EXPECT_EQ(h.klass, qos::WorkClass::kInteractive);
 
     EXPECT_FALSE(net::parseStreamHello("DLWS1 csv t batch", h).ok());
+    // A 5th field is no longer an error — it is the trace id (see
+    // TraceIdField below); a 6th still is.
     EXPECT_FALSE(
-        net::parseStreamHello("DLWS1 csv t bulk extra", h).ok());
+        net::parseStreamHello("DLWS1 csv t bulk x extra", h).ok());
 }
 
 TEST(StreamHello, RenderOmitsDefaultClassForWireCompat)
@@ -267,6 +273,59 @@ TEST(StreamHello, RenderOmitsDefaultClassForWireCompat)
                     "DLWS1 bin t bulk", h).ok());
     EXPECT_EQ(net::renderStreamHello(h.format, h.tenant, h.klass),
               "DLWS1 bin t bulk\n");
+}
+
+TEST(StreamHello, TraceIdField)
+{
+    net::StreamHello h;
+    // No trace field: empty id (the pre-tracing wire).
+    ASSERT_TRUE(net::parseStreamHello("DLWS1 csv t bulk", h).ok());
+    EXPECT_TRUE(h.trace_id.empty());
+
+    ASSERT_TRUE(
+        net::parseStreamHello("DLWS1 csv t bulk req-9.a_b", h).ok());
+    EXPECT_EQ(h.tenant, "t");
+    EXPECT_EQ(h.klass, qos::WorkClass::kBulk);
+    EXPECT_EQ(h.trace_id, "req-9.a_b");
+
+    // A traced hello forces the tenant and class slots, so the
+    // renderer fills defaults positionally.
+    EXPECT_EQ(net::renderStreamHello(net::StreamFormat::kCsv, "t",
+                                     qos::WorkClass::kBulk, "req-9"),
+              "DLWS1 csv t bulk req-9\n");
+    EXPECT_EQ(net::renderStreamHello(net::StreamFormat::kCsv, "",
+                                     qos::WorkClass::kInteractive,
+                                     "req-9"),
+              "DLWS1 csv anon interactive req-9\n");
+    // No trace id: bytes identical to the pre-tracing hello.
+    EXPECT_EQ(net::renderStreamHello(net::StreamFormat::kCsv, "t",
+                                     qos::WorkClass::kBulk, ""),
+              "DLWS1 csv t bulk\n");
+
+    // Render/parse round trip through all five fields.
+    ASSERT_TRUE(net::parseStreamHello("DLWS1 bin t background x.1",
+                                      h).ok());
+    EXPECT_EQ(net::renderStreamHello(h.format, h.tenant, h.klass,
+                                     h.trace_id),
+              "DLWS1 bin t background x.1\n");
+
+    // Bad ids: charset and length are both enforced.
+    EXPECT_FALSE(
+        net::parseStreamHello("DLWS1 csv t bulk bad*id", h).ok());
+    EXPECT_FALSE(net::parseStreamHello(
+                     "DLWS1 csv t bulk " + std::string(65, 'x'), h)
+                     .ok());
+    EXPECT_FALSE(net::parseStreamHello(
+                     "DLWS1 csv t bulk id extra", h).ok());
+}
+
+TEST(StreamHello, AckCarriesServerTimestamp)
+{
+    // The plain ack is unchanged; the timestamped overload appends
+    // the server clock so clients can align the two timelines.
+    EXPECT_EQ(net::renderStreamAck("s-1"), "DLWS1 ok s-1\n");
+    EXPECT_EQ(net::renderStreamAck("s-1", 12345),
+              "DLWS1 ok s-1 12345\n");
 }
 
 // ---------------------------------------------------------------------------
@@ -863,6 +922,39 @@ TEST(Session, MidStreamJsonReport)
     EXPECT_EQ(s.finalReportText(), ref.finalReportText());
 }
 
+TEST(Session, ReportCarriesTimingAndStages)
+{
+    daemon::Session s("t-4", "t", net::StreamFormat::kCsv,
+                      qos::WorkClass::kInteractive, "req-42");
+    EXPECT_EQ(s.traceId(), "req-42");
+    net::ByteQueue q;
+    q.append(csvTrace(200));
+    ASSERT_TRUE(s.consume(q).ok());
+    ASSERT_TRUE(s.finishInput(q).ok());
+    s.finalReportText();
+
+    const std::string json = s.reportJson();
+    EXPECT_NE(json.find("\"trace\":\"req-42\""), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"started_at_ms\":"), std::string::npos);
+    EXPECT_NE(json.find("\"duration_ms\":"), std::string::npos);
+    EXPECT_NE(json.find("\"records_per_s\":"), std::string::npos);
+    // decode/fold were noted by consume(), merge by the final render;
+    // read/admit belong to the server loop and stay absent here.
+    EXPECT_NE(json.find("\"stages\":{"), std::string::npos);
+    EXPECT_NE(json.find("\"decode\":{\"count\":"), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"merge\":{\"count\":"), std::string::npos)
+        << json;
+    EXPECT_EQ(json.find("\"read\":{"), std::string::npos) << json;
+
+    // An untraced session's report has no trace key at all.
+    daemon::Session u("t-5", "t", net::StreamFormat::kCsv);
+    EXPECT_EQ(u.traceId(), "");
+    EXPECT_EQ(u.tlSpan(), nullptr);
+    EXPECT_EQ(u.reportJson().find("\"trace\":"), std::string::npos);
+}
+
 // ---------------------------------------------------------------------------
 // Live server integration
 
@@ -993,13 +1085,28 @@ httpGet(std::uint16_t port, const std::string &target)
     return c.recvAll();
 }
 
+/** Session id from a "DLWS1 ok <id> <ts>" ack (first token only). */
+std::string
+ackSessionId(const std::string &ack)
+{
+    std::string id = ack.substr(std::strlen("DLWS1 ok "));
+    const std::size_t sp = id.find(' ');
+    if (sp != std::string::npos)
+        id.resize(sp);
+    return id;
+}
+
 TEST(ServerIntegration, HealthzAndMetrics)
 {
     obs::ScopedEnable metrics;
     ServerFixture f(daemon::ServerConfig{});
     const std::string health = httpGet(f.port(), "/healthz");
     EXPECT_NE(health.find("200 OK"), std::string::npos);
-    EXPECT_NE(health.find("ok\n"), std::string::npos);
+    EXPECT_NE(health.find("\"status\":\"ok\""), std::string::npos);
+    EXPECT_NE(health.find("\"version\":\"dlwd/1.0\""),
+              std::string::npos);
+    EXPECT_NE(health.find("\"uptime_s\":"), std::string::npos);
+    EXPECT_NE(health.find("\"active_sessions\":0"), std::string::npos);
     const std::string prom = httpGet(f.port(), "/metrics");
     EXPECT_NE(prom.find("dlw_net_accepted_total"), std::string::npos);
     EXPECT_NE(prom.find("dlw_daemon_sessions_opened_total"),
@@ -1097,6 +1204,172 @@ TEST(ServerIntegration, SessionListReportsDefaultTagWithQosOff)
         << list;
 }
 
+TEST(ServerIntegration, TracedSessionAckClockAndReport)
+{
+    obs::ScopedEnable metrics;
+    ServerFixture f(daemon::ServerConfig{});
+    TestClient c(f.port());
+    ASSERT_TRUE(c.connected());
+    c.send(net::renderStreamHello(net::StreamFormat::kCsv, "acme",
+                                  qos::WorkClass::kInteractive,
+                                  "req-ack"));
+    const std::string ack = c.recvLine();
+    ASSERT_NE(ack.find("DLWS1 ok "), std::string::npos) << ack;
+    // "DLWS1 ok <id> <ts>": the ack's 4th field is the server's
+    // monotonic clock, a bare non-negative integer.
+    const std::string session_id = ackSessionId(ack);
+    const std::size_t last_sp = ack.rfind(' ');
+    const std::string ts = ack.substr(last_sp + 1);
+    ASSERT_NE(ts, session_id) << ack; // the 4th field exists
+    ASSERT_FALSE(ts.empty());
+    for (const char ch : ts)
+        EXPECT_TRUE(ch >= '0' && ch <= '9') << ack;
+
+    c.send(csvTrace(30));
+    c.halfClose();
+    c.recvAll();
+
+    // The session report carries the trace id and the server-side
+    // stage latencies (read/decode noted by the loop thread).
+    const std::string json = httpGet(
+        f.port(), "/v1/sessions/" + session_id + "/report");
+    EXPECT_NE(json.find("\"trace\":\"req-ack\""), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"read\":{\"count\":"), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"decode\":{\"count\":"), std::string::npos)
+        << json;
+}
+
+TEST(ServerIntegration, StatsEndpoint)
+{
+    obs::ScopedEnable metrics;
+    daemon::ServerConfig cfg;
+    cfg.qos = true;
+    ServerFixture f(cfg);
+    TestClient c(f.port());
+    ASSERT_TRUE(c.connected());
+    c.send(net::renderStreamHello(net::StreamFormat::kCsv, "acme",
+                                  qos::WorkClass::kBulk));
+    c.recvLine();
+    c.send(csvTrace(50));
+    c.halfClose();
+    c.recvAll();
+
+    const std::string resp = httpGet(f.port(), "/v1/stats");
+    EXPECT_NE(resp.find("200 OK"), std::string::npos);
+    const std::size_t split = resp.find("\r\n\r\n");
+    ASSERT_NE(split, std::string::npos);
+    const auto doc = obs::parseJson(resp.substr(split + 4));
+    ASSERT_TRUE(doc.ok()) << doc.status().toString();
+    const obs::JsonValue &v = doc.value();
+    EXPECT_NE(v.find("uptime_s"), nullptr);
+    EXPECT_NE(v.find("fold_p95_us"), nullptr);
+    ASSERT_NE(v.find("pool"), nullptr);
+    EXPECT_NE(v.find("pool")->find("queue_depth"), nullptr);
+    const obs::JsonValue *stages = v.find("stages");
+    ASSERT_NE(stages, nullptr);
+    ASSERT_NE(stages->find("decode"), nullptr);
+    EXPECT_GE(stages->find("decode")->find("count")->number, 1.0);
+    const obs::JsonValue *tenants = v.find("tenants");
+    ASSERT_NE(tenants, nullptr);
+    ASSERT_EQ(tenants->items.size(), 1u);
+    EXPECT_EQ(tenants->items[0].find("tenant")->str, "acme");
+    EXPECT_EQ(tenants->items[0].find("class")->str, "bulk");
+    const obs::JsonValue *qosv = v.find("qos");
+    ASSERT_NE(qosv, nullptr);
+    EXPECT_TRUE(qosv->find("enabled")->boolean);
+    ASSERT_NE(qosv->find("limits"), nullptr);
+    EXPECT_NE(qosv->find("limits")->find("bulk"), nullptr);
+    const obs::JsonValue *tags = qosv->find("tags");
+    ASSERT_NE(tags, nullptr);
+    ASSERT_EQ(tags->items.size(), 1u);
+    EXPECT_EQ(tags->items[0].find("tenant")->str, "acme");
+    EXPECT_EQ(tags->items[0].find("class")->str, "bulk");
+}
+
+TEST(ServerIntegration, SessionListCarriesTimingFields)
+{
+    obs::ScopedEnable metrics;
+    ServerFixture f(daemon::ServerConfig{});
+    TestClient c(f.port());
+    ASSERT_TRUE(c.connected());
+    c.send(net::renderStreamHello(net::StreamFormat::kCsv, "acme",
+                                  qos::WorkClass::kInteractive,
+                                  "req-list-1"));
+    c.recvLine();
+    c.send(csvTrace(40));
+    c.halfClose();
+    c.recvAll();
+    const std::string list = httpGet(f.port(), "/v1/sessions");
+    EXPECT_NE(list.find("\"trace\":\"req-list-1\""),
+              std::string::npos)
+        << list;
+    EXPECT_NE(list.find("\"started_at_ms\":"), std::string::npos);
+    EXPECT_NE(list.find("\"duration_ms\":"), std::string::npos);
+    EXPECT_NE(list.find("\"records_per_s\":"), std::string::npos);
+}
+
+TEST(ServerIntegration, TimelineEndpointLiveUnderLoad)
+{
+    obs::ScopedEnable metrics;
+    obs::resetTimeline();
+    obs::enableTimeline(std::size_t(1) << 12);
+    {
+        ServerFixture f(daemon::ServerConfig{});
+        // Poll /v1/timeline while several sessions stream: the
+        // endpoint snapshots the live ring, no quiesce, and every
+        // response must still be complete, well-formed JSON.
+        std::atomic<bool> done{false};
+        std::thread poller([&] {
+            while (!done.load()) {
+                const std::string resp =
+                    httpGet(f.port(), "/v1/timeline");
+                EXPECT_NE(resp.find("200 OK"), std::string::npos);
+                const std::size_t split = resp.find("\r\n\r\n");
+                ASSERT_NE(split, std::string::npos);
+                const auto doc =
+                    obs::parseJson(resp.substr(split + 4));
+                ASSERT_TRUE(doc.ok()) << doc.status().toString();
+                ASSERT_NE(doc.value().find("traceEvents"), nullptr);
+            }
+        });
+        const std::string payload = csvTrace(400);
+        std::vector<std::thread> clients;
+        for (int i = 0; i < 4; ++i) {
+            clients.emplace_back([&f, &payload, i] {
+                TestClient c(f.port());
+                ASSERT_TRUE(c.connected());
+                c.send(net::renderStreamHello(
+                    net::StreamFormat::kCsv, "load",
+                    qos::WorkClass::kInteractive,
+                    "req-load-" + std::to_string(i)));
+                c.recvLine();
+                c.send(payload);
+                c.halfClose();
+                c.recvAll();
+            });
+        }
+        for (std::thread &t : clients)
+            t.join();
+        done.store(true);
+        poller.join();
+
+        // After the storm the live timeline serves the per-trace
+        // server spans for every session.
+        const std::string resp = httpGet(f.port(), "/v1/timeline");
+        for (int i = 0; i < 4; ++i) {
+            EXPECT_NE(resp.find("trace/req-load-" +
+                                std::to_string(i) +
+                                "/server.session"),
+                      std::string::npos)
+                << "session " << i;
+        }
+        EXPECT_NE(resp.find("server.decode"), std::string::npos);
+    }
+    obs::disableTimeline();
+}
+
 TEST(ServerIntegration, BinSessionAndLiveReport)
 {
     obs::ScopedEnable metrics;
@@ -1105,7 +1378,7 @@ TEST(ServerIntegration, BinSessionAndLiveReport)
     ASSERT_TRUE(c.connected());
     c.send(net::renderStreamHello(net::StreamFormat::kBin, "bintest"));
     const std::string ack = c.recvLine();
-    const std::string session_id = ack.substr(std::strlen("DLWS1 ok "));
+    const std::string session_id = ackSessionId(ack);
 
     // First half of the frames, then query the live report.
     const std::string raw = binTrace(500);
@@ -1286,6 +1559,33 @@ TEST(SessionCheckpoint, DoneSessionServesSameReportAfterRestore)
     EXPECT_NE(json.find("\"records\":80"), std::string::npos) << json;
 }
 
+TEST(SessionCheckpoint, TraceAndLatencySurviveRestore)
+{
+    daemon::Session s("acme-7", "acme", net::StreamFormat::kCsv,
+                      qos::WorkClass::kBulk, "req-7");
+    net::ByteQueue q;
+    q.append(csvTrace(60));
+    ASSERT_TRUE(s.consume(q).ok());
+    ASSERT_TRUE(s.finishInput(q).ok());
+    s.finalReportText();
+
+    const std::string blob = sessionBlob(s);
+    BinDec dec(blob);
+    std::shared_ptr<daemon::Session> r = daemon::Session::restore(dec);
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->traceId(), "req-7");
+    EXPECT_NE(r->tlSpan(), nullptr);
+    const std::string json = r->reportJson();
+    EXPECT_NE(json.find("\"trace\":\"req-7\""), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"decode\":{\"count\":"), std::string::npos)
+        << json;
+    // The duration froze at finish time; a restored done session
+    // must not keep aging.
+    EXPECT_EQ(r->durationMs(), s.durationMs());
+    EXPECT_EQ(r->startedAtMs(), s.startedAtMs());
+}
+
 TEST(SessionCheckpoint, TruncatedSessionBlobRejected)
 {
     daemon::Session s("t-9", "t", net::StreamFormat::kCsv);
@@ -1390,7 +1690,7 @@ TEST(SessionCheckpoint, PreTagVersionRejectedNotDefaultTagged)
     ASSERT_FALSE(old.ok());
     EXPECT_EQ(old.status().code(), StatusCode::kFailedPrecondition);
     EXPECT_NE(old.status().message().find(
-                  "predates the tenant/class tag"),
+                  "predates the trace/latency session tail"),
               std::string::npos)
         << old.status().toString();
 
@@ -1556,7 +1856,7 @@ TEST(ServerIntegration, StateDirSurvivesRestart)
                                       "boot"));
         const std::string ack = c.recvLine();
         ASSERT_NE(ack.find("DLWS1 ok "), std::string::npos) << ack;
-        session_id = ack.substr(std::strlen("DLWS1 ok "));
+        session_id = ackSessionId(ack);
         c.send(payload);
         c.halfClose();
         const std::string head = c.recvLine();
@@ -1585,7 +1885,7 @@ TEST(ServerIntegration, StateDirSurvivesRestart)
                                       "boot"));
         const std::string ack = c.recvLine();
         ASSERT_NE(ack.find("DLWS1 ok "), std::string::npos) << ack;
-        EXPECT_NE(ack.substr(std::strlen("DLWS1 ok ")), session_id);
+        EXPECT_NE(ackSessionId(ack), session_id);
     }
 }
 

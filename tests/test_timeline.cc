@@ -8,11 +8,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdlib>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <fcntl.h>
@@ -124,6 +126,48 @@ TEST(Timeline, SnapshotReportsWraparoundDrops)
         emitInstant("test.wrap");
     const TimelineSnapshot snap = timelineSnapshot();
     EXPECT_GE(snap.events.size(), 1u);
+}
+
+TEST(Timeline, ConcurrentSnapshotDuringWraparound)
+{
+    // One producer hammers a small ring through many wraparounds
+    // while the main thread snapshots concurrently — the lock-free
+    // reader path /v1/timeline exercises on a live daemon.  Every
+    // snapshot must be bounded by capacity and internally sane; the
+    // final snapshot (after the producer joins) must hold exactly
+    // the newest `capacity` events.
+    TimelineRing ring(64, 7);
+    constexpr std::uint64_t kPushes = 200000;
+    std::atomic<bool> go{false};
+    std::thread producer([&] {
+        while (!go.load())
+            ;
+        for (std::uint64_t i = 0; i < kPushes; ++i)
+            ring.push("stress", TimelineEventKind::kInstant,
+                      static_cast<double>(i), i + 1);
+    });
+    go.store(true);
+    std::vector<TimelineEvent> out;
+    for (int i = 0; i < 500; ++i) {
+        out.clear();
+        ring.snapshotInto(out);
+        EXPECT_LE(out.size(), 64u);
+        for (const TimelineEvent &e : out) {
+            EXPECT_STREQ(e.name, "stress");
+            EXPECT_EQ(e.tid, 7u);
+            EXPECT_GE(e.ts_ns, 1u);
+            EXPECT_LE(e.ts_ns, kPushes);
+        }
+    }
+    producer.join();
+
+    EXPECT_EQ(ring.pushed(), kPushes);
+    EXPECT_EQ(ring.dropped(), kPushes - 64);
+    out.clear();
+    ring.snapshotInto(out);
+    ASSERT_EQ(out.size(), 64u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i].ts_ns, kPushes - 64 + i + 1);
 }
 
 TEST(Timeline, ResetDiscardsEvents)

@@ -51,6 +51,7 @@
 #include <algorithm>
 #include <chrono>
 #include <csignal>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -440,9 +441,12 @@ int
 cmdServe(const dlw::Options &opts)
 {
     // The daemon always observes itself: /metrics must be live even
-    // when nobody passed --metrics.
+    // when nobody passed --metrics, and /v1/timeline must have a
+    // flight recorder to serve, so both run for the daemon's whole
+    // life.  The counter sampler gives the timeline its gauge tracks.
     registerAllMetrics();
     obs::enable();
+    obs::enableTimeline();
 
     daemon::ServerConfig cfg;
     cfg.port = static_cast<std::uint16_t>(opts.getInt("port", 7433));
@@ -506,7 +510,10 @@ cmdServe(const dlw::Options &opts)
     std::cerr << "dlwd: listening on 127.0.0.1:" << server.port()
               << " (max " << cfg.max_connections
               << " connections)\n";
+    obs::CounterSampler sampler;
+    sampler.start();
     s = server.run();
+    sampler.stop();
     g_serve_server = nullptr;
     if (!s.ok())
         throw StatusError(s);
@@ -623,8 +630,64 @@ connectStream(const std::string &host, int port,
     return fd;
 }
 
+/**
+ * Minimal HTTP GET against the daemon's results plane.  Returns the
+ * response body on a 200, a Status otherwise.  Shares connectStream
+ * so the deadline semantics match the stream client, and asks for
+ * Connection: close so "read to EOF" delimits the body.
+ */
+StatusOr<std::string>
+httpGetBody(const std::string &host, int port,
+            const std::string &path, std::uint64_t timeout_ms)
+{
+    std::string why;
+    const int fd = connectStream(host, port, timeout_ms, why);
+    if (fd < 0)
+        return Status::ioError(why);
+    std::string resp;
+    try {
+        const std::string req = "GET " + path + " HTTP/1.1\r\nHost: " +
+                                host + "\r\nConnection: close\r\n\r\n";
+        sendAll(fd, req.data(), req.size());
+        char buf[4096];
+        for (;;) {
+            const ssize_t r = ::read(fd, buf, sizeof(buf));
+            if (r < 0 && errno == EINTR)
+                continue;
+            if (r < 0) {
+                ::close(fd);
+                return Status::ioError(std::string("read: ") +
+                                       std::strerror(errno));
+            }
+            if (r == 0)
+                break;
+            resp.append(buf, static_cast<std::size_t>(r));
+        }
+    } catch (const StatusError &e) {
+        ::close(fd);
+        return e.status();
+    }
+    ::close(fd);
+    const std::size_t eol = resp.find("\r\n");
+    const std::size_t split = resp.find("\r\n\r\n");
+    if (eol == std::string::npos || split == std::string::npos)
+        return Status::corruptData("malformed HTTP response to GET " +
+                                   path);
+    const std::string status_line = resp.substr(0, eol);
+    if (status_line.find(" 200 ") == std::string::npos)
+        return Status::ioError("GET " + path + ": " + status_line);
+    return resp.substr(split + 4);
+}
+
 /** stream exits with this when the server dies mid-session. */
 constexpr int kStreamServerClosedExit = 3;
+
+/**
+ * Server-side trace_event fragment fetched from /v1/timeline, already
+ * re-projected onto the client clock.  TimelineEmitter merges it into
+ * the --trace-out file so one file shows both processes.
+ */
+std::string g_server_trace_fragment;
 
 /** One stream attempt's verdict. */
 struct StreamAttempt
@@ -632,21 +695,47 @@ struct StreamAttempt
     int rc = 1;             ///< exit code if this attempt is final
     bool retryable = false; ///< connection-level / overload failure
     std::string note;       ///< what went wrong (retryable case)
+
+    /** Server clock (its timelineNowNs) stamped on the ack; 0 when
+     *  the ack carried no timestamp. */
+    std::uint64_t server_ack_ns = 0;
+    /** Client clock when the ack landed — the other half of the
+     *  clock-offset estimate. */
+    std::uint64_t client_ack_ns = 0;
 };
 
 /** One connect-hello-payload-report round trip against dlwd. */
 StreamAttempt
 streamOnce(const std::string &in, bool bin, const std::string &host,
            int port, const std::string &tenant, qos::WorkClass klass,
-           std::uint64_t connect_timeout_ms)
+           std::uint64_t connect_timeout_ms,
+           const std::string &trace_id)
 {
     StreamAttempt out;
+
+    // Client-side spans for the end-to-end trace: named under the
+    // session's trace id so a merged file groups both processes'
+    // slices.  All no-ops while the timeline is disarmed.
+    const bool traced = !trace_id.empty();
+    const char *tl_connect = nullptr;
+    const char *tl_stream = nullptr;
+    const char *tl_report = nullptr;
+    if (traced) {
+        tl_connect = obs::internTimelineName("trace/" + trace_id +
+                                             "/client.connect");
+        tl_stream = obs::internTimelineName("trace/" + trace_id +
+                                            "/client.stream");
+        tl_report = obs::internTimelineName("trace/" + trace_id +
+                                            "/client.report");
+    }
 
     std::ifstream is(in, std::ios::binary);
     if (!is)
         throw StatusError(
             Status::ioError("cannot open trace '" + in + "'"));
 
+    if (traced)
+        obs::emitBegin(tl_connect);
     const int fd =
         connectStream(host, port, connect_timeout_ms, out.note);
     if (fd < 0) {
@@ -657,10 +746,13 @@ streamOnce(const std::string &in, bool bin, const std::string &host,
     try {
         const std::string hello = net::renderStreamHello(
             bin ? net::StreamFormat::kBin : net::StreamFormat::kCsv,
-            tenant, klass);
+            tenant, klass, trace_id);
         sendAll(fd, hello.data(), hello.size());
 
         const std::string ack = recvLine(fd);
+        out.client_ack_ns = obs::timelineNowNs();
+        if (traced)
+            obs::emitEnd(tl_connect);
         const auto ack_fields = split(ack, ' ');
         if (ack_fields.size() >= 2 &&
             ack_fields[0] == net::kReportMagic &&
@@ -688,14 +780,22 @@ streamOnce(const std::string &in, bool bin, const std::string &host,
             ::close(fd);
             return out;
         }
-        if (ack_fields.size() != 3 ||
+        if ((ack_fields.size() != 3 && ack_fields.size() != 4) ||
             ack_fields[0] != net::kHelloMagic ||
             ack_fields[1] != "ok") {
             throw StatusError(
                 Status::corruptData("bad hello ack '" + ack + "'"));
         }
+        // The optional 4th field is the server's monotonic clock at
+        // the ack: paired with client_ack_ns it is the clock-offset
+        // estimate that aligns the two processes' timelines.
+        if (ack_fields.size() == 4)
+            out.server_ack_ns =
+                parseUint(ack_fields[3], "ack timestamp");
         std::cerr << "stream: session " << ack_fields[2] << '\n';
 
+        if (traced)
+            obs::emitBegin(tl_stream);
         std::vector<char> buf(64 * 1024);
         std::string framed;
         while (is) {
@@ -718,6 +818,10 @@ streamOnce(const std::string &in, bool bin, const std::string &host,
             sendAll(fd, framed.data(), framed.size());
         }
         ::shutdown(fd, SHUT_WR);
+        if (traced) {
+            obs::emitEnd(tl_stream);
+            obs::emitBegin(tl_report);
+        }
 
         const std::string resp = recvLine(fd);
         const auto fields = split(resp, ' ');
@@ -751,6 +855,8 @@ streamOnce(const std::string &in, bool bin, const std::string &host,
             throw StatusError(
                 Status::corruptData("bad response '" + resp + "'"));
         }
+        if (traced)
+            obs::emitEnd(tl_report);
     } catch (const StatusError &e) {
         ::close(fd);
         if (e.status().code() == StatusCode::kTruncated) {
@@ -768,6 +874,43 @@ streamOnce(const std::string &in, bool bin, const std::string &host,
     }
     ::close(fd);
     return out;
+}
+
+/**
+ * Fetch the daemon's live timeline and re-project it onto the client
+ * clock, stashing the fragment TimelineEmitter merges into the
+ * --trace-out file.  Best-effort by design: a failure here degrades
+ * to a client-only trace (with a stderr note), never a failed
+ * stream.
+ */
+void
+mergeServerTimeline(const std::string &host, int port,
+                    const StreamAttempt &out)
+{
+    if (out.server_ack_ns == 0)
+        return; // server predates the timestamped ack
+    StatusOr<std::string> body =
+        httpGetBody(host, port, "/v1/timeline", 5000);
+    if (!body.ok()) {
+        std::cerr << "stream: /v1/timeline: "
+                  << body.status().toString() << '\n';
+        return;
+    }
+    const double offset_us =
+        (static_cast<double>(out.client_ack_ns) -
+         static_cast<double>(out.server_ack_ns)) /
+        1000.0;
+    StatusOr<std::string> frag = obs::reprojectChromeTraceEvents(
+        body.value(), offset_us);
+    if (!frag.ok()) {
+        std::cerr << "stream: server timeline: "
+                  << frag.status().toString() << '\n';
+        return;
+    }
+    g_server_trace_fragment = frag.value();
+    std::cerr << "stream: merged server timeline ("
+              << frag.value().size() << " bytes, clock offset "
+              << static_cast<std::int64_t>(offset_us) << "us)\n";
 }
 
 /**
@@ -804,13 +947,35 @@ cmdStream(const dlw::Options &opts)
     const auto seed =
         static_cast<std::uint64_t>(opts.getInt("retry-seed", 0));
 
+    // A trace id rides the hello whenever the caller names one, or
+    // whenever --trace-out is armed (a trace file without the server
+    // half would be half a feature).  Self-assigned ids — wall clock
+    // plus pid, hex — are unique enough across a storm of clients.
+    std::string trace_id = opts.get("trace-id", "");
+    if (trace_id.empty() && opts.has("trace-out")) {
+        const auto stamp = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::system_clock::now().time_since_epoch())
+                .count());
+        char idbuf[48];
+        std::snprintf(idbuf, sizeof(idbuf), "c%llx.%x",
+                      static_cast<unsigned long long>(stamp),
+                      static_cast<unsigned>(::getpid()));
+        trace_id = idbuf;
+    }
+
     std::signal(SIGPIPE, SIG_IGN);
 
     for (std::size_t attempt = 0;; ++attempt) {
-        StreamAttempt out = streamOnce(in, bin, host, port, tenant,
-                                       klass, connect_timeout_ms);
-        if (!out.retryable)
+        StreamAttempt out =
+            streamOnce(in, bin, host, port, tenant, klass,
+                       connect_timeout_ms, trace_id);
+        if (!out.retryable) {
+            if (out.rc == 0 && !trace_id.empty() &&
+                opts.has("trace-out"))
+                mergeServerTimeline(host, port, out);
             return out.rc;
+        }
         if (attempt >= retries) {
             std::cerr << "stream: " << out.note
                       << " (retries exhausted)\n";
@@ -823,6 +988,166 @@ cmdStream(const dlw::Options &opts)
                   << static_cast<std::uint64_t>(back_ms) << "ms\n";
         std::this_thread::sleep_for(std::chrono::microseconds(
             static_cast<std::uint64_t>(back_ms * 1000.0)));
+    }
+}
+
+/** Number lookup with a default, over the /v1/stats JSON tree. */
+double
+jsonNum(const obs::JsonValue *obj, const std::string &key,
+        double def = 0.0)
+{
+    if (obj == nullptr)
+        return def;
+    const obs::JsonValue *v = obj->find(key);
+    if (v == nullptr || v->type != obs::JsonValue::Type::kNumber)
+        return def;
+    return v->number;
+}
+
+/** String lookup with a default, over the /v1/stats JSON tree. */
+std::string
+jsonStr(const obs::JsonValue *obj, const std::string &key,
+        const std::string &def = std::string())
+{
+    if (obj == nullptr)
+        return def;
+    const obs::JsonValue *v = obj->find(key);
+    if (v == nullptr || v->type != obs::JsonValue::Type::kString)
+        return def;
+    return v->str;
+}
+
+/** Render one `dlwtool top` frame from a parsed /v1/stats document. */
+void
+printTopFrame(std::ostream &os, const obs::JsonValue &doc,
+              const std::string &where)
+{
+    char line[256];
+    os << "dlwd " << where << " — up "
+       << static_cast<std::uint64_t>(jsonNum(&doc, "uptime_s"))
+       << "s, " << static_cast<std::uint64_t>(
+                       jsonNum(&doc, "connections"))
+       << " conn(s), " << static_cast<std::uint64_t>(
+                              jsonNum(&doc, "active_sessions"))
+       << " active session(s)"
+       << (doc.find("draining") != nullptr &&
+                   doc.find("draining")->boolean
+               ? ", DRAINING"
+               : "")
+       << '\n';
+    const obs::JsonValue *pool = doc.find("pool");
+    std::snprintf(line, sizeof(line),
+                  "pool: %llu queued on %llu thread(s)    "
+                  "fold p95 %.1fus\n",
+                  static_cast<unsigned long long>(
+                      jsonNum(pool, "queue_depth")),
+                  static_cast<unsigned long long>(
+                      jsonNum(pool, "threads")),
+                  jsonNum(&doc, "fold_p95_us"));
+    os << line;
+
+    const obs::JsonValue *stages = doc.find("stages");
+    if (stages != nullptr) {
+        os << "stage        count      p50us      p95us      p99us\n";
+        for (const auto &kv : stages->members) {
+            std::snprintf(
+                line, sizeof(line), "%-10s %8llu %10.1f %10.1f %10.1f\n",
+                kv.first.c_str(),
+                static_cast<unsigned long long>(
+                    jsonNum(&kv.second, "count")),
+                jsonNum(&kv.second, "p50_us"),
+                jsonNum(&kv.second, "p95_us"),
+                jsonNum(&kv.second, "p99_us"));
+            os << line;
+        }
+    }
+
+    const obs::JsonValue *tenants = doc.find("tenants");
+    if (tenants != nullptr && !tenants->items.empty()) {
+        os << "tenant/class            sessions      records\n";
+        for (const obs::JsonValue &t : tenants->items) {
+            const std::string tag =
+                jsonStr(&t, "tenant") + "/" + jsonStr(&t, "class");
+            std::snprintf(line, sizeof(line), "%-22s %9llu %12llu\n",
+                          tag.c_str(),
+                          static_cast<unsigned long long>(
+                              jsonNum(&t, "sessions")),
+                          static_cast<unsigned long long>(
+                              jsonNum(&t, "records")));
+            os << line;
+        }
+    }
+
+    const obs::JsonValue *qos = doc.find("qos");
+    if (qos != nullptr && qos->find("enabled") != nullptr &&
+        qos->find("enabled")->boolean) {
+        const obs::JsonValue *limits = qos->find("limits");
+        std::snprintf(line, sizeof(line),
+                      "qos: pressure %lldm    limits i/b/bg "
+                      "%llu/%llu/%llu rec/s\n",
+                      static_cast<long long>(
+                          jsonNum(qos, "pressure_milli")),
+                      static_cast<unsigned long long>(
+                          jsonNum(limits, "interactive")),
+                      static_cast<unsigned long long>(
+                          jsonNum(limits, "bulk")),
+                      static_cast<unsigned long long>(
+                          jsonNum(limits, "background")));
+        os << line;
+        const obs::JsonValue *tags = qos->find("tags");
+        if (tags != nullptr && !tags->items.empty()) {
+            os << "tag                       rate/s   balance(micro)\n";
+            for (const obs::JsonValue &t : tags->items) {
+                const std::string tag =
+                    jsonStr(&t, "tenant") + "/" + jsonStr(&t, "class");
+                std::snprintf(
+                    line, sizeof(line), "%-22s %9llu %16lld\n",
+                    tag.c_str(),
+                    static_cast<unsigned long long>(
+                        jsonNum(&t, "rate_per_s")),
+                    static_cast<long long>(
+                        jsonNum(&t, "balance_micro")));
+                os << line;
+            }
+        }
+    } else {
+        os << "qos: off\n";
+    }
+}
+
+/**
+ * top: a one-screen live view of a running daemon, polled from
+ * GET /v1/stats.  --iterations bounds the refresh loop: 1 prints a
+ * single frame and exits without clearing the screen (the script/CI
+ * mode), 0 redraws every --interval-ms until interrupted.
+ */
+int
+cmdTop(const dlw::Options &opts)
+{
+    const std::string host = opts.get("host", "127.0.0.1");
+    const int port = static_cast<int>(opts.getInt("port", 7433));
+    const auto interval_ms = static_cast<std::uint64_t>(
+        opts.getInt("interval-ms", 1000));
+    const auto iterations =
+        static_cast<std::uint64_t>(opts.getInt("iterations", 0));
+    const std::string where = host + ":" + std::to_string(port);
+
+    for (std::uint64_t frame = 0;; ++frame) {
+        StatusOr<std::string> body =
+            httpGetBody(host, port, "/v1/stats", 5000);
+        if (!body.ok())
+            throw StatusError(body.status());
+        StatusOr<obs::JsonValue> doc = obs::parseJson(body.value());
+        if (!doc.ok())
+            throw StatusError(doc.status());
+        if (iterations != 1)
+            std::cout << "\x1b[2J\x1b[H"; // clear + home
+        printTopFrame(std::cout, doc.value(), where);
+        std::cout.flush();
+        if (iterations != 0 && frame + 1 >= iterations)
+            return 0;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(interval_ms));
     }
 }
 
@@ -950,7 +1275,18 @@ commandUsage()
          "              [--class interactive|bulk|background]\n"
          "              [--connect-timeout-ms MS] [--retries K]\n"
          "              [--retry-seed S]    exit 3 when the server\n"
-         "              closes the connection mid-session\n"},
+         "              closes the connection mid-session\n"
+         "              [--trace-id ID]    tag the session for\n"
+         "              end-to-end tracing; with --trace-out the\n"
+         "              server's spans are fetched and merged into\n"
+         "              the trace file (an id is self-assigned when\n"
+         "              only --trace-out is given)\n"},
+        {"top",
+         "  top         live daemon dashboard: poll GET /v1/stats\n"
+         "              and redraw each interval\n"
+         "              [--host H] [--port P] [--interval-ms MS]\n"
+         "              [--iterations N]    N=1 prints one frame\n"
+         "              and exits (script mode); 0 runs until ^C\n"},
     };
     return usages;
 }
@@ -986,7 +1322,9 @@ commandFlags()
           "qos-max-rate"}},
         {"stream",
          {"in", "host", "port", "tenant", "class",
-          "connect-timeout-ms", "retries", "retry-seed"}},
+          "connect-timeout-ms", "retries", "retry-seed",
+          "trace-id"}},
+        {"top", {"host", "port", "interval-ms", "iterations"}},
     };
     return flags;
 }
@@ -1148,7 +1486,22 @@ class TimelineEmitter
         obs::disarmTimelineCrashHandler();
         obs::TimelineSnapshot snap = obs::timelineSnapshot();
         obs::disableTimeline();
-        Status s = obs::writeChromeTrace(out_path_, snap);
+        Status s;
+        if (g_server_trace_fragment.empty()) {
+            s = obs::writeChromeTrace(out_path_, snap);
+        } else {
+            // A stream session fetched the server's timeline: merge
+            // its re-projected events into the same traceEvents
+            // array so one Perfetto file shows both processes.
+            std::ofstream os(out_path_, std::ios::binary);
+            if (os) {
+                os << obs::renderChromeTrace(
+                    snap, static_cast<int>(::getpid()),
+                    g_server_trace_fragment);
+            }
+            s = os ? Status() : Status::ioError(
+                "cannot write trace '" + out_path_ + "'");
+        }
         if (!s.ok()) {
             std::cerr << "dlwtool: cannot write trace: "
                       << s.toString() << '\n';
@@ -1216,6 +1569,8 @@ dispatch(const std::string &cmd, const dlw::Options &opts)
         return cmdServe(opts);
     if (cmd == "stream")
         return cmdStream(opts);
+    if (cmd == "top")
+        return cmdTop(opts);
     usage(std::cerr);
     return 2;
 }
